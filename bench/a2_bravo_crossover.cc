@@ -1,0 +1,44 @@
+// A2: where does BRAVO's reader bias stop paying off?
+// Fixed 40 simulated threads; sweep the write fraction. Reader bias wins for
+// read-mostly mixes and loses once revocation cost dominates — the crossover
+// is exactly why the paper wants the rw mode switchable from userspace
+// (§3.1.1 lock switching) instead of hard-coded.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/sim/workloads.h"
+
+namespace concord {
+namespace {
+
+void Run() {
+  std::printf("\n=== A2: BRAVO crossover vs write fraction "
+              "[simulated, 40 threads, ops/msec] ===\n");
+  std::printf("%16s %16s %16s %16s %10s\n", "writes/1024", "Stock",
+              "BRAVO(adaptive)", "BRAVO(fixed)", "winner");
+  for (std::uint32_t writes : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    PageFaultParams params;
+    params.threads = 40;
+    params.duration_ns = 5'000'000;
+    params.writes_per_1024 = writes;
+    const double stock =
+        SimPageFault(PageFaultFlavor::kStockNeutral, params).ops_per_msec;
+    const double adaptive =
+        SimPageFault(PageFaultFlavor::kBravo, params).ops_per_msec;
+    const double fixed =
+        SimPageFault(PageFaultFlavor::kBravoFixedBias, params).ops_per_msec;
+    std::printf("%16u %16.1f %16.1f %16.1f %10s\n", writes, stock, adaptive,
+                fixed, adaptive >= stock ? "BRAVO" : "Stock");
+  }
+  std::printf("(fixed bias shows the crossover the adaptive inhibit window — "
+              "and a Concord rw_mode policy — exists to avoid)\n");
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::Run();
+  return 0;
+}

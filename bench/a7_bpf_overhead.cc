@@ -1,0 +1,103 @@
+// A7: what does a policy invocation cost? (google-benchmark)
+// Breaks the "Concord overhead" down into its parts: BPF interpretation per
+// program, hook-table dispatch, and the end-to-end uncontended lock/unlock
+// with nothing / native hooks / BPF hooks attached.
+
+#include <benchmark/benchmark.h>
+
+#include "src/bpf/vm.h"
+#include "src/concord/concord.h"
+#include "src/concord/policies.h"
+#include "src/sync/shfllock.h"
+
+namespace concord {
+namespace {
+
+void BM_BpfRunNumaCmp(benchmark::State& state) {
+  auto policy = MakeNumaGroupingPolicy();
+  CONCORD_CHECK(policy.ok());
+  CONCORD_CHECK(policy->spec.VerifyAll().ok());
+  const Program& program =
+      policy->spec.ChainFor(HookKind::kCmpNode).programs.front();
+  CmpNodeCtx ctx{};
+  ctx.shuffler.socket = 1;
+  ctx.curr.socket = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BpfVm::Run(program, &ctx));
+  }
+  state.SetLabel(std::to_string(program.insns.size()) + " insns");
+}
+BENCHMARK(BM_BpfRunNumaCmp);
+
+void BM_BpfRunMapLookupPolicy(benchmark::State& state) {
+  auto policy = MakePriorityBoostPolicy();  // prologue does a map lookup
+  CONCORD_CHECK(policy.ok());
+  CONCORD_CHECK(policy->spec.VerifyAll().ok());
+  const Program& program =
+      policy->spec.ChainFor(HookKind::kCmpNode).programs.front();
+  CmpNodeCtx ctx{};
+  ctx.curr.priority = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BpfVm::Run(program, &ctx));
+  }
+  state.SetLabel(std::to_string(program.insns.size()) + " insns + map lookup");
+}
+BENCHMARK(BM_BpfRunMapLookupPolicy);
+
+void BM_UncontendedLock_NoHooks(benchmark::State& state) {
+  ShflLock lock;
+  for (auto _ : state) {
+    lock.Lock();
+    lock.Unlock();
+  }
+}
+BENCHMARK(BM_UncontendedLock_NoHooks);
+
+void BM_UncontendedLock_NativeHooks(benchmark::State& state) {
+  ShflLock lock;
+  ShflHooks hooks;
+  hooks.cmp_node = [](void*, const ShflWaiterView& s, const ShflWaiterView& c) {
+    return s.socket == c.socket;
+  };
+  lock.InstallHooks(&hooks);
+  for (auto _ : state) {
+    lock.Lock();
+    lock.Unlock();
+  }
+  lock.InstallHooks(nullptr);
+  Rcu::Global().Synchronize();
+}
+BENCHMARK(BM_UncontendedLock_NativeHooks);
+
+void BM_UncontendedLock_BpfPolicy(benchmark::State& state) {
+  static ShflLock lock;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "a7_lock", "bench");
+  auto policy = MakeNumaGroupingPolicy();
+  CONCORD_CHECK(policy.ok());
+  CONCORD_CHECK(concord.Attach(id, std::move(policy->spec)).ok());
+  for (auto _ : state) {
+    lock.Lock();
+    lock.Unlock();
+  }
+  CONCORD_CHECK(concord.Unregister(id).ok());
+}
+BENCHMARK(BM_UncontendedLock_BpfPolicy);
+
+void BM_RwModeDecision_Bpf(benchmark::State& state) {
+  auto policy = MakeRwSwitchPolicy(RwMode::kReaderBias);
+  CONCORD_CHECK(policy.ok());
+  CONCORD_CHECK(policy->spec.VerifyAll().ok());
+  const Program& program =
+      policy->spec.ChainFor(HookKind::kRwMode).programs.front();
+  RwModeCtx ctx{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BpfVm::Run(program, &ctx));
+  }
+}
+BENCHMARK(BM_RwModeDecision_Bpf);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

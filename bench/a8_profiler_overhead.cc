@@ -1,0 +1,60 @@
+// A8: profiling-tap cost (google-benchmark). Table 1's hazard column for the
+// four profiling hooks is "increase critical section" — this quantifies it:
+// uncontended lock/unlock with no profiling, the built-in native profiler,
+// and the all-BPF per-CPU-map profiler.
+
+#include <benchmark/benchmark.h>
+
+#include "src/concord/concord.h"
+#include "src/concord/policies.h"
+#include "src/sync/shfllock.h"
+
+namespace concord {
+namespace {
+
+void BM_LockUnlock_NoProfiling(benchmark::State& state) {
+  ShflLock lock;
+  for (auto _ : state) {
+    lock.Lock();
+    lock.Unlock();
+  }
+}
+BENCHMARK(BM_LockUnlock_NoProfiling);
+
+void BM_LockUnlock_NativeProfiler(benchmark::State& state) {
+  static ShflLock lock;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "a8_native", "bench");
+  CONCORD_CHECK(concord.EnableProfiling(id).ok());
+  for (auto _ : state) {
+    lock.Lock();
+    lock.Unlock();
+  }
+  state.counters["acquisitions"] = static_cast<double>(
+      concord.Stats(id)->acquisitions.load(std::memory_order_relaxed));
+  CONCORD_CHECK(concord.Unregister(id).ok());
+}
+BENCHMARK(BM_LockUnlock_NativeProfiler);
+
+void BM_LockUnlock_BpfProfiler(benchmark::State& state) {
+  static ShflLock lock;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "a8_bpf", "bench");
+  auto profiler = MakeBpfProfilerPolicy();
+  CONCORD_CHECK(profiler.ok());
+  auto counters = profiler->counters;  // keep alive across the Attach move
+  CONCORD_CHECK(concord.Attach(id, std::move(profiler->spec)).ok());
+  for (auto _ : state) {
+    lock.Lock();
+    lock.Unlock();
+  }
+  state.counters["bpf_acquires"] =
+      static_cast<double>(counters->SumU64(0));
+  CONCORD_CHECK(concord.Unregister(id).ok());
+}
+BENCHMARK(BM_LockUnlock_BpfProfiler);
+
+}  // namespace
+}  // namespace concord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Figure 2(c): global-lock hash table — normalized throughput of
+// Concord-ShflLock relative to ShflLock (the paper's worst case: tiny
+// critical sections make hook overhead maximally visible; the paper reports
+// up to ~20% slowdown with no userspace code executing).
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/base/rng.h"
+#include "src/concord/concord.h"
+#include "src/concord/policies.h"
+#include "src/kernelsim/hashtable.h"
+#include "src/sim/workloads.h"
+
+namespace concord {
+namespace {
+
+void RunSimPart() {
+  auto numa = MakeNumaGroupingPolicy();
+  CONCORD_CHECK(numa.ok());
+  CONCORD_CHECK(numa->spec.VerifyAll().ok());
+  const Program* cmp = &numa->spec.ChainFor(HookKind::kCmpNode).programs.front();
+
+  auto profiler = MakeBpfProfilerPolicy();
+  CONCORD_CHECK(profiler.ok());
+  CONCORD_CHECK(profiler->spec.VerifyAll().ok());
+  const Program* tap =
+      &profiler->spec.ChainFor(HookKind::kLockAcquire).programs.front();
+
+  bench::PrintHeader(
+      "Fig 2(c) hashtable [simulated, normalized throughput vs ShflLock]",
+      {"Concord(empty)", "Concord(BPF taps)"});
+  for (std::uint32_t threads : bench::PaperThreadSweep()) {
+    HashParams params;
+    params.threads = threads;
+    params.duration_ns = 3'000'000;
+    params.cmp_program = cmp;
+    params.tap_program = tap;
+    const double base = SimHashTable(HashFlavor::kShflLock, params).ops_per_msec;
+    const double empty =
+        SimHashTable(HashFlavor::kConcordEmptyHooks, params).ops_per_msec;
+    const double bpf =
+        SimHashTable(HashFlavor::kConcordBpfProfiler, params).ops_per_msec;
+    bench::PrintRow(threads, {empty / base, bpf / base});
+  }
+}
+
+double RunRealWorkload(GlobalLockHashTable<ShflLock>& table, std::uint32_t threads,
+                       std::uint64_t ms) {
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 32; ++i) {
+          const std::uint64_t key = rng.NextBounded(1 << 16);
+          const std::uint64_t dice = rng.NextBounded(100);
+          if (dice < 80) {
+            table.Lookup(key, nullptr);
+          } else if (dice < 90) {
+            table.Insert(key, key);
+          } else {
+            table.Erase(key);
+          }
+        }
+        ops.fetch_add(32, std::memory_order_relaxed);
+      }
+    });
+  }
+  bench::SleepMs(ms);
+  stop.store(true);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  return static_cast<double>(ops.load()) / static_cast<double>(ms);
+}
+
+void RunRealPart() {
+  constexpr std::uint64_t kMs = 400;
+  bench::PrintHeader(
+      "Fig 2(c) hashtable [real threads, normalized throughput vs ShflLock]",
+      {"Concord(policy)", "Concord(+profiler)"});
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    GlobalLockHashTable<ShflLock> base_table;
+    base_table.global_lock().SetBlocking(true);
+    const double base = RunRealWorkload(base_table, threads, kMs);
+
+    GlobalLockHashTable<ShflLock> policy_table;
+    policy_table.global_lock().SetBlocking(true);
+    Concord& concord = Concord::Global();
+    const std::uint64_t policy_id =
+        concord.RegisterShflLock(policy_table.global_lock(), "ht_lock_p", "ht");
+    auto numa = MakeNumaGroupingPolicy();
+    CONCORD_CHECK(numa.ok());
+    CONCORD_CHECK(concord.Attach(policy_id, std::move(numa->spec)).ok());
+    const double with_policy = RunRealWorkload(policy_table, threads, kMs);
+    CONCORD_CHECK(concord.Unregister(policy_id).ok());
+
+    GlobalLockHashTable<ShflLock> prof_table;
+    prof_table.global_lock().SetBlocking(true);
+    const std::uint64_t prof_id =
+        concord.RegisterShflLock(prof_table.global_lock(), "ht_lock_f", "ht");
+    auto numa2 = MakeNumaGroupingPolicy();
+    CONCORD_CHECK(numa2.ok());
+    CONCORD_CHECK(concord.Attach(prof_id, std::move(numa2->spec)).ok());
+    CONCORD_CHECK(concord.EnableProfiling(prof_id).ok());
+    const double with_profiler = RunRealWorkload(prof_table, threads, kMs);
+    CONCORD_CHECK(concord.Unregister(prof_id).ok());
+
+    bench::PrintRow(threads, {with_policy / base, with_profiler / base});
+  }
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::RunSimPart();
+  concord::RunRealPart();
+  return 0;
+}

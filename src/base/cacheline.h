@@ -1,0 +1,38 @@
+// Cache-line geometry and alignment helpers.
+//
+// Lock algorithms in this repository are extremely sensitive to false
+// sharing: a single mis-placed field can turn an O(1)-cache-miss queue lock
+// into a line-bouncing one. Every shared structure below uses these helpers
+// rather than hard-coding `64`.
+
+#ifndef SRC_BASE_CACHELINE_H_
+#define SRC_BASE_CACHELINE_H_
+
+#include <cstddef>
+#include <new>
+
+namespace concord {
+
+// Size of the destructive-interference unit. Pinned to 64 rather than
+// `std::hardware_destructive_interference_size`: the standard constant varies
+// with -mtune (GCC warns about exactly this), and ABI stability of padded
+// structs matters more here than the rare 128-byte-line machine.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+#define CONCORD_CACHE_ALIGNED alignas(::concord::kCacheLineSize)
+
+// Pads `T` out to a whole number of cache lines so that adjacent array
+// elements (e.g. per-CPU counters) never share a line.
+template <typename T>
+struct CONCORD_CACHE_ALIGNED CacheLinePadded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace concord
+
+#endif  // SRC_BASE_CACHELINE_H_

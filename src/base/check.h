@@ -1,0 +1,38 @@
+// Invariant-checking macros.
+//
+// CONCORD_CHECK is always on (even in release builds): this library's whole
+// purpose is letting untrusted policies near a lock's waiter queue, so
+// queue-integrity violations must abort loudly rather than corrupt silently.
+// CONCORD_DCHECK compiles out in NDEBUG builds and is for hot-path checks.
+
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace concord {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace concord
+
+#define CONCORD_CHECK(expr)                                \
+  do {                                                     \
+    if (__builtin_expect(!(expr), 0)) {                    \
+      ::concord::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define CONCORD_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define CONCORD_DCHECK(expr) CONCORD_CHECK(expr)
+#endif
+
+#endif  // SRC_BASE_CHECK_H_

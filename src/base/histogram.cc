@@ -1,0 +1,87 @@
+#include "src/base/histogram.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace concord {
+
+std::uint64_t Log2Histogram::TotalCount() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Log2Histogram::Mean() const {
+  const std::uint64_t n = TotalCount();
+  return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Log2Histogram::Percentile(double p) const {
+  const std::uint64_t total = TotalCount();
+  if (total == 0) {
+    return 0;
+  }
+  if (p < 0) {
+    p = 0;
+  }
+  if (p > 100) {
+    p = 100;
+  }
+  const auto target =
+      static_cast<std::uint64_t>(static_cast<double>(total) * p / 100.0);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > target) {
+      // Bucket i holds values in [2^(i-1), 2^i); report the lower bound.
+      return i == 0 ? 0 : (1ull << (i - 1));
+    }
+  }
+  return Max();
+}
+
+void Log2Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Log2Histogram::MergeFrom(const Log2Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  std::uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (other_max > prev &&
+         !max_.compare_exchange_weak(prev, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+std::string Log2Histogram::ToString() const {
+  std::string out;
+  char line[128];
+  const std::uint64_t total = TotalCount();
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t count = buckets_[i].load(std::memory_order_relaxed);
+    if (count == 0) {
+      continue;
+    }
+    const std::uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
+    const std::uint64_t hi = (i >= 63) ? ~0ull : (1ull << i);
+    const double pct =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(count) / static_cast<double>(total);
+    std::snprintf(line, sizeof(line), "[%12" PRIu64 ", %12" PRIu64 ") %10" PRIu64 "  %5.1f%%\n",
+                  lo, hi, count, pct);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace concord

@@ -1,0 +1,70 @@
+// Lock-free log2 latency histogram.
+//
+// The dynamic lock profiler records one sample per hook invocation on the
+// lock slow path, so recording must be a handful of instructions and must not
+// itself take a lock. We bucket by floor(log2(value)) — coarse, but exactly
+// what kernel lockstat-style tooling reports, and sufficient to distinguish
+// "ns", "us" and "ms" regimes.
+
+#ifndef SRC_BASE_HISTOGRAM_H_
+#define SRC_BASE_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/base/cacheline.h"
+
+namespace concord {
+
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  Log2Histogram() = default;
+
+  // Thread-safe; relaxed ordering is fine because readers only want
+  // statistically consistent totals.
+  void Record(std::uint64_t value) {
+    int bucket = value == 0 ? 0 : 64 - __builtin_clzll(value);
+    if (bucket >= kBuckets) {
+      bucket = kBuckets - 1;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    // Max: racy CAS loop, bounded retries unnecessary — contention is rare.
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t TotalCount() const;
+  std::uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  double Mean() const;
+
+  // Approximate p-th percentile (p in [0,100]), resolved to bucket lower
+  // bound. Good to within 2x, which is the histogram's native resolution.
+  std::uint64_t Percentile(double p) const;
+
+  void Reset();
+
+  // Merges `other` into this histogram (used to aggregate per-CPU shards).
+  void MergeFrom(const Log2Histogram& other);
+
+  // Human-readable ASCII rendering (one line per non-empty bucket).
+  std::string ToString() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace concord
+
+#endif  // SRC_BASE_HISTOGRAM_H_

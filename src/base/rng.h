@@ -1,0 +1,72 @@
+// Small deterministic PRNGs for workload generation.
+//
+// Benchmarks and the discrete-event simulator need fast, seedable,
+// reproducible randomness; <random> engines are heavier than needed and their
+// distributions are not bit-stable across library versions, so we keep our
+// own xoshiro/splitmix implementations.
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace concord {
+
+// SplitMix64: used for seeding and as a cheap one-shot hash.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: the main workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x1234567890abcdefull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses the widening-multiply trick (Lemire).
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace concord
+
+#endif  // SRC_BASE_RNG_H_

@@ -1,0 +1,29 @@
+#include "src/base/spinwait.h"
+
+#include <sched.h>
+#include <time.h>
+
+namespace concord {
+
+void SpinWait::Once() {
+  ++iteration_;
+  if (iteration_ < kSpinLimit) {
+    // Short exponential burst of PAUSEs: 1, 2, 4, ... capped.
+    std::uint32_t reps = 1u << (iteration_ < 6 ? iteration_ : 6);
+    for (std::uint32_t i = 0; i < reps; ++i) {
+      CpuRelax();
+    }
+    return;
+  }
+  if (iteration_ < kYieldLimit) {
+    sched_yield();
+    return;
+  }
+  // Long-term waiter: sleep 50us so a preempted holder can run even under
+  // heavy oversubscription. Waiters that reach this point are already far
+  // off the throughput fast path.
+  timespec ts{0, 50'000};
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace concord

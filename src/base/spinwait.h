@@ -1,0 +1,57 @@
+// Adaptive spin-wait primitive.
+//
+// All busy-wait loops in this repository go through SpinWait rather than a
+// bare `while (...) {}`. This matters for two reasons:
+//  1. On hosts with fewer physical cores than contending threads (including
+//     the single-core CI machine this repo is developed on), a waiter that
+//     never yields can deadlock-by-livelock against a preempted lock holder.
+//     SpinWait escalates: PAUSE -> sched_yield -> short sleep.
+//  2. It centralizes the architecture-specific relax instruction.
+
+#ifndef SRC_BASE_SPINWAIT_H_
+#define SRC_BASE_SPINWAIT_H_
+
+#include <cstdint>
+
+namespace concord {
+
+// Hint to the CPU that we are in a spin loop (PAUSE on x86, YIELD on arm).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Escalating waiter. Typical use:
+//
+//   SpinWait spin;
+//   while (!flag.load(std::memory_order_acquire)) {
+//     spin.Once();
+//   }
+class SpinWait {
+ public:
+  SpinWait() = default;
+
+  // One wait step; escalates as `Once` is called repeatedly.
+  void Once();
+
+  // Resets the escalation state (call after making progress).
+  void Reset() { iteration_ = 0; }
+
+  // Number of wait steps taken since construction/Reset.
+  std::uint32_t iterations() const { return iteration_; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 64;    // pure PAUSE below this
+  static constexpr std::uint32_t kYieldLimit = 512;  // sched_yield below this
+
+  std::uint32_t iteration_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_BASE_SPINWAIT_H_

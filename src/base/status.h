@@ -1,0 +1,124 @@
+// Minimal Status / StatusOr types.
+//
+// The BPF verifier and the Concord attach pipeline report rich, user-facing
+// rejection reasons; exceptions are not used in this codebase (os-systems
+// style), so fallible interfaces return Status / StatusOr<T>.
+
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/check.h"
+
+namespace concord {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad bytecode, bad config)
+  kFailedPrecondition,// operation not legal in current state
+  kNotFound,          // lookup misses (registry, map)
+  kPermissionDenied,  // verifier rejection
+  kResourceExhausted, // capacity limits (map full, program too long)
+  kInternal,          // bug in this library
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status PermissionDeniedError(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Holds either a value or a non-OK status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : repr_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    CONCORD_CHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(repr_);
+  }
+
+  T& value() {
+    CONCORD_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const {
+    CONCORD_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+#define CONCORD_RETURN_IF_ERROR(expr)       \
+  do {                                      \
+    ::concord::Status status_ = (expr);     \
+    if (!status_.ok()) {                    \
+      return status_;                       \
+    }                                       \
+  } while (0)
+
+}  // namespace concord
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,19 @@
+#include "src/base/time.h"
+
+namespace concord {
+
+void BurnNs(std::uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  const std::uint64_t start = MonotonicNowNs();
+  // Mix in some ALU work so the loop is not a pure clock_gettime storm.
+  volatile std::uint64_t sink = 0;
+  while (MonotonicNowNs() - start < ns) {
+    for (int i = 0; i < 32; ++i) {
+      sink = sink * 6364136223846793005ull + 1442695040888963407ull;
+    }
+  }
+}
+
+}  // namespace concord

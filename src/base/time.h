@@ -1,0 +1,38 @@
+// Monotonic time helpers used by the profiler and benchmarks.
+
+#ifndef SRC_BASE_TIME_H_
+#define SRC_BASE_TIME_H_
+
+#include <time.h>
+
+#include <cstdint>
+
+namespace concord {
+
+// Monotonic nanoseconds. Not wall-clock; suitable only for durations.
+inline std::uint64_t MonotonicNowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+// Cheap serializing-free cycle counter, used where the profiler wants minimal
+// probe cost and only needs relative ordering on one CPU.
+inline std::uint64_t CycleCount() {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return MonotonicNowNs();
+#endif
+}
+
+// Busy-burn roughly `ns` nanoseconds of CPU work; models a critical-section
+// body of known length in benchmarks (does not yield; use only for short ns).
+void BurnNs(std::uint64_t ns);
+
+}  // namespace concord
+
+#endif  // SRC_BASE_TIME_H_

@@ -1,0 +1,439 @@
+#include "src/bpf/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "src/bpf/helpers.h"
+#include "src/bpf/insn.h"
+
+namespace concord {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Splits a line into tokens; separators are whitespace and commas; brackets,
+// colons, plus and minus are returned as their own tokens when structural.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == ';') {
+      break;  // comment
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      flush();
+      continue;
+    }
+    if (c == '[' || c == ']' || c == ':') {
+      flush();
+      tokens.push_back(std::string(1, c));
+      continue;
+    }
+    current.push_back(c);
+  }
+  flush();
+  return tokens;
+}
+
+bool ParseReg(const std::string& token, std::uint8_t* out) {
+  if (token.size() < 2 || token[0] != 'r') {
+    return false;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str() + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0 || v >= kBpfNumRegs) {
+    return false;
+  }
+  *out = static_cast<std::uint8_t>(v);
+  return true;
+}
+
+bool ParseImm(const std::string& token, std::int64_t* out) {
+  if (token.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+std::optional<std::uint8_t> AluOpFromName(const std::string& base) {
+  if (base == "mov") return kBpfMov;
+  if (base == "add") return kBpfAdd;
+  if (base == "sub") return kBpfSub;
+  if (base == "mul") return kBpfMul;
+  if (base == "div") return kBpfDiv;
+  if (base == "or") return kBpfOr;
+  if (base == "and") return kBpfAnd;
+  if (base == "xor") return kBpfXor;
+  if (base == "lsh") return kBpfLsh;
+  if (base == "rsh") return kBpfRsh;
+  if (base == "arsh") return kBpfArsh;
+  if (base == "mod") return kBpfMod;
+  if (base == "neg") return kBpfNeg;
+  return std::nullopt;
+}
+
+std::optional<std::uint8_t> JmpOpFromName(const std::string& name) {
+  if (name == "jeq") return kBpfJeq;
+  if (name == "jne") return kBpfJne;
+  if (name == "jgt") return kBpfJgt;
+  if (name == "jge") return kBpfJge;
+  if (name == "jlt") return kBpfJlt;
+  if (name == "jle") return kBpfJle;
+  if (name == "jsgt") return kBpfJsgt;
+  if (name == "jsge") return kBpfJsge;
+  if (name == "jslt") return kBpfJslt;
+  if (name == "jsle") return kBpfJsle;
+  if (name == "jset") return kBpfJset;
+  return std::nullopt;
+}
+
+std::optional<std::uint8_t> SizeFromSuffix(const std::string& suffix) {
+  if (suffix == "b") return kBpfSizeB;
+  if (suffix == "h") return kBpfSizeH;
+  if (suffix == "w") return kBpfSizeW;
+  if (suffix == "dw") return kBpfSizeDw;
+  return std::nullopt;
+}
+
+struct PendingJump {
+  std::size_t pc;
+  std::string label;
+  int line_no;
+};
+
+class Assembler {
+ public:
+  Assembler(const std::string& name, const ContextDescriptor* ctx_desc,
+            std::vector<BpfMap*> maps)
+      : name_(name), ctx_desc_(ctx_desc), maps_(std::move(maps)) {}
+
+  StatusOr<Program> Assemble(const std::string& source) {
+    std::size_t pos = 0;
+    int line_no = 0;
+    while (pos <= source.size()) {
+      const std::size_t eol = source.find('\n', pos);
+      const std::string line = source.substr(
+          pos, eol == std::string::npos ? std::string::npos : eol - pos);
+      ++line_no;
+      Status status = HandleLine(line, line_no);
+      if (!status.ok()) {
+        return status;
+      }
+      if (eol == std::string::npos) {
+        break;
+      }
+      pos = eol + 1;
+    }
+
+    for (const auto& pending : pending_jumps_) {
+      auto it = labels_.find(pending.label);
+      if (it == labels_.end()) {
+        return InvalidArgumentError("line " + std::to_string(pending.line_no) +
+                                    ": undefined label '" + pending.label + "'");
+      }
+      const std::int64_t delta = static_cast<std::int64_t>(it->second) -
+                                 static_cast<std::int64_t>(pending.pc) - 1;
+      if (delta < INT16_MIN || delta > INT16_MAX) {
+        return InvalidArgumentError("jump to '" + pending.label + "' overflows");
+      }
+      insns_[pending.pc].off = static_cast<std::int16_t>(delta);
+    }
+
+    Program program;
+    program.name = name_;
+    program.insns = std::move(insns_);
+    program.maps = std::move(maps_);
+    program.ctx_desc = ctx_desc_;
+    return program;
+  }
+
+ private:
+  Status Err(int line_no, const std::string& msg) const {
+    return InvalidArgumentError("line " + std::to_string(line_no) + ": " + msg);
+  }
+
+  Status HandleLine(const std::string& line, int line_no) {
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) {
+      return Status::Ok();
+    }
+    // Leading label: `name :`
+    if (tokens.size() >= 2 && tokens[1] == ":") {
+      if (labels_.count(tokens[0]) != 0) {
+        return Err(line_no, "duplicate label '" + tokens[0] + "'");
+      }
+      labels_[tokens[0]] = insns_.size();
+      tokens.erase(tokens.begin(), tokens.begin() + 2);
+      if (tokens.empty()) {
+        return Status::Ok();
+      }
+    }
+    return HandleInsn(tokens, line_no);
+  }
+
+  Status HandleInsn(const std::vector<std::string>& t, int line_no) {
+    const std::string& mnemonic = t[0];
+
+    if (mnemonic == "exit") {
+      insns_.push_back(Exit());
+      return Status::Ok();
+    }
+
+    if (mnemonic == "call") {
+      if (t.size() != 2) {
+        return Err(line_no, "call takes one operand");
+      }
+      std::int64_t id;
+      if (ParseImm(t[1], &id)) {
+        insns_.push_back(Call(static_cast<std::int32_t>(id)));
+        return Status::Ok();
+      }
+      const HelperDef* helper = HelperRegistry::Global().FindByName(t[1]);
+      if (helper == nullptr) {
+        return Err(line_no, "unknown helper '" + t[1] + "'");
+      }
+      insns_.push_back(Call(static_cast<std::int32_t>(helper->id)));
+      return Status::Ok();
+    }
+
+    if (mnemonic == "ja") {
+      if (t.size() != 2) {
+        return Err(line_no, "ja takes one operand");
+      }
+      pending_jumps_.push_back({insns_.size(), t[1], line_no});
+      insns_.push_back(Jump(0));
+      return Status::Ok();
+    }
+
+    {
+      std::string jmp_base = mnemonic;
+      bool jmp64 = true;
+      if (jmp_base.size() > 2 && jmp_base.substr(jmp_base.size() - 2) == "32") {
+        jmp64 = false;
+        jmp_base = jmp_base.substr(0, jmp_base.size() - 2);
+      }
+      if (auto jop = JmpOpFromName(jmp_base)) {
+        // jcc[32] reg, reg_or_imm, label
+        if (t.size() != 4) {
+          return Err(line_no, mnemonic + " takes: reg, reg|imm, label");
+        }
+        std::uint8_t dst;
+        if (!ParseReg(t[1], &dst)) {
+          return Err(line_no, "bad register '" + t[1] + "'");
+        }
+        pending_jumps_.push_back({insns_.size(), t[3], line_no});
+        std::uint8_t src;
+        std::int64_t imm;
+        if (ParseReg(t[2], &src)) {
+          insns_.push_back(JmpReg(*jop, dst, src, 0, jmp64));
+        } else if (ParseImm(t[2], &imm)) {
+          insns_.push_back(
+              JmpImm(*jop, dst, static_cast<std::int32_t>(imm), 0, jmp64));
+        } else {
+          return Err(line_no, "bad operand '" + t[2] + "'");
+        }
+        return Status::Ok();
+      }
+    }
+
+    if (mnemonic == "lddw") {
+      if (t.size() != 3) {
+        return Err(line_no, "lddw takes: reg, imm64");
+      }
+      std::uint8_t dst;
+      std::int64_t imm;
+      if (!ParseReg(t[1], &dst) || !ParseImm(t[2], &imm)) {
+        return Err(line_no, "bad lddw operands");
+      }
+      const auto value = static_cast<std::uint64_t>(imm);
+      insns_.push_back(LoadImm64First(dst, value));
+      insns_.push_back(LoadImm64Second(value));
+      return Status::Ok();
+    }
+
+    if (mnemonic.rfind("ldx", 0) == 0) {
+      auto size = SizeFromSuffix(mnemonic.substr(3));
+      if (!size) {
+        return Err(line_no, "bad load size in '" + mnemonic + "'");
+      }
+      // ldxSZ reg, [ reg+off ]    tokens: mn reg [ base ]  (off folded in base)
+      return ParseMemForm(t, line_no, /*is_load=*/true, *size);
+    }
+    if (mnemonic.rfind("xadd", 0) == 0) {
+      auto size = SizeFromSuffix(mnemonic.substr(4));
+      if (!size || (*size != kBpfSizeW && *size != kBpfSizeDw)) {
+        return Err(line_no, "xadd supports w/dw only");
+      }
+      // xaddSZ [base+off], reg
+      if (t.size() != 5 || t[1] != "[" || t[3] != "]") {
+        return Err(line_no, "expected: " + mnemonic + " [base+off], reg");
+      }
+      std::uint8_t base, src;
+      std::int16_t off;
+      CONCORD_RETURN_IF_ERROR(ParseBasePlusOff(t[2], line_no, &base, &off));
+      if (!ParseReg(t[4], &src)) {
+        return Err(line_no, "bad register '" + t[4] + "'");
+      }
+      insns_.push_back(AtomicAdd(*size, base, src, off));
+      return Status::Ok();
+    }
+
+    if (mnemonic.rfind("stx", 0) == 0) {
+      auto size = SizeFromSuffix(mnemonic.substr(3));
+      if (!size) {
+        return Err(line_no, "bad store size in '" + mnemonic + "'");
+      }
+      return ParseMemForm(t, line_no, /*is_load=*/false, *size);
+    }
+    if (mnemonic.rfind("st", 0) == 0 && mnemonic != "sub") {
+      auto size = SizeFromSuffix(mnemonic.substr(2));
+      if (size) {
+        return ParseStImmForm(t, line_no, *size);
+      }
+    }
+
+    // ALU, possibly with '32' suffix.
+    std::string base = mnemonic;
+    bool is64 = true;
+    if (base.size() > 2 && base.substr(base.size() - 2) == "32") {
+      is64 = false;
+      base = base.substr(0, base.size() - 2);
+    }
+    if (auto aop = AluOpFromName(base)) {
+      if (*aop == kBpfNeg) {
+        if (t.size() != 2) {
+          return Err(line_no, "neg takes one register");
+        }
+        std::uint8_t dst;
+        if (!ParseReg(t[1], &dst)) {
+          return Err(line_no, "bad register '" + t[1] + "'");
+        }
+        insns_.push_back(AluImm(kBpfNeg, dst, 0, is64));
+        return Status::Ok();
+      }
+      if (t.size() != 3) {
+        return Err(line_no, mnemonic + " takes: reg, reg|imm");
+      }
+      std::uint8_t dst;
+      if (!ParseReg(t[1], &dst)) {
+        return Err(line_no, "bad register '" + t[1] + "'");
+      }
+      std::uint8_t src;
+      std::int64_t imm;
+      if (ParseReg(t[2], &src)) {
+        insns_.push_back(AluReg(*aop, dst, src, is64));
+      } else if (ParseImm(t[2], &imm)) {
+        if (imm < INT32_MIN || imm > INT32_MAX) {
+          return Err(line_no, "immediate does not fit in 32 bits (use lddw)");
+        }
+        insns_.push_back(AluImm(*aop, dst, static_cast<std::int32_t>(imm), is64));
+      } else {
+        return Err(line_no, "bad operand '" + t[2] + "'");
+      }
+      return Status::Ok();
+    }
+
+    return Err(line_no, "unknown mnemonic '" + mnemonic + "'");
+  }
+
+  // Parses `reg+off` or `reg-off` or bare `reg` inside brackets.
+  Status ParseBasePlusOff(const std::string& token, int line_no, std::uint8_t* base,
+                          std::int16_t* off) {
+    std::size_t split = token.find_first_of("+-", 1);
+    std::string reg_part =
+        split == std::string::npos ? token : token.substr(0, split);
+    if (!ParseReg(reg_part, base)) {
+      return Err(line_no, "bad base register '" + reg_part + "'");
+    }
+    *off = 0;
+    if (split != std::string::npos) {
+      std::int64_t v;
+      if (!ParseImm(token.substr(split), &v) || v < INT16_MIN || v > INT16_MAX) {
+        return Err(line_no, "bad offset in '" + token + "'");
+      }
+      *off = static_cast<std::int16_t>(v);
+    }
+    return Status::Ok();
+  }
+
+  // ldx: mn reg [ base ] ; stx: mn [ base ] reg
+  Status ParseMemForm(const std::vector<std::string>& t, int line_no, bool is_load,
+                      std::uint8_t size) {
+    if (is_load) {
+      if (t.size() != 5 || t[2] != "[" || t[4] != "]") {
+        return Err(line_no, "expected: " + t[0] + " reg, [base+off]");
+      }
+      std::uint8_t dst, base;
+      std::int16_t off;
+      if (!ParseReg(t[1], &dst)) {
+        return Err(line_no, "bad register '" + t[1] + "'");
+      }
+      CONCORD_RETURN_IF_ERROR(ParseBasePlusOff(t[3], line_no, &base, &off));
+      insns_.push_back(LoadMem(size, dst, base, off));
+      return Status::Ok();
+    }
+    if (t.size() != 5 || t[1] != "[" || t[3] != "]") {
+      return Err(line_no, "expected: " + t[0] + " [base+off], reg");
+    }
+    std::uint8_t base, src;
+    std::int16_t off;
+    CONCORD_RETURN_IF_ERROR(ParseBasePlusOff(t[2], line_no, &base, &off));
+    if (!ParseReg(t[4], &src)) {
+      return Err(line_no, "bad register '" + t[4] + "'");
+    }
+    insns_.push_back(StoreMemReg(size, base, src, off));
+    return Status::Ok();
+  }
+
+  Status ParseStImmForm(const std::vector<std::string>& t, int line_no,
+                        std::uint8_t size) {
+    if (t.size() != 5 || t[1] != "[" || t[3] != "]") {
+      return Err(line_no, "expected: " + t[0] + " [base+off], imm");
+    }
+    std::uint8_t base;
+    std::int16_t off;
+    std::int64_t imm;
+    CONCORD_RETURN_IF_ERROR(ParseBasePlusOff(t[2], line_no, &base, &off));
+    if (!ParseImm(t[4], &imm) || imm < INT32_MIN || imm > INT32_MAX) {
+      return Err(line_no, "bad immediate '" + t[4] + "'");
+    }
+    insns_.push_back(StoreMemImm(size, base, off, static_cast<std::int32_t>(imm)));
+    return Status::Ok();
+  }
+
+  std::string name_;
+  const ContextDescriptor* ctx_desc_;
+  std::vector<BpfMap*> maps_;
+  std::vector<Insn> insns_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<PendingJump> pending_jumps_;
+};
+
+}  // namespace
+
+StatusOr<Program> AssembleProgram(const std::string& name,
+                                  const std::string& source,
+                                  const ContextDescriptor* ctx_desc,
+                                  std::vector<BpfMap*> maps) {
+  Assembler assembler(name, ctx_desc, std::move(maps));
+  return assembler.Assemble(source);
+}
+
+}  // namespace concord

@@ -1,0 +1,56 @@
+// Textual assembler for policy programs.
+//
+// This is the "C-style code" surface of the paper made concrete: users write
+// a policy as text, the assembler produces bytecode, and the verifier decides
+// whether it may attach. Grammar (one instruction per line):
+//
+//   line      := [label ':'] [insn] [';' comment]
+//   insn      := alu | mem | jmp | 'call' name_or_id | 'exit'
+//   alu       := op reg ',' (reg | imm)          ; op in mov add sub mul div
+//                                                 ; or and xor lsh rsh arsh
+//                                                 ; mod neg  (neg takes 1 op)
+//                 op may carry a '32' suffix for 32-bit ALU, e.g. 'add32'
+//   mem       := 'ldx'sz reg ',' '[' reg sign off ']'
+//              | 'stx'sz '[' reg sign off ']' ',' reg
+//              | 'st'sz  '[' reg sign off ']' ',' imm
+//              | 'lddw' reg ',' imm64
+//   sz        := 'b' | 'h' | 'w' | 'dw'
+//   jmp       := 'ja' target
+//              | jop reg ',' (reg | imm) ',' target
+//   jop       := jeq jne jgt jge jlt jle jsgt jsge jslt jsle jset
+//   target    := label name
+//   reg       := 'r0' .. 'r10'
+//
+// Example — a NUMA-grouping cmp_node policy:
+//
+//     ldxw r2, [r1+0]      ; shuffler socket
+//     ldxw r3, [r1+4]      ; candidate socket
+//     jeq  r2, r3, same
+//     mov  r0, 0
+//     exit
+//   same:
+//     mov  r0, 1
+//     exit
+
+#ifndef SRC_BPF_ASSEMBLER_H_
+#define SRC_BPF_ASSEMBLER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bpf/program.h"
+
+namespace concord {
+
+// Assembles `source` into a program named `name` against `ctx_desc`.
+// `maps` become the program's declared map table (referenced by index from
+// helper calls). The result is NOT verified; run Verifier::Verify next.
+StatusOr<Program> AssembleProgram(const std::string& name,
+                                  const std::string& source,
+                                  const ContextDescriptor* ctx_desc,
+                                  std::vector<BpfMap*> maps = {});
+
+}  // namespace concord
+
+#endif  // SRC_BPF_ASSEMBLER_H_

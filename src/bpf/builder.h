@@ -1,0 +1,167 @@
+// Fluent program builder with label-based control flow.
+//
+// Policies in examples and tests are written either in the textual assembly
+// (src/bpf/assembler.h) or with this builder, which resolves forward labels
+// and catches operand mistakes at Build() time rather than at verification.
+
+#ifndef SRC_BPF_BUILDER_H_
+#define SRC_BPF_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bpf/helpers.h"
+#include "src/bpf/insn.h"
+#include "src/bpf/program.h"
+
+namespace concord {
+
+class ProgramBuilder {
+ public:
+  using Label = std::size_t;
+
+  ProgramBuilder(std::string name, const ContextDescriptor* ctx_desc)
+      : name_(std::move(name)), ctx_desc_(ctx_desc) {}
+
+  // --- maps -----------------------------------------------------------------
+  // Declares a map and returns its index for kConstMapIndex arguments.
+  std::uint32_t DeclareMap(BpfMap* map) {
+    maps_.push_back(map);
+    return static_cast<std::uint32_t>(maps_.size() - 1);
+  }
+
+  // --- labels -----------------------------------------------------------------
+  Label NewLabel() {
+    labels_.push_back(kUnbound);
+    return labels_.size() - 1;
+  }
+  ProgramBuilder& Bind(Label label) {
+    labels_[label] = insns_.size();
+    return *this;
+  }
+
+  // --- ALU --------------------------------------------------------------------
+  ProgramBuilder& Mov(std::uint8_t dst, std::int32_t imm) {
+    return Emit(MovImm(dst, imm));
+  }
+  ProgramBuilder& MovR(std::uint8_t dst, std::uint8_t src) {
+    return Emit(MovReg(dst, src));
+  }
+  ProgramBuilder& Mov64(std::uint8_t dst, std::uint64_t value) {
+    Emit(LoadImm64First(dst, value));
+    return Emit(LoadImm64Second(value));
+  }
+  ProgramBuilder& Alu(std::uint8_t op, std::uint8_t dst, std::int32_t imm) {
+    return Emit(AluImm(op, dst, imm));
+  }
+  ProgramBuilder& AluR(std::uint8_t op, std::uint8_t dst, std::uint8_t src) {
+    return Emit(AluReg(op, dst, src));
+  }
+  ProgramBuilder& Add(std::uint8_t dst, std::int32_t imm) {
+    return Alu(kBpfAdd, dst, imm);
+  }
+  ProgramBuilder& AddR(std::uint8_t dst, std::uint8_t src) {
+    return AluR(kBpfAdd, dst, src);
+  }
+  ProgramBuilder& Sub(std::uint8_t dst, std::int32_t imm) {
+    return Alu(kBpfSub, dst, imm);
+  }
+  ProgramBuilder& And(std::uint8_t dst, std::int32_t imm) {
+    return Alu(kBpfAnd, dst, imm);
+  }
+
+  // --- memory --------------------------------------------------------------
+  ProgramBuilder& Load(std::uint8_t size, std::uint8_t dst, std::uint8_t base,
+                       std::int16_t off) {
+    return Emit(LoadMem(size, dst, base, off));
+  }
+  ProgramBuilder& Store(std::uint8_t size, std::uint8_t base, std::int16_t off,
+                        std::uint8_t src) {
+    return Emit(StoreMemReg(size, base, src, off));
+  }
+  ProgramBuilder& StoreImm(std::uint8_t size, std::uint8_t base, std::int16_t off,
+                           std::int32_t imm) {
+    return Emit(StoreMemImm(size, base, off, imm));
+  }
+
+  // --- control flow ----------------------------------------------------------
+  ProgramBuilder& Jmp(Label label) {
+    pending_.push_back({insns_.size(), label});
+    return Emit(Jump(0));
+  }
+  ProgramBuilder& JmpIf(std::uint8_t op, std::uint8_t dst, std::int32_t imm,
+                        Label label) {
+    pending_.push_back({insns_.size(), label});
+    return Emit(JmpImm(op, dst, imm, 0));
+  }
+  ProgramBuilder& JmpIfR(std::uint8_t op, std::uint8_t dst, std::uint8_t src,
+                         Label label) {
+    pending_.push_back({insns_.size(), label});
+    return Emit(JmpReg(op, dst, src, 0));
+  }
+  ProgramBuilder& CallHelper(std::uint32_t helper_id) {
+    return Emit(Call(static_cast<std::int32_t>(helper_id)));
+  }
+  // Call by registered helper name; unresolved names fail at Build().
+  ProgramBuilder& CallByName(const std::string& helper_name) {
+    const HelperDef* helper = HelperRegistry::Global().FindByName(helper_name);
+    if (helper == nullptr) {
+      build_error_ = "unknown helper '" + helper_name + "'";
+      return Emit(Call(-1));
+    }
+    return CallHelper(helper->id);
+  }
+  ProgramBuilder& Ret() { return Emit(Insn(Exit())); }
+  // `Return(imm)` = mov r0, imm; exit.
+  ProgramBuilder& Return(std::int32_t imm) {
+    Mov(kBpfReg0, imm);
+    return Ret();
+  }
+
+  ProgramBuilder& Emit(Insn insn) {
+    insns_.push_back(insn);
+    return *this;
+  }
+
+  // Resolves labels and produces the (unverified) program.
+  StatusOr<Program> Build() {
+    if (!build_error_.empty()) {
+      return InvalidArgumentError(build_error_);
+    }
+    for (const auto& [pc, label] : pending_) {
+      if (labels_[label] == kUnbound) {
+        return InvalidArgumentError("unbound label in program '" + name_ + "'");
+      }
+      const std::int64_t delta = static_cast<std::int64_t>(labels_[label]) -
+                                 static_cast<std::int64_t>(pc) - 1;
+      if (delta < INT16_MIN || delta > INT16_MAX) {
+        return InvalidArgumentError("jump displacement overflow");
+      }
+      insns_[pc].off = static_cast<std::int16_t>(delta);
+    }
+    Program program;
+    program.name = name_;
+    program.insns = insns_;
+    program.maps = maps_;
+    program.ctx_desc = ctx_desc_;
+    return program;
+  }
+
+ private:
+  static constexpr std::size_t kUnbound = static_cast<std::size_t>(-1);
+
+  std::string name_;
+  const ContextDescriptor* ctx_desc_;
+  std::vector<Insn> insns_;
+  std::vector<BpfMap*> maps_;
+  std::vector<std::size_t> labels_;
+  std::vector<std::pair<std::size_t, Label>> pending_;  // (insn pc, label)
+  std::string build_error_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_BPF_BUILDER_H_

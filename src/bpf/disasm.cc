@@ -1,0 +1,155 @@
+#include <cstdio>
+
+#include "src/bpf/insn.h"
+
+namespace concord {
+namespace {
+
+const char* AluOpName(std::uint8_t op) {
+  switch (op) {
+    case kBpfAdd:
+      return "add";
+    case kBpfSub:
+      return "sub";
+    case kBpfMul:
+      return "mul";
+    case kBpfDiv:
+      return "div";
+    case kBpfOr:
+      return "or";
+    case kBpfAnd:
+      return "and";
+    case kBpfLsh:
+      return "lsh";
+    case kBpfRsh:
+      return "rsh";
+    case kBpfNeg:
+      return "neg";
+    case kBpfMod:
+      return "mod";
+    case kBpfXor:
+      return "xor";
+    case kBpfMov:
+      return "mov";
+    case kBpfArsh:
+      return "arsh";
+    default:
+      return "alu?";
+  }
+}
+
+const char* JmpOpName(std::uint8_t op) {
+  switch (op) {
+    case kBpfJa:
+      return "ja";
+    case kBpfJeq:
+      return "jeq";
+    case kBpfJgt:
+      return "jgt";
+    case kBpfJge:
+      return "jge";
+    case kBpfJset:
+      return "jset";
+    case kBpfJne:
+      return "jne";
+    case kBpfJsgt:
+      return "jsgt";
+    case kBpfJsge:
+      return "jsge";
+    case kBpfJlt:
+      return "jlt";
+    case kBpfJle:
+      return "jle";
+    case kBpfJslt:
+      return "jslt";
+    case kBpfJsle:
+      return "jsle";
+    default:
+      return "jmp?";
+  }
+}
+
+const char* SizeSuffix(std::uint8_t size) {
+  switch (size) {
+    case kBpfSizeB:
+      return "b";
+    case kBpfSizeH:
+      return "h";
+    case kBpfSizeW:
+      return "w";
+    case kBpfSizeDw:
+      return "dw";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string DisassembleInsn(const Insn& insn) {
+  char buf[96];
+  switch (insn.Class()) {
+    case kBpfClassAlu64:
+    case kBpfClassAlu32: {
+      const char* suffix = insn.Class() == kBpfClassAlu32 ? "32" : "";
+      if (insn.UsesSrcReg()) {
+        std::snprintf(buf, sizeof(buf), "%s%s r%d, r%d", AluOpName(insn.AluOp()),
+                      suffix, insn.dst, insn.src);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s%s r%d, %d", AluOpName(insn.AluOp()),
+                      suffix, insn.dst, insn.imm);
+      }
+      return buf;
+    }
+    case kBpfClassJmp:
+    case kBpfClassJmp32: {
+      const std::uint8_t op = insn.JmpOp();
+      const char* suffix = insn.Class() == kBpfClassJmp32 ? "32" : "";
+      if (op == kBpfExit) {
+        return "exit";
+      }
+      if (op == kBpfCall) {
+        std::snprintf(buf, sizeof(buf), "call %d", insn.imm);
+        return buf;
+      }
+      if (op == kBpfJa) {
+        std::snprintf(buf, sizeof(buf), "ja %+d", insn.off);
+        return buf;
+      }
+      if (insn.UsesSrcReg()) {
+        std::snprintf(buf, sizeof(buf), "%s%s r%d, r%d, %+d", JmpOpName(op), suffix,
+                      insn.dst, insn.src, insn.off);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%s%s r%d, %d, %+d", JmpOpName(op), suffix,
+                      insn.dst, insn.imm, insn.off);
+      }
+      return buf;
+    }
+    case kBpfClassLdx:
+      std::snprintf(buf, sizeof(buf), "ldx%s r%d, [r%d%+d]", SizeSuffix(insn.Size()),
+                    insn.dst, insn.src, insn.off);
+      return buf;
+    case kBpfClassStx:
+      if (insn.Mode() == kBpfModeAtomic) {
+        std::snprintf(buf, sizeof(buf), "xadd%s [r%d%+d], r%d",
+                      SizeSuffix(insn.Size()), insn.dst, insn.off, insn.src);
+        return buf;
+      }
+      std::snprintf(buf, sizeof(buf), "stx%s [r%d%+d], r%d", SizeSuffix(insn.Size()),
+                    insn.dst, insn.off, insn.src);
+      return buf;
+    case kBpfClassSt:
+      std::snprintf(buf, sizeof(buf), "st%s [r%d%+d], %d", SizeSuffix(insn.Size()),
+                    insn.dst, insn.off, insn.imm);
+      return buf;
+    case kBpfClassLd:
+      std::snprintf(buf, sizeof(buf), "lddw r%d, <imm64 lo=0x%x>", insn.dst,
+                    static_cast<unsigned>(insn.imm));
+      return buf;
+    default:
+      std::snprintf(buf, sizeof(buf), "<bad opcode 0x%02x>", insn.opcode);
+      return buf;
+  }
+}
+
+}  // namespace concord

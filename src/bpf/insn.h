@@ -1,0 +1,215 @@
+// Instruction set of the policy virtual machine.
+//
+// The encoding deliberately mirrors classic eBPF (pre-5.3, i.e. without
+// bounded-loop support): 8-bit opcode = 3-bit class + source bit + operation,
+// two 4-bit register fields, a 16-bit signed jump/memory offset and a 32-bit
+// immediate. Mirroring eBPF keeps the verifier discussion in DESIGN.md
+// honest — the safety argument ("no back edges, tracked register types,
+// bounded stack") is the same one the paper leans on.
+//
+// Differences from kernel eBPF, all simplifications:
+//  - maps are referenced by *index into the program's declared map table*
+//    (a constant scalar argument) instead of LD_IMM64 with a map fd;
+//  - no tail calls, no subprograms; of the atomic family only
+//    fetch-less BPF_ADD (xadd) is supported;
+//  - BPF_END (byteswap) is omitted.
+
+#ifndef SRC_BPF_INSN_H_
+#define SRC_BPF_INSN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace concord {
+
+// --- opcode classes (low 3 bits) -------------------------------------------
+inline constexpr std::uint8_t kBpfClassLd = 0x00;
+inline constexpr std::uint8_t kBpfClassLdx = 0x01;
+inline constexpr std::uint8_t kBpfClassSt = 0x02;
+inline constexpr std::uint8_t kBpfClassStx = 0x03;
+inline constexpr std::uint8_t kBpfClassAlu32 = 0x04;
+inline constexpr std::uint8_t kBpfClassJmp = 0x05;
+inline constexpr std::uint8_t kBpfClassJmp32 = 0x06;  // compares 32-bit views
+inline constexpr std::uint8_t kBpfClassAlu64 = 0x07;
+
+// --- source bit (ALU / JMP) -------------------------------------------------
+inline constexpr std::uint8_t kBpfSrcK = 0x00;  // use immediate
+inline constexpr std::uint8_t kBpfSrcX = 0x08;  // use src register
+
+// --- ALU operations (high 4 bits) ------------------------------------------
+inline constexpr std::uint8_t kBpfAdd = 0x00;
+inline constexpr std::uint8_t kBpfSub = 0x10;
+inline constexpr std::uint8_t kBpfMul = 0x20;
+inline constexpr std::uint8_t kBpfDiv = 0x30;
+inline constexpr std::uint8_t kBpfOr = 0x40;
+inline constexpr std::uint8_t kBpfAnd = 0x50;
+inline constexpr std::uint8_t kBpfLsh = 0x60;
+inline constexpr std::uint8_t kBpfRsh = 0x70;
+inline constexpr std::uint8_t kBpfNeg = 0x80;
+inline constexpr std::uint8_t kBpfMod = 0x90;
+inline constexpr std::uint8_t kBpfXor = 0xa0;
+inline constexpr std::uint8_t kBpfMov = 0xb0;
+inline constexpr std::uint8_t kBpfArsh = 0xc0;
+
+// --- JMP operations (high 4 bits) ------------------------------------------
+inline constexpr std::uint8_t kBpfJa = 0x00;
+inline constexpr std::uint8_t kBpfJeq = 0x10;
+inline constexpr std::uint8_t kBpfJgt = 0x20;
+inline constexpr std::uint8_t kBpfJge = 0x30;
+inline constexpr std::uint8_t kBpfJset = 0x40;
+inline constexpr std::uint8_t kBpfJne = 0x50;
+inline constexpr std::uint8_t kBpfJsgt = 0x60;
+inline constexpr std::uint8_t kBpfJsge = 0x70;
+inline constexpr std::uint8_t kBpfCall = 0x80;
+inline constexpr std::uint8_t kBpfExit = 0x90;
+inline constexpr std::uint8_t kBpfJlt = 0xa0;
+inline constexpr std::uint8_t kBpfJle = 0xb0;
+inline constexpr std::uint8_t kBpfJslt = 0xc0;
+inline constexpr std::uint8_t kBpfJsle = 0xd0;
+
+// --- memory access size (bits 3-4) -----------------------------------------
+inline constexpr std::uint8_t kBpfSizeW = 0x00;   // 4 bytes
+inline constexpr std::uint8_t kBpfSizeH = 0x08;   // 2 bytes
+inline constexpr std::uint8_t kBpfSizeB = 0x10;   // 1 byte
+inline constexpr std::uint8_t kBpfSizeDw = 0x18;  // 8 bytes
+
+// --- memory access mode (high 3 bits) ---------------------------------------
+inline constexpr std::uint8_t kBpfModeImm = 0x00;  // LD_IMM64 (two slots)
+inline constexpr std::uint8_t kBpfModeMem = 0x60;
+inline constexpr std::uint8_t kBpfModeAtomic = 0xc0;  // STX only: *(dst+off) += src
+
+// --- registers ---------------------------------------------------------------
+inline constexpr std::uint8_t kBpfReg0 = 0;   // return value / helper result
+inline constexpr std::uint8_t kBpfReg1 = 1;   // context pointer on entry; helper arg 1
+inline constexpr std::uint8_t kBpfReg10 = 10; // frame pointer (read-only)
+inline constexpr int kBpfNumRegs = 11;
+inline constexpr int kBpfStackSize = 512;
+
+struct Insn {
+  std::uint8_t opcode = 0;
+  std::uint8_t dst : 4 = 0;  // destination register
+  std::uint8_t src : 4 = 0;  // source register
+  std::int16_t off = 0;      // jump displacement or memory offset
+  std::int32_t imm = 0;
+
+  std::uint8_t Class() const { return opcode & 0x07; }
+  std::uint8_t AluOp() const { return opcode & 0xf0; }
+  std::uint8_t JmpOp() const { return opcode & 0xf0; }
+  std::uint8_t Size() const { return opcode & 0x18; }
+  std::uint8_t Mode() const {
+    return static_cast<std::uint8_t>(opcode & 0xe0);
+  }
+  bool UsesSrcReg() const { return (opcode & kBpfSrcX) != 0; }
+};
+
+static_assert(sizeof(Insn) == 8, "instructions must be 8 bytes, as in eBPF");
+
+// Number of bytes for a memory-size field.
+inline int ByteWidth(std::uint8_t size_field) {
+  switch (size_field) {
+    case kBpfSizeB:
+      return 1;
+    case kBpfSizeH:
+      return 2;
+    case kBpfSizeW:
+      return 4;
+    case kBpfSizeDw:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+// --- convenience constructors (used by tests and the builder) ---------------
+
+inline Insn AluImm(std::uint8_t op, std::uint8_t dst, std::int32_t imm,
+                   bool is64 = true) {
+  return Insn{static_cast<std::uint8_t>(op | kBpfSrcK |
+                                        (is64 ? kBpfClassAlu64 : kBpfClassAlu32)),
+              dst, 0, 0, imm};
+}
+
+inline Insn AluReg(std::uint8_t op, std::uint8_t dst, std::uint8_t src,
+                   bool is64 = true) {
+  return Insn{static_cast<std::uint8_t>(op | kBpfSrcX |
+                                        (is64 ? kBpfClassAlu64 : kBpfClassAlu32)),
+              dst, src, 0, 0};
+}
+
+inline Insn MovImm(std::uint8_t dst, std::int32_t imm) {
+  return AluImm(kBpfMov, dst, imm);
+}
+
+inline Insn MovReg(std::uint8_t dst, std::uint8_t src) {
+  return AluReg(kBpfMov, dst, src);
+}
+
+inline Insn JmpImm(std::uint8_t op, std::uint8_t dst, std::int32_t imm,
+                   std::int16_t off, bool is64 = true) {
+  return Insn{static_cast<std::uint8_t>(op | kBpfSrcK |
+                                        (is64 ? kBpfClassJmp : kBpfClassJmp32)),
+              dst, 0, off, imm};
+}
+
+inline Insn JmpReg(std::uint8_t op, std::uint8_t dst, std::uint8_t src,
+                   std::int16_t off, bool is64 = true) {
+  return Insn{static_cast<std::uint8_t>(op | kBpfSrcX |
+                                        (is64 ? kBpfClassJmp : kBpfClassJmp32)),
+              dst, src, off, 0};
+}
+
+inline Insn Jump(std::int16_t off) {
+  return Insn{static_cast<std::uint8_t>(kBpfJa | kBpfClassJmp), 0, 0, off, 0};
+}
+
+inline Insn LoadMem(std::uint8_t size, std::uint8_t dst, std::uint8_t src,
+                    std::int16_t off) {
+  return Insn{static_cast<std::uint8_t>(kBpfModeMem | size | kBpfClassLdx), dst, src,
+              off, 0};
+}
+
+inline Insn StoreMemReg(std::uint8_t size, std::uint8_t dst, std::uint8_t src,
+                        std::int16_t off) {
+  return Insn{static_cast<std::uint8_t>(kBpfModeMem | size | kBpfClassStx), dst, src,
+              off, 0};
+}
+
+inline Insn StoreMemImm(std::uint8_t size, std::uint8_t dst, std::int16_t off,
+                        std::int32_t imm) {
+  return Insn{static_cast<std::uint8_t>(kBpfModeMem | size | kBpfClassSt), dst, 0,
+              off, imm};
+}
+
+// Atomic fetch-less add: *(size*)(dst + off) += src. Word and double-word
+// only, as in eBPF's BPF_ATOMIC | BPF_ADD.
+inline Insn AtomicAdd(std::uint8_t size, std::uint8_t dst, std::uint8_t src,
+                      std::int16_t off) {
+  return Insn{static_cast<std::uint8_t>(kBpfModeAtomic | size | kBpfClassStx), dst,
+              src, off, 0};
+}
+
+inline Insn Call(std::int32_t helper_id) {
+  return Insn{static_cast<std::uint8_t>(kBpfCall | kBpfClassJmp), 0, 0, 0, helper_id};
+}
+
+inline Insn Exit() {
+  return Insn{static_cast<std::uint8_t>(kBpfExit | kBpfClassJmp), 0, 0, 0, 0};
+}
+
+// LD_IMM64 occupies two instruction slots; this returns the first, the second
+// must be a pseudo-insn whose imm holds the upper 32 bits.
+inline Insn LoadImm64First(std::uint8_t dst, std::uint64_t value) {
+  return Insn{static_cast<std::uint8_t>(kBpfModeImm | kBpfSizeDw | kBpfClassLd), dst,
+              0, 0, static_cast<std::int32_t>(value & 0xffffffffu)};
+}
+inline Insn LoadImm64Second(std::uint64_t value) {
+  return Insn{0, 0, 0, 0, static_cast<std::int32_t>(value >> 32)};
+}
+
+// Renders one instruction as human-readable text (best effort; used in
+// verifier diagnostics and the disassembler).
+std::string DisassembleInsn(const Insn& insn);
+
+}  // namespace concord
+
+#endif  // SRC_BPF_INSN_H_

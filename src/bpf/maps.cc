@@ -1,0 +1,322 @@
+#include "src/bpf/maps.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/cacheline.h"
+#include "src/base/spinwait.h"
+#include "src/topology/thread_context.h"
+
+namespace concord {
+
+const char* MapTypeName(MapType type) {
+  switch (type) {
+    case MapType::kArray:
+      return "array";
+    case MapType::kHash:
+      return "hash";
+    case MapType::kPerCpuArray:
+      return "percpu_array";
+  }
+  return "unknown";
+}
+
+// --- ArrayMap ----------------------------------------------------------------
+
+ArrayMap::ArrayMap(std::string name, std::uint32_t value_size,
+                   std::uint32_t max_entries)
+    : BpfMap(MapType::kArray, std::move(name), sizeof(std::uint32_t), value_size,
+             max_entries),
+      storage_(static_cast<std::size_t>(value_size) * max_entries, 0) {}
+
+void* ArrayMap::Lookup(const void* key) {
+  std::uint32_t index;
+  std::memcpy(&index, key, sizeof(index));
+  if (index >= max_entries_) {
+    return nullptr;
+  }
+  return storage_.data() + static_cast<std::size_t>(index) * value_size_;
+}
+
+Status ArrayMap::Update(const void* key, const void* value) {
+  void* slot = Lookup(key);
+  if (slot == nullptr) {
+    return InvalidArgumentError("array map index out of range");
+  }
+  std::memcpy(slot, value, value_size_);
+  return Status::Ok();
+}
+
+Status ArrayMap::Delete(const void* key) {
+  void* slot = Lookup(key);
+  if (slot == nullptr) {
+    return InvalidArgumentError("array map index out of range");
+  }
+  std::memset(slot, 0, value_size_);
+  return Status::Ok();
+}
+
+void ArrayMap::ForEach(const EntryVisitor& visit) {
+  for (std::uint32_t i = 0; i < max_entries_; ++i) {
+    visit(&i, storage_.data() + static_cast<std::size_t>(i) * value_size_);
+  }
+}
+
+void* ArrayMap::SlotAt(std::uint32_t index) {
+  CONCORD_CHECK(index < max_entries_);
+  return storage_.data() + static_cast<std::size_t>(index) * value_size_;
+}
+
+// --- PerCpuArrayMap ------------------------------------------------------------
+
+namespace {
+
+std::uint32_t RoundUpToCacheLine(std::uint32_t n) {
+  return static_cast<std::uint32_t>((n + kCacheLineSize - 1) / kCacheLineSize *
+                                    kCacheLineSize);
+}
+
+}  // namespace
+
+PerCpuArrayMap::PerCpuArrayMap(std::string name, std::uint32_t value_size,
+                               std::uint32_t max_entries, std::uint32_t num_cpus)
+    : BpfMap(MapType::kPerCpuArray, std::move(name), sizeof(std::uint32_t),
+             value_size, max_entries),
+      num_cpus_(num_cpus),
+      stride_(RoundUpToCacheLine(value_size)),
+      storage_(static_cast<std::size_t>(stride_) * max_entries * num_cpus, 0) {}
+
+void* PerCpuArrayMap::Lookup(const void* key) {
+  std::uint32_t index;
+  std::memcpy(&index, key, sizeof(index));
+  if (index >= max_entries_) {
+    return nullptr;
+  }
+  const std::uint32_t cpu = Self().vcpu % num_cpus_;
+  return SlotAt(cpu, index);
+}
+
+Status PerCpuArrayMap::Update(const void* key, const void* value) {
+  void* slot = Lookup(key);
+  if (slot == nullptr) {
+    return InvalidArgumentError("percpu array map index out of range");
+  }
+  std::memcpy(slot, value, value_size_);
+  return Status::Ok();
+}
+
+Status PerCpuArrayMap::Delete(const void* key) {
+  void* slot = Lookup(key);
+  if (slot == nullptr) {
+    return InvalidArgumentError("percpu array map index out of range");
+  }
+  std::memset(slot, 0, value_size_);
+  return Status::Ok();
+}
+
+void PerCpuArrayMap::ForEach(const EntryVisitor& visit) {
+  for (std::uint32_t i = 0; i < max_entries_; ++i) {
+    visit(&i, SlotAt(0, i));
+  }
+}
+
+void* PerCpuArrayMap::SlotAt(std::uint32_t cpu, std::uint32_t index) {
+  CONCORD_CHECK(cpu < num_cpus_);
+  CONCORD_CHECK(index < max_entries_);
+  const std::size_t offset =
+      (static_cast<std::size_t>(cpu) * max_entries_ + index) * stride_;
+  return storage_.data() + offset;
+}
+
+std::uint64_t PerCpuArrayMap::SumU64(std::uint32_t index) {
+  CONCORD_CHECK(value_size_ >= sizeof(std::uint64_t));
+  std::uint64_t total = 0;
+  for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+    std::uint64_t v;
+    std::memcpy(&v, SlotAt(cpu, index), sizeof(v));
+    total += v;
+  }
+  return total;
+}
+
+// --- HashMap -------------------------------------------------------------------
+
+namespace {
+
+std::uint32_t NextPowerOfTwo(std::uint32_t n) {
+  std::uint32_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+HashMap::HashMap(std::string name, std::uint32_t key_size, std::uint32_t value_size,
+                 std::uint32_t max_entries)
+    : BpfMap(MapType::kHash, std::move(name), key_size, value_size, max_entries),
+      num_buckets_(NextPowerOfTwo(max_entries < 8 ? 8 : max_entries)),
+      buckets_(num_buckets_, nullptr) {
+  // Preallocate the whole entry pool: pointer stability requirement.
+  const std::size_t entry_bytes = sizeof(Entry) + key_size_ + value_size_;
+  for (std::uint32_t i = 0; i < max_entries_; ++i) {
+    void* raw = std::calloc(1, entry_bytes);
+    CONCORD_CHECK(raw != nullptr);
+    pool_allocations_.push_back(raw);
+    auto* entry = static_cast<Entry*>(raw);
+    entry->next = free_list_;
+    free_list_ = entry;
+  }
+}
+
+HashMap::~HashMap() {
+  for (void* raw : pool_allocations_) {
+    std::free(raw);
+  }
+}
+
+HashMap::Entry* HashMap::AllocEntry() {
+  Entry* entry = free_list_;
+  if (entry != nullptr) {
+    free_list_ = entry->next;
+    entry->next = nullptr;
+  }
+  return entry;
+}
+
+void HashMap::FreeEntry(Entry* entry) {
+  entry->next = free_list_;
+  free_list_ = entry;
+}
+
+std::uint64_t HashMap::HashKey(const void* key) const {
+  // FNV-1a over the key bytes; adequate distribution for policy-sized maps.
+  const auto* bytes = static_cast<const std::uint8_t*>(key);
+  std::uint64_t hash = 14695981039346656037ull;
+  for (std::uint32_t i = 0; i < key_size_; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void HashMap::Lock() {
+  SpinWait spin;
+  while (lock_.test_and_set(std::memory_order_acquire)) {
+    spin.Once();
+  }
+}
+
+void HashMap::Unlock() { lock_.clear(std::memory_order_release); }
+
+void* HashMap::Lookup(const void* key) {
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry* entry = buckets_[hash & (num_buckets_ - 1)];
+  while (entry != nullptr) {
+    if (entry->hash == hash && std::memcmp(KeyOf(entry), key, key_size_) == 0) {
+      Unlock();
+      return ValueOf(entry);
+    }
+    entry = entry->next;
+  }
+  Unlock();
+  return nullptr;
+}
+
+Status HashMap::Update(const void* key, const void* value) {
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry** bucket = &buckets_[hash & (num_buckets_ - 1)];
+  for (Entry* entry = *bucket; entry != nullptr; entry = entry->next) {
+    if (entry->hash == hash && std::memcmp(KeyOf(entry), key, key_size_) == 0) {
+      std::memcpy(ValueOf(entry), value, value_size_);
+      Unlock();
+      return Status::Ok();
+    }
+  }
+  Entry* entry = AllocEntry();
+  if (entry == nullptr) {
+    Unlock();
+    return ResourceExhaustedError("hash map '" + name_ + "' is full");
+  }
+  entry->hash = hash;
+  std::memcpy(KeyOf(entry), key, key_size_);
+  std::memcpy(ValueOf(entry), value, value_size_);
+  entry->next = *bucket;
+  *bucket = entry;
+  live_.fetch_add(1, std::memory_order_relaxed);
+  Unlock();
+  return Status::Ok();
+}
+
+Status HashMap::Delete(const void* key) {
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry** link = &buckets_[hash & (num_buckets_ - 1)];
+  while (*link != nullptr) {
+    Entry* entry = *link;
+    if (entry->hash == hash && std::memcmp(KeyOf(entry), key, key_size_) == 0) {
+      *link = entry->next;
+      FreeEntry(entry);
+      live_.fetch_sub(1, std::memory_order_relaxed);
+      Unlock();
+      return Status::Ok();
+    }
+    link = &entry->next;
+  }
+  Unlock();
+  return NotFoundError("key not present in hash map '" + name_ + "'");
+}
+
+void HashMap::ForEach(const EntryVisitor& visit) {
+  Lock();
+  for (Entry* bucket : buckets_) {
+    for (Entry* entry = bucket; entry != nullptr; entry = entry->next) {
+      visit(KeyOf(entry), ValueOf(entry));
+    }
+  }
+  Unlock();
+}
+
+// --- factory ---------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<BpfMap>> CreateMap(MapType type, std::string name,
+                                            std::uint32_t key_size,
+                                            std::uint32_t value_size,
+                                            std::uint32_t max_entries,
+                                            std::uint32_t num_cpus) {
+  if (value_size == 0 || max_entries == 0) {
+    return InvalidArgumentError("map value_size and max_entries must be non-zero");
+  }
+  if (value_size > 64 * 1024 || max_entries > 1 << 20) {
+    return ResourceExhaustedError("map dimensions exceed limits");
+  }
+  switch (type) {
+    case MapType::kArray:
+      if (key_size != sizeof(std::uint32_t)) {
+        return InvalidArgumentError("array map key must be 4 bytes");
+      }
+      return std::unique_ptr<BpfMap>(
+          new ArrayMap(std::move(name), value_size, max_entries));
+    case MapType::kPerCpuArray:
+      if (key_size != sizeof(std::uint32_t)) {
+        return InvalidArgumentError("percpu array map key must be 4 bytes");
+      }
+      if (num_cpus == 0) {
+        return InvalidArgumentError("percpu map needs num_cpus > 0");
+      }
+      return std::unique_ptr<BpfMap>(
+          new PerCpuArrayMap(std::move(name), value_size, max_entries, num_cpus));
+    case MapType::kHash:
+      if (key_size == 0 || key_size > 512) {
+        return InvalidArgumentError("hash map key size out of range");
+      }
+      return std::unique_ptr<BpfMap>(
+          new HashMap(std::move(name), key_size, value_size, max_entries));
+  }
+  return InvalidArgumentError("unknown map type");
+}
+
+}  // namespace concord

@@ -1,0 +1,206 @@
+// BPF map objects: the state store available to policies.
+//
+// Policies are stateless bytecode; anything they want to remember between
+// hook invocations (per-thread statistics, reader/writer vote counts,
+// configured thresholds pushed from userspace) lives in maps, exactly as with
+// kernel eBPF. Three map types cover every use case in the paper:
+//
+//   kArray       fixed-size array indexed by u32 — config knobs, counters
+//   kHash        fixed-capacity hash table with arbitrary fixed-size keys
+//   kPerCpuArray array with one value slot per virtual CPU — contention-free
+//                counters for profiling policies
+//
+// Lifetime/pointer model mirrors the kernel: Lookup returns a pointer into
+// map-owned storage that remains valid memory for the map's lifetime (entry
+// slots are pooled and never freed individually), so a program may read a
+// value concurrently with a Delete without a use-after-free — it may simply
+// observe stale data, as in RCU-managed kernel maps.
+
+#ifndef SRC_BPF_MAPS_H_
+#define SRC_BPF_MAPS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace concord {
+
+enum class MapType {
+  kArray,
+  kHash,
+  kPerCpuArray,
+};
+
+const char* MapTypeName(MapType type);
+
+class BpfMap {
+ public:
+  BpfMap(MapType type, std::string name, std::uint32_t key_size,
+         std::uint32_t value_size, std::uint32_t max_entries)
+      : type_(type),
+        name_(std::move(name)),
+        key_size_(key_size),
+        value_size_(value_size),
+        max_entries_(max_entries) {}
+  virtual ~BpfMap() = default;
+
+  BpfMap(const BpfMap&) = delete;
+  BpfMap& operator=(const BpfMap&) = delete;
+
+  MapType type() const { return type_; }
+  const std::string& name() const { return name_; }
+  std::uint32_t key_size() const { return key_size_; }
+  std::uint32_t value_size() const { return value_size_; }
+  std::uint32_t max_entries() const { return max_entries_; }
+
+  // Returns a pointer to the value for `key`, or nullptr if absent.
+  // The pointed-to storage stays valid memory for the map's lifetime.
+  virtual void* Lookup(const void* key) = 0;
+
+  // Inserts or overwrites.
+  virtual Status Update(const void* key, const void* value) = 0;
+
+  virtual Status Delete(const void* key) = 0;
+
+  // Approximate number of live entries (exact for array maps).
+  virtual std::uint32_t Size() const = 0;
+
+  // Visits every live entry (key bytes, value bytes). Intended for userspace
+  // controller code (dumping a policy's state); takes the map's internal
+  // lock where one exists, so do not call from a policy hook.
+  using EntryVisitor = std::function<void(const void* key, const void* value)>;
+  virtual void ForEach(const EntryVisitor& visit) = 0;
+
+  // --- typed conveniences for userspace control code ----------------------
+  template <typename K, typename V>
+  Status UpdateTyped(const K& key, const V& value) {
+    static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
+    CONCORD_CHECK(sizeof(K) == key_size_ && sizeof(V) == value_size_);
+    return Update(&key, &value);
+  }
+
+  template <typename K, typename V>
+  bool LookupTyped(const K& key, V* out) {
+    static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
+    CONCORD_CHECK(sizeof(K) == key_size_ && sizeof(V) == value_size_);
+    void* value = Lookup(&key);
+    if (value == nullptr) {
+      return false;
+    }
+    std::memcpy(out, value, sizeof(V));
+    return true;
+  }
+
+ protected:
+  const MapType type_;
+  const std::string name_;
+  const std::uint32_t key_size_;
+  const std::uint32_t value_size_;
+  const std::uint32_t max_entries_;
+};
+
+// Array map: key is u32 index; all slots always exist (zero-initialized).
+class ArrayMap : public BpfMap {
+ public:
+  ArrayMap(std::string name, std::uint32_t value_size, std::uint32_t max_entries);
+
+  void* Lookup(const void* key) override;
+  Status Update(const void* key, const void* value) override;
+  Status Delete(const void* key) override;  // zeroes the slot (kernel semantics)
+  std::uint32_t Size() const override { return max_entries_; }
+  void ForEach(const EntryVisitor& visit) override;
+
+  // Direct slot access for userspace control code; index < max_entries.
+  void* SlotAt(std::uint32_t index);
+
+ private:
+  std::vector<std::uint8_t> storage_;
+};
+
+// Per-CPU array map: Lookup resolves to the calling thread's vCPU slot.
+class PerCpuArrayMap : public BpfMap {
+ public:
+  PerCpuArrayMap(std::string name, std::uint32_t value_size,
+                 std::uint32_t max_entries, std::uint32_t num_cpus);
+
+  void* Lookup(const void* key) override;
+  Status Update(const void* key, const void* value) override;  // current CPU slot
+  Status Delete(const void* key) override;
+  std::uint32_t Size() const override { return max_entries_; }
+  // Visits every (cpu-local) slot: key = index, value = this CPU 0's slot;
+  // use SlotAt for cross-CPU access. ForEach visits CPU 0's view.
+  void ForEach(const EntryVisitor& visit) override;
+
+  // Cross-CPU access for aggregation in userspace control code.
+  void* SlotAt(std::uint32_t cpu, std::uint32_t index);
+  std::uint32_t num_cpus() const { return num_cpus_; }
+
+  // Sums slot `index` across CPUs, treating values as u64 (CHECKs size).
+  std::uint64_t SumU64(std::uint32_t index);
+
+ private:
+  const std::uint32_t num_cpus_;
+  const std::uint32_t stride_;  // value_size rounded up to a cache line
+  std::vector<std::uint8_t> storage_;
+};
+
+// Hash map: fixed-capacity, chained buckets, pooled entries, one TTAS
+// spinlock per map (policies execute on lock slow paths where a short
+// map-internal spin is negligible; contention on a policy map is itself a
+// policy bug the profiler would surface).
+class HashMap : public BpfMap {
+ public:
+  HashMap(std::string name, std::uint32_t key_size, std::uint32_t value_size,
+          std::uint32_t max_entries);
+  ~HashMap() override;
+
+  void* Lookup(const void* key) override;
+  Status Update(const void* key, const void* value) override;
+  Status Delete(const void* key) override;
+  std::uint32_t Size() const override {
+    return live_.load(std::memory_order_relaxed);
+  }
+  void ForEach(const EntryVisitor& visit) override;
+
+ private:
+  struct Entry {
+    Entry* next = nullptr;
+    std::uint64_t hash = 0;
+    // key bytes followed by value bytes, allocated inline
+    std::uint8_t data[];  // NOLINT: flexible array member idiom
+  };
+
+  Entry* AllocEntry();
+  void FreeEntry(Entry* entry);
+  std::uint64_t HashKey(const void* key) const;
+  std::uint8_t* KeyOf(Entry* e) const { return e->data; }
+  std::uint8_t* ValueOf(Entry* e) const { return e->data + key_size_; }
+
+  void Lock();
+  void Unlock();
+
+  const std::uint32_t num_buckets_;
+  std::vector<Entry*> buckets_;
+  std::vector<void*> pool_allocations_;
+  Entry* free_list_ = nullptr;
+  std::atomic<std::uint32_t> live_{0};
+  std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+};
+
+// Creates a map of the given type. `num_cpus` is only used by per-CPU maps.
+StatusOr<std::unique_ptr<BpfMap>> CreateMap(MapType type, std::string name,
+                                            std::uint32_t key_size,
+                                            std::uint32_t value_size,
+                                            std::uint32_t max_entries,
+                                            std::uint32_t num_cpus);
+
+}  // namespace concord
+
+#endif  // SRC_BPF_MAPS_H_

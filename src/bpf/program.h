@@ -1,0 +1,41 @@
+// Policy program container.
+
+#ifndef SRC_BPF_PROGRAM_H_
+#define SRC_BPF_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bpf/context.h"
+#include "src/bpf/insn.h"
+#include "src/bpf/maps.h"
+
+namespace concord {
+
+// Hard program-size cap, as in classic eBPF.
+inline constexpr std::size_t kMaxProgramInsns = 4096;
+
+struct Program {
+  std::string name;
+  std::vector<Insn> insns;
+
+  // Maps the program may reference via kConstMapIndex helper arguments.
+  // Non-owning: maps belong to the PolicyModule / userspace controller and
+  // must outlive every attached copy of the program.
+  std::vector<BpfMap*> maps;
+
+  // The context layout this program was written against. Set before
+  // verification; attach points check it matches the hook's descriptor.
+  const ContextDescriptor* ctx_desc = nullptr;
+
+  // Set by Verifier::Verify on success. The VM refuses unverified programs.
+  bool verified = false;
+
+  // Filled in by the verifier: capability union of all helpers called.
+  std::uint32_t used_capabilities = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_BPF_PROGRAM_H_

@@ -1,0 +1,796 @@
+#include "src/bpf/verifier.h"
+
+#include <bitset>
+#include <string>
+#include <vector>
+
+#include "src/bpf/helpers.h"
+#include "src/bpf/insn.h"
+
+namespace concord {
+namespace {
+
+enum class RegType : std::uint8_t {
+  kUninit,
+  kScalar,
+  kPtrToCtx,
+  kPtrToStack,      // offset relative to the frame pointer (<= 0)
+  kPtrToMapValue,   // null-checked map value pointer
+  kMapValueOrNull,  // map_lookup_elem result before the null check
+};
+
+struct RegState {
+  RegType type = RegType::kUninit;
+  bool known = false;        // scalar holds a known constant
+  std::uint64_t value = 0;   // the constant, if known
+  std::int64_t off = 0;      // pointer offset from its base
+  std::uint32_t map_index = 0;
+
+  static RegState Uninit() { return RegState{}; }
+  static RegState Scalar() { return RegState{RegType::kScalar, false, 0, 0, 0}; }
+  static RegState Known(std::uint64_t v) {
+    return RegState{RegType::kScalar, true, v, 0, 0};
+  }
+  bool IsPointer() const {
+    return type == RegType::kPtrToCtx || type == RegType::kPtrToStack ||
+           type == RegType::kPtrToMapValue || type == RegType::kMapValueOrNull;
+  }
+};
+
+struct AbstractState {
+  std::size_t pc = 0;
+  RegState regs[kBpfNumRegs];
+  std::bitset<kBpfStackSize> stack_init;
+};
+
+std::string At(std::size_t pc, const Insn& insn, const std::string& msg) {
+  return "insn " + std::to_string(pc) + " (" + DisassembleInsn(insn) + "): " + msg;
+}
+
+class VerifierImpl {
+ public:
+  VerifierImpl(Program& program, const Verifier::Options& options)
+      : program_(program), options_(options) {}
+
+  Status Run() {
+    CONCORD_RETURN_IF_ERROR(StructuralChecks());
+    return Explore();
+  }
+
+  std::uint32_t used_capabilities() const { return used_capabilities_; }
+
+ private:
+  // ---- pass 1: instruction-local validity, jump targets, no back edges ----
+  Status StructuralChecks() {
+    const auto& insns = program_.insns;
+    if (insns.empty()) {
+      return InvalidArgumentError("empty program");
+    }
+    if (insns.size() > kMaxProgramInsns) {
+      return ResourceExhaustedError("program exceeds " +
+                                    std::to_string(kMaxProgramInsns) +
+                                    " instructions");
+    }
+    if (program_.ctx_desc == nullptr) {
+      return InvalidArgumentError("program has no context descriptor");
+    }
+
+    imm64_second_.assign(insns.size(), false);
+    for (std::size_t pc = 0; pc < insns.size(); ++pc) {
+      if (imm64_second_[pc]) {
+        continue;  // pseudo slot, validated with its first half
+      }
+      const Insn& insn = insns[pc];
+      CONCORD_RETURN_IF_ERROR(CheckInsnShape(pc, insn));
+      if (insn.Class() == kBpfClassLd) {
+        if (pc + 1 >= insns.size()) {
+          return InvalidArgumentError(At(pc, insn, "truncated lddw"));
+        }
+        const Insn& second = insns[pc + 1];
+        if (second.opcode != 0 || second.dst != 0 || second.src != 0 ||
+            second.off != 0) {
+          return InvalidArgumentError(At(pc, insn, "malformed lddw second slot"));
+        }
+        imm64_second_[pc + 1] = true;
+      }
+    }
+
+    // Jump-target validation, including the no-back-edge (termination) rule.
+    for (std::size_t pc = 0; pc < insns.size(); ++pc) {
+      if (imm64_second_[pc]) {
+        continue;
+      }
+      const Insn& insn = insns[pc];
+      if (insn.Class() != kBpfClassJmp && insn.Class() != kBpfClassJmp32) {
+        continue;
+      }
+      const std::uint8_t op = insn.JmpOp();
+      if (op == kBpfExit || op == kBpfCall) {
+        continue;
+      }
+      const std::int64_t target =
+          static_cast<std::int64_t>(pc) + 1 + static_cast<std::int64_t>(insn.off);
+      if (target < 0 || target >= static_cast<std::int64_t>(insns.size())) {
+        return InvalidArgumentError(At(pc, insn, "jump out of bounds"));
+      }
+      if (target <= static_cast<std::int64_t>(pc)) {
+        return PermissionDeniedError(
+            At(pc, insn, "back edge (loops are not permitted)"));
+      }
+      if (imm64_second_[static_cast<std::size_t>(target)]) {
+        return InvalidArgumentError(
+            At(pc, insn, "jump into the middle of a lddw"));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CheckInsnShape(std::size_t pc, const Insn& insn) {
+    if (insn.dst >= kBpfNumRegs || insn.src >= kBpfNumRegs) {
+      return InvalidArgumentError(At(pc, insn, "register out of range"));
+    }
+    switch (insn.Class()) {
+      case kBpfClassAlu64:
+      case kBpfClassAlu32: {
+        switch (insn.AluOp()) {
+          case kBpfAdd:
+          case kBpfSub:
+          case kBpfMul:
+          case kBpfDiv:
+          case kBpfOr:
+          case kBpfAnd:
+          case kBpfLsh:
+          case kBpfRsh:
+          case kBpfNeg:
+          case kBpfMod:
+          case kBpfXor:
+          case kBpfMov:
+          case kBpfArsh:
+            break;
+          default:
+            return InvalidArgumentError(At(pc, insn, "unknown ALU op"));
+        }
+        if ((insn.AluOp() == kBpfDiv || insn.AluOp() == kBpfMod) &&
+            !insn.UsesSrcReg() && insn.imm == 0) {
+          return InvalidArgumentError(At(pc, insn, "division by constant zero"));
+        }
+        if (insn.dst == kBpfReg10) {
+          return PermissionDeniedError(At(pc, insn, "write to frame pointer r10"));
+        }
+        return Status::Ok();
+      }
+      case kBpfClassJmp:
+      case kBpfClassJmp32: {
+        switch (insn.JmpOp()) {
+          case kBpfJeq:
+          case kBpfJgt:
+          case kBpfJge:
+          case kBpfJset:
+          case kBpfJne:
+          case kBpfJsgt:
+          case kBpfJsge:
+          case kBpfJlt:
+          case kBpfJle:
+          case kBpfJslt:
+          case kBpfJsle:
+            return Status::Ok();
+          case kBpfJa:
+          case kBpfCall:
+          case kBpfExit:
+            if (insn.Class() == kBpfClassJmp32) {
+              return InvalidArgumentError(
+                  At(pc, insn, "ja/call/exit are not valid in the JMP32 class"));
+            }
+            return Status::Ok();
+          default:
+            return InvalidArgumentError(At(pc, insn, "unknown JMP op"));
+        }
+      }
+      case kBpfClassLdx:
+      case kBpfClassSt:
+        if (insn.Mode() != kBpfModeMem) {
+          return InvalidArgumentError(At(pc, insn, "unsupported memory mode"));
+        }
+        if (ByteWidth(insn.Size()) == 0) {
+          return InvalidArgumentError(At(pc, insn, "bad access size"));
+        }
+        return Status::Ok();
+      case kBpfClassStx:
+        if (insn.Mode() != kBpfModeMem && insn.Mode() != kBpfModeAtomic) {
+          return InvalidArgumentError(At(pc, insn, "unsupported memory mode"));
+        }
+        if (ByteWidth(insn.Size()) == 0) {
+          return InvalidArgumentError(At(pc, insn, "bad access size"));
+        }
+        if (insn.Mode() == kBpfModeAtomic && ByteWidth(insn.Size()) < 4) {
+          return InvalidArgumentError(
+              At(pc, insn, "atomic add requires word or dword size"));
+        }
+        return Status::Ok();
+      case kBpfClassLd:
+        if (insn.Mode() != kBpfModeImm || insn.Size() != kBpfSizeDw) {
+          return InvalidArgumentError(At(pc, insn, "only lddw is supported in class LD"));
+        }
+        if (insn.dst == kBpfReg10) {
+          return PermissionDeniedError(At(pc, insn, "write to frame pointer r10"));
+        }
+        return Status::Ok();
+      default:
+        return InvalidArgumentError(At(pc, insn, "unknown instruction class"));
+    }
+  }
+
+  // ---- pass 2: abstract interpretation over all paths ----------------------
+  Status Explore() {
+    AbstractState initial;
+    initial.pc = 0;
+    initial.regs[kBpfReg1] = RegState{RegType::kPtrToCtx, false, 0, 0, 0};
+    initial.regs[kBpfReg10] = RegState{RegType::kPtrToStack, false, 0, 0, 0};
+
+    std::vector<AbstractState> worklist;
+    worklist.push_back(initial);
+    std::size_t states_processed = 0;
+
+    while (!worklist.empty()) {
+      AbstractState state = std::move(worklist.back());
+      worklist.pop_back();
+      if (++states_processed > options_.max_states) {
+        return ResourceExhaustedError("program too complex to verify");
+      }
+      CONCORD_RETURN_IF_ERROR(Step(std::move(state), worklist));
+    }
+    return Status::Ok();
+  }
+
+  // Executes states until the path exits or forks; forked states go to
+  // `worklist`.
+  Status Step(AbstractState state, std::vector<AbstractState>& worklist) {
+    const auto& insns = program_.insns;
+    while (true) {
+      if (state.pc >= insns.size()) {
+        return PermissionDeniedError("control falls off the end of the program");
+      }
+      const std::size_t pc = state.pc;
+      const Insn& insn = insns[pc];
+      switch (insn.Class()) {
+        case kBpfClassAlu64:
+        case kBpfClassAlu32:
+          CONCORD_RETURN_IF_ERROR(StepAlu(pc, insn, state));
+          state.pc = pc + 1;
+          break;
+        case kBpfClassLdx:
+          CONCORD_RETURN_IF_ERROR(StepLoad(pc, insn, state));
+          state.pc = pc + 1;
+          break;
+        case kBpfClassStx:
+        case kBpfClassSt:
+          CONCORD_RETURN_IF_ERROR(StepStore(pc, insn, state));
+          state.pc = pc + 1;
+          break;
+        case kBpfClassLd: {
+          const std::uint64_t lo = static_cast<std::uint32_t>(insn.imm);
+          const std::uint64_t hi =
+              static_cast<std::uint32_t>(insns[pc + 1].imm);
+          state.regs[insn.dst] = RegState::Known(lo | (hi << 32));
+          state.pc = pc + 2;
+          break;
+        }
+        case kBpfClassJmp32:
+          CONCORD_RETURN_IF_ERROR(StepCondJmp(pc, insn, state, worklist));
+          break;
+        case kBpfClassJmp: {
+          const std::uint8_t op = insn.JmpOp();
+          if (op == kBpfExit) {
+            const RegState& r0 = state.regs[kBpfReg0];
+            if (r0.type == RegType::kUninit) {
+              return PermissionDeniedError(At(pc, insn, "exit with uninitialized r0"));
+            }
+            if (r0.IsPointer()) {
+              return PermissionDeniedError(At(pc, insn, "exit would leak a pointer in r0"));
+            }
+            return Status::Ok();  // path done
+          }
+          if (op == kBpfCall) {
+            CONCORD_RETURN_IF_ERROR(StepCall(pc, insn, state));
+            state.pc = pc + 1;
+            break;
+          }
+          if (op == kBpfJa) {
+            state.pc = pc + 1 + insn.off;
+            break;
+          }
+          CONCORD_RETURN_IF_ERROR(StepCondJmp(pc, insn, state, worklist));
+          // StepCondJmp set state.pc to the fall-through and queued the
+          // taken branch (or vice versa for refinement cases).
+          break;
+        }
+        default:
+          return InternalError(At(pc, insn, "class escaped structural checks"));
+      }
+    }
+  }
+
+  Status StepAlu(std::size_t pc, const Insn& insn, AbstractState& state) {
+    RegState& dst = state.regs[insn.dst];
+    const bool is64 = insn.Class() == kBpfClassAlu64;
+    const std::uint8_t op = insn.AluOp();
+
+    RegState src = insn.UsesSrcReg() ? state.regs[insn.src]
+                                     : RegState::Known(static_cast<std::uint64_t>(
+                                           static_cast<std::int64_t>(insn.imm)));
+    if (insn.UsesSrcReg() && src.type == RegType::kUninit) {
+      return PermissionDeniedError(At(pc, insn, "read of uninitialized register"));
+    }
+
+    if (op == kBpfMov) {
+      if (!is64 && src.IsPointer()) {
+        return PermissionDeniedError(At(pc, insn, "32-bit mov of a pointer"));
+      }
+      dst = src;
+      if (!is64 && dst.known) {
+        dst.value &= 0xffffffffull;
+      }
+      if (!is64 && !dst.known) {
+        dst = RegState::Scalar();
+      }
+      return Status::Ok();
+    }
+
+    if (op == kBpfNeg) {
+      if (dst.type == RegType::kUninit) {
+        return PermissionDeniedError(At(pc, insn, "neg of uninitialized register"));
+      }
+      if (dst.IsPointer()) {
+        return PermissionDeniedError(At(pc, insn, "arithmetic on pointer"));
+      }
+      if (dst.known) {
+        dst.value = static_cast<std::uint64_t>(-static_cast<std::int64_t>(dst.value));
+        if (!is64) {
+          dst.value &= 0xffffffffull;
+        }
+      }
+      return Status::Ok();
+    }
+
+    if (dst.type == RegType::kUninit) {
+      return PermissionDeniedError(At(pc, insn, "ALU on uninitialized register"));
+    }
+
+    // Pointer arithmetic: only ptr ADD/SUB constant-scalar, 64-bit.
+    if (dst.IsPointer()) {
+      if (!is64) {
+        return PermissionDeniedError(At(pc, insn, "32-bit ALU on pointer"));
+      }
+      if (op != kBpfAdd && op != kBpfSub) {
+        return PermissionDeniedError(At(pc, insn, "only +/- allowed on pointers"));
+      }
+      if (dst.type == RegType::kMapValueOrNull) {
+        return PermissionDeniedError(
+            At(pc, insn, "arithmetic on possibly-null map value (null-check first)"));
+      }
+      if (src.IsPointer()) {
+        return PermissionDeniedError(At(pc, insn, "pointer +/- pointer"));
+      }
+      if (!src.known) {
+        return PermissionDeniedError(
+            At(pc, insn, "pointer offset must be a compile-time constant"));
+      }
+      const std::int64_t delta = static_cast<std::int64_t>(src.value);
+      dst.off += (op == kBpfAdd) ? delta : -delta;
+      return Status::Ok();
+    }
+
+    if (src.IsPointer()) {
+      return PermissionDeniedError(At(pc, insn, "pointer used as scalar operand"));
+    }
+
+    // scalar op scalar
+    if (dst.known && src.known) {
+      dst.value = EvalAlu(op, dst.value, src.value, is64);
+    } else {
+      dst = RegState::Scalar();
+    }
+    return Status::Ok();
+  }
+
+  static std::uint64_t EvalAlu(std::uint8_t op, std::uint64_t a, std::uint64_t b,
+                               bool is64) {
+    if (!is64) {
+      a &= 0xffffffffull;
+      b &= 0xffffffffull;
+    }
+    std::uint64_t r = 0;
+    switch (op) {
+      case kBpfAdd:
+        r = a + b;
+        break;
+      case kBpfSub:
+        r = a - b;
+        break;
+      case kBpfMul:
+        r = a * b;
+        break;
+      case kBpfDiv:
+        r = b == 0 ? 0 : a / b;
+        break;
+      case kBpfOr:
+        r = a | b;
+        break;
+      case kBpfAnd:
+        r = a & b;
+        break;
+      case kBpfLsh:
+        r = a << (b & (is64 ? 63 : 31));
+        break;
+      case kBpfRsh:
+        r = a >> (b & (is64 ? 63 : 31));
+        break;
+      case kBpfMod:
+        r = b == 0 ? a : a % b;
+        break;
+      case kBpfXor:
+        r = a ^ b;
+        break;
+      case kBpfArsh:
+        if (is64) {
+          r = static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >> (b & 63));
+        } else {
+          r = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+              static_cast<std::int32_t>(a) >> (b & 31)));
+        }
+        break;
+      default:
+        r = 0;
+        break;
+    }
+    return is64 ? r : (r & 0xffffffffull);
+  }
+
+  Status CheckStackRange(std::size_t pc, const Insn& insn, std::int64_t fp_off,
+                         int width, bool must_be_init,
+                         const AbstractState& state) const {
+    const std::int64_t lo = fp_off;
+    const std::int64_t hi = fp_off + width;
+    if (lo < -kBpfStackSize || hi > 0) {
+      return PermissionDeniedError(At(pc, insn, "stack access out of bounds"));
+    }
+    if (must_be_init) {
+      for (std::int64_t b = lo; b < hi; ++b) {
+        if (!state.stack_init[static_cast<std::size_t>(b + kBpfStackSize)]) {
+          return PermissionDeniedError(
+              At(pc, insn, "read of uninitialized stack byte"));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status StepLoad(std::size_t pc, const Insn& insn, AbstractState& state) {
+    const RegState& base = state.regs[insn.src];
+    const int width = ByteWidth(insn.Size());
+    const std::int64_t off = base.off + insn.off;
+
+    switch (base.type) {
+      case RegType::kPtrToCtx: {
+        if (off < 0 || (off % width) != 0) {
+          return PermissionDeniedError(At(pc, insn, "misaligned context access"));
+        }
+        const ContextField* field = program_.ctx_desc->FindField(
+            static_cast<std::uint32_t>(off), static_cast<std::uint32_t>(width));
+        if (field == nullptr) {
+          return PermissionDeniedError(
+              At(pc, insn, "context load does not match any declared field"));
+        }
+        state.regs[insn.dst] = RegState::Scalar();
+        return Status::Ok();
+      }
+      case RegType::kPtrToStack: {
+        if ((off % width) != 0) {
+          return PermissionDeniedError(At(pc, insn, "misaligned stack access"));
+        }
+        CONCORD_RETURN_IF_ERROR(CheckStackRange(pc, insn, off, width, true, state));
+        state.regs[insn.dst] = RegState::Scalar();
+        return Status::Ok();
+      }
+      case RegType::kPtrToMapValue: {
+        BpfMap* map = program_.maps[base.map_index];
+        if (off < 0 || off + width > static_cast<std::int64_t>(map->value_size()) ||
+            (off % width) != 0) {
+          return PermissionDeniedError(At(pc, insn, "map value access out of bounds"));
+        }
+        state.regs[insn.dst] = RegState::Scalar();
+        return Status::Ok();
+      }
+      case RegType::kMapValueOrNull:
+        return PermissionDeniedError(
+            At(pc, insn, "dereference of possibly-null map value (null-check first)"));
+      case RegType::kScalar:
+      case RegType::kUninit:
+        return PermissionDeniedError(At(pc, insn, "load from non-pointer"));
+    }
+    return InternalError("unreachable");
+  }
+
+  Status StepStore(std::size_t pc, const Insn& insn, AbstractState& state) {
+    const RegState& base = state.regs[insn.dst];
+    const int width = ByteWidth(insn.Size());
+    const std::int64_t off = base.off + insn.off;
+
+    if (insn.Class() == kBpfClassStx) {
+      const RegState& src = state.regs[insn.src];
+      if (src.type == RegType::kUninit) {
+        return PermissionDeniedError(At(pc, insn, "store of uninitialized register"));
+      }
+      if (src.IsPointer()) {
+        return PermissionDeniedError(
+            At(pc, insn, "pointer spill to memory is not supported"));
+      }
+    }
+
+    const bool is_atomic =
+        insn.Class() == kBpfClassStx && insn.Mode() == kBpfModeAtomic;
+    switch (base.type) {
+      case RegType::kPtrToCtx: {
+        if (is_atomic) {
+          return PermissionDeniedError(
+              At(pc, insn, "atomic add to context is not allowed"));
+        }
+        if (off < 0 || (off % width) != 0) {
+          return PermissionDeniedError(At(pc, insn, "misaligned context access"));
+        }
+        const ContextField* field = program_.ctx_desc->FindField(
+            static_cast<std::uint32_t>(off), static_cast<std::uint32_t>(width));
+        if (field == nullptr) {
+          return PermissionDeniedError(
+              At(pc, insn, "context store does not match any declared field"));
+        }
+        if (!field->writable) {
+          return PermissionDeniedError(
+              At(pc, insn, "store to read-only context field '" + field->name + "'"));
+        }
+        return Status::Ok();
+      }
+      case RegType::kPtrToStack: {
+        if ((off % width) != 0) {
+          return PermissionDeniedError(At(pc, insn, "misaligned stack access"));
+        }
+        // Atomic add reads before writing: the bytes must already be
+        // initialized. A plain store initializes them.
+        CONCORD_RETURN_IF_ERROR(
+            CheckStackRange(pc, insn, off, width, /*must_be_init=*/is_atomic,
+                            state));
+        for (std::int64_t b = off; b < off + width; ++b) {
+          state.stack_init[static_cast<std::size_t>(b + kBpfStackSize)] = true;
+        }
+        return Status::Ok();
+      }
+      case RegType::kPtrToMapValue: {
+        BpfMap* map = program_.maps[base.map_index];
+        if (off < 0 || off + width > static_cast<std::int64_t>(map->value_size()) ||
+            (off % width) != 0) {
+          return PermissionDeniedError(At(pc, insn, "map value access out of bounds"));
+        }
+        return Status::Ok();
+      }
+      case RegType::kMapValueOrNull:
+        return PermissionDeniedError(
+            At(pc, insn, "store through possibly-null map value (null-check first)"));
+      case RegType::kScalar:
+      case RegType::kUninit:
+        return PermissionDeniedError(At(pc, insn, "store to non-pointer"));
+    }
+    return InternalError("unreachable");
+  }
+
+  Status StepCall(std::size_t pc, const Insn& insn, AbstractState& state) {
+    const HelperDef* helper =
+        HelperRegistry::Global().Find(static_cast<std::uint32_t>(insn.imm));
+    if (helper == nullptr) {
+      return PermissionDeniedError(At(pc, insn, "unknown helper"));
+    }
+    if ((helper->capabilities & ~options_.allowed_capabilities) != 0) {
+      return PermissionDeniedError(
+          At(pc, insn,
+             "helper '" + helper->name + "' is not permitted at this attach point"));
+    }
+
+    std::uint32_t pending_map_index = 0;
+    bool have_map_index = false;
+    for (int i = 0; i < 5; ++i) {
+      const RegState& arg = state.regs[i + 1];
+      switch (helper->args[i]) {
+        case HelperArgKind::kNone:
+          break;
+        case HelperArgKind::kScalar:
+          if (arg.type != RegType::kScalar) {
+            return PermissionDeniedError(
+                At(pc, insn, "helper arg " + std::to_string(i + 1) +
+                                 " must be an initialized scalar"));
+          }
+          break;
+        case HelperArgKind::kConstMapIndex: {
+          if (arg.type != RegType::kScalar || !arg.known) {
+            return PermissionDeniedError(
+                At(pc, insn, "map index argument must be a compile-time constant"));
+          }
+          if (arg.value >= program_.maps.size()) {
+            return PermissionDeniedError(
+                At(pc, insn, "map index " + std::to_string(arg.value) +
+                                 " out of range (program declares " +
+                                 std::to_string(program_.maps.size()) + " maps)"));
+          }
+          pending_map_index = static_cast<std::uint32_t>(arg.value);
+          have_map_index = true;
+          break;
+        }
+        case HelperArgKind::kStackKeyPtr:
+        case HelperArgKind::kStackValuePtr: {
+          if (!have_map_index) {
+            return InternalError(
+                At(pc, insn, "helper signature: stack ptr without map index"));
+          }
+          if (arg.type != RegType::kPtrToStack) {
+            return PermissionDeniedError(
+                At(pc, insn, "helper arg " + std::to_string(i + 1) +
+                                 " must point into the stack"));
+          }
+          BpfMap* map = program_.maps[pending_map_index];
+          const int size = static_cast<int>(
+              helper->args[i] == HelperArgKind::kStackKeyPtr ? map->key_size()
+                                                             : map->value_size());
+          CONCORD_RETURN_IF_ERROR(
+              CheckStackRange(pc, insn, arg.off, size, true, state));
+          break;
+        }
+      }
+    }
+
+    used_capabilities_ |= helper->capabilities;
+
+    // Call clobbers r1-r5; r0 takes the helper's return type.
+    for (int r = 1; r <= 5; ++r) {
+      state.regs[r] = RegState::Uninit();
+    }
+    if (helper->ret == HelperRetKind::kMapValueOrNull) {
+      RegState r0;
+      r0.type = RegType::kMapValueOrNull;
+      r0.map_index = pending_map_index;
+      state.regs[kBpfReg0] = r0;
+    } else {
+      state.regs[kBpfReg0] = RegState::Scalar();
+    }
+    return Status::Ok();
+  }
+
+  Status StepCondJmp(std::size_t pc, const Insn& insn, AbstractState& state,
+                     std::vector<AbstractState>& worklist) {
+    const std::uint8_t op = insn.JmpOp();
+    const RegState& dst = state.regs[insn.dst];
+    if (dst.type == RegType::kUninit) {
+      return PermissionDeniedError(At(pc, insn, "branch on uninitialized register"));
+    }
+    RegState src = insn.UsesSrcReg() ? state.regs[insn.src]
+                                     : RegState::Known(static_cast<std::uint64_t>(
+                                           static_cast<std::int64_t>(insn.imm)));
+    if (insn.UsesSrcReg() && src.type == RegType::kUninit) {
+      return PermissionDeniedError(At(pc, insn, "branch on uninitialized register"));
+    }
+
+    const std::size_t taken_pc = pc + 1 + insn.off;
+    const std::size_t fall_pc = pc + 1;
+    const bool is32 = insn.Class() == kBpfClassJmp32;
+
+    // Null-check refinement for MAP_VALUE_OR_NULL. Only the 64-bit compare
+    // counts: a 32-bit view of a pointer being zero proves nothing.
+    const bool null_test = !is32 && (op == kBpfJeq || op == kBpfJne) &&
+                           !insn.UsesSrcReg() && insn.imm == 0 &&
+                           dst.type == RegType::kMapValueOrNull;
+    if (null_test) {
+      RegState non_null;
+      non_null.type = RegType::kPtrToMapValue;
+      non_null.map_index = dst.map_index;
+      non_null.off = 0;
+
+      AbstractState taken = state;
+      taken.pc = taken_pc;
+      AbstractState fall = std::move(state);
+      fall.pc = fall_pc;
+      if (op == kBpfJeq) {  // taken => null
+        taken.regs[insn.dst] = RegState::Known(0);
+        fall.regs[insn.dst] = non_null;
+      } else {  // JNE: taken => non-null
+        taken.regs[insn.dst] = non_null;
+        fall.regs[insn.dst] = RegState::Known(0);
+      }
+      worklist.push_back(std::move(taken));
+      state = std::move(fall);
+      return Status::Ok();
+    }
+
+    // General comparisons: only between scalars, or pointer-vs-pointer
+    // equality of the same base is rejected for simplicity.
+    if (dst.IsPointer() || src.IsPointer()) {
+      return PermissionDeniedError(
+          At(pc, insn, "comparisons involving pointers are not allowed"));
+    }
+
+    // Constant-fold fully known comparisons to prune dead branches; this is
+    // what lets builders emit `if constant { ... }` guards cheaply.
+    if (dst.known && src.known) {
+      std::uint64_t a = dst.value;
+      std::uint64_t b = src.value;
+      if (is32) {
+        const bool is_signed = op == kBpfJsgt || op == kBpfJsge ||
+                               op == kBpfJslt || op == kBpfJsle;
+        if (is_signed) {
+          a = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(static_cast<std::int32_t>(a)));
+          b = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(static_cast<std::int32_t>(b)));
+        } else {
+          a &= 0xffffffffull;
+          b &= 0xffffffffull;
+        }
+      }
+      const bool taken = EvalJmp(op, a, b);
+      state.pc = taken ? taken_pc : fall_pc;
+      return Status::Ok();
+    }
+
+    AbstractState taken = state;
+    taken.pc = taken_pc;
+    worklist.push_back(std::move(taken));
+    state.pc = fall_pc;
+    return Status::Ok();
+  }
+
+  static bool EvalJmp(std::uint8_t op, std::uint64_t a, std::uint64_t b) {
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    switch (op) {
+      case kBpfJeq:
+        return a == b;
+      case kBpfJgt:
+        return a > b;
+      case kBpfJge:
+        return a >= b;
+      case kBpfJset:
+        return (a & b) != 0;
+      case kBpfJne:
+        return a != b;
+      case kBpfJsgt:
+        return sa > sb;
+      case kBpfJsge:
+        return sa >= sb;
+      case kBpfJlt:
+        return a < b;
+      case kBpfJle:
+        return a <= b;
+      case kBpfJslt:
+        return sa < sb;
+      case kBpfJsle:
+        return sa <= sb;
+      default:
+        return false;
+    }
+  }
+
+  Program& program_;
+  const Verifier::Options& options_;
+  std::vector<bool> imm64_second_;
+  std::uint32_t used_capabilities_ = 0;
+};
+
+}  // namespace
+
+Status Verifier::Verify(Program& program, const Options& options) {
+  program.verified = false;
+  program.used_capabilities = 0;
+  VerifierImpl impl(program, options);
+  CONCORD_RETURN_IF_ERROR(impl.Run());
+  program.used_capabilities = impl.used_capabilities();
+  program.verified = true;
+  return Status::Ok();
+}
+
+}  // namespace concord

@@ -1,0 +1,58 @@
+// Static verifier for policy programs.
+//
+// Models the kernel eBPF verifier's guarantees at the scale this project
+// needs. A program that passes Verify() cannot, at runtime:
+//   - execute forever (no back edges => every path is <= |insns| steps),
+//   - read or write outside its context struct, its 512-byte stack frame, or
+//     a map value it null-checked,
+//   - read uninitialized registers or stack bytes,
+//   - call a helper the attach point does not allow, or with ill-typed
+//     arguments,
+//   - return a pointer (R0 must hold a scalar at exit).
+//
+// Analysis is a depth-first exploration of the (acyclic) CFG carrying
+// per-register abstract states: UNINIT, SCALAR (with optional known constant
+// value), PTR_TO_CTX, PTR_TO_STACK, PTR_TO_MAP_VALUE and MAP_VALUE_OR_NULL.
+// Branches on `reg == 0` / `reg != 0` refine MAP_VALUE_OR_NULL into the null
+// and non-null arms, which is the one flow-sensitive refinement policies
+// need in practice.
+//
+// Deliberate simplifications vs. the kernel (all *stricter*, never weaker):
+//   - no bounded loops (pre-5.3 rule: any back edge is rejected),
+//   - pointer arithmetic only with compile-time-constant offsets,
+//   - no pointer spills to the stack,
+//   - map indices must be compile-time constants,
+//   - 32-bit ALU on pointers is rejected outright.
+
+#ifndef SRC_BPF_VERIFIER_H_
+#define SRC_BPF_VERIFIER_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/bpf/program.h"
+
+namespace concord {
+
+class Verifier {
+ public:
+  struct Options {
+    // Capability mask granted by the attach point; a helper requiring bits
+    // outside this mask is rejected. Default: everything.
+    std::uint32_t allowed_capabilities = ~0u;
+
+    // Abstract-state budget; exceeding it rejects the program as too complex
+    // (kernel behaviour). Generous relative to kMaxProgramInsns.
+    std::size_t max_states = 1u << 17;
+  };
+
+  // On success marks program.verified = true and fills in
+  // program.used_capabilities. On failure the program is left unverified and
+  // the status message pinpoints the offending instruction.
+  static Status Verify(Program& program, const Options& options);
+  static Status Verify(Program& program) { return Verify(program, Options{}); }
+};
+
+}  // namespace concord
+
+#endif  // SRC_BPF_VERIFIER_H_

@@ -1,0 +1,34 @@
+// The policy-program interpreter.
+//
+// Executes verified programs only (CHECK-enforced): all memory-safety and
+// termination arguments live in the verifier; the interpreter adds a
+// belt-and-braces instruction budget and nothing else on the hot path.
+// There is no JIT — see DESIGN.md §6; interpretation makes our measured
+// "Concord" overhead an upper bound on the paper's.
+
+#ifndef SRC_BPF_VM_H_
+#define SRC_BPF_VM_H_
+
+#include <cstdint>
+
+#include "src/bpf/helpers.h"
+#include "src/bpf/program.h"
+
+namespace concord {
+
+class BpfVm {
+ public:
+  // Paranoid runtime cap; the verifier already guarantees termination in at
+  // most kMaxProgramInsns steps (no back edges), so hitting this aborts.
+  static constexpr std::uint64_t kInsnBudget = 2 * kMaxProgramInsns;
+
+  // Runs `program` with R1 = `ctx` (size must equal the program's context
+  // descriptor size). `hook_data` is an attach-point side channel passed to
+  // helpers. Returns R0 at exit.
+  static std::uint64_t Run(const Program& program, void* ctx,
+                           void* hook_data = nullptr);
+};
+
+}  // namespace concord
+
+#endif  // SRC_BPF_VM_H_

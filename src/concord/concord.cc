@@ -1,0 +1,632 @@
+#include "src/concord/concord.h"
+
+#include "src/base/time.h"
+#include "src/bpf/vm.h"
+#include "src/rcu/rcu.h"
+
+namespace concord {
+
+// The unit actually installed into a lock: a hook table whose slots are
+// trampolines into (a) the user's native hooks, (b) the verified BPF chains,
+// and (c) the profiler taps. Owned via shared_ptr by the registry entry;
+// the previous table is released only after an RCU grace period.
+struct CompiledPolicy {
+  std::uint64_t lock_id = 0;
+  std::shared_ptr<const PolicySpec> spec;  // nullable
+  std::optional<ShflHooks> native;         // nullable user native hooks
+  std::optional<RwHooks> native_rw;
+  LockProfileStats* stats = nullptr;  // nullable; owned by the entry
+
+  ShflHooks shfl_table;
+  RwHooks rw_table;
+
+  const HookChain* ChainFor(HookKind kind) const {
+    if (spec == nullptr) {
+      return nullptr;
+    }
+    const HookChain& chain = spec->ChainFor(kind);
+    return chain.empty() ? nullptr : &chain;
+  }
+};
+
+namespace {
+
+std::uint64_t RunDecisionChain(const HookChain& chain, void* ctx) {
+  switch (chain.combinator) {
+    case Combinator::kFirstNonZero: {
+      for (const Program& program : chain.programs) {
+        const std::uint64_t result = BpfVm::Run(program, ctx);
+        if (result != 0) {
+          return result;
+        }
+      }
+      return 0;
+    }
+    case Combinator::kAll: {
+      for (const Program& program : chain.programs) {
+        if (BpfVm::Run(program, ctx) == 0) {
+          return 0;
+        }
+      }
+      return 1;
+    }
+    case Combinator::kAny: {
+      for (const Program& program : chain.programs) {
+        if (BpfVm::Run(program, ctx) != 0) {
+          return 1;
+        }
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+void RunTapChain(const HookChain* chain, std::uint64_t lock_id, HookKind kind) {
+  if (chain == nullptr) {
+    return;
+  }
+  ProfileCtx ctx;
+  ctx.lock_id = lock_id;
+  ctx.now_ns = MonotonicNowNs();
+  ctx.hook = static_cast<std::uint32_t>(kind);
+  ctx.reserved = 0;
+  for (const Program& program : chain->programs) {
+    BpfVm::Run(program, &ctx);
+  }
+}
+
+// --- ShflLock trampolines ----------------------------------------------------
+
+bool CmpNodeTrampoline(void* user_data, const ShflWaiterView& shuffler,
+                       const ShflWaiterView& curr) {
+  auto* cp = static_cast<CompiledPolicy*>(user_data);
+  if (cp->native.has_value() && cp->native->cmp_node != nullptr) {
+    return cp->native->cmp_node(cp->native->user_data, shuffler, curr);
+  }
+  if (const HookChain* chain = cp->ChainFor(HookKind::kCmpNode)) {
+    CmpNodeCtx ctx{shuffler, curr};
+    return RunDecisionChain(*chain, &ctx) != 0;
+  }
+  return false;
+}
+
+bool SkipShuffleTrampoline(void* user_data, const ShflWaiterView& shuffler) {
+  auto* cp = static_cast<CompiledPolicy*>(user_data);
+  if (cp->native.has_value() && cp->native->skip_shuffle != nullptr) {
+    return cp->native->skip_shuffle(cp->native->user_data, shuffler);
+  }
+  if (const HookChain* chain = cp->ChainFor(HookKind::kSkipShuffle)) {
+    SkipShuffleCtx ctx{shuffler};
+    return RunDecisionChain(*chain, &ctx) != 0;
+  }
+  return false;
+}
+
+bool ScheduleWaiterTrampoline(void* user_data, const ShflWaiterView& waiter,
+                              std::uint32_t spin_iterations) {
+  auto* cp = static_cast<CompiledPolicy*>(user_data);
+  if (cp->native.has_value() && cp->native->schedule_waiter != nullptr) {
+    return cp->native->schedule_waiter(cp->native->user_data, waiter,
+                                       spin_iterations);
+  }
+  if (const HookChain* chain = cp->ChainFor(HookKind::kScheduleWaiter)) {
+    ScheduleWaiterCtx ctx{waiter, spin_iterations, 0};
+    return RunDecisionChain(*chain, &ctx) != 0;
+  }
+  return spin_iterations > 128;  // lock default
+}
+
+template <HookKind kKind>
+void ProfileTapTrampoline(void* user_data, std::uint64_t lock_id) {
+  auto* cp = static_cast<CompiledPolicy*>(user_data);
+  if (cp->native.has_value()) {
+    void (*tap)(void*, std::uint64_t) = nullptr;
+    if constexpr (kKind == HookKind::kLockAcquire) {
+      tap = cp->native->lock_acquire;
+    } else if constexpr (kKind == HookKind::kLockContended) {
+      tap = cp->native->lock_contended;
+    } else if constexpr (kKind == HookKind::kLockAcquired) {
+      tap = cp->native->lock_acquired;
+    } else {
+      tap = cp->native->lock_release;
+    }
+    if (tap != nullptr) {
+      tap(cp->native->user_data, lock_id);
+    }
+  }
+  RunTapChain(cp->ChainFor(kKind), lock_id, kKind);
+  if (cp->stats != nullptr) {
+    if constexpr (kKind == HookKind::kLockAcquire) {
+      ProfilerTaps::OnAcquire(*cp->stats, lock_id);
+    } else if constexpr (kKind == HookKind::kLockContended) {
+      ProfilerTaps::OnContended(*cp->stats, lock_id);
+    } else if constexpr (kKind == HookKind::kLockAcquired) {
+      ProfilerTaps::OnAcquired(*cp->stats, lock_id);
+    } else {
+      ProfilerTaps::OnRelease(*cp->stats, lock_id);
+    }
+  }
+}
+
+// --- RW trampolines ------------------------------------------------------------
+
+std::uint32_t RwModeTrampoline(void* user_data) {
+  auto* cp = static_cast<CompiledPolicy*>(user_data);
+  if (cp->native_rw.has_value() && cp->native_rw->rw_mode != nullptr) {
+    return cp->native_rw->rw_mode(cp->native_rw->user_data);
+  }
+  if (const HookChain* chain = cp->ChainFor(HookKind::kRwMode)) {
+    RwModeCtx ctx{cp->lock_id};
+    return static_cast<std::uint32_t>(RunDecisionChain(*chain, &ctx));
+  }
+  return static_cast<std::uint32_t>(RwMode::kNeutral);
+}
+
+template <HookKind kKind>
+void RwProfileTapTrampoline(void* user_data, std::uint64_t lock_id) {
+  auto* cp = static_cast<CompiledPolicy*>(user_data);
+  if (cp->native_rw.has_value()) {
+    void (*tap)(void*, std::uint64_t) = nullptr;
+    if constexpr (kKind == HookKind::kLockAcquire) {
+      tap = cp->native_rw->lock_acquire;
+    } else if constexpr (kKind == HookKind::kLockContended) {
+      tap = cp->native_rw->lock_contended;
+    } else if constexpr (kKind == HookKind::kLockAcquired) {
+      tap = cp->native_rw->lock_acquired;
+    } else {
+      tap = cp->native_rw->lock_release;
+    }
+    if (tap != nullptr) {
+      tap(cp->native_rw->user_data, lock_id);
+    }
+  }
+  RunTapChain(cp->ChainFor(kKind), lock_id, kKind);
+  if (cp->stats != nullptr) {
+    if constexpr (kKind == HookKind::kLockAcquire) {
+      ProfilerTaps::OnAcquire(*cp->stats, lock_id);
+    } else if constexpr (kKind == HookKind::kLockContended) {
+      ProfilerTaps::OnContended(*cp->stats, lock_id);
+    } else if constexpr (kKind == HookKind::kLockAcquired) {
+      ProfilerTaps::OnAcquired(*cp->stats, lock_id);
+    } else {
+      ProfilerTaps::OnRelease(*cp->stats, lock_id);
+    }
+  }
+}
+
+// True if the compiled policy needs the given profiling tap slot filled.
+bool NeedsTap(const CompiledPolicy& cp, HookKind kind, bool is_rw) {
+  if (cp.stats != nullptr) {
+    return true;
+  }
+  if (cp.ChainFor(kind) != nullptr) {
+    return true;
+  }
+  if (!is_rw && cp.native.has_value()) {
+    switch (kind) {
+      case HookKind::kLockAcquire:
+        return cp.native->lock_acquire != nullptr;
+      case HookKind::kLockContended:
+        return cp.native->lock_contended != nullptr;
+      case HookKind::kLockAcquired:
+        return cp.native->lock_acquired != nullptr;
+      default:
+        return cp.native->lock_release != nullptr;
+    }
+  }
+  if (is_rw && cp.native_rw.has_value()) {
+    switch (kind) {
+      case HookKind::kLockAcquire:
+        return cp.native_rw->lock_acquire != nullptr;
+      case HookKind::kLockContended:
+        return cp.native_rw->lock_contended != nullptr;
+      case HookKind::kLockAcquired:
+        return cp.native_rw->lock_acquired != nullptr;
+      default:
+        return cp.native_rw->lock_release != nullptr;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Concord& Concord::Global() {
+  static Concord* instance = new Concord();
+  return *instance;
+}
+
+std::uint64_t Concord::RegisterShflLock(ShflLock& lock, std::string name,
+                                        std::string lock_class) {
+  std::lock_guard<std::mutex> guard(mu_);
+  CONCORD_CHECK(entries_.size() < kMaxLocks);
+  auto entry = std::make_unique<Entry>();
+  entry->kind = LockKind::kShfl;
+  entry->name = std::move(name);
+  entry->lock_class = std::move(lock_class);
+  entry->shfl = &lock;
+  entries_.push_back(std::move(entry));
+  const std::uint64_t id = entries_.size();
+  lock.SetLockId(id);
+  return id;
+}
+
+std::uint64_t Concord::RegisterRwImpl(
+    std::string name, std::string lock_class,
+    std::function<const RwHooks*(const RwHooks*)> install,
+    std::function<void(std::uint64_t)> set_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  CONCORD_CHECK(entries_.size() < kMaxLocks);
+  auto entry = std::make_unique<Entry>();
+  entry->kind = LockKind::kRw;
+  entry->name = std::move(name);
+  entry->lock_class = std::move(lock_class);
+  entry->rw_install = std::move(install);
+  entries_.push_back(std::move(entry));
+  const std::uint64_t id = entries_.size();
+  set_id(id);
+  return id;
+}
+
+Concord::Entry* Concord::EntryFor(std::uint64_t lock_id) {
+  if (lock_id == 0 || lock_id > entries_.size()) {
+    return nullptr;
+  }
+  Entry* entry = entries_[lock_id - 1].get();
+  return entry->kind == LockKind::kNone ? nullptr : entry;
+}
+
+const Concord::Entry* Concord::EntryFor(std::uint64_t lock_id) const {
+  return const_cast<Concord*>(this)->EntryFor(lock_id);
+}
+
+Status Concord::Unregister(std::uint64_t lock_id) {
+  CONCORD_RETURN_IF_ERROR(Detach(lock_id));
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+  // Drop profiling hooks too if they were installed.
+  if (entry->current != nullptr) {
+    if (entry->kind == LockKind::kShfl) {
+      entry->shfl->InstallHooks(nullptr);
+    } else {
+      entry->rw_install(nullptr);
+    }
+    Rcu::Global().Synchronize();
+    entry->current.reset();
+  }
+  entry->kind = LockKind::kNone;
+  entry->shfl = nullptr;
+  entry->rw_install = nullptr;
+  return Status::Ok();
+}
+
+std::vector<std::uint64_t> Concord::Select(const std::string& selector) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::uint64_t> result;
+  const bool all = selector == "*";
+  const bool by_class = selector.rfind("class:", 0) == 0;
+  const std::string cls = by_class ? selector.substr(6) : "";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = *entries_[i];
+    if (entry.kind == LockKind::kNone) {
+      continue;
+    }
+    if (all || (by_class && entry.lock_class == cls) ||
+        (!by_class && entry.name == selector)) {
+      result.push_back(i + 1);
+    }
+  }
+  return result;
+}
+
+StatusOr<std::uint64_t> Concord::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i]->kind != LockKind::kNone && entries_[i]->name == name) {
+      return static_cast<std::uint64_t>(i + 1);
+    }
+  }
+  return NotFoundError("no lock named '" + name + "'");
+}
+
+std::string Concord::NameOf(std::uint64_t lock_id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const Entry* entry = EntryFor(lock_id);
+  return entry == nullptr ? "<unregistered>" : entry->name;
+}
+
+std::vector<Concord::LockInfo> Concord::ListLocks(
+    const std::string& selector) const {
+  const std::vector<std::uint64_t> ids = Select(selector);
+  std::vector<LockInfo> result;
+  std::lock_guard<std::mutex> guard(mu_);
+  for (std::uint64_t id : ids) {
+    const Entry* entry = EntryFor(id);
+    if (entry == nullptr) {
+      continue;
+    }
+    LockInfo info;
+    info.lock_id = id;
+    info.name = entry->name;
+    info.lock_class = entry->lock_class;
+    info.is_rw = entry->kind == LockKind::kRw;
+    info.profiling = entry->profiling;
+    if (entry->spec != nullptr) {
+      info.has_policy = true;
+      info.policy_name = entry->spec->name;
+    } else if (entry->native.has_value() || entry->native_rw.has_value()) {
+      info.has_policy = true;
+      info.policy_name = "<native>";
+    }
+    result.push_back(std::move(info));
+  }
+  return result;
+}
+
+Status Concord::ReinstallLocked(std::uint64_t lock_id) {
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+
+  std::shared_ptr<CompiledPolicy> fresh;
+  const bool has_payload = entry->spec != nullptr || entry->native.has_value() ||
+                           entry->native_rw.has_value() || entry->profiling;
+  if (has_payload) {
+    fresh = std::make_shared<CompiledPolicy>();
+    fresh->lock_id = lock_id;
+    fresh->spec = entry->spec;
+    fresh->native = entry->native;
+    fresh->native_rw = entry->native_rw;
+    fresh->stats = entry->profiling ? entry->stats.get() : nullptr;
+
+    const bool is_rw = entry->kind == LockKind::kRw;
+    if (!is_rw) {
+      ShflHooks& t = fresh->shfl_table;
+      t.user_data = fresh.get();
+      const bool has_cmp =
+          (fresh->native.has_value() && fresh->native->cmp_node != nullptr) ||
+          fresh->ChainFor(HookKind::kCmpNode) != nullptr;
+      if (has_cmp) {
+        t.cmp_node = CmpNodeTrampoline;
+      }
+      const bool has_skip =
+          (fresh->native.has_value() && fresh->native->skip_shuffle != nullptr) ||
+          fresh->ChainFor(HookKind::kSkipShuffle) != nullptr;
+      if (has_skip) {
+        t.skip_shuffle = SkipShuffleTrampoline;
+      }
+      const bool has_sched =
+          (fresh->native.has_value() &&
+           fresh->native->schedule_waiter != nullptr) ||
+          fresh->ChainFor(HookKind::kScheduleWaiter) != nullptr;
+      if (has_sched) {
+        t.schedule_waiter = ScheduleWaiterTrampoline;
+      }
+      if (NeedsTap(*fresh, HookKind::kLockAcquire, false)) {
+        t.lock_acquire = ProfileTapTrampoline<HookKind::kLockAcquire>;
+      }
+      if (NeedsTap(*fresh, HookKind::kLockContended, false)) {
+        t.lock_contended = ProfileTapTrampoline<HookKind::kLockContended>;
+      }
+      if (NeedsTap(*fresh, HookKind::kLockAcquired, false)) {
+        t.lock_acquired = ProfileTapTrampoline<HookKind::kLockAcquired>;
+      }
+      if (NeedsTap(*fresh, HookKind::kLockRelease, false)) {
+        t.lock_release = ProfileTapTrampoline<HookKind::kLockRelease>;
+      }
+      if (entry->spec != nullptr) {
+        t.max_shuffle_rounds = entry->spec->max_shuffle_rounds;
+        t.max_waiter_bypasses = entry->spec->max_waiter_bypasses;
+        t.track_hold_time = entry->spec->needs_hold_accounting;
+      } else if (fresh->native.has_value()) {
+        t.max_shuffle_rounds = fresh->native->max_shuffle_rounds;
+        t.max_waiter_bypasses = fresh->native->max_waiter_bypasses;
+        t.track_hold_time = fresh->native->track_hold_time;
+      }
+      if (entry->profiling) {
+        t.track_hold_time = true;
+      }
+    } else {
+      RwHooks& t = fresh->rw_table;
+      t.user_data = fresh.get();
+      const bool has_mode =
+          (fresh->native_rw.has_value() && fresh->native_rw->rw_mode != nullptr) ||
+          fresh->ChainFor(HookKind::kRwMode) != nullptr;
+      if (has_mode) {
+        t.rw_mode = RwModeTrampoline;
+      }
+      if (NeedsTap(*fresh, HookKind::kLockAcquire, true)) {
+        t.lock_acquire = RwProfileTapTrampoline<HookKind::kLockAcquire>;
+      }
+      if (NeedsTap(*fresh, HookKind::kLockContended, true)) {
+        t.lock_contended = RwProfileTapTrampoline<HookKind::kLockContended>;
+      }
+      if (NeedsTap(*fresh, HookKind::kLockAcquired, true)) {
+        t.lock_acquired = RwProfileTapTrampoline<HookKind::kLockAcquired>;
+      }
+      if (NeedsTap(*fresh, HookKind::kLockRelease, true)) {
+        t.lock_release = RwProfileTapTrampoline<HookKind::kLockRelease>;
+      }
+    }
+  }
+
+  // Publish, wait a grace period, then let the old table die.
+  std::shared_ptr<CompiledPolicy> old = entry->current;
+  if (entry->kind == LockKind::kShfl) {
+    entry->shfl->InstallHooks(fresh != nullptr ? &fresh->shfl_table : nullptr);
+    if (entry->spec != nullptr && entry->spec->set_blocking.has_value()) {
+      entry->shfl->SetBlocking(*entry->spec->set_blocking);
+    }
+  } else {
+    entry->rw_install(fresh != nullptr ? &fresh->rw_table : nullptr);
+  }
+  entry->current = fresh;
+  if (old != nullptr || fresh != nullptr) {
+    Rcu::Global().Synchronize();
+  }
+  // `old` destructs here (after the grace period).
+  return Status::Ok();
+}
+
+Status Concord::Attach(std::uint64_t lock_id, PolicySpec spec) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+  // Kind compatibility: rw locks take rw_mode/profile chains only; shfl
+  // locks take everything except rw_mode.
+  if (entry->kind == LockKind::kRw) {
+    for (HookKind kind : {HookKind::kCmpNode, HookKind::kSkipShuffle,
+                          HookKind::kScheduleWaiter}) {
+      if (!spec.ChainFor(kind).empty()) {
+        return FailedPreconditionError(
+            std::string("hook ") + HookKindName(kind) +
+            " cannot attach to readers-writer lock '" + entry->name + "'");
+      }
+    }
+  } else if (!spec.ChainFor(HookKind::kRwMode).empty()) {
+    return FailedPreconditionError("hook rw_mode cannot attach to mutex '" +
+                                   entry->name + "'");
+  }
+  CONCORD_RETURN_IF_ERROR(spec.VerifyAll());
+  entry->spec = std::make_shared<const PolicySpec>(std::move(spec));
+  entry->native.reset();
+  entry->native_rw.reset();
+  return ReinstallLocked(lock_id);
+}
+
+Status Concord::AttachBySelector(const std::string& selector,
+                                 const PolicySpec& spec) {
+  const std::vector<std::uint64_t> ids = Select(selector);
+  if (ids.empty()) {
+    return NotFoundError("selector '" + selector + "' matches no locks");
+  }
+  for (std::uint64_t id : ids) {
+    PolicySpec copy = spec;
+    CONCORD_RETURN_IF_ERROR(Attach(id, std::move(copy)));
+  }
+  return Status::Ok();
+}
+
+Status Concord::AttachNative(std::uint64_t lock_id, const ShflHooks& hooks) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+  if (entry->kind != LockKind::kShfl) {
+    return FailedPreconditionError("'" + entry->name + "' is not a ShflLock");
+  }
+  entry->native = hooks;
+  entry->spec.reset();
+  entry->native_rw.reset();
+  return ReinstallLocked(lock_id);
+}
+
+Status Concord::AttachNativeRw(std::uint64_t lock_id, const RwHooks& hooks) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+  if (entry->kind != LockKind::kRw) {
+    return FailedPreconditionError("'" + entry->name +
+                                   "' is not a readers-writer lock");
+  }
+  entry->native_rw = hooks;
+  entry->spec.reset();
+  entry->native.reset();
+  return ReinstallLocked(lock_id);
+}
+
+Status Concord::Detach(std::uint64_t lock_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+  entry->spec.reset();
+  entry->native.reset();
+  entry->native_rw.reset();
+  return ReinstallLocked(lock_id);
+}
+
+Status Concord::EnableProfiling(std::uint64_t lock_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+  if (entry->stats == nullptr) {
+    entry->stats = std::make_unique<LockProfileStats>();
+  }
+  entry->profiling = true;
+  return ReinstallLocked(lock_id);
+}
+
+Status Concord::EnableProfilingBySelector(const std::string& selector) {
+  const std::vector<std::uint64_t> ids = Select(selector);
+  if (ids.empty()) {
+    return NotFoundError("selector '" + selector + "' matches no locks");
+  }
+  for (std::uint64_t id : ids) {
+    CONCORD_RETURN_IF_ERROR(EnableProfiling(id));
+  }
+  return Status::Ok();
+}
+
+Status Concord::DisableProfiling(std::uint64_t lock_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+  entry->profiling = false;
+  return ReinstallLocked(lock_id);
+}
+
+const LockProfileStats* Concord::Stats(std::uint64_t lock_id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const Entry* entry = EntryFor(lock_id);
+  return entry == nullptr ? nullptr : entry->stats.get();
+}
+
+std::string Concord::ProfileReport(const std::string& selector) const {
+  const std::vector<std::uint64_t> ids = Select(selector);
+  std::string report;
+  std::lock_guard<std::mutex> guard(mu_);
+  for (std::uint64_t id : ids) {
+    const Entry* entry = EntryFor(id);
+    if (entry == nullptr || entry->stats == nullptr) {
+      continue;
+    }
+    report += entry->name + " [" + entry->lock_class + "]: " +
+              entry->stats->Summary() + "\n";
+  }
+  return report;
+}
+
+void Concord::ResetForTest() {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i]->kind != LockKind::kNone) {
+        ids.push_back(i + 1);
+      }
+    }
+  }
+  for (std::uint64_t id : ids) {
+    Unregister(id);
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  entries_.clear();
+}
+
+}  // namespace concord

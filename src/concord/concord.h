@@ -1,0 +1,154 @@
+// Concord — the framework facade (paper §4).
+//
+// Life of a policy, mirroring Figure 1:
+//   1. A privileged userspace controller writes a policy (BPF assembly or
+//      the builder DSL) and bundles it into a PolicySpec.           (step 1)
+//   2. Concord::Attach verifies every program against the hook's context
+//      descriptor + helper capability mask (eBPF restrictions AND the
+//      lock-specific rules).                                     (steps 2-4)
+//   3. The verified spec is compiled into a hook table of trampolines and
+//      published to the live lock with an RCU pointer swap — the livepatch
+//      analogue; acquirers never block on a patch.               (steps 5-6)
+//
+// Locks participate by registering (kernel subsystems would do this at
+// boot); registration assigns the dense lock id used for selection and
+// profiling. Selection supports exact instance names, "class:<name>" and
+// "*" — the granularity spectrum §3.2 contrasts with lockstat.
+
+#ifndef SRC_CONCORD_CONCORD_H_
+#define SRC_CONCORD_CONCORD_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/concord/policy.h"
+#include "src/concord/profiler.h"
+#include "src/sync/policy_hooks.h"
+#include "src/sync/shfllock.h"
+
+namespace concord {
+
+class Concord {
+ public:
+  static constexpr std::uint64_t kMaxLocks = 4096;
+
+  static Concord& Global();
+
+  // --- registration ---------------------------------------------------------
+
+  // Registers a ShflLock instance under `name` in `lock_class`. Returns the
+  // lock id used by every other call. The lock must outlive registration.
+  std::uint64_t RegisterShflLock(ShflLock& lock, std::string name,
+                                 std::string lock_class);
+
+  // Registers any lock exposing InstallHooks(const RwHooks*) and
+  // SetLockId(u64) — BravoLock<...> in this library.
+  template <typename RwLockT>
+  std::uint64_t RegisterRwLock(RwLockT& lock, std::string name,
+                               std::string lock_class) {
+    return RegisterRwImpl(
+        std::move(name), std::move(lock_class),
+        [&lock](const RwHooks* hooks) { return lock.InstallHooks(hooks); },
+        [&lock](std::uint64_t id) { lock.SetLockId(id); });
+  }
+
+  // Detaches any policy, then removes the lock from the registry.
+  Status Unregister(std::uint64_t lock_id);
+
+  // --- selection -------------------------------------------------------------
+
+  // "*" => all registered locks; "class:<c>" => every lock in class c;
+  // anything else => exact instance name.
+  std::vector<std::uint64_t> Select(const std::string& selector) const;
+  StatusOr<std::uint64_t> Find(const std::string& name) const;
+  std::string NameOf(std::uint64_t lock_id) const;
+
+  // Structured registry listing for control planes / tooling.
+  struct LockInfo {
+    std::uint64_t lock_id = 0;
+    std::string name;
+    std::string lock_class;
+    bool is_rw = false;
+    bool has_policy = false;     // BPF spec or native hooks attached
+    std::string policy_name;     // spec name, or "<native>" for native hooks
+    bool profiling = false;
+  };
+  std::vector<LockInfo> ListLocks(const std::string& selector = "*") const;
+
+  // --- policy patching --------------------------------------------------------
+
+  // Verifies `spec` and hot-swaps it onto the lock. Replaces any previously
+  // attached policy atomically (readers see old or new, never a mix).
+  Status Attach(std::uint64_t lock_id, PolicySpec spec);
+
+  // Attaches to every lock matched by `selector`; fails fast on first error.
+  Status AttachBySelector(const std::string& selector, const PolicySpec& spec);
+
+  // "Precompiled" comparison path: native function-pointer hooks, no BPF.
+  Status AttachNative(std::uint64_t lock_id, const ShflHooks& hooks);
+  Status AttachNativeRw(std::uint64_t lock_id, const RwHooks& hooks);
+
+  // Removes any attached policy (lock reverts to default behaviour;
+  // profiling, if enabled, stays).
+  Status Detach(std::uint64_t lock_id);
+
+  // --- dynamic profiling ------------------------------------------------------
+
+  Status EnableProfiling(std::uint64_t lock_id);
+  Status EnableProfilingBySelector(const std::string& selector);
+  Status DisableProfiling(std::uint64_t lock_id);
+  const LockProfileStats* Stats(std::uint64_t lock_id) const;
+
+  // Formatted report for all profiled locks matching `selector`.
+  std::string ProfileReport(const std::string& selector = "*") const;
+
+  // Test-only: drops every registration. No lock may be under contention.
+  void ResetForTest();
+
+ private:
+  friend struct CompiledPolicy;
+
+  enum class LockKind { kNone, kShfl, kRw };
+
+  struct Entry {
+    LockKind kind = LockKind::kNone;
+    std::string name;
+    std::string lock_class;
+    ShflLock* shfl = nullptr;
+    std::function<const RwHooks*(const RwHooks*)> rw_install;
+
+    // Current attachment state (control plane, guarded by mu_).
+    std::shared_ptr<struct CompiledPolicy> current;
+    std::shared_ptr<const PolicySpec> spec;          // BPF policy, if any
+    std::optional<ShflHooks> native;                 // native policy, if any
+    std::optional<RwHooks> native_rw;
+    bool profiling = false;
+    std::unique_ptr<LockProfileStats> stats;
+  };
+
+  Concord() = default;
+
+  std::uint64_t RegisterRwImpl(
+      std::string name, std::string lock_class,
+      std::function<const RwHooks*(const RwHooks*)> install,
+      std::function<void(std::uint64_t)> set_id);
+
+  // Rebuilds the hook table from entry state and hot-swaps it in.
+  // Pre: mu_ held.
+  Status ReinstallLocked(std::uint64_t lock_id);
+
+  Entry* EntryFor(std::uint64_t lock_id);
+  const Entry* EntryFor(std::uint64_t lock_id) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // index = lock_id - 1
+};
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_CONCORD_H_

@@ -1,0 +1,90 @@
+// Concord hook kinds, their BPF context layouts, and per-hook verification
+// rules.
+//
+// Each hook kind corresponds to one row of Table 1 in the paper (plus
+// rw_mode, the readers-writer analogue used by the BRAVO integration). For
+// every kind this header defines:
+//   - the C struct handed to the policy program in R1,
+//   - a ContextDescriptor limiting which fields a program may read/write,
+//   - the capability mask limiting which helpers it may call.
+
+#ifndef SRC_CONCORD_HOOKS_H_
+#define SRC_CONCORD_HOOKS_H_
+
+#include <cstdint>
+
+#include "src/bpf/context.h"
+#include "src/bpf/helpers.h"
+#include "src/sync/policy_hooks.h"
+
+namespace concord {
+
+enum class HookKind : std::uint8_t {
+  kCmpNode = 0,
+  kSkipShuffle,
+  kScheduleWaiter,
+  kLockAcquire,
+  kLockContended,
+  kLockAcquired,
+  kLockRelease,
+  kRwMode,
+};
+inline constexpr int kNumHookKinds = 8;
+
+const char* HookKindName(HookKind kind);
+
+// --- context structs ---------------------------------------------------------
+// Plain-old-data; the BPF program sees them through the descriptors below.
+
+// cmp_node(lock, shuffler_node, curr_node): should `curr` join the
+// shuffler's group? Return nonzero to move it forward.
+struct CmpNodeCtx {
+  ShflWaiterView shuffler;  // offsets 0..39
+  ShflWaiterView curr;      // offsets 40..79
+};
+static_assert(sizeof(CmpNodeCtx) == 80);
+
+// skip_shuffle(lock, shuffler_node): return nonzero to skip this round.
+struct SkipShuffleCtx {
+  ShflWaiterView shuffler;
+};
+static_assert(sizeof(SkipShuffleCtx) == 40);
+
+// schedule_waiter(lock, curr_node): return nonzero to park the waiter now.
+struct ScheduleWaiterCtx {
+  ShflWaiterView waiter;          // offsets 0..39
+  std::uint32_t spin_iterations;  // offset 40
+  std::uint32_t reserved;         // offset 44
+};
+static_assert(sizeof(ScheduleWaiterCtx) == 48);
+
+// The four profiling hooks share one context.
+struct ProfileCtx {
+  std::uint64_t lock_id;  // offset 0
+  std::uint64_t now_ns;   // offset 8
+  std::uint32_t hook;     // offset 16: HookKind of the firing tap
+  std::uint32_t reserved; // offset 20
+};
+static_assert(sizeof(ProfileCtx) == 24);
+
+// rw_mode(lock): return the RwMode the lock should operate in.
+struct RwModeCtx {
+  std::uint64_t lock_id;
+};
+static_assert(sizeof(RwModeCtx) == 8);
+
+// --- per-hook verification rules ---------------------------------------------
+
+// Descriptor a program must be written against to attach at `kind`.
+const ContextDescriptor& DescriptorFor(HookKind kind);
+
+// Helper-capability mask granted at `kind`. Decision hooks may read state
+// and use maps but may not mutate lock/waiter state; cmp_node and
+// skip_shuffle additionally lose trace (they run per queue scan — a printk
+// there is a footgun the paper's Table 1 calls out as "increase critical
+// section" for the profiling hooks and worse here).
+std::uint32_t CapabilitiesFor(HookKind kind);
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_HOOKS_H_

@@ -1,0 +1,40 @@
+#include "src/concord/policy.h"
+
+#include "src/bpf/verifier.h"
+
+namespace concord {
+
+Status PolicySpec::AddProgram(HookKind kind, Program program) {
+  const ContextDescriptor& expected = DescriptorFor(kind);
+  if (program.ctx_desc != &expected) {
+    return InvalidArgumentError(
+        "program '" + program.name + "' was built against context '" +
+        (program.ctx_desc != nullptr ? program.ctx_desc->name() : "<none>") +
+        "' but hook " + HookKindName(kind) + " requires '" + expected.name() +
+        "'");
+  }
+  ChainFor(kind).programs.push_back(std::move(program));
+  return Status::Ok();
+}
+
+Status PolicySpec::VerifyAll() {
+  for (int k = 0; k < kNumHookKinds; ++k) {
+    const auto kind = static_cast<HookKind>(k);
+    Verifier::Options options;
+    options.allowed_capabilities = CapabilitiesFor(kind);
+    for (Program& program : chains[k].programs) {
+      if (program.verified) {
+        continue;
+      }
+      Status status = Verifier::Verify(program, options);
+      if (!status.ok()) {
+        return Status(status.code(), "policy '" + name + "', hook " +
+                                         HookKindName(kind) + ", program '" +
+                                         program.name + "': " + status.message());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace concord

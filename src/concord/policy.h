@@ -1,0 +1,77 @@
+// Policy specifications — what a userspace controller hands to Concord.
+//
+// A PolicySpec bundles, per hook kind, an ordered chain of BPF programs plus
+// a combinator saying how multiple programs compose (§6 "composing policies"
+// — we provide the mechanical combinators; resolving semantic conflicts
+// remains the policy author's job, as in the paper). Programs are verified
+// at attach time against the hook's context descriptor and capability mask;
+// a spec whose programs fail verification never reaches any lock.
+
+#ifndef SRC_CONCORD_POLICY_H_
+#define SRC_CONCORD_POLICY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bpf/program.h"
+#include "src/concord/hooks.h"
+
+namespace concord {
+
+// How the results of a multi-program chain combine into one decision.
+enum class Combinator : std::uint8_t {
+  kFirstNonZero,  // first program returning nonzero decides (default)
+  kAll,           // decision is 1 iff every program returns nonzero
+  kAny,           // decision is 1 iff any program returns nonzero
+};
+
+struct HookChain {
+  std::vector<Program> programs;
+  Combinator combinator = Combinator::kFirstNonZero;
+
+  bool empty() const { return programs.empty(); }
+};
+
+struct PolicySpec {
+  std::string name;
+
+  // One chain per hook kind (indexed by HookKind).
+  HookChain chains[kNumHookKinds];
+
+  // Keep-alive for maps referenced by the programs. Programs hold raw
+  // BpfMap*; anything those pointers refer to must be (co-)owned here unless
+  // the caller guarantees a longer lifetime out of band.
+  std::vector<std::shared_ptr<BpfMap>> maps;
+
+  // ShflLock knobs applied at attach.
+  std::uint32_t max_shuffle_rounds = 64;
+  std::uint32_t max_waiter_bypasses = 128;  // per-waiter starvation bound
+  std::optional<bool> set_blocking;
+
+  // Request hold-time accounting (two clock reads per acquisition). Set
+  // this for policies that read cs_ewma_ns / hold totals; profiling enables
+  // it regardless.
+  bool needs_hold_accounting = false;
+
+  // Adds `program` to the chain for `kind`. Fails if the program was built
+  // against the wrong context descriptor.
+  Status AddProgram(HookKind kind, Program program);
+
+  HookChain& ChainFor(HookKind kind) {
+    return chains[static_cast<int>(kind)];
+  }
+  const HookChain& ChainFor(HookKind kind) const {
+    return chains[static_cast<int>(kind)];
+  }
+
+  // Verifies every program in every chain against its hook's rules.
+  // Idempotent; called by Concord at attach.
+  Status VerifyAll();
+};
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_POLICY_H_

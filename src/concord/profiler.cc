@@ -1,0 +1,100 @@
+#include "src/concord/profiler.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/base/time.h"
+
+namespace concord {
+namespace {
+
+// Per-thread in-flight acquisition records. Locks nest, so this is a small
+// stack; entries are matched by lock id at acquired/release time, tolerating
+// out-of-order release for the (rare) non-LIFO unlock patterns.
+struct InFlight {
+  std::uint64_t lock_id = 0;
+  std::uint64_t acquire_ns = 0;
+  std::uint64_t acquired_ns = 0;
+  bool contended = false;
+  bool live = false;
+};
+
+constexpr int kMaxInFlight = 16;
+thread_local InFlight tls_inflight[kMaxInFlight];
+
+InFlight* FindSlot(std::uint64_t lock_id) {
+  for (auto& slot : tls_inflight) {
+    if (slot.live && slot.lock_id == lock_id) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+InFlight* AllocSlot(std::uint64_t lock_id) {
+  for (auto& slot : tls_inflight) {
+    if (!slot.live) {
+      slot.live = true;
+      slot.lock_id = lock_id;
+      slot.contended = false;
+      slot.acquire_ns = 0;
+      slot.acquired_ns = 0;
+      return &slot;
+    }
+  }
+  return nullptr;  // too deeply nested: drop the sample
+}
+
+}  // namespace
+
+void ProfilerTaps::OnAcquire(LockProfileStats& stats, std::uint64_t lock_id) {
+  stats.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (InFlight* slot = AllocSlot(lock_id)) {
+    slot->acquire_ns = MonotonicNowNs();
+  }
+}
+
+void ProfilerTaps::OnContended(LockProfileStats& stats, std::uint64_t lock_id) {
+  stats.contentions.fetch_add(1, std::memory_order_relaxed);
+  if (InFlight* slot = FindSlot(lock_id)) {
+    slot->contended = true;
+  }
+}
+
+void ProfilerTaps::OnAcquired(LockProfileStats& stats, std::uint64_t lock_id) {
+  const std::uint64_t now = MonotonicNowNs();
+  if (InFlight* slot = FindSlot(lock_id)) {
+    slot->acquired_ns = now;
+    if (slot->contended) {
+      stats.wait_ns.Record(now - slot->acquire_ns);
+    }
+  }
+}
+
+void ProfilerTaps::OnRelease(LockProfileStats& stats, std::uint64_t lock_id) {
+  const std::uint64_t now = MonotonicNowNs();
+  stats.releases.fetch_add(1, std::memory_order_relaxed);
+  if (InFlight* slot = FindSlot(lock_id)) {
+    if (slot->acquired_ns != 0) {
+      stats.hold_ns.Record(now - slot->acquired_ns);
+    }
+    slot->live = false;
+  }
+}
+
+std::string LockProfileStats::Summary() const {
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "acq=%" PRIu64 " contended=%" PRIu64 " (%.1f%%) rel=%" PRIu64
+      " wait[p50=%" PRIu64 "ns p99=%" PRIu64 "ns max=%" PRIu64
+      "ns] hold[p50=%" PRIu64 "ns p99=%" PRIu64 "ns]",
+      acquisitions.load(std::memory_order_relaxed),
+      contentions.load(std::memory_order_relaxed), 100.0 * ContentionRate(),
+      releases.load(std::memory_order_relaxed), wait_ns.Percentile(50),
+      wait_ns.Percentile(99), wait_ns.Max(), hold_ns.Percentile(50),
+      hold_ns.Percentile(99));
+  return line;
+}
+
+}  // namespace concord

@@ -1,0 +1,59 @@
+// Per-lock profiling state — the "dynamic lock profiling" half of C3 (§3.2).
+//
+// Unlike lockstat, which profiles every lock in the kernel at once, Concord
+// attaches profiling taps per lock instance / class / pattern. Stats live in
+// a dense array indexed by registry lock id so the taps are wait-free.
+
+#ifndef SRC_CONCORD_PROFILER_H_
+#define SRC_CONCORD_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/base/histogram.h"
+
+namespace concord {
+
+struct LockProfileStats {
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> contentions{0};
+  std::atomic<std::uint64_t> releases{0};
+  Log2Histogram wait_ns;  // contended acquisitions: time from acquire to grant
+  Log2Histogram hold_ns;  // critical-section lengths
+
+  void Reset() {
+    acquisitions.store(0, std::memory_order_relaxed);
+    contentions.store(0, std::memory_order_relaxed);
+    releases.store(0, std::memory_order_relaxed);
+    wait_ns.Reset();
+    hold_ns.Reset();
+  }
+
+  double ContentionRate() const {
+    const std::uint64_t acq = acquisitions.load(std::memory_order_relaxed);
+    if (acq == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(contentions.load(std::memory_order_relaxed)) /
+           static_cast<double>(acq);
+  }
+
+  // One-lock summary line: counts, contention rate, wait/hold p50/p99.
+  std::string Summary() const;
+};
+
+// Native profiling taps. `user_data` must point at a ProfilerBinding (below);
+// these functions are installed into ShflHooks/RwHooks slots by the Concord
+// attach machinery and stamp per-thread timestamps to compute wait and hold
+// durations.
+struct ProfilerTaps {
+  static void OnAcquire(LockProfileStats& stats, std::uint64_t lock_id);
+  static void OnContended(LockProfileStats& stats, std::uint64_t lock_id);
+  static void OnAcquired(LockProfileStats& stats, std::uint64_t lock_id);
+  static void OnRelease(LockProfileStats& stats, std::uint64_t lock_id);
+};
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_PROFILER_H_

@@ -1,0 +1,126 @@
+#include "src/concord/safety.h"
+
+#include <time.h>
+
+namespace concord {
+
+FairnessWatchdog::FairnessWatchdog(WatchdogConfig config) : config_(config) {}
+
+FairnessWatchdog::~FairnessWatchdog() { Stop(); }
+
+Status FairnessWatchdog::Watch(std::uint64_t lock_id) {
+  CONCORD_RETURN_IF_ERROR(Concord::Global().EnableProfiling(lock_id));
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const WatchState& state : watched_) {
+    if (state.lock_id == lock_id) {
+      return Status::Ok();
+    }
+  }
+  WatchState state;
+  state.lock_id = lock_id;
+  // Baseline: violations are only raised for waits observed from now on.
+  const LockProfileStats* stats = Concord::Global().Stats(lock_id);
+  state.last_flagged_max_ns = stats != nullptr ? stats->wait_ns.Max() : 0;
+  watched_.push_back(state);
+  return Status::Ok();
+}
+
+void FairnessWatchdog::Unwatch(std::uint64_t lock_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = watched_.begin(); it != watched_.end(); ++it) {
+    if (it->lock_id == lock_id) {
+      watched_.erase(it);
+      return;
+    }
+  }
+}
+
+void FairnessWatchdog::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  poller_ = std::thread([this] { PollLoop(); });
+}
+
+void FairnessWatchdog::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (poller_.joinable()) {
+    poller_.join();
+  }
+}
+
+void FairnessWatchdog::PollLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    CheckOnce();
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(config_.poll_interval_ms / 1000);
+    ts.tv_nsec = static_cast<long>((config_.poll_interval_ms % 1000) * 1'000'000);
+    nanosleep(&ts, nullptr);
+  }
+}
+
+std::vector<FairnessWatchdog::Violation> FairnessWatchdog::CheckOnce() {
+  std::vector<Violation> fresh;
+  std::vector<std::uint64_t> to_detach;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (WatchState& state : watched_) {
+      const LockProfileStats* stats = Concord::Global().Stats(state.lock_id);
+      if (stats == nullptr) {
+        continue;
+      }
+      const std::uint64_t max_wait = stats->wait_ns.Max();
+      if (max_wait > config_.max_wait_ns &&
+          max_wait > state.last_flagged_max_ns) {
+        Violation violation;
+        violation.lock_id = state.lock_id;
+        violation.kind = ViolationKind::kMaxWaitExceeded;
+        violation.observed_ns = max_wait;
+        violation.detached = config_.auto_detach;
+        fresh.push_back(violation);
+        state.last_flagged_max_ns = max_wait;
+        if (config_.auto_detach) {
+          to_detach.push_back(state.lock_id);
+        }
+        continue;
+      }
+      if (config_.p99_over_p50_limit > 0 && stats->wait_ns.TotalCount() >= 100) {
+        const std::uint64_t p50 = stats->wait_ns.Percentile(50);
+        const std::uint64_t p99 = stats->wait_ns.Percentile(99);
+        if (p50 > 0 &&
+            static_cast<double>(p99) >
+                static_cast<double>(p50) * config_.p99_over_p50_limit &&
+            p99 > state.last_flagged_max_ns) {
+          Violation violation;
+          violation.lock_id = state.lock_id;
+          violation.kind = ViolationKind::kWaitSkew;
+          violation.observed_ns = p99;
+          violation.detached = config_.auto_detach;
+          fresh.push_back(violation);
+          state.last_flagged_max_ns = p99;
+          if (config_.auto_detach) {
+            to_detach.push_back(state.lock_id);
+          }
+        }
+      }
+    }
+    for (const Violation& violation : fresh) {
+      violations_.push_back(violation);
+    }
+  }
+  // Detach outside mu_ (Concord has its own lock; avoid ordering surprises).
+  for (std::uint64_t lock_id : to_detach) {
+    Concord::Global().Detach(lock_id);
+  }
+  return fresh;
+}
+
+std::vector<FairnessWatchdog::Violation> FairnessWatchdog::violations() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return violations_;
+}
+
+}  // namespace concord

@@ -1,0 +1,110 @@
+// Global-lock hash table — the paper's Figure 2(c) worst-case benchmark
+// (Triplett et al.'s resizable-hash-table setup, single global lock).
+//
+// Critical sections are a handful of pointer operations, so any per-
+// acquisition policy cost (hook dispatch, BPF interpretation) is maximally
+// visible — exactly why the paper uses it to bound Concord's overhead at
+// ~20%.
+
+#ifndef SRC_KERNELSIM_HASHTABLE_H_
+#define SRC_KERNELSIM_HASHTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sync/lock.h"
+
+namespace concord {
+
+template <Lockable GlobalLock>
+class GlobalLockHashTable {
+ public:
+  explicit GlobalLockHashTable(std::uint32_t bucket_bits = 13)
+      : mask_((1u << bucket_bits) - 1), buckets_(1u << bucket_bits, nullptr) {}
+  GlobalLockHashTable(const GlobalLockHashTable&) = delete;
+  GlobalLockHashTable& operator=(const GlobalLockHashTable&) = delete;
+
+  ~GlobalLockHashTable() {
+    for (Node* head : buckets_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        delete head;
+        head = next;
+      }
+    }
+  }
+
+  GlobalLock& global_lock() { return lock_; }
+
+  bool Insert(std::uint64_t key, std::uint64_t value) {
+    LockGuard<GlobalLock> guard(lock_);
+    Node** bucket = &buckets_[Hash(key)];
+    for (Node* node = *bucket; node != nullptr; node = node->next) {
+      if (node->key == key) {
+        return false;
+      }
+    }
+    auto* node = new Node{key, value, *bucket};
+    *bucket = node;
+    ++size_;
+    return true;
+  }
+
+  bool Lookup(std::uint64_t key, std::uint64_t* value_out) {
+    LockGuard<GlobalLock> guard(lock_);
+    for (Node* node = buckets_[Hash(key)]; node != nullptr; node = node->next) {
+      if (node->key == key) {
+        if (value_out != nullptr) {
+          *value_out = node->value;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Erase(std::uint64_t key) {
+    LockGuard<GlobalLock> guard(lock_);
+    Node** link = &buckets_[Hash(key)];
+    while (*link != nullptr) {
+      Node* node = *link;
+      if (node->key == key) {
+        *link = node->next;
+        delete node;
+        --size_;
+        return true;
+      }
+      link = &node->next;
+    }
+    return false;
+  }
+
+  std::uint64_t Size() {
+    LockGuard<GlobalLock> guard(lock_);
+    return size_;
+  }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    std::uint64_t value;
+    Node* next;
+  };
+
+  std::uint64_t Hash(std::uint64_t key) const {
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return key & mask_;
+  }
+
+  GlobalLock lock_;
+  const std::uint64_t mask_;
+  std::vector<Node*> buckets_;  // guarded by lock_
+  std::uint64_t size_ = 0;      // guarded by lock_
+};
+
+}  // namespace concord
+
+#endif  // SRC_KERNELSIM_HASHTABLE_H_

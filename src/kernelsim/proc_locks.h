@@ -1,0 +1,90 @@
+// Mini file-lock table — the substrate for the paper's Figure 2(b) `lock2`
+// workload.
+//
+// will-it-scale's lock2 has every thread repeatedly taking and dropping a
+// POSIX file lock on its own file; in the kernel all of those operations
+// serialize on the global file-lock list lock with short, write-only
+// critical sections. This class models that: a global mutex-style lock (the
+// template parameter — TicketLock = "Stock", ShflLock = "ShflLock" /
+// "Concord-ShflLock") protecting an intrusive list of lock records.
+
+#ifndef SRC_KERNELSIM_PROC_LOCKS_H_
+#define SRC_KERNELSIM_PROC_LOCKS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/sync/lock.h"
+
+namespace concord {
+
+template <Lockable GlobalLock>
+class ProcLockTable {
+ public:
+  explicit ProcLockTable(std::uint32_t num_files = 1024)
+      : records_(num_files) {}
+  ProcLockTable(const ProcLockTable&) = delete;
+  ProcLockTable& operator=(const ProcLockTable&) = delete;
+
+  GlobalLock& global_lock() { return lock_; }
+
+  // Takes a "file lock" on `file_id` for `owner`. Mirrors flock(): global
+  // list lock, scan-and-insert, unlock. Returns false if already held.
+  bool FileLock(std::uint32_t file_id, std::uint32_t owner) {
+    CONCORD_DCHECK(file_id < records_.size());
+    LockGuard<GlobalLock> guard(lock_);
+    Record& record = records_[file_id];
+    if (record.held) {
+      return false;
+    }
+    record.held = true;
+    record.owner = owner;
+    record.generation += 1;
+    ++live_locks_;
+    return true;
+  }
+
+  bool FileUnlock(std::uint32_t file_id, std::uint32_t owner) {
+    CONCORD_DCHECK(file_id < records_.size());
+    LockGuard<GlobalLock> guard(lock_);
+    Record& record = records_[file_id];
+    if (!record.held || record.owner != owner) {
+      return false;
+    }
+    record.held = false;
+    --live_locks_;
+    return true;
+  }
+
+  // One lock2 iteration: lock + unlock the caller's file.
+  void LockUnlockCycle(std::uint32_t file_id, std::uint32_t owner) {
+    const bool locked = FileLock(file_id, owner);
+    CONCORD_DCHECK(locked);
+    const bool unlocked = FileUnlock(file_id, owner);
+    CONCORD_DCHECK(unlocked);
+    (void)locked;
+    (void)unlocked;
+  }
+
+  std::uint64_t live_locks() {
+    LockGuard<GlobalLock> guard(lock_);
+    return live_locks_;
+  }
+
+ private:
+  struct Record {
+    bool held = false;
+    std::uint32_t owner = 0;
+    std::uint64_t generation = 0;
+  };
+
+  GlobalLock lock_;
+  std::vector<Record> records_;  // guarded by lock_
+  std::uint64_t live_locks_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_KERNELSIM_PROC_LOCKS_H_

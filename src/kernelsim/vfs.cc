@@ -1,0 +1,98 @@
+#include "src/kernelsim/vfs.h"
+
+namespace concord {
+
+VfsNamespace::VfsNamespace(std::uint32_t num_dirs) {
+  CONCORD_CHECK(num_dirs > 0);
+  dirs_.reserve(num_dirs);
+  for (std::uint32_t i = 0; i < num_dirs; ++i) {
+    dirs_.push_back(std::make_unique<Directory>());
+  }
+}
+
+Status VfsNamespace::Create(std::uint32_t dir, const std::string& name,
+                            std::uint64_t value) {
+  if (dir >= dirs_.size()) {
+    return InvalidArgumentError("bad directory index");
+  }
+  ShflGuard guard(dirs_[dir]->lock);
+  auto [it, inserted] = dirs_[dir]->entries.emplace(name, value);
+  if (!inserted) {
+    return FailedPreconditionError("entry '" + name + "' already exists");
+  }
+  return Status::Ok();
+}
+
+Status VfsNamespace::Unlink(std::uint32_t dir, const std::string& name) {
+  if (dir >= dirs_.size()) {
+    return InvalidArgumentError("bad directory index");
+  }
+  ShflGuard guard(dirs_[dir]->lock);
+  if (dirs_[dir]->entries.erase(name) == 0) {
+    return NotFoundError("entry '" + name + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::uint64_t> VfsNamespace::Lookup(std::uint32_t dir,
+                                             const std::string& name) {
+  if (dir >= dirs_.size()) {
+    return InvalidArgumentError("bad directory index");
+  }
+  ShflGuard guard(dirs_[dir]->lock);
+  auto it = dirs_[dir]->entries.find(name);
+  if (it == dirs_[dir]->entries.end()) {
+    return NotFoundError("entry '" + name + "'");
+  }
+  return it->second;
+}
+
+Status VfsNamespace::Rename(std::uint32_t src_dir, const std::string& src_name,
+                            std::uint32_t dst_dir, const std::string& dst_name) {
+  if (src_dir >= dirs_.size() || dst_dir >= dirs_.size()) {
+    return InvalidArgumentError("bad directory index");
+  }
+  // Global rename lock first, then directory locks in index order — the
+  // kernel's lock_rename() protocol. While waiting for the directory locks
+  // this thread already holds rename_lock_, so its ThreadContext advertises
+  // locks_held >= 1 to any shuffling policy on the directory locks.
+  ShflGuard rename_guard(rename_lock_);
+  if (src_dir == dst_dir) {
+    ShflGuard dir_guard(dirs_[src_dir]->lock);
+    auto& entries = dirs_[src_dir]->entries;
+    auto it = entries.find(src_name);
+    if (it == entries.end()) {
+      return NotFoundError("entry '" + src_name + "'");
+    }
+    const std::uint64_t value = it->second;
+    entries.erase(it);
+    entries[dst_name] = value;
+    return Status::Ok();
+  }
+
+  const std::uint32_t first = src_dir < dst_dir ? src_dir : dst_dir;
+  const std::uint32_t second = src_dir < dst_dir ? dst_dir : src_dir;
+  ShflGuard first_guard(dirs_[first]->lock);
+  ShflGuard second_guard(dirs_[second]->lock);
+
+  auto& src_entries = dirs_[src_dir]->entries;
+  auto it = src_entries.find(src_name);
+  if (it == src_entries.end()) {
+    return NotFoundError("entry '" + src_name + "'");
+  }
+  const std::uint64_t value = it->second;
+  src_entries.erase(it);
+  dirs_[dst_dir]->entries[dst_name] = value;
+  return Status::Ok();
+}
+
+std::uint64_t VfsNamespace::total_entries() {
+  std::uint64_t total = 0;
+  for (auto& dir : dirs_) {
+    ShflGuard guard(dir->lock);
+    total += dir->entries.size();
+  }
+  return total;
+}
+
+}  // namespace concord

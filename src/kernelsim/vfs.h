@@ -1,0 +1,66 @@
+// Mini VFS namespace — the nested-locking workload behind the paper's "lock
+// inheritance" use case (§3.1.1).
+//
+// Rename in Linux acquires a process-wide rename lock plus the locks of both
+// directories (up to ~12 locks on real paths). A renamer stuck at the tail
+// of a directory lock's FIFO queue while already holding the rename lock
+// stalls every other rename in the system — the pathological pattern C3
+// fixes by letting waiters that already hold locks declare it
+// (ThreadContext::locks_held, maintained by ShflLock) so the shuffler can
+// boost them.
+
+#ifndef SRC_KERNELSIM_VFS_H_
+#define SRC_KERNELSIM_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sync/shfllock.h"
+
+namespace concord {
+
+class VfsNamespace {
+ public:
+  explicit VfsNamespace(std::uint32_t num_dirs);
+  VfsNamespace(const VfsNamespace&) = delete;
+  VfsNamespace& operator=(const VfsNamespace&) = delete;
+
+  std::uint32_t num_dirs() const {
+    return static_cast<std::uint32_t>(dirs_.size());
+  }
+  ShflLock& rename_lock() { return rename_lock_; }
+  ShflLock& dir_lock(std::uint32_t dir) { return dirs_[dir]->lock; }
+
+  // Creates `name` in `dir` with inode payload `value`.
+  Status Create(std::uint32_t dir, const std::string& name, std::uint64_t value);
+
+  Status Unlink(std::uint32_t dir, const std::string& name);
+
+  // Returns the inode value, or kNotFound.
+  StatusOr<std::uint64_t> Lookup(std::uint32_t dir, const std::string& name);
+
+  // Moves src_dir/src_name to dst_dir/dst_name. Takes the global rename lock
+  // and then both directory locks in index order (deadlock avoidance, as in
+  // the kernel's lock_rename).
+  Status Rename(std::uint32_t src_dir, const std::string& src_name,
+                std::uint32_t dst_dir, const std::string& dst_name);
+
+  std::uint64_t total_entries();
+
+ private:
+  struct Directory {
+    ShflLock lock;
+    std::unordered_map<std::string, std::uint64_t> entries;  // guarded by lock
+  };
+
+  ShflLock rename_lock_;
+  std::vector<std::unique_ptr<Directory>> dirs_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_KERNELSIM_VFS_H_

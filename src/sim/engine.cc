@@ -1,0 +1,45 @@
+#include "src/sim/engine.h"
+
+namespace concord {
+
+SimEngine::~SimEngine() {
+  // Drop pending events first: they reference coroutine frames owned below.
+  while (!queue_.empty()) {
+    queue_.pop();
+  }
+  for (std::coroutine_handle<> root : roots_) {
+    root.destroy();
+  }
+}
+
+void SimEngine::Spawn(std::uint32_t cpu, SimTask<> task) {
+  CONCORD_CHECK(cpu < config_.TotalCpus());
+  std::coroutine_handle<> handle = task.Release();
+  roots_.push_back(handle);
+  ScheduleAt(now_, cpu, handle);
+}
+
+void SimEngine::ScheduleAt(std::uint64_t when, std::uint32_t cpu,
+                           std::coroutine_handle<> handle) {
+  CONCORD_CHECK(when >= now_);
+  queue_.push(Event{when, seq_++, cpu, handle});
+}
+
+void SimEngine::Run(std::uint64_t until_ns) {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    if (event.when > until_ns) {
+      break;
+    }
+    queue_.pop();
+    now_ = event.when;
+    current_cpu_ = event.cpu;
+    ++events_processed_;
+    event.handle.resume();
+  }
+  if (now_ < until_ns) {
+    now_ = until_ns;
+  }
+}
+
+}  // namespace concord

@@ -1,0 +1,107 @@
+// Discrete-event simulation engine.
+//
+// Why a simulator at all: the paper's evaluation machine has 8 sockets and
+// 80 cores; this repository must reproduce the *shape* of 1-80-thread
+// scalability curves on whatever host it builds on (including a 1-core CI
+// box). The engine runs one coroutine per virtual thread in virtual time;
+// all concurrency effects come from the cache-line cost model in
+// src/sim/memory.h, not from host parallelism, so results are deterministic
+// and host-independent.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/sim/task.h"
+
+namespace concord {
+
+struct SimConfig {
+  std::uint32_t num_sockets = 8;
+  std::uint32_t cores_per_socket = 10;
+
+  // Cache-line cost model (nanoseconds).
+  std::uint64_t local_hit_ns = 4;     // requester already owns/shares the line
+  std::uint64_t same_socket_ns = 40;  // line owned by a sibling core
+  std::uint64_t remote_ns = 120;      // line owned by another socket
+
+  // Cost per interpreted BPF instruction when a Concord policy runs on a
+  // simulated critical path.
+  std::uint64_t bpf_insn_ns = 3;
+  // Fixed hook-dispatch cost (RCU deref + indirect call) charged per
+  // installed hook invocation on the critical path.
+  std::uint64_t hook_dispatch_ns = 15;
+
+  std::uint32_t TotalCpus() const { return num_sockets * cores_per_socket; }
+  std::uint32_t SocketOf(std::uint32_t cpu) const {
+    return (cpu / cores_per_socket) % num_sockets;
+  }
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(SimConfig config = SimConfig{}) : config_(config) {}
+  ~SimEngine();
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  const SimConfig& config() const { return config_; }
+  std::uint64_t now() const { return now_; }
+  std::uint32_t current_cpu() const { return current_cpu_; }
+  std::uint32_t current_socket() const { return config_.SocketOf(current_cpu_); }
+
+  // Spawns a root vthread pinned to `cpu`; it starts when Run() is called.
+  void Spawn(std::uint32_t cpu, SimTask<> task);
+
+  // Schedules `handle` to resume at absolute time `when` on `cpu`.
+  void ScheduleAt(std::uint64_t when, std::uint32_t cpu,
+                  std::coroutine_handle<> handle);
+
+  // Runs events until the queue is empty or virtual time exceeds `until_ns`.
+  void Run(std::uint64_t until_ns);
+
+  // Awaitable: suspend the current vthread for `ns` of virtual time.
+  auto Delay(std::uint64_t ns) {
+    struct Awaiter {
+      SimEngine* engine;
+      std::uint64_t ns;
+      bool await_ready() const noexcept { return ns == 0; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        engine->ScheduleAt(engine->now_ + ns, engine->current_cpu_, handle);
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{this, ns};
+  }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    std::uint64_t when;
+    std::uint64_t seq;  // tie-break for determinism
+    std::uint32_t cpu;
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Event& other) const {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  SimConfig config_;
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint32_t current_cpu_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<std::coroutine_handle<>> roots_;  // owned; destroyed last
+};
+
+}  // namespace concord
+
+#endif  // SRC_SIM_ENGINE_H_

@@ -1,0 +1,630 @@
+// Simulated lock algorithms.
+//
+// Each lock is the same algorithm as its real-thread counterpart in
+// src/sync, rewritten against simulated memory (src/sim/memory.h). Policy
+// decisions reuse the *actual* verified BPF programs from src/concord —
+// the decision logic executes on the host for semantics while its cost
+// (instructions × bpf_insn_ns, plus hook dispatch) is charged in virtual
+// time, so "Stock vs X vs Concord-X" comparisons carry the same meaning as
+// in the paper.
+//
+// Modeling note (documented in DESIGN.md): ShflLock's shuffling is applied
+// logically when the queue changes and charged to the *idle* queue head
+// (off the critical path), exactly the paper's argument for why shuffling
+// is ~free; what is charged on the critical path is hook dispatch and any
+// profiling-tap programs.
+
+#ifndef SRC_SIM_LOCKS_H_
+#define SRC_SIM_LOCKS_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+#include <functional>
+#include <memory>
+
+#include "src/bpf/program.h"
+#include "src/bpf/vm.h"
+#include "src/concord/hooks.h"
+#include "src/sim/memory.h"
+#include "src/sim/task.h"
+
+namespace concord {
+
+// How a policy is attached to a simulated lock, and what it costs.
+struct SimPolicy {
+  enum class Backend { kNone, kNative, kBpf };
+  Backend backend = Backend::kNone;
+
+  // Baseline flavour: the policy is compiled *into* the lock (the paper's
+  // plain "ShflLock"/"BRAVO" bars): shuffling/bias logic runs with zero hook
+  // dispatch cost.
+  bool builtin = false;
+
+  // NUMA-grouping decision used by ShflLock shuffling; when backend==kBpf
+  // and cmp_program != nullptr, the real program is executed instead.
+  const Program* cmp_program = nullptr;
+
+  // Profiling taps attached (fig 2(c) worst case): charges dispatch per
+  // acquire/acquired/release on the critical path, plus program cost when
+  // tap_program != nullptr.
+  bool taps = false;
+  const Program* tap_program = nullptr;
+
+  static SimPolicy Builtin() {
+    SimPolicy policy;
+    policy.builtin = true;
+    return policy;
+  }
+  static SimPolicy Native(bool with_taps = false) {
+    SimPolicy policy;
+    policy.backend = Backend::kNative;
+    policy.taps = with_taps;
+    return policy;
+  }
+  static SimPolicy Bpf(const Program* cmp, bool with_taps = false,
+                       const Program* tap = nullptr) {
+    SimPolicy policy;
+    policy.backend = Backend::kBpf;
+    policy.cmp_program = cmp;
+    policy.taps = with_taps;
+    policy.tap_program = tap;
+    return policy;
+  }
+
+  bool attached() const { return backend != Backend::kNone; }
+  bool shuffles() const { return builtin || attached(); }
+
+  // Cost of one hook invocation (dispatch + optional program interpretation).
+  std::uint64_t HookCost(const SimConfig& config, const Program* program) const {
+    if (!attached()) {
+      return 0;
+    }
+    std::uint64_t cost = config.hook_dispatch_ns;
+    if (backend == Backend::kBpf && program != nullptr) {
+      cost += program->insns.size() * config.bpf_insn_ns;
+    }
+    return cost;
+  }
+
+  // Cost of one profiling-tap invocation; zero when no taps are attached.
+  std::uint64_t TapCost(const SimConfig& config) const {
+    if (!taps) {
+      return 0;
+    }
+    return HookCost(config, tap_program);
+  }
+
+  // Native decision rule when no BPF program is attached.
+  enum class Decision { kSameSocket, kFastCore };
+  Decision decision = Decision::kSameSocket;
+  std::uint32_t fast_core_count = 0;  // for kFastCore
+
+  // Runs the cmp_node decision on the host (no sim cost — off critical path).
+  // Views carry (socket, vcpu) as the real lock would populate them.
+  bool CmpGroup(std::uint32_t shuffler_socket, std::uint32_t shuffler_cpu,
+                std::uint32_t curr_socket, std::uint32_t curr_cpu) const {
+    if (backend == Backend::kBpf && cmp_program != nullptr) {
+      CmpNodeCtx ctx{};
+      ctx.shuffler.socket = shuffler_socket;
+      ctx.shuffler.vcpu = shuffler_cpu;
+      ctx.curr.socket = curr_socket;
+      ctx.curr.vcpu = curr_cpu;
+      return BpfVm::Run(*cmp_program, &ctx) != 0;
+    }
+    if (decision == Decision::kFastCore) {
+      return curr_cpu < fast_core_count;
+    }
+    return shuffler_socket == curr_socket;
+  }
+};
+
+// --- Ticket lock ("Stock" spinlock) -----------------------------------------
+
+class SimTicketLock {
+ public:
+  explicit SimTicketLock(SimEngine& engine)
+      : engine_(engine), next_(engine), serving_(engine) {}
+
+  SimTask<> Lock() {
+    const std::uint64_t my = co_await next_.FetchAdd(1);
+    while (true) {
+      const std::uint64_t seen =
+          co_await serving_.SpinUntil([my](std::uint64_t v) { return v == my; });
+      if (seen == my) {
+        break;
+      }
+    }
+  }
+
+  SimTask<> Unlock() { co_await serving_.FetchAdd(1); }
+
+ private:
+  SimEngine& engine_;
+  SimWord next_;
+  SimWord serving_;
+};
+
+// --- MCS queue lock -----------------------------------------------------------
+
+class SimMcsLock {
+ public:
+  explicit SimMcsLock(SimEngine& engine) : engine_(engine), tail_(engine) {}
+
+  // Each Lock() call allocates its own queue node and returns its id; pass
+  // the id to Unlock (per-acquisition state cannot live in the lock: many
+  // vthreads hold/wait concurrently).
+  SimTask<std::uint64_t> Lock() {
+    auto node = std::make_shared<Node>(engine_);
+    const std::uint64_t id = reinterpret_cast<std::uint64_t>(node.get());
+    nodes_[id] = node;
+    const std::uint64_t pred_id = co_await tail_.Exchange(id);
+    if (pred_id != 0) {
+      Node* pred = nodes_.at(pred_id).get();
+      pred->next_id = id;
+      while (true) {
+        const std::uint64_t v = co_await node->granted.SpinUntil(
+            [](std::uint64_t g) { return g == 1; });
+        if (v == 1) {
+          break;
+        }
+      }
+    }
+    co_return id;
+  }
+
+  SimTask<> Unlock(std::uint64_t id) {
+    Node* node = nodes_.at(id).get();
+    if (node->next_id == 0) {
+      const std::uint64_t swapped = co_await tail_.CompareExchange(id, 0);
+      if (swapped == 1) {
+        nodes_.erase(id);
+        co_return;
+      }
+      // Successor is mid-enqueue; in the single-threaded simulation the link
+      // is published before any later event runs, so it is visible now.
+    }
+    const std::uint64_t next_id = node->next_id;
+    Node* next = nodes_.at(next_id).get();
+    co_await next->granted.Store(1);
+    nodes_.erase(id);
+  }
+
+ private:
+  struct Node {
+    explicit Node(SimEngine& engine) : granted(engine) {}
+    SimWord granted;
+    std::uint64_t next_id = 0;
+  };
+
+  SimEngine& engine_;
+  SimWord tail_;
+  std::map<std::uint64_t, std::shared_ptr<Node>> nodes_;
+};
+
+// --- CNA (compact NUMA-aware) lock ---------------------------------------------
+// MCS variant: at unlock the holder searches the main queue for a same-socket
+// successor, parking skipped remote waiters on a secondary queue that is
+// spliced back after a local-handoff budget. Completes the A1 design space
+// (centralized / FIFO queue / reordering queue / CNA).
+
+class SimCnaLock {
+ public:
+  static constexpr std::uint32_t kLocalHandoffLimit = 64;
+
+  explicit SimCnaLock(SimEngine& engine) : engine_(engine), tail_(engine) {}
+
+  SimTask<std::uint64_t> Lock() {
+    auto node = std::make_shared<Node>(engine_, engine_.current_cpu(),
+                                       engine_.current_socket());
+    const std::uint64_t id = reinterpret_cast<std::uint64_t>(node.get());
+    nodes_[id] = node;
+    const std::uint64_t pred_id = co_await tail_.Exchange(id);
+    if (pred_id != 0) {
+      nodes_.at(pred_id)->next_id = id;
+      while (true) {
+        const std::uint64_t g = co_await node->granted.SpinUntil(
+            [](std::uint64_t v) { return v == 1; });
+        if (g == 1) {
+          break;
+        }
+      }
+    }
+    co_return id;
+  }
+
+  SimTask<> Unlock(std::uint64_t id) {
+    Node* node = nodes_.at(id).get();
+    std::uint64_t succ_id = node->next_id;
+    if (succ_id == 0) {
+      if (!node->secondary.empty()) {
+        // Try to leave the secondary chain as the new queue.
+        const std::uint64_t new_tail = node->secondary.back();
+        const std::uint64_t swapped = co_await tail_.CompareExchange(id, new_tail);
+        if (swapped == 1) {
+          co_await GrantChain(node->secondary, /*tail_next=*/0);
+          nodes_.erase(id);
+          co_return;
+        }
+        succ_id = node->next_id;  // a waiter linked in meanwhile
+      } else {
+        const std::uint64_t swapped = co_await tail_.CompareExchange(id, 0);
+        if (swapped == 1) {
+          nodes_.erase(id);
+          co_return;
+        }
+        succ_id = node->next_id;
+      }
+    }
+
+    // Fairness: drain the secondary queue after the handoff budget, splicing
+    // it in front of the main-queue successor.
+    if (node->local_handoffs >= kLocalHandoffLimit && !node->secondary.empty()) {
+      co_await GrantChain(node->secondary, /*tail_next=*/succ_id);
+      nodes_.erase(id);
+      co_return;
+    }
+
+    // Search the main queue for a same-socket successor; nodes we hop over
+    // are detached onto the secondary queue (they are unreachable from the
+    // winner's chain otherwise).
+    std::vector<std::uint64_t> newly_skipped;
+    std::uint64_t scan = succ_id;
+    bool found_local = false;
+    while (scan != 0) {
+      Node* candidate = nodes_.at(scan).get();
+      if (candidate->socket == node->socket) {
+        found_local = true;
+        break;
+      }
+      if (candidate->next_id == 0) {
+        break;  // cannot safely detach the tail
+      }
+      newly_skipped.push_back(scan);
+      scan = candidate->next_id;
+    }
+    if (found_local) {
+      Node* winner = nodes_.at(scan).get();
+      winner->secondary = std::move(node->secondary);
+      for (std::uint64_t skipped_id : newly_skipped) {
+        winner->secondary.push_back(skipped_id);
+      }
+      winner->local_handoffs = node->local_handoffs + 1;
+      co_await winner->granted.Store(1);
+      nodes_.erase(id);
+      co_return;
+    }
+    // No reachable local successor: plain FIFO handoff. Nothing was
+    // detached (the skipped candidates stay linked behind succ_id), so only
+    // the inherited secondary travels.
+    Node* successor = nodes_.at(succ_id).get();
+    successor->secondary = std::move(node->secondary);
+    successor->local_handoffs = node->local_handoffs;
+    co_await successor->granted.Store(1);
+    nodes_.erase(id);
+  }
+
+ private:
+  struct Node {
+    Node(SimEngine& engine, std::uint32_t c, std::uint32_t s)
+        : granted(engine), cpu(c), socket(s) {}
+    SimWord granted;
+    std::uint32_t cpu;
+    std::uint32_t socket;
+    std::uint64_t next_id = 0;
+    std::uint32_t local_handoffs = 0;
+    std::vector<std::uint64_t> secondary;  // skipped remote waiters, in order
+  };
+
+  // Grants the first node of `chain`, re-linking the rest behind it and
+  // terminating the chain with `tail_next` (0 = end of queue). Links are
+  // rewritten unconditionally: detached nodes carry stale next_id values.
+  SimTask<> GrantChain(const std::vector<std::uint64_t>& chain,
+                       std::uint64_t tail_next) {
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      nodes_.at(chain[i])->next_id = chain[i + 1];
+    }
+    nodes_.at(chain.back())->next_id = tail_next;
+    Node* head = nodes_.at(chain.front()).get();
+    head->local_handoffs = 0;
+    head->secondary.clear();
+    co_await head->granted.Store(1);
+  }
+
+  SimEngine& engine_;
+  SimWord tail_;
+  std::map<std::uint64_t, std::shared_ptr<Node>> nodes_;
+};
+
+// --- ShflLock with policy hooks -----------------------------------------------
+
+class SimShflLock {
+ public:
+  SimShflLock(SimEngine& engine, SimPolicy policy = SimPolicy{})
+      : engine_(engine), locked_(engine), tail_line_(engine),
+        policy_(std::move(policy)) {}
+
+  SimTask<> Lock() {
+    co_await ChargeTap();  // lock_acquire tap
+    const std::uint32_t cpu = engine_.current_cpu();
+    // Fast path: steal only when no queue exists.
+    if (queue_.empty()) {
+      const std::uint64_t won = co_await locked_.CompareExchange(0, 1);
+      if (won == 1) {
+        co_await ChargeTap();  // lock_acquired tap
+        co_return;
+      }
+    }
+
+    auto node = std::make_unique<WaitNode>(engine_, cpu,
+                                           engine_.config().SocketOf(cpu));
+    WaitNode* self = node.get();
+    co_await tail_line_.Exchange(reinterpret_cast<std::uint64_t>(self));
+    queue_.push_back(std::move(node));
+    Shuffle();
+
+    if (queue_.front().get() != self) {
+      while (true) {
+        const std::uint64_t g = co_await self->granted.SpinUntil(
+            [](std::uint64_t v) { return v == 1; });
+        if (g == 1) {
+          break;
+        }
+      }
+    }
+    // Queue head: contend on the lock word.
+    while (true) {
+      const std::uint64_t v =
+          co_await locked_.SpinUntil([](std::uint64_t w) { return w == 0; });
+      (void)v;
+      const std::uint64_t won = co_await locked_.CompareExchange(0, 1);
+      if (won == 1) {
+        break;
+      }
+    }
+    // Dequeue self, promote successor.
+    CONCORD_CHECK(queue_.front().get() == self);
+    queue_.pop_front();
+    if (!queue_.empty()) {
+      co_await queue_.front()->granted.Store(1);
+    }
+    co_await ChargeTap();  // lock_acquired tap
+  }
+
+  SimTask<> Unlock() {
+    co_await locked_.Store(0);
+    co_await ChargeTap();  // lock_release tap
+  }
+
+  std::uint64_t shuffle_moves() const { return shuffle_moves_; }
+
+ private:
+  struct WaitNode {
+    WaitNode(SimEngine& engine, std::uint32_t c, std::uint32_t s)
+        : granted(engine), cpu(c), socket(s) {}
+    SimWord granted;
+    std::uint32_t cpu;
+    std::uint32_t socket;
+  };
+
+  SimTask<> ChargeTap() {
+    const std::uint64_t cost = policy_.TapCost(engine_.config());
+    if (cost > 0) {
+      co_await engine_.Delay(cost);
+    }
+  }
+
+  // Logical shuffle, charged to the idle head (zero critical-path time):
+  // stable-partition positions [1..n) so head-group waiters come first.
+  void Shuffle() {
+    if (!policy_.shuffles() || queue_.size() < 3) {
+      return;
+    }
+    const std::uint32_t head_socket = queue_.front()->socket;
+    const std::uint32_t head_cpu = queue_.front()->cpu;
+    std::deque<std::unique_ptr<WaitNode>> grouped;
+    std::deque<std::unique_ptr<WaitNode>> rest;
+    grouped.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    // The last node may be mid-enqueue in the real lock; leave it in place.
+    std::unique_ptr<WaitNode> last = std::move(queue_.back());
+    queue_.pop_back();
+    for (auto& node : queue_) {
+      if (policy_.CmpGroup(head_socket, head_cpu, node->socket, node->cpu)) {
+        if (grouped.size() > 1 && !rest.empty()) {
+          ++shuffle_moves_;
+        }
+        grouped.push_back(std::move(node));
+      } else {
+        rest.push_back(std::move(node));
+      }
+    }
+    queue_.clear();
+    for (auto& node : grouped) {
+      queue_.push_back(std::move(node));
+    }
+    for (auto& node : rest) {
+      queue_.push_back(std::move(node));
+    }
+    queue_.push_back(std::move(last));
+  }
+
+  SimEngine& engine_;
+  SimWord locked_;
+  SimWord tail_line_;  // models the tail-exchange cache line
+  SimPolicy policy_;
+  std::deque<std::unique_ptr<WaitNode>> queue_;
+  std::uint64_t shuffle_moves_ = 0;
+};
+
+// --- readers-writer locks -----------------------------------------------------
+
+// Centralized ("Stock") readers-writer lock: one state word, reader CASes.
+class SimNeutralRwLock {
+ public:
+  explicit SimNeutralRwLock(SimEngine& engine) : engine_(engine), state_(engine) {}
+
+  static constexpr std::uint64_t kWriter = 1ull << 62;
+
+  SimTask<> ReadLock() {
+    while (true) {
+      const std::uint64_t v = co_await state_.Load();
+      if ((v & kWriter) == 0) {
+        const std::uint64_t won = co_await state_.CompareExchange(v, v + 1);
+        if (won == 1) {
+          co_return;
+        }
+        continue;  // lost the race; retry immediately (line already hot)
+      }
+      co_await state_.SpinUntil(
+          [](std::uint64_t w) { return (w & kWriter) == 0; });
+    }
+  }
+
+  SimTask<> ReadUnlock() {
+    co_await state_.FetchAdd(static_cast<std::uint64_t>(-1));
+  }
+
+  SimTask<> WriteLock() {
+    while (true) {
+      const std::uint64_t v = co_await state_.Load();
+      if (v == 0) {
+        const std::uint64_t won = co_await state_.CompareExchange(0, kWriter);
+        if (won == 1) {
+          co_return;
+        }
+        continue;
+      }
+      co_await state_.SpinUntil([](std::uint64_t w) { return w == 0; });
+    }
+  }
+
+  SimTask<> WriteUnlock() { co_await state_.Store(0); }
+
+ private:
+  SimEngine& engine_;
+  SimWord state_;
+};
+
+// BRAVO over the neutral lock, with an optional Concord rw_mode policy.
+class SimBravoLock {
+ public:
+  // rw_mode decision: nullptr => always reader-bias (precompiled BRAVO).
+  // A Concord policy charges HookCost per ReadLock and runs `mode_program`.
+  SimBravoLock(SimEngine& engine, SimPolicy policy = SimPolicy{},
+               const Program* mode_program = nullptr, bool adaptive = true)
+      : engine_(engine), underlying_(engine), bias_(engine, 1),
+        policy_(std::move(policy)), mode_program_(mode_program),
+        adaptive_(adaptive) {
+    slots_.reserve(engine.config().TotalCpus());
+    for (std::uint32_t i = 0; i < engine.config().TotalCpus(); ++i) {
+      slots_.push_back(std::make_unique<SimWord>(engine));
+    }
+  }
+
+  // Tokens returned by ReadLock and consumed by ReadUnlock (per-acquisition
+  // state cannot live in the lock).
+  static constexpr std::uint64_t kTokenUnderlying = ~0ull;
+  static constexpr std::uint64_t kTokenWriterOnly = ~0ull - 1;
+
+  SimTask<std::uint64_t> ReadLock() {
+    std::uint32_t mode = static_cast<std::uint32_t>(RwMode::kReaderBias);
+    if (policy_.attached()) {
+      const std::uint64_t cost =
+          policy_.HookCost(engine_.config(), mode_program_);
+      if (cost > 0) {
+        co_await engine_.Delay(cost);
+      }
+      if (policy_.backend == SimPolicy::Backend::kBpf &&
+          mode_program_ != nullptr) {
+        RwModeCtx ctx{0};
+        mode = static_cast<std::uint32_t>(BpfVm::Run(*mode_program_, &ctx));
+      }
+    }
+    const std::uint32_t cpu = engine_.current_cpu();
+    if (mode == static_cast<std::uint32_t>(RwMode::kReaderBias)) {
+      std::uint64_t biased = co_await bias_.Load();
+      if (biased == 0 && adaptive_ && engine_.now() >= inhibit_until_) {
+        // Readers re-arm the bias once the inhibit window expires (BRAVO's
+        // rule; re-arming at WriteUnlock alone leaves the lock neutral for
+        // whole write-free stretches).
+        co_await bias_.Store(1);
+        biased = 1;
+      }
+      if (biased == 1) {
+        const std::uint64_t won = co_await slots_[cpu]->CompareExchange(0, 1);
+        if (won == 1) {
+          const std::uint64_t recheck = co_await bias_.Load();
+          if (recheck == 1) {
+            co_return cpu;  // fast-path token = slot index
+          }
+          co_await slots_[cpu]->Store(0);
+        }
+      }
+    }
+    if (mode == static_cast<std::uint32_t>(RwMode::kWriterOnly)) {
+      co_await underlying_.WriteLock();
+      co_return kTokenWriterOnly;
+    }
+    co_await underlying_.ReadLock();
+    co_return kTokenUnderlying;
+  }
+
+  SimTask<> ReadUnlock(std::uint64_t token) {
+    if (token == kTokenWriterOnly) {
+      co_await underlying_.WriteUnlock();
+      co_return;
+    }
+    if (token == kTokenUnderlying) {
+      co_await underlying_.ReadUnlock();
+      co_return;
+    }
+    co_await slots_[token]->Store(0);
+  }
+
+  SimTask<> WriteLock() {
+    co_await underlying_.WriteLock();
+    const std::uint64_t biased = co_await bias_.Load();
+    if (biased == 1) {
+      const std::uint64_t revoke_start = engine_.now();
+      co_await bias_.Store(0);
+      for (auto& slot : slots_) {
+        while (true) {
+          const std::uint64_t v = co_await slot->SpinUntil(
+              [](std::uint64_t s) { return s == 0; });
+          if (v == 0) {
+            break;
+          }
+        }
+      }
+      ++revocations_;
+      // BRAVO's adaptive rule: inhibit re-arming for N x revocation cost.
+      const std::uint64_t cost = engine_.now() - revoke_start;
+      inhibit_until_ = engine_.now() + cost * 9;
+    }
+  }
+
+  SimTask<> WriteUnlock() {
+    if (!adaptive_) {
+      co_await bias_.Store(1);  // fixed-bias ablation: always re-arm
+    }
+    co_await underlying_.WriteUnlock();
+  }
+
+  std::uint64_t revocations() const { return revocations_; }
+
+ private:
+  SimEngine& engine_;
+  SimNeutralRwLock underlying_;
+  SimWord bias_;
+  std::vector<std::unique_ptr<SimWord>> slots_;
+  SimPolicy policy_;
+  const Program* mode_program_;
+  const bool adaptive_;
+  std::uint64_t revocations_ = 0;
+  std::uint64_t inhibit_until_ = 0;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SIM_LOCKS_H_

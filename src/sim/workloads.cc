@@ -1,0 +1,321 @@
+#include "src/sim/workloads.h"
+
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/sim/locks.h"
+
+namespace concord {
+namespace {
+
+double OpsPerMsec(std::uint64_t ops, std::uint64_t duration_ns) {
+  return static_cast<double>(ops) /
+         (static_cast<double>(duration_ns) / 1'000'000.0);
+}
+
+// Scatter pinning: thread t lands on socket t % num_sockets. Sequential
+// filling would make FIFO queue order accidentally socket-clustered and hide
+// exactly the effect NUMA policies exist for; scatter is also how the NUMA
+// lock papers pin their worst-case runs.
+std::uint32_t ScatterCpu(const SimConfig& config, std::uint32_t t) {
+  const std::uint32_t socket = t % config.num_sockets;
+  const std::uint32_t core = (t / config.num_sockets) % config.cores_per_socket;
+  return socket * config.cores_per_socket + core;
+}
+
+}  // namespace
+
+// --- lock2 -------------------------------------------------------------------
+
+namespace {
+
+template <typename LockT>
+SimTask<> Lock2Worker(SimEngine& engine, LockT& lock, const Lock2Params& params,
+                      std::uint64_t end_ns,
+                      std::vector<std::unique_ptr<SimWord>>& data,
+                      std::uint64_t* ops) {
+  while (engine.now() < end_ns) {
+    if constexpr (std::is_same_v<LockT, SimMcsLock> ||
+                  std::is_same_v<LockT, SimCnaLock>) {
+      const std::uint64_t token = co_await lock.Lock();
+      co_await engine.Delay(params.cs_ns);
+      for (auto& word : data) {
+        co_await word->FetchAdd(1);  // protected data follows the holder
+      }
+      co_await lock.Unlock(token);
+    } else {
+      co_await lock.Lock();
+      co_await engine.Delay(params.cs_ns);
+      for (auto& word : data) {
+        co_await word->FetchAdd(1);
+      }
+      co_await lock.Unlock();
+    }
+    ++*ops;
+    co_await engine.Delay(params.think_ns);
+  }
+}
+
+template <typename LockT>
+SimRunResult RunLock2With(LockT& lock, SimEngine& engine,
+                          const Lock2Params& params) {
+  std::vector<std::unique_ptr<SimWord>> data;
+  for (std::uint32_t i = 0; i < params.data_words; ++i) {
+    data.push_back(std::make_unique<SimWord>(engine));
+  }
+  std::vector<std::uint64_t> ops(params.threads, 0);
+  for (std::uint32_t t = 0; t < params.threads; ++t) {
+    engine.Spawn(ScatterCpu(engine.config(), t),
+                 Lock2Worker(engine, lock, params, params.duration_ns, data,
+                             &ops[t]));
+  }
+  engine.Run(params.duration_ns);
+  SimRunResult result;
+  for (std::uint64_t n : ops) {
+    result.total_ops += n;
+  }
+  result.ops_per_msec = OpsPerMsec(result.total_ops, params.duration_ns);
+  result.events = engine.events_processed();
+  return result;
+}
+
+}  // namespace
+
+SimRunResult SimLock2(Lock2Flavor flavor, const Lock2Params& params) {
+  SimEngine engine;
+  switch (flavor) {
+    case Lock2Flavor::kStockTicket: {
+      SimTicketLock lock(engine);
+      return RunLock2With(lock, engine, params);
+    }
+    case Lock2Flavor::kMcs: {
+      SimMcsLock lock(engine);
+      return RunLock2With(lock, engine, params);
+    }
+    case Lock2Flavor::kCna: {
+      SimCnaLock lock(engine);
+      return RunLock2With(lock, engine, params);
+    }
+    case Lock2Flavor::kShflLock: {
+      SimShflLock lock(engine, SimPolicy::Builtin());
+      return RunLock2With(lock, engine, params);
+    }
+    case Lock2Flavor::kConcordShflLock: {
+      SimShflLock lock(engine, SimPolicy::Bpf(params.cmp_program));
+      return RunLock2With(lock, engine, params);
+    }
+  }
+  return SimRunResult{};
+}
+
+// --- page_fault2 -------------------------------------------------------------
+
+namespace {
+
+// Deterministic write pacing: accumulate the write budget per op so every
+// flavour sees writes at identical op indices (no RNG phase noise).
+struct WritePacer {
+  std::uint32_t writes_per_1024;
+  std::uint32_t acc;
+  bool Next() {
+    acc += writes_per_1024;
+    if (acc >= 1024) {
+      acc -= 1024;
+      return true;
+    }
+    return false;
+  }
+};
+
+SimTask<> PageFaultNeutralWorker(SimEngine& engine, SimNeutralRwLock& sem,
+                                 const PageFaultParams& params,
+                                 std::uint64_t seed, std::uint64_t* ops) {
+  WritePacer pacer{params.writes_per_1024,
+                   static_cast<std::uint32_t>(seed * 97 % 1024)};
+  while (engine.now() < params.duration_ns) {
+    if (pacer.Next()) {
+      co_await sem.WriteLock();
+      co_await engine.Delay(params.write_work_ns);
+      co_await sem.WriteUnlock();
+    } else {
+      co_await sem.ReadLock();
+      co_await engine.Delay(params.fault_work_ns);
+      co_await sem.ReadUnlock();
+    }
+    ++*ops;
+  }
+}
+
+SimTask<> PageFaultBravoWorker(SimEngine& engine, SimBravoLock& sem,
+                               const PageFaultParams& params, std::uint64_t seed,
+                               std::uint64_t* ops) {
+  WritePacer pacer{params.writes_per_1024,
+                   static_cast<std::uint32_t>(seed * 97 % 1024)};
+  while (engine.now() < params.duration_ns) {
+    if (pacer.Next()) {
+      co_await sem.WriteLock();
+      co_await engine.Delay(params.write_work_ns);
+      co_await sem.WriteUnlock();
+    } else {
+      const std::uint64_t token = co_await sem.ReadLock();
+      co_await engine.Delay(params.fault_work_ns);
+      co_await sem.ReadUnlock(token);
+    }
+    ++*ops;
+  }
+}
+
+}  // namespace
+
+SimRunResult SimPageFault(PageFaultFlavor flavor, const PageFaultParams& params) {
+  SimEngine engine;
+  std::vector<std::uint64_t> ops(params.threads, 0);
+  std::unique_ptr<SimNeutralRwLock> neutral;
+  std::unique_ptr<SimBravoLock> bravo;
+
+  switch (flavor) {
+    case PageFaultFlavor::kStockNeutral:
+      neutral = std::make_unique<SimNeutralRwLock>(engine);
+      break;
+    case PageFaultFlavor::kBravo:
+      bravo = std::make_unique<SimBravoLock>(engine, SimPolicy::Builtin());
+      break;
+    case PageFaultFlavor::kBravoFixedBias:
+      bravo = std::make_unique<SimBravoLock>(engine, SimPolicy::Builtin(),
+                                             nullptr, /*adaptive=*/false);
+      break;
+    case PageFaultFlavor::kConcordBravo: {
+      SimPolicy policy;
+      policy.backend = SimPolicy::Backend::kBpf;
+      bravo = std::make_unique<SimBravoLock>(engine, policy, params.mode_program);
+      break;
+    }
+  }
+
+  for (std::uint32_t t = 0; t < params.threads; ++t) {
+    const std::uint32_t cpu = ScatterCpu(engine.config(), t);
+    if (neutral != nullptr) {
+      engine.Spawn(cpu, PageFaultNeutralWorker(engine, *neutral, params, t + 1,
+                                               &ops[t]));
+    } else {
+      engine.Spawn(cpu,
+                   PageFaultBravoWorker(engine, *bravo, params, t + 1, &ops[t]));
+    }
+  }
+  engine.Run(params.duration_ns);
+
+  SimRunResult result;
+  for (std::uint64_t n : ops) {
+    result.total_ops += n;
+  }
+  result.ops_per_msec = OpsPerMsec(result.total_ops, params.duration_ns);
+  result.events = engine.events_processed();
+  return result;
+}
+
+// --- hash table ----------------------------------------------------------------
+
+namespace {
+
+SimTask<> HashWorker(SimEngine& engine, SimShflLock& lock,
+                     const HashParams& params, std::uint64_t* ops) {
+  while (engine.now() < params.duration_ns) {
+    co_await lock.Lock();
+    co_await engine.Delay(params.op_ns);
+    co_await lock.Unlock();
+    ++*ops;
+  }
+}
+
+}  // namespace
+
+SimRunResult SimHashTable(HashFlavor flavor, const HashParams& params) {
+  SimEngine engine;
+  SimPolicy policy;
+  switch (flavor) {
+    case HashFlavor::kShflLock:
+      policy = SimPolicy::Builtin();
+      break;
+    case HashFlavor::kConcordEmptyHooks:
+      policy = SimPolicy::Native(/*with_taps=*/true);
+      break;
+    case HashFlavor::kConcordBpfProfiler:
+      policy = SimPolicy::Bpf(params.cmp_program, /*with_taps=*/true,
+                              params.tap_program);
+      break;
+  }
+  SimShflLock lock(engine, policy);
+
+  std::vector<std::uint64_t> ops(params.threads, 0);
+  for (std::uint32_t t = 0; t < params.threads; ++t) {
+    engine.Spawn(ScatterCpu(engine.config(), t),
+                 HashWorker(engine, lock, params, &ops[t]));
+  }
+  engine.Run(params.duration_ns);
+
+  SimRunResult result;
+  for (std::uint64_t n : ops) {
+    result.total_ops += n;
+  }
+  result.ops_per_msec = OpsPerMsec(result.total_ops, params.duration_ns);
+  result.events = engine.events_processed();
+  return result;
+}
+
+// --- AMP -----------------------------------------------------------------------
+
+namespace {
+
+SimTask<> AmpWorker(SimEngine& engine, SimShflLock& lock, const AmpParams& params,
+                    std::uint32_t cpu, std::uint64_t* ops) {
+  const bool fast = cpu < params.fast_core_count;
+  const std::uint64_t cs =
+      fast ? params.cs_ns : params.cs_ns * params.slow_factor;
+  const std::uint64_t think =
+      fast ? params.think_ns : params.think_ns * params.slow_factor;
+  while (engine.now() < params.duration_ns) {
+    co_await lock.Lock();
+    co_await engine.Delay(cs);
+    co_await lock.Unlock();
+    ++*ops;
+    co_await engine.Delay(think);
+  }
+}
+
+}  // namespace
+
+AmpResult SimAmp(AmpFlavor flavor, const AmpParams& params) {
+  SimEngine engine;
+  SimPolicy policy;
+  if (flavor == AmpFlavor::kAmpPolicy) {
+    policy = SimPolicy::Builtin();
+    policy.decision = SimPolicy::Decision::kFastCore;
+    policy.fast_core_count = params.fast_core_count;
+  }
+  SimShflLock lock(engine, policy);
+
+  std::vector<std::uint64_t> ops(params.threads, 0);
+  for (std::uint32_t t = 0; t < params.threads; ++t) {
+    // Threads pinned 1:1 onto vCPUs 0..threads-1: the low ones are fast.
+    engine.Spawn(t % engine.config().TotalCpus(),
+                 AmpWorker(engine, lock, params, t, &ops[t]));
+  }
+  engine.Run(params.duration_ns);
+
+  AmpResult result;
+  for (std::uint32_t t = 0; t < params.threads; ++t) {
+    result.total.total_ops += ops[t];
+    if (t < params.fast_core_count) {
+      result.fast_ops += ops[t];
+    } else {
+      result.slow_ops += ops[t];
+    }
+  }
+  result.total.ops_per_msec =
+      static_cast<double>(result.total.total_ops) /
+      (static_cast<double>(params.duration_ns) / 1'000'000.0);
+  result.total.events = engine.events_processed();
+  return result;
+}
+
+}  // namespace concord

@@ -1,0 +1,116 @@
+// Simulated will-it-scale workload drivers for the paper's Figure 2.
+//
+// Each driver spins up `threads` vthreads pinned to vCPUs 0..threads-1
+// (sockets fill sequentially, as will-it-scale pins) and runs the workload
+// for `duration_ns` of virtual time, returning aggregate throughput. The
+// flavour enums match the curves in the paper's plots.
+
+#ifndef SRC_SIM_WORKLOADS_H_
+#define SRC_SIM_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "src/bpf/program.h"
+#include "src/sim/engine.h"
+
+namespace concord {
+
+struct SimRunResult {
+  std::uint64_t total_ops = 0;
+  double ops_per_msec = 0.0;
+  std::uint64_t events = 0;
+};
+
+// --- Figure 2(b): lock2 — short writer critical sections on one lock --------
+
+enum class Lock2Flavor {
+  kStockTicket,     // "Stock": ticket spinlock
+  kMcs,             // extra curve: plain MCS (FIFO queue lock)
+  kCna,             // extra curve: compact NUMA-aware lock
+  kShflLock,        // "ShflLock": NUMA policy compiled in
+  kConcordShflLock, // "Concord-ShflLock": NUMA policy via attached BPF
+};
+
+struct Lock2Params {
+  std::uint32_t threads = 1;
+  std::uint64_t duration_ns = 3'000'000;  // 3ms of virtual time
+  std::uint64_t cs_ns = 200;              // critical-section body
+  std::uint64_t think_ns = 150;           // out-of-CS work
+  // Shared cache lines mutated inside the critical section. These are the
+  // *protected data*: with NUMA-grouped handoffs they stay socket-local,
+  // which is where hierarchical/shuffling locks actually win.
+  std::uint32_t data_words = 2;
+  // Used by kConcordShflLock: the verified NUMA cmp_node program.
+  const Program* cmp_program = nullptr;
+};
+
+SimRunResult SimLock2(Lock2Flavor flavor, const Lock2Params& params);
+
+// --- Figure 2(a): page_fault2 — read-mostly mmap_sem traffic -----------------
+
+enum class PageFaultFlavor {
+  kStockNeutral,    // "Stock": centralized readers-writer lock
+  kBravo,           // "BRAVO": reader bias compiled in (adaptive inhibit)
+  kBravoFixedBias,  // ablation: bias always re-armed (no inhibit window)
+  kConcordBravo,    // "Concord-BRAVO": rw_mode decided by attached BPF
+};
+
+struct PageFaultParams {
+  std::uint32_t threads = 1;
+  std::uint64_t duration_ns = 3'000'000;
+  std::uint64_t fault_work_ns = 800;  // allocate+zero a page under read lock
+  std::uint32_t writes_per_1024 = 4;  // munmap-style write-lock fraction
+  std::uint64_t write_work_ns = 1500;
+  const Program* mode_program = nullptr;  // for kConcordBravo
+};
+
+SimRunResult SimPageFault(PageFaultFlavor flavor, const PageFaultParams& params);
+
+// --- Figure 2(c): global-lock hash table — hook overhead worst case ----------
+
+enum class HashFlavor {
+  kShflLock,             // precompiled NUMA ShflLock, no hooks
+  kConcordEmptyHooks,    // hooks attached, no program ("no userspace code")
+  kConcordBpfProfiler,   // hooks attached running BPF tap programs
+};
+
+struct HashParams {
+  std::uint32_t threads = 1;
+  std::uint64_t duration_ns = 3'000'000;
+  std::uint64_t op_ns = 150;  // hash-table operation under the lock
+  const Program* cmp_program = nullptr;  // NUMA policy for the Concord runs
+  const Program* tap_program = nullptr;  // for kConcordBpfProfiler
+};
+
+SimRunResult SimHashTable(HashFlavor flavor, const HashParams& params);
+
+// --- Ablation A6: asymmetric multicore (AMP) ---------------------------------
+// vCPUs below `fast_core_count` run at full speed; the rest execute their
+// critical sections `slow_factor` times slower (big.LITTLE style). The AMP
+// policy boosts fast-core waiters so handoff cycles among fast cores.
+
+enum class AmpFlavor {
+  kFifo,       // no policy: FIFO queue, slow cores gate every rotation
+  kAmpPolicy,  // fast-core preference via cmp_node
+};
+
+struct AmpParams {
+  std::uint32_t threads = 16;
+  std::uint32_t fast_core_count = 8;  // vCPUs [0, fast) are fast
+  std::uint32_t slow_factor = 4;
+  std::uint64_t duration_ns = 3'000'000;
+  std::uint64_t cs_ns = 300;
+  std::uint64_t think_ns = 100;
+};
+
+struct AmpResult {
+  SimRunResult total;
+  std::uint64_t fast_ops = 0;
+  std::uint64_t slow_ops = 0;
+};
+
+AmpResult SimAmp(AmpFlavor flavor, const AmpParams& params);
+
+}  // namespace concord
+
+#endif  // SRC_SIM_WORKLOADS_H_

@@ -1,0 +1,139 @@
+#include "src/sync/cna_lock.h"
+
+#include "src/base/spinwait.h"
+
+namespace concord {
+
+void CnaLock::Lock(CnaQNode& node) {
+  node.next.store(nullptr, std::memory_order_relaxed);
+  node.locked.store(1, std::memory_order_relaxed);
+  node.socket = Self().socket;
+  node.sec_head = nullptr;
+  node.sec_tail = nullptr;
+  node.local_handoffs = 0;
+
+  CnaQNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+  if (pred == nullptr) {
+    return;
+  }
+  pred->next.store(&node, std::memory_order_release);
+  SpinWait spin;
+  while (node.locked.load(std::memory_order_acquire) != 0) {
+    spin.Once();
+  }
+}
+
+bool CnaLock::TryLock(CnaQNode& node) {
+  node.next.store(nullptr, std::memory_order_relaxed);
+  node.locked.store(0, std::memory_order_relaxed);
+  node.socket = Self().socket;
+  node.sec_head = nullptr;
+  node.sec_tail = nullptr;
+  node.local_handoffs = 0;
+  CnaQNode* expected = nullptr;
+  return tail_.compare_exchange_strong(expected, &node, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed);
+}
+
+void CnaLock::Unlock(CnaQNode& node) {
+  // Grants the lock to `target`, handing over the secondary queue and the
+  // local-handoff count.
+  auto grant = [this](CnaQNode& from, CnaQNode* target, std::uint32_t handoffs) {
+    if (target != nullptr) {
+      target->sec_head = from.sec_head;
+      target->sec_tail = from.sec_tail;
+      target->local_handoffs = handoffs;
+      target->locked.store(0, std::memory_order_release);
+    }
+  };
+
+  CnaQNode* successor = node.next.load(std::memory_order_acquire);
+  if (successor == nullptr) {
+    // Maybe we are the last queued node; splice the secondary first so
+    // remote waiters are not stranded.
+    if (node.sec_head != nullptr) {
+      CnaQNode* expected = &node;
+      // Try to replace ourselves with the secondary chain as the new queue.
+      if (tail_.compare_exchange_strong(expected, node.sec_tail,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        splices_.fetch_add(1, std::memory_order_relaxed);
+        CnaQNode* head = node.sec_head;
+        head->sec_head = nullptr;
+        head->sec_tail = nullptr;
+        head->local_handoffs = 0;
+        head->locked.store(0, std::memory_order_release);
+        return;
+      }
+      // A new waiter appeared behind us; wait for the link, then fall
+      // through to the normal path.
+      SpinWait spin;
+      while ((successor = node.next.load(std::memory_order_acquire)) == nullptr) {
+        spin.Once();
+      }
+    } else {
+      CnaQNode* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;  // queue empty, no secondary
+      }
+      SpinWait spin;
+      while ((successor = node.next.load(std::memory_order_acquire)) == nullptr) {
+        spin.Once();
+      }
+    }
+  }
+
+  // Fairness: past the local-handoff limit, drain the secondary queue first.
+  if (node.local_handoffs >= kLocalHandoffLimit && node.sec_head != nullptr) {
+    splices_.fetch_add(1, std::memory_order_relaxed);
+    // Splice secondary in front of the main-queue successor.
+    node.sec_tail->next.store(successor, std::memory_order_relaxed);
+    CnaQNode* head = node.sec_head;
+    head->sec_head = nullptr;
+    head->sec_tail = nullptr;
+    head->local_handoffs = 0;
+    head->locked.store(0, std::memory_order_release);
+    return;
+  }
+
+  // Search (bounded) for a successor on our socket, detaching skipped remote
+  // waiters to the secondary queue.
+  CnaQNode* scan = successor;
+  CnaQNode* skipped_head = nullptr;
+  CnaQNode* skipped_tail = nullptr;
+  std::uint32_t scanned = 0;
+  while (scan != nullptr && scan->socket != node.socket && scanned < kMaxScan) {
+    CnaQNode* next = scan->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      break;  // cannot detach the tail node safely
+    }
+    if (skipped_head == nullptr) {
+      skipped_head = scan;
+    }
+    skipped_tail = scan;
+    scan = next;
+    ++scanned;
+  }
+
+  if (scan == nullptr || scan->socket != node.socket || skipped_head == nullptr) {
+    // No (reachable) local successor: plain FIFO handoff.
+    grant(node, successor, 0);
+    return;
+  }
+
+  // Detach [skipped_head, skipped_tail] onto the secondary queue and grant
+  // to the local `scan`.
+  skipped_tail->next.store(nullptr, std::memory_order_relaxed);
+  if (node.sec_head == nullptr) {
+    node.sec_head = skipped_head;
+  } else {
+    node.sec_tail->next.store(skipped_head, std::memory_order_relaxed);
+  }
+  node.sec_tail = skipped_tail;
+  secondary_moves_.fetch_add(scanned, std::memory_order_relaxed);
+  grant(node, scan, node.local_handoffs + 1);
+}
+
+}  // namespace concord

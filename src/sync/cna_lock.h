@@ -1,0 +1,79 @@
+// CNA — Compact NUMA-Aware lock (Dice & Kogan, EuroSys '19).
+//
+// An MCS variant with the memory footprint of one queue: at unlock time the
+// holder searches the main queue for a waiter on its own socket, detaching
+// skipped remote-socket waiters onto a secondary queue that travels with the
+// lock. Once a fairness threshold of consecutive local handoffs is reached
+// (or no local waiter exists), the secondary queue is spliced back so remote
+// sockets make progress.
+//
+// Included as the third point in the NUMA-lock design space the paper cites
+// (hierarchical/cohort vs CNA vs ShflLock): benches A1 compare all three
+// under the same workloads.
+
+#ifndef SRC_SYNC_CNA_LOCK_H_
+#define SRC_SYNC_CNA_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/cacheline.h"
+#include "src/topology/thread_context.h"
+
+namespace concord {
+
+struct CONCORD_CACHE_ALIGNED CnaQNode {
+  std::atomic<CnaQNode*> next{nullptr};
+  std::atomic<std::uint32_t> locked{1};
+  std::uint32_t socket = 0;
+  // Secondary queue (remote waiters) carried by the current holder's node.
+  CnaQNode* sec_head = nullptr;
+  CnaQNode* sec_tail = nullptr;
+  // Consecutive local handoffs so far, inherited across handoffs.
+  std::uint32_t local_handoffs = 0;
+};
+
+class CONCORD_CACHE_ALIGNED CnaLock {
+ public:
+  // After this many consecutive same-socket handoffs the secondary queue is
+  // drained (fairness bound).
+  static constexpr std::uint32_t kLocalHandoffLimit = 256;
+  // Bounded search for a local successor per unlock.
+  static constexpr std::uint32_t kMaxScan = 64;
+
+  CnaLock() = default;
+  CnaLock(const CnaLock&) = delete;
+  CnaLock& operator=(const CnaLock&) = delete;
+
+  void Lock(CnaQNode& node);
+  void Unlock(CnaQNode& node);
+  bool TryLock(CnaQNode& node);
+
+  bool IsLocked() const { return tail_.load(std::memory_order_relaxed) != nullptr; }
+
+  std::uint64_t secondary_moves() const {
+    return secondary_moves_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t splices() const { return splices_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<CnaQNode*> tail_{nullptr};
+  std::atomic<std::uint64_t> secondary_moves_{0};
+  std::atomic<std::uint64_t> splices_{0};
+};
+
+class CnaGuard {
+ public:
+  explicit CnaGuard(CnaLock& lock) : lock_(lock) { lock_.Lock(node_); }
+  ~CnaGuard() { lock_.Unlock(node_); }
+  CnaGuard(const CnaGuard&) = delete;
+  CnaGuard& operator=(const CnaGuard&) = delete;
+
+ private:
+  CnaLock& lock_;
+  CnaQNode node_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_CNA_LOCK_H_

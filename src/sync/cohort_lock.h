@@ -1,0 +1,99 @@
+// Cohort lock (Dice, Marathe, Shavit, PPoPP '12) — C-TKT-TKT flavour.
+//
+// The classic hierarchical NUMA lock: a global ticket lock arbitrates
+// between sockets; a per-socket ticket lock arbitrates within one. A holder
+// releasing the lock passes global ownership to a same-socket waiter (a
+// "cohort" handoff) if one exists and the handoff budget is not exhausted,
+// so consecutive critical sections run on one socket and the protected data
+// stays in that socket's caches. The memory-footprint downside (per-socket
+// lock state) is exactly what CNA was built to remove.
+
+#ifndef SRC_SYNC_COHORT_LOCK_H_
+#define SRC_SYNC_COHORT_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/base/cacheline.h"
+#include "src/sync/ticket_lock.h"
+#include "src/topology/thread_context.h"
+
+namespace concord {
+
+class CohortLock {
+ public:
+  // Max consecutive same-socket handoffs before the global lock is released
+  // (starvation bound for other sockets).
+  static constexpr std::uint32_t kCohortBudget = 64;
+
+  CohortLock()
+      : num_sockets_(MachineTopology::Global().num_sockets()),
+        sockets_(std::make_unique<SocketState[]>(num_sockets_)) {}
+  CohortLock(const CohortLock&) = delete;
+  CohortLock& operator=(const CohortLock&) = delete;
+
+  void Lock() {
+    SocketState& local = sockets_[Self().socket % num_sockets_];
+    local.lock.Lock();
+    // If the previous local holder passed us global ownership, we are done.
+    if (local.owns_global) {
+      return;
+    }
+    global_.Lock();
+    local.owns_global = true;
+    local.handoffs = 0;
+  }
+
+  void Unlock() {
+    SocketState& local = sockets_[Self().socket % num_sockets_];
+    // Pass within the cohort if someone is waiting locally and budget remains.
+    if (local.handoffs < kCohortBudget && local.lock.HasWaiters()) {
+      ++local.handoffs;
+      local.lock.Unlock();  // next local waiter inherits owns_global == true
+      return;
+    }
+    local.owns_global = false;
+    global_.Unlock();
+    local.lock.Unlock();
+  }
+
+  bool TryLock() {
+    SocketState& local = sockets_[Self().socket % num_sockets_];
+    if (!local.lock.TryLock()) {
+      return false;
+    }
+    if (local.owns_global) {
+      return true;
+    }
+    if (global_.TryLock()) {
+      local.owns_global = true;
+      local.handoffs = 0;
+      return true;
+    }
+    local.lock.Unlock();
+    return false;
+  }
+
+ private:
+  // Ticket lock extended with a waiter-presence probe.
+  class ProbeTicketLock : public TicketLock {
+   public:
+    bool HasWaiters() const { return WaitersApprox() > 0; }
+  };
+
+  struct CONCORD_CACHE_ALIGNED SocketState {
+    ProbeTicketLock lock;
+    // Both fields are written only while `lock` is held.
+    bool owns_global = false;
+    std::uint32_t handoffs = 0;
+  };
+
+  const std::uint32_t num_sockets_;
+  std::unique_ptr<SocketState[]> sockets_;
+  CONCORD_CACHE_ALIGNED TicketLock global_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_COHORT_LOCK_H_

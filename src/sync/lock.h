@@ -1,0 +1,68 @@
+// Common lock interfaces and RAII guards.
+//
+// Locks in this library are concrete types (no virtual dispatch on the
+// acquire path); the shared vocabulary is a pair of duck-typed concepts plus
+// guard templates. Anything satisfying Lockable works with the kernel-sim
+// subsystems and the benchmark drivers.
+
+#ifndef SRC_SYNC_LOCK_H_
+#define SRC_SYNC_LOCK_H_
+
+#include <concepts>
+
+namespace concord {
+
+template <typename T>
+concept Lockable = requires(T lock) {
+  { lock.Lock() } -> std::same_as<void>;
+  { lock.Unlock() } -> std::same_as<void>;
+  { lock.TryLock() } -> std::same_as<bool>;
+};
+
+template <typename T>
+concept SharedLockable = requires(T lock) {
+  { lock.ReadLock() } -> std::same_as<void>;
+  { lock.ReadUnlock() } -> std::same_as<void>;
+  { lock.WriteLock() } -> std::same_as<void>;
+  { lock.WriteUnlock() } -> std::same_as<void>;
+};
+
+template <Lockable L>
+class LockGuard {
+ public:
+  explicit LockGuard(L& lock) : lock_(lock) { lock_.Lock(); }
+  ~LockGuard() { lock_.Unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  L& lock_;
+};
+
+template <SharedLockable L>
+class ReadGuard {
+ public:
+  explicit ReadGuard(L& lock) : lock_(lock) { lock_.ReadLock(); }
+  ~ReadGuard() { lock_.ReadUnlock(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  L& lock_;
+};
+
+template <SharedLockable L>
+class WriteGuard {
+ public:
+  explicit WriteGuard(L& lock) : lock_(lock) { lock_.WriteLock(); }
+  ~WriteGuard() { lock_.WriteUnlock(); }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+ private:
+  L& lock_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_LOCK_H_

@@ -1,0 +1,43 @@
+#include "src/sync/mcs_lock.h"
+
+namespace concord {
+namespace {
+
+// Per-thread node stack for the implicit-node interface. Entry i is in use
+// while the thread holds (or waits on) its i-th nested MCS lock.
+struct NodeStack {
+  McsQNode nodes[McsLock::kMaxNesting];
+  McsQNode* held[McsLock::kMaxNesting];
+  int depth = 0;
+};
+
+thread_local NodeStack tls_nodes;
+
+}  // namespace
+
+void McsLock::Lock() {
+  CONCORD_CHECK(tls_nodes.depth < kMaxNesting);
+  McsQNode& node = tls_nodes.nodes[tls_nodes.depth];
+  tls_nodes.held[tls_nodes.depth] = &node;
+  ++tls_nodes.depth;
+  Lock(node);
+}
+
+bool McsLock::TryLock() {
+  CONCORD_CHECK(tls_nodes.depth < kMaxNesting);
+  McsQNode& node = tls_nodes.nodes[tls_nodes.depth];
+  if (!TryLock(node)) {
+    return false;
+  }
+  tls_nodes.held[tls_nodes.depth] = &node;
+  ++tls_nodes.depth;
+  return true;
+}
+
+void McsLock::Unlock() {
+  CONCORD_CHECK(tls_nodes.depth > 0);
+  --tls_nodes.depth;
+  Unlock(*tls_nodes.held[tls_nodes.depth]);
+}
+
+}  // namespace concord

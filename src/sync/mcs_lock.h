@@ -1,0 +1,101 @@
+// MCS queue spinlock.
+//
+// The canonical scalable lock (Mellor-Crummey & Scott): each waiter spins on
+// its own queue node, so a handoff touches exactly one remote cache line.
+// FIFO order — which is precisely the property the paper's "lock inheritance"
+// use case calls pathological for nested acquisitions, and what ShflLock's
+// shuffler relaxes.
+
+#ifndef SRC_SYNC_MCS_LOCK_H_
+#define SRC_SYNC_MCS_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/cacheline.h"
+#include "src/base/check.h"
+#include "src/base/spinwait.h"
+
+namespace concord {
+
+struct CONCORD_CACHE_ALIGNED McsQNode {
+  std::atomic<McsQNode*> next{nullptr};
+  std::atomic<std::uint32_t> locked{0};
+};
+
+class CONCORD_CACHE_ALIGNED McsLock {
+ public:
+  McsLock() = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void Lock(McsQNode& node) {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    node.locked.store(1, std::memory_order_relaxed);
+    McsQNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (pred == nullptr) {
+      return;  // uncontended
+    }
+    pred->next.store(&node, std::memory_order_release);
+    SpinWait spin;
+    while (node.locked.load(std::memory_order_acquire) != 0) {
+      spin.Once();
+    }
+  }
+
+  bool TryLock(McsQNode& node) {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    node.locked.store(0, std::memory_order_relaxed);
+    McsQNode* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, &node,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  void Unlock(McsQNode& node) {
+    McsQNode* successor = node.next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+      McsQNode* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;  // no one waiting
+      }
+      // A successor is mid-enqueue; wait for its link to appear.
+      SpinWait spin;
+      while ((successor = node.next.load(std::memory_order_acquire)) == nullptr) {
+        spin.Once();
+      }
+    }
+    successor->locked.store(0, std::memory_order_release);
+  }
+
+  // Convenience interface with implicit per-thread nodes; supports nested
+  // acquisitions of *different* MCS locks up to kMaxNesting deep.
+  static constexpr int kMaxNesting = 16;
+  void Lock();
+  void Unlock();
+  bool TryLock();
+
+  bool IsLocked() const { return tail_.load(std::memory_order_relaxed) != nullptr; }
+
+ private:
+  std::atomic<McsQNode*> tail_{nullptr};
+};
+
+// RAII guard using an explicit stack node (zero TLS lookups).
+class McsGuard {
+ public:
+  explicit McsGuard(McsLock& lock) : lock_(lock) { lock_.Lock(node_); }
+  ~McsGuard() { lock_.Unlock(node_); }
+  McsGuard(const McsGuard&) = delete;
+  McsGuard& operator=(const McsGuard&) = delete;
+
+ private:
+  McsLock& lock_;
+  McsQNode node_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_MCS_LOCK_H_

@@ -1,0 +1,41 @@
+#include "src/sync/parking_lot.h"
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <climits>
+
+namespace concord {
+namespace {
+
+long Futex(std::atomic<std::uint32_t>* word, int op, std::uint32_t value,
+           const timespec* timeout) {
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), op, value,
+                 timeout, nullptr, 0);
+}
+
+}  // namespace
+
+void ParkingLot::Park(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                      std::uint64_t timeout_ns) {
+  if (timeout_ns == 0) {
+    Futex(word, FUTEX_WAIT_PRIVATE, expected, nullptr);
+    return;
+  }
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000ull);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000ull);
+  Futex(word, FUTEX_WAIT_PRIVATE, expected, &ts);
+}
+
+void ParkingLot::UnparkOne(std::atomic<std::uint32_t>* word) {
+  Futex(word, FUTEX_WAKE_PRIVATE, 1, nullptr);
+}
+
+void ParkingLot::UnparkAll(std::atomic<std::uint32_t>* word) {
+  Futex(word, FUTEX_WAKE_PRIVATE, INT_MAX, nullptr);
+}
+
+}  // namespace concord

@@ -1,0 +1,97 @@
+// Phase-fair readers-writer lock (Brandenburg & Anderson's PF-T) — the
+// primitive behind the paper's "realtime scheduling" use case (§3.1.1):
+// reader and writer *phases* alternate, so no class of task can starve the
+// other and every waiter's delay is bounded by one phase of each kind.
+// That bounded-overtaking property is what gives tail-latency guarantees.
+//
+// PF-T layout: two reader counters (in/out tickets in the high bits) and two
+// writer tickets. A writer publishes its presence and phase id in the low
+// bits of `rin`; arriving readers who see a writer present wait for the
+// *phase id* to change — not for zero writers — which is exactly what makes
+// consecutive writers unable to lock readers out.
+
+#ifndef SRC_SYNC_PHASE_FAIR_H_
+#define SRC_SYNC_PHASE_FAIR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/cacheline.h"
+#include "src/base/spinwait.h"
+
+namespace concord {
+
+class CONCORD_CACHE_ALIGNED PhaseFairRwLock {
+ public:
+  PhaseFairRwLock() = default;
+  PhaseFairRwLock(const PhaseFairRwLock&) = delete;
+  PhaseFairRwLock& operator=(const PhaseFairRwLock&) = delete;
+
+  void ReadLock() {
+    // Publish ourselves and snapshot the writer-presence bits.
+    const std::uint32_t w =
+        rin_.fetch_add(kReaderInc, std::memory_order_acquire) & kWriterBits;
+    if (w == 0) {
+      return;  // no writer present
+    }
+    // Wait for the writer *phase* to change (either the writer left, or a
+    // different-phase writer replaced it — in which case we are part of the
+    // reader phase that separates them).
+    SpinWait spin;
+    while ((rin_.load(std::memory_order_acquire) & kWriterBits) == w) {
+      spin.Once();
+    }
+  }
+
+  void ReadUnlock() { rout_.fetch_add(kReaderInc, std::memory_order_release); }
+
+  void WriteLock() {
+    // Writer-writer ordering: take a ticket.
+    const std::uint32_t ticket = win_.fetch_add(1, std::memory_order_acquire);
+    SpinWait spin;
+    while (wout_.load(std::memory_order_acquire) != ticket) {
+      spin.Once();
+    }
+    // Publish presence + phase id, blocking out later readers, then wait for
+    // the readers that beat us in.
+    const std::uint32_t w = kWriterPresent | ((ticket & 1u) << 1);
+    const std::uint32_t readers_in =
+        rin_.fetch_add(w, std::memory_order_acq_rel) & ~kWriterBits;
+    spin.Reset();
+    while ((rout_.load(std::memory_order_acquire) & ~kWriterBits) != readers_in) {
+      spin.Once();
+    }
+  }
+
+  void WriteUnlock() {
+    // Clear presence/phase bits, admitting the waiting reader phase...
+    rin_.fetch_and(~kWriterBits, std::memory_order_release);
+    // ...and pass the writer ticket on.
+    wout_.fetch_add(1, std::memory_order_release);
+  }
+
+  // Introspection for tests.
+  bool writer_present() const {
+    return (rin_.load(std::memory_order_relaxed) & kWriterBits) != 0;
+  }
+  std::uint32_t readers_arrived() const {
+    return rin_.load(std::memory_order_relaxed) >> 8;
+  }
+  std::uint32_t writers_arrived() const {
+    return win_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint32_t kReaderInc = 0x100;
+  static constexpr std::uint32_t kWriterBits = 0x3;  // present | phase id
+  static constexpr std::uint32_t kWriterPresent = 0x1;
+
+  std::atomic<std::uint32_t> rin_{0};
+  std::atomic<std::uint32_t> rout_{0};
+  std::atomic<std::uint32_t> win_{0};
+  std::atomic<std::uint32_t> wout_{0};
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_PHASE_FAIR_H_

@@ -1,0 +1,105 @@
+// Lock policy hook tables — the mechanism behind Table 1 of the paper.
+//
+// A lock does not know *why* one waiter should run before another; a policy
+// does. Locks in this library consult an RCU-published hook table at their
+// decision points. The Concord layer (src/concord) builds these tables from
+// either native C++ functions ("precompiled" in the paper's comparison) or
+// verified BPF programs ("Concord-..."), and hot-swaps them while the lock is
+// under contention.
+//
+// Hook semantics follow Table 1:
+//   cmp_node        - should `curr` be moved into the shuffler's group?
+//                     Pure decision: cannot mutate lock state. Hazard:
+//                     fairness.
+//   skip_shuffle    - skip this shuffling round entirely. Hazard: fairness.
+//   schedule_waiter - should this waiter park now (vs. keep spinning)?
+//                     Hazard: performance (wake-up latency).
+//   lock_acquire / lock_contended / lock_acquired / lock_release
+//                   - profiling taps. Hazard: lengthen the critical section.
+
+#ifndef SRC_SYNC_POLICY_HOOKS_H_
+#define SRC_SYNC_POLICY_HOOKS_H_
+
+#include <cstdint>
+
+namespace concord {
+
+// The waiter snapshot handed to policy decisions. Field layout is load-
+// bearing: src/concord/hooks.cc declares the matching BPF context
+// descriptors against these exact offsets.
+struct ShflWaiterView {
+  std::uint64_t wait_ns = 0;       // off 0:  time spent waiting so far
+  std::uint64_t cs_ewma_ns = 0;    // off 8:  waiter's critical-section EWMA
+  std::uint32_t socket = 0;        // off 16: virtual socket
+  std::uint32_t vcpu = 0;          // off 20: virtual CPU
+  std::int32_t priority = 0;       // off 24: task priority annotation
+  std::uint32_t task_class = 0;    // off 28: TaskClass
+  std::uint32_t locks_held = 0;    // off 32: current nesting depth
+  std::uint32_t task_id = 0;       // off 36
+};
+static_assert(sizeof(ShflWaiterView) == 40);
+
+struct ShflHooks {
+  // Opaque cookie passed to every hook (Concord stores its policy object
+  // here; native policies store whatever they like).
+  void* user_data = nullptr;
+
+  // Shuffling decisions. Null => lock default (no shuffling).
+  bool (*cmp_node)(void* user_data, const ShflWaiterView& shuffler,
+                   const ShflWaiterView& curr) = nullptr;
+  bool (*skip_shuffle)(void* user_data, const ShflWaiterView& shuffler) = nullptr;
+
+  // Parking decision for blocking locks. Null => default spin-then-park.
+  // `spin_iterations` is how many wait steps the waiter has taken.
+  bool (*schedule_waiter)(void* user_data, const ShflWaiterView& waiter,
+                          std::uint32_t spin_iterations) = nullptr;
+
+  // Profiling taps. `lock_id` is the lock's registry id (0 if unregistered).
+  void (*lock_acquire)(void* user_data, std::uint64_t lock_id) = nullptr;
+  void (*lock_contended)(void* user_data, std::uint64_t lock_id) = nullptr;
+  void (*lock_acquired)(void* user_data, std::uint64_t lock_id) = nullptr;
+  void (*lock_release)(void* user_data, std::uint64_t lock_id) = nullptr;
+
+  // Safety bound on shuffling rounds per lock handover (§4.2: "statically
+  // bounding the number of shuffling rounds minimizes starvation"). The lock
+  // clamps this to ShflLock::kShuffleRoundCap.
+  std::uint32_t max_shuffle_rounds = 64;
+
+  // Maintain per-acquisition hold-time accounting (timestamps, CS EWMA).
+  // Costs two clock reads per acquisition; needed by profiling and by
+  // policies reading cs_ewma_ns (e.g. scheduler-cooperative locking).
+  bool track_hold_time = false;
+
+  // Starvation bound per *waiter*: once a queued waiter has been overtaken
+  // this many times by policy moves, no further waiter may be reordered past
+  // it (the shuffle-round budget bounds the shuffler; this bounds the
+  // victim). Clamped to ShflLock::kBypassCap.
+  std::uint32_t max_waiter_bypasses = 128;
+};
+
+// Readers-writer lock mode, consulted by BRAVO-style locks on the reader
+// path. Policies switch a lock between flavours on the fly (§3.1.1 "lock
+// switching").
+enum class RwMode : std::uint32_t {
+  kNeutral = 0,     // plain underlying readers-writer lock
+  kReaderBias = 1,  // BRAVO fast path enabled
+  kWriterOnly = 2,  // readers take the write path (write-heavy workloads)
+};
+
+struct RwHooks {
+  void* user_data = nullptr;
+
+  // Which mode should the lock operate in right now? Null => kNeutral unless
+  // the lock was constructed with a fixed mode.
+  std::uint32_t (*rw_mode)(void* user_data) = nullptr;
+
+  // Profiling taps (same semantics as ShflHooks).
+  void (*lock_acquire)(void* user_data, std::uint64_t lock_id) = nullptr;
+  void (*lock_contended)(void* user_data, std::uint64_t lock_id) = nullptr;
+  void (*lock_acquired)(void* user_data, std::uint64_t lock_id) = nullptr;
+  void (*lock_release)(void* user_data, std::uint64_t lock_id) = nullptr;
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_POLICY_HOOKS_H_

@@ -1,0 +1,144 @@
+// Sequence lock — the kernel's seqlock, one of the "other synchronization
+// mechanisms" §6 proposes extending Concord to.
+//
+// Writers serialize on an internal lock and bump a sequence counter around
+// the update (odd = write in progress). Readers take no lock at all: they
+// snapshot the counter, read, and retry if the counter moved or was odd.
+// Reads are wait-free in the absence of writers and never block writers —
+// the opposite bias of a readers-writer lock.
+
+#ifndef SRC_SYNC_SEQLOCK_H_
+#define SRC_SYNC_SEQLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "src/base/cacheline.h"
+#include "src/base/check.h"
+#include "src/sync/tas_lock.h"
+
+namespace concord {
+
+class CONCORD_CACHE_ALIGNED SeqLock {
+ public:
+  SeqLock() = default;
+  SeqLock(const SeqLock&) = delete;
+  SeqLock& operator=(const SeqLock&) = delete;
+
+  // --- reader side -----------------------------------------------------------
+
+  // Begins a read section; returns the snapshot to pass to ReadRetry. Spins
+  // past in-progress writes so the caller always reads from a stable state.
+  std::uint32_t ReadBegin() const {
+    SpinWait spin;
+    while (true) {
+      const std::uint32_t seq = sequence_.load(std::memory_order_acquire);
+      if ((seq & 1u) == 0) {
+        return seq;
+      }
+      spin.Once();
+    }
+  }
+
+  // True if the read raced a writer and must be retried.
+  bool ReadRetry(std::uint32_t snapshot) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return sequence_.load(std::memory_order_relaxed) != snapshot;
+  }
+
+  // --- writer side -----------------------------------------------------------
+
+  void WriteLock() {
+    writer_lock_.Lock();
+    const std::uint32_t seq = sequence_.load(std::memory_order_relaxed);
+    sequence_.store(seq + 1, std::memory_order_relaxed);  // odd: in progress
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  void WriteUnlock() {
+    const std::uint32_t seq = sequence_.load(std::memory_order_relaxed);
+    CONCORD_DCHECK((seq & 1u) == 1u);
+    sequence_.store(seq + 1, std::memory_order_release);  // even: stable
+    writer_lock_.Unlock();
+  }
+
+  bool TryWriteLock() {
+    if (!writer_lock_.TryLock()) {
+      return false;
+    }
+    const std::uint32_t seq = sequence_.load(std::memory_order_relaxed);
+    sequence_.store(seq + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    return true;
+  }
+
+  std::uint32_t sequence() const {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> sequence_{0};
+  TtasLock writer_lock_;
+};
+
+// Convenience wrapper: a value published through a seqlock. `T` must be
+// trivially copyable; readers may observe torn snapshots, which the retry
+// loop discards. The storage is copied with relaxed byte-wise atomics so the
+// racing read is defined behaviour (and ThreadSanitizer-clean) — the seqlock
+// protocol, not the memory operations, provides the consistency.
+template <typename T>
+class SeqCount {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SeqCount() { StoreBytes(T{}); }
+  explicit SeqCount(const T& initial) { StoreBytes(initial); }
+
+  T Read() const {
+    T out;
+    std::uint32_t seq;
+    do {
+      seq = lock_.ReadBegin();
+      LoadBytes(&out);
+    } while (lock_.ReadRetry(seq));
+    return out;
+  }
+
+  void Write(const T& next) {
+    lock_.WriteLock();
+    StoreBytes(next);
+    lock_.WriteUnlock();
+  }
+
+  template <typename Fn>
+  void Update(Fn mutate) {
+    lock_.WriteLock();
+    T current;
+    LoadBytes(&current);
+    mutate(current);
+    StoreBytes(current);
+    lock_.WriteUnlock();
+  }
+
+ private:
+  void StoreBytes(const T& value) {
+    const auto* src = reinterpret_cast<const unsigned char*>(&value);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      __atomic_store_n(&storage_[i], src[i], __ATOMIC_RELAXED);
+    }
+  }
+  void LoadBytes(T* out) const {
+    auto* dst = reinterpret_cast<unsigned char*>(out);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      dst[i] = __atomic_load_n(&storage_[i], __ATOMIC_RELAXED);
+    }
+  }
+
+  SeqLock lock_;
+  alignas(T) unsigned char storage_[sizeof(T)] = {};
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_SEQLOCK_H_

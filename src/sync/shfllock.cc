@@ -1,0 +1,352 @@
+#include "src/sync/shfllock.h"
+
+#include "src/base/check.h"
+#include "src/base/spinwait.h"
+#include "src/base/time.h"
+#include "src/sync/parking_lot.h"
+
+namespace concord {
+namespace {
+
+// Invokes a profiling hook if installed. Kept out-of-line from the hot path
+// shape: the null check is the only cost when no policy is attached.
+inline void CallTap(void (*tap)(void*, std::uint64_t), void* user_data,
+                    std::uint64_t lock_id) {
+  if (tap != nullptr) {
+    tap(user_data, lock_id);
+  }
+}
+
+}  // namespace
+
+ShflLock::~ShflLock() {
+  CONCORD_CHECK(tail_.load(std::memory_order_relaxed) == nullptr);
+  CONCORD_CHECK(locked_.load(std::memory_order_relaxed) == 0);
+}
+
+ShflWaiterView ShflLock::MakeView(const ShflQNode& node, std::uint64_t now_ns) {
+  ShflWaiterView view;
+  const ThreadContext& ctx = *node.ctx;
+  view.wait_ns = now_ns > node.enqueue_ns ? now_ns - node.enqueue_ns : 0;
+  view.cs_ewma_ns = ctx.cs_length_ewma_ns.load(std::memory_order_relaxed);
+  view.socket = ctx.socket;
+  view.vcpu = ctx.vcpu;
+  view.priority = ctx.priority.load(std::memory_order_relaxed);
+  view.task_class = ctx.task_class.load(std::memory_order_relaxed);
+  view.locks_held = ctx.locks_held.load(std::memory_order_relaxed);
+  view.task_id = ctx.task_id;
+  return view;
+}
+
+void ShflLock::Lock() {
+  ThreadContext& ctx = Self();
+  // Hold-time accounting (timestamps + EWMA) is policy food; it is only
+  // maintained while a hook table is installed so that an unpatched lock
+  // costs no clock reads. (Install any policy or enable profiling to warm
+  // the per-thread CS statistics.)
+  // Raw null probe first: dereferencing needs an RCU guard, checking for
+  // null does not, so an unpatched lock takes no read-side fences at all.
+  const bool hooked = hooks_.Read() != nullptr;
+  bool track_time = false;
+  if (hooked) {
+    RcuReadGuard rcu;
+    const ShflHooks* hooks = hooks_.Read();
+    if (hooks != nullptr) {
+      track_time = hooks->track_hold_time;
+      CallTap(hooks->lock_acquire, hooks->user_data, lock_id_);
+    }
+  }
+
+  // Fast path: steal only while no queue exists (bounded unfairness).
+  if (tail_.load(std::memory_order_relaxed) == nullptr && TryAcquireWord()) {
+    holder_acquire_ns_ = track_time ? MonotonicNowNs() : 0;
+    holder_ctx_ = &ctx;
+    ctx.locks_held.fetch_add(1, std::memory_order_relaxed);
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (hooked) {
+      RcuReadGuard rcu;
+      const ShflHooks* hooks = hooks_.Read();
+      if (hooks != nullptr) {
+        CallTap(hooks->lock_acquired, hooks->user_data, lock_id_);
+      }
+    }
+    return;
+  }
+
+  ShflQNode node;
+  node.ctx = &ctx;
+  node.enqueue_ns = hooked ? MonotonicNowNs() : 0;
+  SlowLock(node);
+
+  holder_acquire_ns_ = track_time ? MonotonicNowNs() : 0;
+  holder_ctx_ = &ctx;
+  ctx.locks_held.fetch_add(1, std::memory_order_relaxed);
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  if (hooked) {
+    RcuReadGuard rcu;
+    const ShflHooks* hooks = hooks_.Read();
+    if (hooks != nullptr) {
+      CallTap(hooks->lock_acquired, hooks->user_data, lock_id_);
+    }
+  }
+}
+
+bool ShflLock::TryLock() {
+  if (tail_.load(std::memory_order_relaxed) != nullptr) {
+    return false;
+  }
+  if (!TryAcquireWord()) {
+    return false;
+  }
+  ThreadContext& ctx = Self();
+  holder_acquire_ns_ = 0;  // TryLock fires no hooks; see class comment
+  holder_ctx_ = &ctx;
+  ctx.locks_held.fetch_add(1, std::memory_order_relaxed);
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShflLock::SlowLock(ShflQNode& node) {
+  if (hooks_.Read() != nullptr) {
+    RcuReadGuard rcu;
+    const ShflHooks* hooks = hooks_.Read();
+    if (hooks != nullptr) {
+      CallTap(hooks->lock_contended, hooks->user_data, lock_id_);
+    }
+  }
+
+  ShflQNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+  if (pred == nullptr) {
+    node.status.store(ShflQNode::kHead, std::memory_order_relaxed);
+  } else {
+    pred->next.store(&node, std::memory_order_release);
+    WaitUntilHead(node);
+  }
+
+  // We are the queue head: contend on the lock word; shuffle while waiting.
+  // In blocking mode the head spins-then-parks on the lock word itself
+  // (value 2 = "locked, head parked", so Unlock knows to issue a wake).
+  SpinWait spin;
+  std::uint32_t rounds_done = 0;
+  while (!TryAcquireWord()) {
+    bool park_now = false;
+    if (hooks_.Read() != nullptr ||
+        blocking_.load(std::memory_order_relaxed) != 0) {
+      RcuReadGuard rcu;
+      const ShflHooks* hooks = hooks_.Read();
+      if (hooks != nullptr && hooks->cmp_node != nullptr) {
+        const std::uint32_t bound = hooks->max_shuffle_rounds < kShuffleRoundCap
+                                        ? hooks->max_shuffle_rounds
+                                        : kShuffleRoundCap;
+        // Pace the scans (they are pure overhead when the queue is static)
+        // and charge the starvation budget only for rounds that actually
+        // reordered waiters — scans that move nobody cannot starve anybody.
+        if (rounds_done < bound && (spin.iterations() & 31) == 0) {
+          if (ShuffleRound(node, *hooks) > 0) {
+            ++rounds_done;
+          }
+        }
+      }
+      if (blocking_.load(std::memory_order_relaxed) != 0) {
+        if (hooks != nullptr && hooks->schedule_waiter != nullptr) {
+          park_now = hooks->schedule_waiter(hooks->user_data,
+                                            MakeView(node, MonotonicNowNs()),
+                                            spin.iterations());
+        } else {
+          park_now = spin.iterations() > 128;
+        }
+      }
+    }
+    if (park_now) {
+      std::uint32_t expected = 1;
+      if (locked_.compare_exchange_strong(expected, 2, std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        parks_.fetch_add(1, std::memory_order_relaxed);
+        ParkingLot::Park(&locked_, 2);
+        spin.Reset();
+      }
+      continue;
+    }
+    spin.Once();
+  }
+
+  // Acquired. Hand the head role to our successor (if any) and leave.
+  ShflQNode* successor = node.next.load(std::memory_order_acquire);
+  if (successor == nullptr) {
+    ShflQNode* expected = &node;
+    if (tail_.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
+    SpinWait link_wait;
+    while ((successor = node.next.load(std::memory_order_acquire)) == nullptr) {
+      link_wait.Once();
+    }
+  }
+  PromoteToHead(*successor);
+}
+
+void ShflLock::WaitUntilHead(ShflQNode& node) {
+  SpinWait spin;
+  while (true) {
+    const std::uint32_t status = node.status.load(std::memory_order_acquire);
+    if (status == ShflQNode::kHead) {
+      return;
+    }
+    const bool blocking = blocking_.load(std::memory_order_relaxed) != 0;
+    bool park_now = false;
+    if (blocking) {
+      RcuReadGuard rcu;  // schedule_waiter hook may be installed
+      const ShflHooks* hooks = hooks_.Read();
+      if (hooks != nullptr && hooks->schedule_waiter != nullptr) {
+        park_now = hooks->schedule_waiter(hooks->user_data,
+                                          MakeView(node, MonotonicNowNs()),
+                                          spin.iterations());
+      } else {
+        // Default spin-then-park: park once the adaptive spinner has
+        // escalated past its pure-spin phase.
+        park_now = spin.iterations() > 128;
+      }
+    }
+    if (park_now) {
+      std::uint32_t expected = ShflQNode::kWaiting;
+      if (node.status.compare_exchange_strong(expected, ShflQNode::kParked,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        parks_.fetch_add(1, std::memory_order_relaxed);
+        ParkingLot::Park(&node.status, ShflQNode::kParked);
+      } else if (expected == ShflQNode::kHead) {
+        return;
+      }
+      continue;
+    }
+    spin.Once();
+  }
+}
+
+void ShflLock::PromoteToHead(ShflQNode& node) {
+  const std::uint32_t prev =
+      node.status.exchange(ShflQNode::kHead, std::memory_order_acq_rel);
+  if (prev == ShflQNode::kParked) {
+    ParkingLot::UnparkOne(&node.status);
+  }
+}
+
+std::uint32_t ShflLock::ShuffleRound(ShflQNode& head, const ShflHooks& hooks) {
+  const std::uint64_t now = MonotonicNowNs();
+  const ShflWaiterView head_view = MakeView(head, now);
+  if (hooks.skip_shuffle != nullptr &&
+      hooks.skip_shuffle(hooks.user_data, head_view)) {
+    return 0;
+  }
+  shuffle_rounds_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint32_t bypass_bound =
+      hooks.max_waiter_bypasses < kBypassCap ? hooks.max_waiter_bypasses
+                                             : kBypassCap;
+
+  // Walk the queue moving policy-matching nodes into the group directly
+  // behind the head. Safety rules:
+  //   - never touch a node whose `next` is null (it may be the tail an
+  //     enqueuer is about to link through);
+  //   - bounded scan;
+  //   - per-waiter bypass bound: nothing moves past a waiter that has
+  //     already been overtaken `bypass_bound` times (starvation bound);
+  //   - count-preservation check across the rewritten window.
+  ShflQNode* group_tail = &head;
+  ShflQNode* prev = group_tail;
+  ShflQNode* curr = prev->next.load(std::memory_order_acquire);
+  std::uint32_t scanned = 0;
+  std::uint32_t moved = 0;
+  ShflQNode* skipped[kMaxShuffleScan];
+  std::uint32_t num_skipped = 0;
+
+  while (curr != nullptr && scanned < kMaxShuffleScan) {
+    ShflQNode* next = curr->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      break;  // possible tail; do not disturb
+    }
+    ++scanned;
+    if (hooks.cmp_node(hooks.user_data, head_view, MakeView(*curr, now))) {
+      if (prev == group_tail) {
+        // Already adjacent to the group: just extend it.
+        group_tail = curr;
+        prev = curr;
+        curr = next;
+      } else {
+        // Unlink curr and splice it right behind group_tail: every waiter
+        // currently between the group and curr gets overtaken once.
+        bool frozen = false;
+        for (std::uint32_t i = 0; i < num_skipped; ++i) {
+          if (skipped[i]->bypassed >= bypass_bound) {
+            frozen = true;
+            break;
+          }
+        }
+        if (frozen) {
+          bypass_freezes_.fetch_add(1, std::memory_order_relaxed);
+          break;  // a saturated waiter blocks all further reordering
+        }
+        for (std::uint32_t i = 0; i < num_skipped; ++i) {
+          ++skipped[i]->bypassed;
+        }
+        prev->next.store(next, std::memory_order_relaxed);
+        ShflQNode* after_group = group_tail->next.load(std::memory_order_relaxed);
+        curr->next.store(after_group, std::memory_order_relaxed);
+        group_tail->next.store(curr, std::memory_order_release);
+        group_tail = curr;
+        curr = next;
+        ++moved;
+      }
+    } else {
+      if (num_skipped < kMaxShuffleScan) {
+        skipped[num_skipped++] = curr;
+      }
+      prev = curr;
+      curr = next;
+    }
+  }
+
+  if (moved > 0) {
+    shuffle_moves_.fetch_add(moved, std::memory_order_relaxed);
+    // Queue-integrity runtime check (§4.2): the shuffled window must still
+    // contain exactly the nodes we scanned — re-walk and count.
+    std::uint32_t recount = 0;
+    for (ShflQNode* n = head.next.load(std::memory_order_acquire);
+         n != nullptr && recount <= scanned + 1;
+         n = n->next.load(std::memory_order_acquire)) {
+      ++recount;
+    }
+    CONCORD_CHECK(recount >= scanned);
+  }
+  return moved;
+}
+
+void ShflLock::Unlock() {
+  ThreadContext* holder = holder_ctx_;
+  CONCORD_CHECK(holder != nullptr);
+  if (holder_acquire_ns_ != 0) {
+    const std::uint64_t held_ns = MonotonicNowNs() - holder_acquire_ns_;
+    holder->UpdateCsEwma(held_ns);
+    holder->lock_hold_total_ns.fetch_add(held_ns, std::memory_order_relaxed);
+  }
+  holder->locks_held.fetch_sub(1, std::memory_order_relaxed);
+  holder_ctx_ = nullptr;
+
+  const std::uint32_t prev = locked_.exchange(0, std::memory_order_release);
+  if (prev == 2) {
+    // The queue head parked on the lock word; wake it.
+    ParkingLot::UnparkOne(&locked_);
+  }
+
+  if (hooks_.Read() != nullptr) {
+    RcuReadGuard rcu;
+    const ShflHooks* hooks = hooks_.Read();
+    if (hooks != nullptr) {
+      CallTap(hooks->lock_release, hooks->user_data, lock_id_);
+    }
+  }
+}
+
+}  // namespace concord

@@ -1,0 +1,75 @@
+// Test-and-set and test-and-test-and-set spinlocks.
+//
+// These are the baseline "non-scalable" locks: every contended acquisition
+// bounces the lock's cache line across all waiters. They exist as (a) the
+// stock baseline in benchmarks and (b) the per-socket building block inside
+// cohort locks.
+
+#ifndef SRC_SYNC_TAS_LOCK_H_
+#define SRC_SYNC_TAS_LOCK_H_
+
+#include <atomic>
+
+#include "src/base/cacheline.h"
+#include "src/base/spinwait.h"
+
+namespace concord {
+
+class CONCORD_CACHE_ALIGNED TasLock {
+ public:
+  TasLock() = default;
+  TasLock(const TasLock&) = delete;
+  TasLock& operator=(const TasLock&) = delete;
+
+  void Lock() {
+    SpinWait spin;
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      spin.Once();
+    }
+  }
+
+  bool TryLock() { return flag_.exchange(1, std::memory_order_acquire) == 0; }
+
+  void Unlock() { flag_.store(0, std::memory_order_release); }
+
+  bool IsLocked() const { return flag_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+// TTAS: spins on a plain load and only attempts the exchange when the lock
+// looks free, avoiding the write-storm of pure TAS.
+class CONCORD_CACHE_ALIGNED TtasLock {
+ public:
+  TtasLock() = default;
+  TtasLock(const TtasLock&) = delete;
+  TtasLock& operator=(const TtasLock&) = delete;
+
+  void Lock() {
+    SpinWait spin;
+    while (true) {
+      if (flag_.load(std::memory_order_relaxed) == 0 &&
+          flag_.exchange(1, std::memory_order_acquire) == 0) {
+        return;
+      }
+      spin.Once();
+    }
+  }
+
+  bool TryLock() {
+    return flag_.load(std::memory_order_relaxed) == 0 &&
+           flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void Unlock() { flag_.store(0, std::memory_order_release); }
+
+  bool IsLocked() const { return flag_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_TAS_LOCK_H_

@@ -1,0 +1,9 @@
+#include "src/sync/wait_event.h"
+
+#include "src/base/time.h"
+
+namespace concord {
+
+std::uint64_t WaitEvent::NowNs() { return MonotonicNowNs(); }
+
+}  // namespace concord

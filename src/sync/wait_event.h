@@ -1,0 +1,89 @@
+// Kernel-style wait events (wait queues) — another §6 extension target.
+//
+// The Btrfs pattern the paper describes (§3.1.1(iii)) is a non-blocking lock
+// paired with ad-hoc wait events for the blocking cases; Concord's lock
+// switching exists partly to subsume that pattern. This substrate provides
+// the wait-event half: WaitUntil(pred) parks until a Wake makes the
+// predicate true.
+
+#ifndef SRC_SYNC_WAIT_EVENT_H_
+#define SRC_SYNC_WAIT_EVENT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/cacheline.h"
+#include "src/sync/parking_lot.h"
+
+namespace concord {
+
+class CONCORD_CACHE_ALIGNED WaitEvent {
+ public:
+  WaitEvent() = default;
+  WaitEvent(const WaitEvent&) = delete;
+  WaitEvent& operator=(const WaitEvent&) = delete;
+
+  // Blocks the caller until `pred()` is true. The predicate is re-evaluated
+  // after every wake-up (spurious wake-ups are absorbed). `pred` must become
+  // true only via state changes followed by WakeAll/WakeOne.
+  template <typename Pred>
+  void WaitUntil(Pred pred) {
+    while (true) {
+      const std::uint32_t epoch = epoch_.load(std::memory_order_acquire);
+      if (pred()) {
+        return;
+      }
+      waiters_.fetch_add(1, std::memory_order_relaxed);
+      ParkingLot::Park(&epoch_, epoch);
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Like WaitUntil but gives up after `timeout_ns`; returns pred() at exit.
+  template <typename Pred>
+  bool WaitUntilFor(Pred pred, std::uint64_t timeout_ns) {
+    const std::uint64_t deadline = NowNs() + timeout_ns;
+    while (true) {
+      const std::uint32_t epoch = epoch_.load(std::memory_order_acquire);
+      if (pred()) {
+        return true;
+      }
+      const std::uint64_t now = NowNs();
+      if (now >= deadline) {
+        return pred();
+      }
+      waiters_.fetch_add(1, std::memory_order_relaxed);
+      ParkingLot::Park(&epoch_, epoch, deadline - now);
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Wakes one / all waiters (callers change the watched state first).
+  void WakeOne() {
+    epoch_.fetch_add(1, std::memory_order_release);
+    if (waiters_.load(std::memory_order_relaxed) != 0) {
+      ParkingLot::UnparkOne(&epoch_);
+    }
+  }
+
+  void WakeAll() {
+    epoch_.fetch_add(1, std::memory_order_release);
+    if (waiters_.load(std::memory_order_relaxed) != 0) {
+      ParkingLot::UnparkAll(&epoch_);
+    }
+  }
+
+  std::uint32_t waiters_approx() const {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t NowNs();
+
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::uint32_t> waiters_{0};
+};
+
+}  // namespace concord
+
+#endif  // SRC_SYNC_WAIT_EVENT_H_

@@ -1,0 +1,23 @@
+#include "src/topology/topology.h"
+
+namespace concord {
+
+MachineTopology& MachineTopology::Global() {
+  static MachineTopology topology;
+  return topology;
+}
+
+void MachineTopology::Configure(const TopologyConfig& config) {
+  CONCORD_CHECK(!attached_.load(std::memory_order_relaxed));
+  CONCORD_CHECK(config.num_sockets > 0);
+  CONCORD_CHECK(config.cores_per_socket > 0);
+  config_ = config;
+  next_cpu_.store(0, std::memory_order_relaxed);
+}
+
+void MachineTopology::ResetForTest() {
+  attached_.store(false, std::memory_order_relaxed);
+  next_cpu_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace concord

@@ -1,0 +1,117 @@
+#include "src/base/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace concord {
+namespace {
+
+TEST(Log2HistogramTest, EmptyHistogram) {
+  Log2Histogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(Log2HistogramTest, SingleSampleLandsInCorrectBucket) {
+  Log2Histogram h;
+  h.Record(1000);  // 2^9 < 1000 < 2^10 -> bucket 10
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.BucketCount(10), 1u);
+  EXPECT_EQ(h.Sum(), 1000u);
+  EXPECT_EQ(h.Max(), 1000u);
+}
+
+TEST(Log2HistogramTest, ZeroGoesToBucketZero) {
+  Log2Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+}
+
+TEST(Log2HistogramTest, PowerOfTwoBoundaries) {
+  Log2Histogram h;
+  h.Record(1);    // bucket 1: [1,2)
+  h.Record(2);    // bucket 2: [2,4)
+  h.Record(3);    // bucket 2
+  h.Record(4);    // bucket 3: [4,8)
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+}
+
+TEST(Log2HistogramTest, MeanMatchesArithmetic) {
+  Log2Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(Log2HistogramTest, PercentileBracketsMedian) {
+  Log2Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(16);  // bucket 5: [16,32)
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(1 << 20);
+  }
+  // Median must resolve to bucket 5's lower bound.
+  EXPECT_EQ(h.Percentile(50), 16u);
+  // p99+ reaches the outlier bucket.
+  EXPECT_GE(h.Percentile(99.5), 1u << 19);
+}
+
+TEST(Log2HistogramTest, ResetClearsEverything) {
+  Log2Histogram h;
+  h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST(Log2HistogramTest, MergeCombinesCountsSumAndMax) {
+  Log2Histogram a;
+  Log2Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  b.Record(5);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.TotalCount(), 3u);
+  EXPECT_EQ(a.Sum(), 1015u);
+  EXPECT_EQ(a.Max(), 1000u);
+}
+
+TEST(Log2HistogramTest, ToStringListsNonEmptyBuckets) {
+  Log2Histogram h;
+  h.Record(100);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("64"), std::string::npos);  // bucket [64,128)
+}
+
+TEST(Log2HistogramTest, ConcurrentRecordsAreNotLost) {
+  Log2Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(42);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(h.TotalCount(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.Sum(), static_cast<std::uint64_t>(kThreads) * kPerThread * 42);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,62 @@
+#include "src/base/spinwait.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/base/time.h"
+
+namespace concord {
+namespace {
+
+TEST(SpinWaitTest, IterationsCountUp) {
+  SpinWait spin;
+  EXPECT_EQ(spin.iterations(), 0u);
+  spin.Once();
+  spin.Once();
+  EXPECT_EQ(spin.iterations(), 2u);
+}
+
+TEST(SpinWaitTest, ResetRestartsEscalation) {
+  SpinWait spin;
+  for (int i = 0; i < 100; ++i) {
+    spin.Once();
+  }
+  spin.Reset();
+  EXPECT_EQ(spin.iterations(), 0u);
+}
+
+TEST(SpinWaitTest, MakesProgressUnderOversubscription) {
+  // A waiter must observe a flag set by another thread even when the host
+  // has a single core: SpinWait's yield/sleep escalation is what guarantees
+  // the setter gets CPU time.
+  std::atomic<bool> flag{false};
+  std::thread setter([&flag] {
+    BurnNs(2'000'000);  // 2ms of work before setting
+    flag.store(true, std::memory_order_release);
+  });
+  SpinWait spin;
+  const std::uint64_t start = MonotonicNowNs();
+  while (!flag.load(std::memory_order_acquire)) {
+    spin.Once();
+    ASSERT_LT(MonotonicNowNs() - start, 10'000'000'000ull) << "livelock";
+  }
+  setter.join();
+  SUCCEED();
+}
+
+TEST(TimeTest, BurnNsBurnsAtLeastRequested) {
+  const std::uint64_t start = MonotonicNowNs();
+  BurnNs(1'000'000);
+  EXPECT_GE(MonotonicNowNs() - start, 1'000'000u);
+}
+
+TEST(TimeTest, MonotonicNowAdvances) {
+  const std::uint64_t a = MonotonicNowNs();
+  const std::uint64_t b = MonotonicNowNs();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace concord

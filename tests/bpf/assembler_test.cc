@@ -1,0 +1,234 @@
+#include "src/bpf/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/bpf/verifier.h"
+#include "src/bpf/vm.h"
+
+namespace concord {
+namespace {
+
+struct ACtx {
+  std::uint64_t x;
+  std::uint64_t y;
+};
+
+const ContextDescriptor& Desc() {
+  static const ContextDescriptor desc("actx", sizeof(ACtx),
+                                      {{"x", 0, 8, false}, {"y", 8, 8, false}});
+  return desc;
+}
+
+std::uint64_t AssembleVerifyRun(const std::string& source, ACtx ctx) {
+  auto program = AssembleProgram("t", source, &Desc());
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  Status status = Verifier::Verify(*program);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return BpfVm::Run(*program, &ctx);
+}
+
+TEST(AssemblerTest, MinimalProgram) {
+  EXPECT_EQ(AssembleVerifyRun("mov r0, 5\nexit\n", {}), 5u);
+}
+
+TEST(AssemblerTest, CommentsAndBlankLinesIgnored) {
+  const char* source = R"(
+    ; a comment-only line
+
+    mov r0, 7   ; trailing comment
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 7u);
+}
+
+TEST(AssemblerTest, RegisterAluForms) {
+  const char* source = R"(
+    mov r2, 6
+    mov r3, 7
+    mov r0, r2
+    mul r0, r3
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 42u);
+}
+
+TEST(AssemblerTest, Alu32Suffix) {
+  const char* source = R"(
+    mov r0, -1
+    add32 r0, 0
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 0xffffffffull);
+}
+
+TEST(AssemblerTest, NegSingleOperand) {
+  const char* source = R"(
+    mov r0, 5
+    neg r0
+    exit
+  )";
+  EXPECT_EQ(static_cast<std::int64_t>(AssembleVerifyRun(source, {})), -5);
+}
+
+TEST(AssemblerTest, ContextLoadsWithOffsets) {
+  const char* source = R"(
+    ldxdw r2, [r1+0]
+    ldxdw r3, [r1+8]
+    mov r0, r2
+    add r0, r3
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {11, 31}), 42u);
+}
+
+TEST(AssemblerTest, LabelsAndBranches) {
+  const char* source = R"(
+    ldxdw r2, [r1+0]
+    jeq r2, 0, zero
+    mov r0, 1
+    exit
+  zero:
+    mov r0, 2
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {0, 0}), 2u);
+  EXPECT_EQ(AssembleVerifyRun(source, {9, 0}), 1u);
+}
+
+TEST(AssemblerTest, JaUnconditional) {
+  const char* source = R"(
+    ja done
+    mov r0, 1
+    exit
+  done:
+    mov r0, 9
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 9u);
+}
+
+TEST(AssemblerTest, StackStoreAndLoad) {
+  const char* source = R"(
+    stdw [r10-8], 1234
+    ldxdw r0, [r10-8]
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 1234u);
+}
+
+TEST(AssemblerTest, StxForm) {
+  const char* source = R"(
+    mov r2, 55
+    stxdw [r10-16], r2
+    ldxdw r0, [r10-16]
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 55u);
+}
+
+TEST(AssemblerTest, Lddw64BitImmediate) {
+  const char* source = R"(
+    lddw r0, 0x123456789abcdef0
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 0x123456789abcdef0ull);
+}
+
+TEST(AssemblerTest, CallByHelperName) {
+  const char* source = R"(
+    call get_numa_node_id
+    exit
+  )";
+  EXPECT_LT(AssembleVerifyRun(source, {}), 8u);
+}
+
+TEST(AssemblerTest, CallByNumericId) {
+  const char* source = R"(
+    call 3   ; get_numa_node_id
+    exit
+  )";
+  EXPECT_LT(AssembleVerifyRun(source, {}), 8u);
+}
+
+TEST(AssemblerTest, Jmp32Forms) {
+  // Same low word, different high word: jeq32 takes, jeq does not.
+  const char* source = R"(
+    lddw r2, 0x100000001
+    lddw r3, 0x200000001
+    jeq32 r2, r3, same_lo
+    mov r0, 0
+    exit
+  same_lo:
+    jeq r2, r3, same_full
+    mov r0, 1
+    exit
+  same_full:
+    mov r0, 2
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 1u);
+}
+
+TEST(AssemblerTest, XaddForm) {
+  const char* source = R"(
+    stdw [r10-8], 40
+    mov r2, 2
+    xadddw [r10-8], r2
+    ldxdw r0, [r10-8]
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 42u);
+}
+
+TEST(AssemblerTest, XaddRejectsNarrowWidths) {
+  auto result =
+      AssembleProgram("t", "xaddb [r10-1], r2\nexit\n", &Desc());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(AssemblerTest, RejectsUnknownMnemonic) {
+  auto result = AssembleProgram("t", "frobnicate r0, 1\nexit\n", &Desc());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(AssemblerTest, RejectsUndefinedLabel) {
+  auto result = AssembleProgram("t", "ja nowhere\nexit\n", &Desc());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("undefined label"), std::string::npos);
+}
+
+TEST(AssemblerTest, RejectsDuplicateLabel) {
+  auto result =
+      AssembleProgram("t", "a:\nmov r0, 1\na:\nexit\n", &Desc());
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate label"), std::string::npos);
+}
+
+TEST(AssemblerTest, RejectsBadRegister) {
+  auto result = AssembleProgram("t", "mov r11, 1\nexit\n", &Desc());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(AssemblerTest, RejectsUnknownHelperName) {
+  auto result = AssembleProgram("t", "call does_not_exist\nexit\n", &Desc());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  auto result = AssembleProgram("t", "mov r0, 0\nbogus\nexit\n", &Desc());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(AssemblerTest, NegativeOffsetsInBrackets) {
+  const char* source = R"(
+    stdw [r10-32], 5
+    ldxdw r0, [r10-32]
+    exit
+  )";
+  EXPECT_EQ(AssembleVerifyRun(source, {}), 5u);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/bpf/insn.h"
+
+namespace concord {
+namespace {
+
+TEST(DisasmTest, AluImmediateForms) {
+  EXPECT_EQ(DisassembleInsn(MovImm(3, 42)), "mov r3, 42");
+  EXPECT_EQ(DisassembleInsn(AluImm(kBpfAdd, 1, -5)), "add r1, -5");
+  EXPECT_EQ(DisassembleInsn(AluImm(kBpfXor, 2, 0xff)), "xor r2, 255");
+}
+
+TEST(DisasmTest, AluRegisterForms) {
+  EXPECT_EQ(DisassembleInsn(MovReg(0, 6)), "mov r0, r6");
+  EXPECT_EQ(DisassembleInsn(AluReg(kBpfMul, 4, 5)), "mul r4, r5");
+}
+
+TEST(DisasmTest, Alu32Suffix) {
+  EXPECT_EQ(DisassembleInsn(AluImm(kBpfAdd, 1, 2, /*is64=*/false)),
+            "add32 r1, 2");
+}
+
+TEST(DisasmTest, Jumps) {
+  EXPECT_EQ(DisassembleInsn(Jump(5)), "ja +5");
+  EXPECT_EQ(DisassembleInsn(JmpImm(kBpfJeq, 2, 0, 3)), "jeq r2, 0, +3");
+  EXPECT_EQ(DisassembleInsn(JmpReg(kBpfJsgt, 1, 2, -4)), "jsgt r1, r2, -4");
+  EXPECT_EQ(DisassembleInsn(Exit()), "exit");
+  EXPECT_EQ(DisassembleInsn(Call(7)), "call 7");
+}
+
+TEST(DisasmTest, MemoryForms) {
+  EXPECT_EQ(DisassembleInsn(LoadMem(kBpfSizeDw, 2, 1, 8)), "ldxdw r2, [r1+8]");
+  EXPECT_EQ(DisassembleInsn(LoadMem(kBpfSizeW, 0, 10, -4)), "ldxw r0, [r10-4]");
+  EXPECT_EQ(DisassembleInsn(StoreMemReg(kBpfSizeH, 10, 3, -16)),
+            "stxh [r10-16], r3");
+  EXPECT_EQ(DisassembleInsn(StoreMemImm(kBpfSizeB, 10, -1, 7)),
+            "stb [r10-1], 7");
+}
+
+TEST(DisasmTest, Jmp32Suffix) {
+  EXPECT_EQ(DisassembleInsn(JmpImm(kBpfJgt, 2, 7, 3, /*is64=*/false)),
+            "jgt32 r2, 7, +3");
+  EXPECT_EQ(DisassembleInsn(JmpReg(kBpfJslt, 1, 2, -1, /*is64=*/false)),
+            "jslt32 r1, r2, -1");
+}
+
+TEST(DisasmTest, XaddForm) {
+  EXPECT_EQ(DisassembleInsn(AtomicAdd(kBpfSizeDw, 0, 2, 8)),
+            "xadddw [r0+8], r2");
+}
+
+TEST(InsnTest, EncodingIsEightBytes) {
+  EXPECT_EQ(sizeof(Insn), 8u);
+}
+
+TEST(InsnTest, FieldAccessors) {
+  const Insn insn = JmpReg(kBpfJge, 3, 4, 10);
+  EXPECT_EQ(insn.Class(), kBpfClassJmp);
+  EXPECT_EQ(insn.JmpOp(), kBpfJge);
+  EXPECT_TRUE(insn.UsesSrcReg());
+  EXPECT_EQ(insn.dst, 3);
+  EXPECT_EQ(insn.src, 4);
+  EXPECT_EQ(insn.off, 10);
+
+  const Insn load = LoadMem(kBpfSizeH, 1, 2, -8);
+  EXPECT_EQ(load.Class(), kBpfClassLdx);
+  EXPECT_EQ(load.Size(), kBpfSizeH);
+  EXPECT_EQ(ByteWidth(load.Size()), 2);
+  EXPECT_EQ(load.Mode(), kBpfModeMem);
+}
+
+TEST(InsnTest, ByteWidths) {
+  EXPECT_EQ(ByteWidth(kBpfSizeB), 1);
+  EXPECT_EQ(ByteWidth(kBpfSizeH), 2);
+  EXPECT_EQ(ByteWidth(kBpfSizeW), 4);
+  EXPECT_EQ(ByteWidth(kBpfSizeDw), 8);
+}
+
+TEST(InsnTest, LoadImm64SplitsValue) {
+  const std::uint64_t value = 0xdeadbeefcafebabeull;
+  const Insn first = LoadImm64First(5, value);
+  const Insn second = LoadImm64Second(value);
+  EXPECT_EQ(static_cast<std::uint32_t>(first.imm), 0xcafebabeu);
+  EXPECT_EQ(static_cast<std::uint32_t>(second.imm), 0xdeadbeefu);
+  EXPECT_EQ(first.dst, 5);
+  EXPECT_EQ(second.opcode, 0);
+}
+
+}  // namespace
+}  // namespace concord

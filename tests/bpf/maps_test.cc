@@ -1,0 +1,220 @@
+#include "src/bpf/maps.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace concord {
+namespace {
+
+TEST(ArrayMapTest, SlotsStartZeroed) {
+  ArrayMap map("m", sizeof(std::uint64_t), 4);
+  std::uint64_t value = 1;
+  ASSERT_TRUE(map.LookupTyped(std::uint32_t{0}, &value));
+  EXPECT_EQ(value, 0u);
+}
+
+TEST(ArrayMapTest, UpdateLookupRoundTrip) {
+  ArrayMap map("m", sizeof(std::uint64_t), 4);
+  ASSERT_TRUE(map.UpdateTyped(std::uint32_t{2}, std::uint64_t{99}).ok());
+  std::uint64_t value = 0;
+  ASSERT_TRUE(map.LookupTyped(std::uint32_t{2}, &value));
+  EXPECT_EQ(value, 99u);
+}
+
+TEST(ArrayMapTest, OutOfRangeLookupReturnsNull) {
+  ArrayMap map("m", 8, 4);
+  std::uint32_t key = 4;
+  EXPECT_EQ(map.Lookup(&key), nullptr);
+}
+
+TEST(ArrayMapTest, OutOfRangeUpdateFails) {
+  ArrayMap map("m", 8, 4);
+  EXPECT_FALSE(map.UpdateTyped(std::uint32_t{100}, std::uint64_t{1}).ok());
+}
+
+TEST(ArrayMapTest, DeleteZeroesSlot) {
+  ArrayMap map("m", sizeof(std::uint64_t), 4);
+  ASSERT_TRUE(map.UpdateTyped(std::uint32_t{1}, std::uint64_t{5}).ok());
+  std::uint32_t key = 1;
+  ASSERT_TRUE(map.Delete(&key).ok());
+  std::uint64_t value = 7;
+  ASSERT_TRUE(map.LookupTyped(std::uint32_t{1}, &value));
+  EXPECT_EQ(value, 0u);
+}
+
+TEST(ArrayMapTest, LookupPointerIsStable) {
+  ArrayMap map("m", 8, 4);
+  std::uint32_t key = 3;
+  void* first = map.Lookup(&key);
+  ASSERT_TRUE(map.UpdateTyped(std::uint32_t{3}, std::uint64_t{1}).ok());
+  EXPECT_EQ(map.Lookup(&key), first);
+}
+
+TEST(HashMapTest, MissingKeyReturnsNull) {
+  HashMap map("h", sizeof(std::uint64_t), sizeof(std::uint64_t), 16);
+  std::uint64_t key = 42;
+  EXPECT_EQ(map.Lookup(&key), nullptr);
+}
+
+TEST(HashMapTest, InsertLookupDelete) {
+  HashMap map("h", sizeof(std::uint64_t), sizeof(std::uint64_t), 16);
+  ASSERT_TRUE(map.UpdateTyped(std::uint64_t{42}, std::uint64_t{7}).ok());
+  EXPECT_EQ(map.Size(), 1u);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(map.LookupTyped(std::uint64_t{42}, &value));
+  EXPECT_EQ(value, 7u);
+  std::uint64_t key = 42;
+  ASSERT_TRUE(map.Delete(&key).ok());
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_EQ(map.Lookup(&key), nullptr);
+}
+
+TEST(HashMapTest, UpdateOverwritesExisting) {
+  HashMap map("h", 8, 8, 16);
+  ASSERT_TRUE(map.UpdateTyped(std::uint64_t{1}, std::uint64_t{10}).ok());
+  ASSERT_TRUE(map.UpdateTyped(std::uint64_t{1}, std::uint64_t{20}).ok());
+  EXPECT_EQ(map.Size(), 1u);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(map.LookupTyped(std::uint64_t{1}, &value));
+  EXPECT_EQ(value, 20u);
+}
+
+TEST(HashMapTest, FillsToCapacityThenRejects) {
+  HashMap map("h", 8, 8, 4);
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(map.UpdateTyped(k, k * 10).ok());
+  }
+  Status full = map.UpdateTyped(std::uint64_t{99}, std::uint64_t{0});
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  // Deleting frees capacity again.
+  std::uint64_t key = 0;
+  ASSERT_TRUE(map.Delete(&key).ok());
+  EXPECT_TRUE(map.UpdateTyped(std::uint64_t{99}, std::uint64_t{0}).ok());
+}
+
+TEST(HashMapTest, DeleteMissingKeyIsNotFound) {
+  HashMap map("h", 8, 8, 4);
+  std::uint64_t key = 5;
+  EXPECT_EQ(map.Delete(&key).code(), StatusCode::kNotFound);
+}
+
+TEST(HashMapTest, ManyKeysAllRetrievable) {
+  HashMap map("h", 8, 8, 512);
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    ASSERT_TRUE(map.UpdateTyped(k, k ^ 0xabcd).ok());
+  }
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    std::uint64_t value = 0;
+    ASSERT_TRUE(map.LookupTyped(k, &value));
+    EXPECT_EQ(value, k ^ 0xabcd);
+  }
+}
+
+TEST(HashMapTest, StructKeysCompareByBytes) {
+  struct Key {
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  HashMap map("h", sizeof(Key), 8, 16);
+  ASSERT_TRUE(map.UpdateTyped(Key{1, 2}, std::uint64_t{12}).ok());
+  ASSERT_TRUE(map.UpdateTyped(Key{2, 1}, std::uint64_t{21}).ok());
+  std::uint64_t value = 0;
+  ASSERT_TRUE(map.LookupTyped(Key{1, 2}, &value));
+  EXPECT_EQ(value, 12u);
+  ASSERT_TRUE(map.LookupTyped(Key{2, 1}, &value));
+  EXPECT_EQ(value, 21u);
+}
+
+TEST(HashMapTest, ConcurrentMixedOpsKeepInvariant) {
+  HashMap map("h", 8, 8, 1024);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        const std::uint64_t key = t * 1000 + (i % 100);
+        ASSERT_TRUE(map.UpdateTyped(key, i).ok());
+        std::uint64_t value = 0;
+        ASSERT_TRUE(map.LookupTyped(key, &value));
+        if (i % 3 == 0) {
+          map.Delete(&key);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_LE(map.Size(), 1024u);
+}
+
+TEST(PerCpuArrayMapTest, SlotsIsolatedPerCpu) {
+  PerCpuArrayMap map("p", sizeof(std::uint64_t), 2, /*num_cpus=*/4);
+  // Write directly into distinct CPU slots.
+  std::uint64_t v1 = 10;
+  std::uint64_t v2 = 32;
+  std::memcpy(map.SlotAt(0, 0), &v1, sizeof(v1));
+  std::memcpy(map.SlotAt(3, 0), &v2, sizeof(v2));
+  EXPECT_EQ(map.SumU64(0), 42u);
+  EXPECT_EQ(map.SumU64(1), 0u);
+}
+
+TEST(PerCpuArrayMapTest, LookupUsesCurrentVcpu) {
+  PerCpuArrayMap map("p", sizeof(std::uint64_t), 1, /*num_cpus=*/80);
+  ASSERT_TRUE(map.UpdateTyped(std::uint32_t{0}, std::uint64_t{5}).ok());
+  std::uint64_t value = 0;
+  ASSERT_TRUE(map.LookupTyped(std::uint32_t{0}, &value));
+  EXPECT_EQ(value, 5u);
+  EXPECT_EQ(map.SumU64(0), 5u);  // exactly one CPU slot written
+}
+
+TEST(ArrayMapTest, ForEachVisitsAllSlots) {
+  ArrayMap map("m", sizeof(std::uint64_t), 4);
+  ASSERT_TRUE(map.UpdateTyped(std::uint32_t{1}, std::uint64_t{10}).ok());
+  ASSERT_TRUE(map.UpdateTyped(std::uint32_t{3}, std::uint64_t{30}).ok());
+  std::uint64_t sum = 0;
+  int visits = 0;
+  map.ForEach([&](const void*, const void* value) {
+    std::uint64_t v;
+    std::memcpy(&v, value, sizeof(v));
+    sum += v;
+    ++visits;
+  });
+  EXPECT_EQ(visits, 4);
+  EXPECT_EQ(sum, 40u);
+}
+
+TEST(HashMapTest, ForEachVisitsLiveEntriesOnly) {
+  HashMap map("h", 8, 8, 16);
+  for (std::uint64_t k = 0; k < 6; ++k) {
+    ASSERT_TRUE(map.UpdateTyped(k, k * 10).ok());
+  }
+  std::uint64_t key3 = 3;
+  ASSERT_TRUE(map.Delete(&key3).ok());
+  std::uint64_t key_sum = 0;
+  int visits = 0;
+  map.ForEach([&](const void* key, const void*) {
+    std::uint64_t k;
+    std::memcpy(&k, key, sizeof(k));
+    key_sum += k;
+    ++visits;
+  });
+  EXPECT_EQ(visits, 5);
+  EXPECT_EQ(key_sum, 0u + 1 + 2 + 4 + 5);
+}
+
+TEST(CreateMapTest, ValidatesParameters) {
+  EXPECT_FALSE(CreateMap(MapType::kArray, "m", 8, 8, 4, 1).ok());   // bad key size
+  EXPECT_FALSE(CreateMap(MapType::kArray, "m", 4, 0, 4, 1).ok());   // zero value
+  EXPECT_FALSE(CreateMap(MapType::kHash, "m", 0, 8, 4, 1).ok());    // zero key
+  EXPECT_FALSE(CreateMap(MapType::kPerCpuArray, "m", 4, 8, 4, 0).ok());  // no cpus
+  auto ok = CreateMap(MapType::kHash, "m", 8, 8, 4, 1);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->type(), MapType::kHash);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,509 @@
+#include "src/bpf/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "src/bpf/builder.h"
+#include "src/bpf/helpers.h"
+
+namespace concord {
+namespace {
+
+struct VCtx {
+  std::uint64_t in;
+  std::uint32_t rw;
+};
+
+const ContextDescriptor& Desc() {
+  static const ContextDescriptor desc(
+      "vctx", sizeof(VCtx), {{"in", 0, 8, false}, {"rw", 8, 4, true}});
+  return desc;
+}
+
+Status VerifyBuilt(ProgramBuilder& builder,
+                   const Verifier::Options& options = Verifier::Options{}) {
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return Verifier::Verify(*result, options);
+}
+
+// ---------- acceptance ------------------------------------------------------
+
+TEST(VerifierTest, AcceptsMinimalProgram) {
+  ProgramBuilder b("ok", &Desc());
+  b.Return(0);
+  EXPECT_TRUE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, AcceptsDiamondControlFlow) {
+  ProgramBuilder b("diamond", &Desc());
+  auto left = b.NewLabel();
+  auto join = b.NewLabel();
+  b.Load(kBpfSizeDw, 2, 1, 0)
+      .JmpIf(kBpfJeq, 2, 0, left)
+      .Mov(0, 1)
+      .Jmp(join)
+      .Bind(left)
+      .Mov(0, 2)
+      .Bind(join)
+      .Ret();
+  EXPECT_TRUE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, VerifySetsUsedCapabilities) {
+  ProgramBuilder b("caps", &Desc());
+  b.CallByName("ktime_get_ns").Ret();
+  auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(Verifier::Verify(*result).ok());
+  EXPECT_TRUE(result->verified);
+  EXPECT_EQ(result->used_capabilities, kCapRead);
+}
+
+// ---------- structural rejections -------------------------------------------
+
+TEST(VerifierTest, RejectsEmptyProgram) {
+  Program p;
+  p.name = "empty";
+  p.ctx_desc = &Desc();
+  EXPECT_EQ(Verifier::Verify(p).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VerifierTest, RejectsMissingContextDescriptor) {
+  Program p;
+  p.name = "noctx";
+  p.insns = {MovImm(0, 0), Exit()};
+  EXPECT_FALSE(Verifier::Verify(p).ok());
+}
+
+TEST(VerifierTest, RejectsOverlongProgram) {
+  Program p;
+  p.name = "long";
+  p.ctx_desc = &Desc();
+  p.insns.assign(kMaxProgramInsns + 1, MovImm(0, 0));
+  p.insns.back() = Exit();
+  EXPECT_EQ(Verifier::Verify(p).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VerifierTest, RejectsBackEdge) {
+  // 0: mov r0, 0 ; 1: ja -2 (self-loop region)
+  Program p;
+  p.name = "loop";
+  p.ctx_desc = &Desc();
+  p.insns = {MovImm(0, 0), Jump(-2), Exit()};
+  Status s = Verifier::Verify(p);
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(s.message().find("back edge"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsJumpOutOfBounds) {
+  Program p;
+  p.name = "oob";
+  p.ctx_desc = &Desc();
+  p.insns = {Jump(100), Exit()};
+  EXPECT_FALSE(Verifier::Verify(p).ok());
+}
+
+TEST(VerifierTest, RejectsFallOffEnd) {
+  Program p;
+  p.name = "falloff";
+  p.ctx_desc = &Desc();
+  p.insns = {MovImm(0, 0), MovImm(2, 1)};  // no exit
+  Status s = Verifier::Verify(p);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("falls off"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsJumpIntoLddwSecondSlot) {
+  Program p;
+  p.name = "midlddw";
+  p.ctx_desc = &Desc();
+  p.insns = {Jump(1),  // jumps to the pseudo slot of the lddw below
+             LoadImm64First(0, 0), LoadImm64Second(0), Exit()};
+  EXPECT_FALSE(Verifier::Verify(p).ok());
+}
+
+TEST(VerifierTest, RejectsTruncatedLddw) {
+  Program p;
+  p.name = "trunc";
+  p.ctx_desc = &Desc();
+  p.insns = {LoadImm64First(0, 0)};
+  EXPECT_FALSE(Verifier::Verify(p).ok());
+}
+
+TEST(VerifierTest, RejectsWriteToFramePointer) {
+  Program p;
+  p.name = "fpwrite";
+  p.ctx_desc = &Desc();
+  p.insns = {MovImm(kBpfReg10, 0), Exit()};
+  EXPECT_EQ(Verifier::Verify(p).code(), StatusCode::kPermissionDenied);
+}
+
+TEST(VerifierTest, RejectsDivisionByConstantZero) {
+  Program p;
+  p.name = "div0";
+  p.ctx_desc = &Desc();
+  p.insns = {MovImm(0, 1), AluImm(kBpfDiv, 0, 0), Exit()};
+  EXPECT_FALSE(Verifier::Verify(p).ok());
+}
+
+// ---------- data-flow rejections --------------------------------------------
+
+TEST(VerifierTest, RejectsReadOfUninitializedRegister) {
+  ProgramBuilder b("uninit", &Desc());
+  b.MovR(0, 5).Ret();  // r5 never written
+  Status s = VerifyBuilt(b);
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(s.message().find("uninitialized"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsExitWithUninitializedR0) {
+  ProgramBuilder b("nor0", &Desc());
+  b.Ret();
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsReturningPointer) {
+  ProgramBuilder b("retptr", &Desc());
+  b.MovR(0, 1).Ret();  // r1 = ctx pointer
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("pointer"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsUninitializedStackRead) {
+  ProgramBuilder b("stackread", &Desc());
+  b.Load(kBpfSizeDw, 0, 10, -8).Ret();
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("uninitialized stack"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsPartiallyInitializedStackRead) {
+  ProgramBuilder b("partial", &Desc());
+  b.StoreImm(kBpfSizeW, 10, -8, 1)       // bytes [-8,-4) initialized
+      .Load(kBpfSizeDw, 0, 10, -8)       // reads [-8,0): upper half uninit
+      .Ret();
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsStackOverflowAccess) {
+  ProgramBuilder b("stackoob", &Desc());
+  b.StoreImm(kBpfSizeDw, 10, -520, 1).Return(0);
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("out of bounds"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsStackAccessAboveFramePointer) {
+  ProgramBuilder b("above", &Desc());
+  b.StoreImm(kBpfSizeDw, 10, 8, 1).Return(0);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsMisalignedStackAccess) {
+  ProgramBuilder b("misalign", &Desc());
+  b.StoreImm(kBpfSizeDw, 10, -12, 1).Return(0);  // 8-byte store at -12
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("misaligned"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsContextLoadOutsideFields) {
+  ProgramBuilder b("ctxoob", &Desc());
+  b.Load(kBpfSizeDw, 0, 1, 16).Ret();  // past end of VCtx
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsContextLoadWithWrongWidth) {
+  ProgramBuilder b("ctxwidth", &Desc());
+  b.Load(kBpfSizeW, 0, 1, 0).Ret();  // field "in" is 8 bytes, load is 4
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsStoreToReadOnlyContextField) {
+  ProgramBuilder b("ctxro", &Desc());
+  b.Mov(2, 1).Store(kBpfSizeDw, 1, 0, 2).Return(0);
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("read-only"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsStoreToWritableContextField) {
+  ProgramBuilder b("ctxwr", &Desc());
+  b.Mov(2, 1).Store(kBpfSizeW, 1, 8, 2).Return(0);
+  EXPECT_TRUE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsLoadFromScalar) {
+  ProgramBuilder b("scalarload", &Desc());
+  b.Mov(2, 1234).Load(kBpfSizeDw, 0, 2, 0).Ret();
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsPointerArithmeticWithUnknownScalar) {
+  ProgramBuilder b("ptrmath", &Desc());
+  b.Load(kBpfSizeDw, 2, 1, 0)   // unknown scalar
+      .MovR(3, 1)
+      .AluR(kBpfAdd, 3, 2)      // ctx + unknown
+      .Load(kBpfSizeDw, 0, 3, 0)
+      .Ret();
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("compile-time constant"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsPointerPlusConstant) {
+  ProgramBuilder b("ptrconst", &Desc());
+  b.MovR(2, 1).Add(2, 8).Load(kBpfSizeW, 0, 2, 0).Ret();  // ctx+8 = field rw
+  EXPECT_TRUE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsPointerMultiplication) {
+  ProgramBuilder b("ptrmul", &Desc());
+  b.MovR(2, 1).Alu(kBpfMul, 2, 2).Return(0);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, Rejects32BitAluOnPointer) {
+  ProgramBuilder b("ptr32", &Desc());
+  b.MovR(2, 1).Emit(AluImm(kBpfAdd, 2, 4, /*is64=*/false)).Return(0);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsPointerComparison) {
+  ProgramBuilder b("ptrcmp", &Desc());
+  auto l = b.NewLabel();
+  b.MovR(2, 1).JmpIf(kBpfJgt, 2, 100, l).Return(0).Bind(l).Return(1);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsPointerSpillToStack) {
+  ProgramBuilder b("spill", &Desc());
+  b.Store(kBpfSizeDw, 10, -8, 1).Return(0);  // store ctx pointer
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("spill"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsBranchOnUninitializedRegister) {
+  ProgramBuilder b("branchuninit", &Desc());
+  auto l = b.NewLabel();
+  b.JmpIf(kBpfJeq, 7, 0, l).Return(0).Bind(l).Return(1);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, TracksBothBranchArms) {
+  // r2 initialized only on one arm; the join uses it -> must be rejected.
+  ProgramBuilder b("armjoin", &Desc());
+  auto skip = b.NewLabel();
+  auto join = b.NewLabel();
+  b.Load(kBpfSizeDw, 3, 1, 0)
+      .JmpIf(kBpfJeq, 3, 0, skip)
+      .Mov(2, 1)
+      .Jmp(join)
+      .Bind(skip)   // r2 not written on this arm
+      .Bind(join)
+      .MovR(0, 2)
+      .Ret();
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+// ---------- helper call checks -----------------------------------------------
+
+TEST(VerifierTest, RejectsUnknownHelper) {
+  ProgramBuilder b("nohelper", &Desc());
+  b.CallHelper(9999).Ret();
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown helper"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsHelperOutsideCapabilityMask) {
+  ProgramBuilder b("capdenied", &Desc());
+  ArrayMap map("m", 8, 1);
+  const auto idx = b.DeclareMap(&map);
+  b.StoreImm(kBpfSizeW, 10, -4, 0)
+      .StoreImm(kBpfSizeDw, 10, -16, 1)
+      .Mov(1, static_cast<std::int32_t>(idx))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .MovR(3, 10)
+      .Add(3, -16)
+      .CallByName("map_update_elem")
+      .Return(0);
+  Verifier::Options read_only;
+  read_only.allowed_capabilities = kCapRead | kCapMapRead;  // no kCapMapWrite
+  Status s = VerifyBuilt(b, read_only);
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(s.message().find("not permitted"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsNonConstantMapIndex) {
+  ProgramBuilder b("varmap", &Desc());
+  ArrayMap map("m", 8, 1);
+  b.DeclareMap(&map);
+  b.Load(kBpfSizeDw, 1, 1, 0)  // runtime value as map index
+      .StoreImm(kBpfSizeW, 10, -4, 0)
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")
+      .Return(0);
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("compile-time constant"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsMapIndexOutOfRange) {
+  ProgramBuilder b("mapoob", &Desc());
+  b.Mov(1, 3)  // program declares no maps
+      .StoreImm(kBpfSizeW, 10, -4, 0)
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")
+      .Return(0);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsUninitializedMapKey) {
+  ProgramBuilder b("badkey", &Desc());
+  ArrayMap map("m", 8, 1);
+  const auto idx = b.DeclareMap(&map);
+  b.Mov(1, static_cast<std::int32_t>(idx))
+      .MovR(2, 10)
+      .Add(2, -4)  // key bytes never written
+      .CallByName("map_lookup_elem")
+      .Return(0);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsDerefOfUncheckedMapValue) {
+  ProgramBuilder b("nullable", &Desc());
+  ArrayMap map("m", 8, 1);
+  const auto idx = b.DeclareMap(&map);
+  b.StoreImm(kBpfSizeW, 10, -4, 0)
+      .Mov(1, static_cast<std::int32_t>(idx))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")
+      .Load(kBpfSizeDw, 0, 0, 0)  // no null check!
+      .Ret();
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("null-check"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsDerefAfterNullCheck) {
+  ProgramBuilder b("checked", &Desc());
+  ArrayMap map("m", 8, 1);
+  const auto idx = b.DeclareMap(&map);
+  auto miss = b.NewLabel();
+  b.StoreImm(kBpfSizeW, 10, -4, 0)
+      .Mov(1, static_cast<std::int32_t>(idx))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")
+      .JmpIf(kBpfJeq, 0, 0, miss)
+      .Load(kBpfSizeDw, 0, 0, 0)
+      .Ret()
+      .Bind(miss)
+      .Return(0);
+  EXPECT_TRUE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RejectsMapValueAccessBeyondValueSize) {
+  ProgramBuilder b("valoob", &Desc());
+  ArrayMap map("m", 8, 1);  // value is 8 bytes
+  const auto idx = b.DeclareMap(&map);
+  auto miss = b.NewLabel();
+  b.StoreImm(kBpfSizeW, 10, -4, 0)
+      .Mov(1, static_cast<std::int32_t>(idx))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")
+      .JmpIf(kBpfJeq, 0, 0, miss)
+      .Load(kBpfSizeDw, 0, 0, 8)  // offset 8 is out of bounds
+      .Ret()
+      .Bind(miss)
+      .Return(0);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+TEST(VerifierTest, RegistersClobberedAcrossCalls) {
+  // Using r1 (clobbered by the call) afterwards must be rejected.
+  ProgramBuilder b("clobbered", &Desc());
+  b.CallByName("ktime_get_ns").MovR(0, 1).Ret();
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
+// ---------- atomic add ------------------------------------------------------
+
+TEST(VerifierTest, RejectsAtomicAddToUninitializedStack) {
+  ProgramBuilder b("xadd_uninit", &Desc());
+  b.Mov(2, 1).Emit(AtomicAdd(kBpfSizeDw, 10, 2, -8)).Return(0);
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("uninitialized stack"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsByteSizedAtomicAdd) {
+  ProgramBuilder b("xadd_byte", &Desc());
+  b.StoreImm(kBpfSizeB, 10, -1, 0)
+      .Mov(2, 1)
+      .Emit(AtomicAdd(kBpfSizeB, 10, 2, -1))
+      .Return(0);
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("word or dword"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsAtomicAddToContext) {
+  ProgramBuilder b("xadd_ctx", &Desc());
+  b.Mov(2, 1).Emit(AtomicAdd(kBpfSizeW, 1, 2, 8)).Return(0);  // ctx field rw
+  Status s = VerifyBuilt(b);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("atomic add to context"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsAtomicAddToInitializedStack) {
+  ProgramBuilder b("xadd_ok", &Desc());
+  b.StoreImm(kBpfSizeDw, 10, -8, 1)
+      .Mov(2, 1)
+      .Emit(AtomicAdd(kBpfSizeDw, 10, 2, -8))
+      .Return(0);
+  EXPECT_TRUE(VerifyBuilt(b).ok());
+}
+
+// ---------- complexity -----------------------------------------------------
+
+TEST(VerifierTest, RejectsStateExplosion) {
+  // 40 consecutive unknown branches = 2^40 paths; must hit max_states.
+  ProgramBuilder b("explode", &Desc());
+  b.Load(kBpfSizeDw, 2, 1, 0);
+  for (int i = 0; i < 40; ++i) {
+    auto l = b.NewLabel();
+    b.JmpIf(kBpfJeq, 2, i, l).Bind(l);
+  }
+  b.Return(0);
+  Verifier::Options small;
+  small.max_states = 1000;
+  Status s = VerifyBuilt(b, small);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VerifierTest, ConstantFoldingPrunesDeadBranches) {
+  // Branches on known constants don't fork: the same 40-branch chain with
+  // constant conditions verifies under a tiny state budget.
+  ProgramBuilder b("folded", &Desc());
+  b.Mov(2, 123);
+  for (int i = 0; i < 40; ++i) {
+    auto l = b.NewLabel();
+    b.JmpIf(kBpfJeq, 2, 123, l).Return(7).Bind(l);
+  }
+  b.Return(0);
+  Verifier::Options small;
+  small.max_states = 100;
+  EXPECT_TRUE(VerifyBuilt(b, small).ok());
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,304 @@
+#include "src/bpf/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/bpf/builder.h"
+#include "src/bpf/verifier.h"
+
+namespace concord {
+namespace {
+
+// Context used across VM tests: two u64 inputs, one u32 input, one writable
+// u32 output field.
+struct TestCtx {
+  std::uint64_t a;
+  std::uint64_t b;
+  std::uint32_t c;
+  std::uint32_t out;
+};
+
+const ContextDescriptor& TestDesc() {
+  static const ContextDescriptor desc("test_ctx", sizeof(TestCtx),
+                                      {{"a", 0, 8, false},
+                                       {"b", 8, 8, false},
+                                       {"c", 16, 4, false},
+                                       {"out", 20, 4, true}});
+  return desc;
+}
+
+Program MustBuild(ProgramBuilder& builder) {
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  Program program = std::move(result.value());
+  Status status = Verifier::Verify(program);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return program;
+}
+
+std::uint64_t RunOn(const Program& program, TestCtx& ctx) {
+  return BpfVm::Run(program, &ctx);
+}
+
+TEST(BpfVmTest, ReturnsImmediate) {
+  ProgramBuilder b("ret42", &TestDesc());
+  b.Return(42);
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 42u);
+}
+
+TEST(BpfVmTest, Arithmetic64) {
+  // r0 = ((7 + 5) * 3 - 6) / 2 % 7 = 30 / 2 % 7 = 15 % 7 = 1
+  ProgramBuilder b("arith", &TestDesc());
+  b.Mov(0, 7)
+      .Alu(kBpfAdd, 0, 5)
+      .Alu(kBpfMul, 0, 3)
+      .Alu(kBpfSub, 0, 6)
+      .Alu(kBpfDiv, 0, 2)
+      .Alu(kBpfMod, 0, 7)
+      .Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 1u);
+}
+
+TEST(BpfVmTest, BitwiseAndShifts) {
+  // r0 = ((0xff << 8) | 0x0f) ^ 0xf0 ; then >> 4
+  ProgramBuilder b("bits", &TestDesc());
+  b.Mov(0, 0xff)
+      .Alu(kBpfLsh, 0, 8)
+      .Alu(kBpfOr, 0, 0x0f)
+      .Alu(kBpfXor, 0, 0xf0)
+      .Alu(kBpfRsh, 0, 4)
+      .Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), ((((0xffull << 8) | 0x0f) ^ 0xf0) >> 4));
+}
+
+TEST(BpfVmTest, SignedArithmeticShiftAndNeg) {
+  ProgramBuilder b("signed", &TestDesc());
+  b.Mov(0, 16)
+      .Alu(kBpfNeg, 0, 0)   // r0 = -16
+      .Alu(kBpfArsh, 0, 2)  // r0 = -4
+      .Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(static_cast<std::int64_t>(RunOn(p, ctx)), -4);
+}
+
+TEST(BpfVmTest, Alu32ZeroExtends) {
+  // mov r0, -1 (64-bit, all ones); add32 r0, 0 truncates to 32 bits.
+  ProgramBuilder b("alu32", &TestDesc());
+  b.Mov(0, -1).Emit(AluImm(kBpfAdd, 0, 0, /*is64=*/false)).Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 0xffffffffull);
+}
+
+TEST(BpfVmTest, DivisionByZeroRegisterYieldsZero) {
+  ProgramBuilder b("div0", &TestDesc());
+  b.Mov(0, 100).Mov(2, 0).AluR(kBpfDiv, 0, 2).Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 0u);
+}
+
+TEST(BpfVmTest, ModuloByZeroRegisterKeepsDividend) {
+  ProgramBuilder b("mod0", &TestDesc());
+  b.Mov(0, 100).Mov(2, 0).AluR(kBpfMod, 0, 2).Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 100u);
+}
+
+TEST(BpfVmTest, LoadImm64) {
+  ProgramBuilder b("lddw", &TestDesc());
+  b.Mov64(0, 0x1234567890abcdefull).Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 0x1234567890abcdefull);
+}
+
+TEST(BpfVmTest, ContextLoads) {
+  // r0 = ctx->a + ctx->b + ctx->c
+  ProgramBuilder b("ctxload", &TestDesc());
+  b.Load(kBpfSizeDw, 2, 1, 0)
+      .Load(kBpfSizeDw, 3, 1, 8)
+      .Load(kBpfSizeW, 4, 1, 16)
+      .MovR(0, 2)
+      .AluR(kBpfAdd, 0, 3)
+      .AluR(kBpfAdd, 0, 4)
+      .Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{100, 200, 30, 0};
+  EXPECT_EQ(RunOn(p, ctx), 330u);
+}
+
+TEST(BpfVmTest, ContextStoreToWritableField) {
+  ProgramBuilder b("ctxstore", &TestDesc());
+  b.Mov(2, 99).Store(kBpfSizeW, 1, 20, 2).Return(0);
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  RunOn(p, ctx);
+  EXPECT_EQ(ctx.out, 99u);
+}
+
+TEST(BpfVmTest, StackRoundTrip) {
+  // Store a value at fp-8, load it back with byte/half/word/dword views.
+  ProgramBuilder b("stack", &TestDesc());
+  b.Mov64(2, 0x1122334455667788ull)
+      .Store(kBpfSizeDw, 10, -8, 2)
+      .Load(kBpfSizeB, 0, 10, -8)   // 0x88 (little endian)
+      .Load(kBpfSizeH, 3, 10, -8)   // 0x7788
+      .AluR(kBpfAdd, 0, 3)
+      .Load(kBpfSizeW, 4, 10, -8)   // 0x55667788
+      .AluR(kBpfAdd, 0, 4)
+      .Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 0x88ull + 0x7788ull + 0x55667788ull);
+}
+
+TEST(BpfVmTest, BranchesTakenAndNotTaken) {
+  // r0 = (ctx->a > ctx->b) ? 1 : 2
+  ProgramBuilder b("branch", &TestDesc());
+  auto gt = b.NewLabel();
+  b.Load(kBpfSizeDw, 2, 1, 0)
+      .Load(kBpfSizeDw, 3, 1, 8)
+      .JmpIfR(kBpfJgt, 2, 3, gt)
+      .Return(2)
+      .Bind(gt)
+      .Return(1);
+  Program p = MustBuild(b);
+  TestCtx hi{10, 5, 0, 0};
+  TestCtx lo{5, 10, 0, 0};
+  EXPECT_EQ(RunOn(p, hi), 1u);
+  EXPECT_EQ(RunOn(p, lo), 2u);
+}
+
+TEST(BpfVmTest, SignedComparisonBranches) {
+  // r0 = ((s64)ctx->a < 0) ? 7 : 8
+  ProgramBuilder b("signedcmp", &TestDesc());
+  auto neg = b.NewLabel();
+  b.Load(kBpfSizeDw, 2, 1, 0).JmpIf(kBpfJslt, 2, 0, neg).Return(8).Bind(neg).Return(7);
+  Program p = MustBuild(b);
+  TestCtx minus{static_cast<std::uint64_t>(-5), 0, 0, 0};
+  TestCtx plus{5, 0, 0, 0};
+  EXPECT_EQ(RunOn(p, minus), 7u);
+  EXPECT_EQ(RunOn(p, plus), 8u);
+}
+
+TEST(BpfVmTest, JsetTestsBits) {
+  ProgramBuilder b("jset", &TestDesc());
+  auto set = b.NewLabel();
+  b.Load(kBpfSizeDw, 2, 1, 0).JmpIf(kBpfJset, 2, 0x4, set).Return(0).Bind(set).Return(1);
+  Program p = MustBuild(b);
+  TestCtx with{0b0100, 0, 0, 0};
+  TestCtx without{0b0011, 0, 0, 0};
+  EXPECT_EQ(RunOn(p, with), 1u);
+  EXPECT_EQ(RunOn(p, without), 0u);
+}
+
+TEST(BpfVmTest, HelperCallReturnsValue) {
+  ProgramBuilder b("helper", &TestDesc());
+  b.CallByName("get_numa_node_id").Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  const std::uint64_t socket = RunOn(p, ctx);
+  EXPECT_LT(socket, 8u);
+}
+
+TEST(BpfVmTest, HelperClobbersArgRegisters) {
+  // After a call, r1-r5 are clobbered to 0 by our VM; using r6 preserves.
+  ProgramBuilder b("clobber", &TestDesc());
+  b.Mov(6, 55).CallByName("ktime_get_ns").MovR(0, 6).Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 55u);
+}
+
+TEST(BpfVmTest, MapLookupUpdateRoundTrip) {
+  ArrayMap map("vals", sizeof(std::uint64_t), 4);
+  ProgramBuilder b("mapruntrip", &TestDesc());
+  const std::uint32_t map_index = b.DeclareMap(&map);
+
+  // key = 2 on stack; value = 777 on stack; map_update(map, &key, &value);
+  // then r0 = *map_lookup(map, &key).
+  auto miss = b.NewLabel();
+  b.StoreImm(kBpfSizeW, 10, -4, 2)       // key
+      .StoreImm(kBpfSizeDw, 10, -16, 777)  // value
+      .Mov(1, static_cast<std::int32_t>(map_index))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .MovR(3, 10)
+      .Add(3, -16)
+      .CallByName("map_update_elem")
+      .Mov(1, static_cast<std::int32_t>(map_index))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")
+      .JmpIf(kBpfJeq, 0, 0, miss)
+      .Load(kBpfSizeDw, 0, 0, 0)
+      .Ret()
+      .Bind(miss)
+      .Return(0);
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 777u);
+
+  // The update is visible to userspace control code too.
+  std::uint64_t value = 0;
+  ASSERT_TRUE(map.LookupTyped(std::uint32_t{2}, &value));
+  EXPECT_EQ(value, 777u);
+}
+
+TEST(BpfVmTest, AtomicAddOnStack) {
+  ProgramBuilder b("xadd_stack", &TestDesc());
+  b.StoreImm(kBpfSizeDw, 10, -8, 40)
+      .Mov(2, 2)
+      .Emit(AtomicAdd(kBpfSizeDw, 10, 2, -8))
+      .Load(kBpfSizeDw, 0, 10, -8)
+      .Ret();
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 42u);
+}
+
+TEST(BpfVmTest, AtomicAddOnMapValue) {
+  ArrayMap map("vals", sizeof(std::uint64_t), 1);
+  ASSERT_TRUE(map.UpdateTyped(std::uint32_t{0}, std::uint64_t{100}).ok());
+  ProgramBuilder b("xadd_map", &TestDesc());
+  const std::uint32_t idx = b.DeclareMap(&map);
+  auto miss = b.NewLabel();
+  b.StoreImm(kBpfSizeW, 10, -4, 0)
+      .Mov(1, static_cast<std::int32_t>(idx))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")
+      .JmpIf(kBpfJeq, 0, 0, miss)
+      .Mov(2, 5)
+      .Emit(AtomicAdd(kBpfSizeDw, 0, 2, 0))
+      .Load(kBpfSizeDw, 0, 0, 0)
+      .Ret()
+      .Bind(miss)
+      .Return(0);
+  Program p = MustBuild(b);
+  TestCtx ctx{};
+  EXPECT_EQ(RunOn(p, ctx), 105u);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(map.LookupTyped(std::uint32_t{0}, &value));
+  EXPECT_EQ(value, 105u);
+}
+
+TEST(BpfVmTest, RunRefusesUnverifiedProgram) {
+  ProgramBuilder b("unverified", &TestDesc());
+  b.Return(0);
+  auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  TestCtx ctx{};
+  EXPECT_DEATH(BpfVm::Run(*result, &ctx), "verified");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,178 @@
+#include "src/concord/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/base/time.h"
+#include "src/concord/concord.h"
+#include "src/concord/policies.h"
+#include "src/sync/bravo.h"
+#include "src/sync/shfllock.h"
+
+namespace concord {
+namespace {
+
+// Locks live in the fixture so they outlive TearDown's unregistration —
+// Concord requires Unregister before a registered lock is destroyed.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Concord::Global().ResetForTest(); }
+
+  ShflLock lock_;
+  ShflLock lock2_;
+  ShflLock lock3_;
+  BravoLock<NeutralRwLock> rw_;
+};
+
+TEST_F(ProfilerTest, CountsUncontendedAcquisitions) {
+  ShflLock& lock = lock_;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "l", "test");
+  ASSERT_TRUE(concord.EnableProfiling(id).ok());
+
+  for (int i = 0; i < 50; ++i) {
+    ShflGuard guard(lock);
+    BurnNs(10'000);
+  }
+
+  const LockProfileStats* stats = concord.Stats(id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->acquisitions.load(), 50u);
+  EXPECT_EQ(stats->releases.load(), 50u);
+  EXPECT_EQ(stats->contentions.load(), 0u);
+  // Hold times around 10us must be visible in the histogram.
+  EXPECT_EQ(stats->hold_ns.TotalCount(), 50u);
+  EXPECT_GE(stats->hold_ns.Percentile(50), 4'000u);
+}
+
+TEST_F(ProfilerTest, RecordsContentionAndWaitTimes) {
+  ShflLock& lock = lock_;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "l", "test");
+  ASSERT_TRUE(concord.EnableProfiling(id).ok());
+
+  std::atomic<bool> waiter_contended{false};
+  lock.Lock();
+  std::thread waiter([&] {
+    lock.Lock();
+    lock.Unlock();
+  });
+  // Wait until the profiler has seen the contention event.
+  const LockProfileStats* stats = concord.Stats(id);
+  const std::uint64_t deadline = MonotonicNowNs() + 10'000'000'000ull;
+  while (stats->contentions.load() == 0 && MonotonicNowNs() < deadline) {
+    timespec ts{0, 1'000'000};
+    nanosleep(&ts, nullptr);
+  }
+  waiter_contended.store(stats->contentions.load() > 0);
+  lock.Unlock();
+  waiter.join();
+
+  EXPECT_TRUE(waiter_contended.load());
+  EXPECT_GE(stats->contentions.load(), 1u);
+  EXPECT_GE(stats->wait_ns.TotalCount(), 1u);
+  EXPECT_GT(stats->wait_ns.Max(), 0u);
+}
+
+TEST_F(ProfilerTest, PerLockGranularity) {
+  // The lockstat comparison: profile ONE lock out of three.
+  ShflLock& hot = lock_;
+  ShflLock& cold_a = lock2_;
+  ShflLock& cold_b = lock3_;
+  Concord& concord = Concord::Global();
+  const std::uint64_t hot_id = concord.RegisterShflLock(hot, "hot", "g");
+  const std::uint64_t cold_a_id = concord.RegisterShflLock(cold_a, "cold_a", "g");
+  concord.RegisterShflLock(cold_b, "cold_b", "g");
+
+  ASSERT_TRUE(concord.EnableProfiling(hot_id).ok());
+  for (int i = 0; i < 20; ++i) {
+    ShflGuard g1(hot);
+  }
+  for (int i = 0; i < 20; ++i) {
+    ShflGuard g2(cold_a);
+  }
+  EXPECT_EQ(concord.Stats(hot_id)->acquisitions.load(), 20u);
+  EXPECT_EQ(concord.Stats(cold_a_id), nullptr);  // never enabled
+  // Unprofiled locks carry no hook table at all (zero overhead).
+  EXPECT_EQ(cold_a.CurrentHooks(), nullptr);
+}
+
+TEST_F(ProfilerTest, DisableStopsCounting) {
+  ShflLock& lock = lock_;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "l", "test");
+  ASSERT_TRUE(concord.EnableProfiling(id).ok());
+  {
+    ShflGuard guard(lock);
+  }
+  ASSERT_TRUE(concord.DisableProfiling(id).ok());
+  const std::uint64_t before = concord.Stats(id)->acquisitions.load();
+  {
+    ShflGuard guard(lock);
+  }
+  EXPECT_EQ(concord.Stats(id)->acquisitions.load(), before);
+}
+
+TEST_F(ProfilerTest, ProfilesRwLocks) {
+  BravoLock<NeutralRwLock>& lock = rw_;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterRwLock(lock, "rw", "test");
+  ASSERT_TRUE(concord.EnableProfiling(id).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    lock.ReadLock();
+    lock.ReadUnlock();
+  }
+  lock.WriteLock();
+  lock.WriteUnlock();
+
+  const LockProfileStats* stats = concord.Stats(id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->acquisitions.load(), 11u);
+  EXPECT_EQ(stats->releases.load(), 11u);
+}
+
+TEST_F(ProfilerTest, ReportListsProfiledLocksBySelector) {
+  ShflLock& a = lock_;
+  ShflLock& b = lock2_;
+  Concord& concord = Concord::Global();
+  concord.RegisterShflLock(a, "alpha", "g1");
+  concord.RegisterShflLock(b, "beta", "g2");
+  ASSERT_TRUE(concord.EnableProfilingBySelector("*").ok());
+  {
+    ShflGuard guard(a);
+  }
+  const std::string all = concord.ProfileReport("*");
+  EXPECT_NE(all.find("alpha"), std::string::npos);
+  EXPECT_NE(all.find("beta"), std::string::npos);
+  const std::string only_g1 = concord.ProfileReport("class:g1");
+  EXPECT_NE(only_g1.find("alpha"), std::string::npos);
+  EXPECT_EQ(only_g1.find("beta"), std::string::npos);
+  EXPECT_NE(only_g1.find("acq=1"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ProfilingComposesWithPolicy) {
+  // Profiling and a shuffling policy share the hook table.
+  ShflLock& lock = lock_;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "l", "test");
+  auto numa = MakeNumaGroupingPolicy();
+  ASSERT_TRUE(numa.ok());
+  ASSERT_TRUE(concord.Attach(id, std::move(numa->spec)).ok());
+  ASSERT_TRUE(concord.EnableProfiling(id).ok());
+  for (int i = 0; i < 25; ++i) {
+    ShflGuard guard(lock);
+  }
+  EXPECT_EQ(concord.Stats(id)->acquisitions.load(), 25u);
+  // Detaching the policy keeps profiling alive.
+  ASSERT_TRUE(concord.Detach(id).ok());
+  {
+    ShflGuard guard(lock);
+  }
+  EXPECT_EQ(concord.Stats(id)->acquisitions.load(), 26u);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,115 @@
+// Readers-writer lock attachment paths: native rw hooks, BPF rw_mode on
+// both BravoLock instantiations, and registry edge cases.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/concord/concord.h"
+#include "src/concord/policies.h"
+#include "src/sync/bravo.h"
+
+namespace concord {
+namespace {
+
+class RwAttachTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Concord::Global().ResetForTest(); }
+
+  BravoLock<NeutralRwLock> neutral_bravo_;
+  BravoLock<PerSocketRwLock> percpu_bravo_;
+  ShflLock shfl_;
+};
+
+TEST_F(RwAttachTest, NativeRwModeHookDrivesTheLock) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterRwLock(neutral_bravo_, "rw", "t");
+
+  static std::atomic<std::uint32_t> mode{
+      static_cast<std::uint32_t>(RwMode::kNeutral)};
+  RwHooks native;
+  native.rw_mode = [](void*) { return mode.load(); };
+  ASSERT_TRUE(concord.AttachNativeRw(id, native).ok());
+
+  neutral_bravo_.ReadLock();
+  neutral_bravo_.ReadUnlock();
+  EXPECT_EQ(neutral_bravo_.fast_reads(), 0u);
+
+  mode.store(static_cast<std::uint32_t>(RwMode::kReaderBias));
+  for (int i = 0; i < 5; ++i) {
+    neutral_bravo_.ReadLock();
+    neutral_bravo_.ReadUnlock();
+  }
+  EXPECT_GT(neutral_bravo_.fast_reads(), 0u);
+  ASSERT_TRUE(concord.Detach(id).ok());
+}
+
+TEST_F(RwAttachTest, NativeRwAttachRejectedOnShflLock) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(shfl_, "s", "t");
+  RwHooks native;
+  EXPECT_EQ(concord.AttachNativeRw(id, native).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RwAttachTest, NativeShflAttachRejectedOnRwLock) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterRwLock(neutral_bravo_, "rw", "t");
+  ShflHooks native;
+  EXPECT_EQ(concord.AttachNative(id, native).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RwAttachTest, BpfRwSwitchWorksOnPerSocketBravo) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterRwLock(percpu_bravo_, "rw2", "t");
+  auto policy = MakeRwSwitchPolicy(RwMode::kReaderBias);
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(concord.Attach(id, std::move(policy->spec)).ok());
+  for (int i = 0; i < 10; ++i) {
+    percpu_bravo_.ReadLock();
+    percpu_bravo_.ReadUnlock();
+  }
+  EXPECT_GT(percpu_bravo_.fast_reads(), 0u);
+  percpu_bravo_.WriteLock();
+  percpu_bravo_.WriteUnlock();
+  ASSERT_TRUE(concord.Detach(id).ok());
+}
+
+TEST_F(RwAttachTest, ReattachReplacesNativeWithBpf) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterRwLock(neutral_bravo_, "rw", "t");
+
+  RwHooks native;
+  native.rw_mode = [](void*) {
+    return static_cast<std::uint32_t>(RwMode::kReaderBias);
+  };
+  ASSERT_TRUE(concord.AttachNativeRw(id, native).ok());
+  neutral_bravo_.ReadLock();
+  neutral_bravo_.ReadUnlock();
+  const std::uint64_t fast_with_native = neutral_bravo_.fast_reads();
+  EXPECT_GT(fast_with_native, 0u);
+
+  // Replace with a BPF policy pinned to neutral: fast path stops.
+  auto policy = MakeRwSwitchPolicy(RwMode::kNeutral);
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(concord.Attach(id, std::move(policy->spec)).ok());
+  for (int i = 0; i < 5; ++i) {
+    neutral_bravo_.ReadLock();
+    neutral_bravo_.ReadUnlock();
+  }
+  EXPECT_EQ(neutral_bravo_.fast_reads(), fast_with_native);
+}
+
+TEST_F(RwAttachTest, UnregisterInvalidIdsFail) {
+  Concord& concord = Concord::Global();
+  EXPECT_EQ(concord.Unregister(0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(concord.Unregister(12345).code(), StatusCode::kNotFound);
+  EXPECT_EQ(concord.Detach(12345).code(), StatusCode::kNotFound);
+  EXPECT_EQ(concord.EnableProfiling(12345).code(), StatusCode::kNotFound);
+  EXPECT_EQ(concord.DisableProfiling(12345).code(), StatusCode::kNotFound);
+  EXPECT_EQ(concord.Stats(12345), nullptr);
+}
+
+}  // namespace
+}  // namespace concord

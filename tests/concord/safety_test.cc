@@ -1,0 +1,162 @@
+#include "src/concord/safety.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/base/time.h"
+#include "src/concord/policies.h"
+#include "src/sync/shfllock.h"
+
+namespace concord {
+namespace {
+
+class SafetyTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Concord::Global().ResetForTest(); }
+
+  ShflLock lock_;
+};
+
+// Sleeps until pred or ~10s.
+template <typename Pred>
+bool Await(Pred pred) {
+  const std::uint64_t deadline = MonotonicNowNs() + 10'000'000'000ull;
+  while (!pred()) {
+    if (MonotonicNowNs() > deadline) {
+      return false;
+    }
+    timespec ts{0, 1'000'000};
+    nanosleep(&ts, nullptr);
+  }
+  return true;
+}
+
+TEST_F(SafetyTest, WatchEnablesProfiling) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+  FairnessWatchdog watchdog;
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+  EXPECT_NE(concord.Stats(id), nullptr);
+}
+
+TEST_F(SafetyTest, WatchUnknownLockFails) {
+  FairnessWatchdog watchdog;
+  EXPECT_EQ(watchdog.Watch(9999).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SafetyTest, NoViolationUnderNormalOperation) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+  FairnessWatchdog watchdog;
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+  for (int i = 0; i < 100; ++i) {
+    ShflGuard guard(lock_);
+  }
+  EXPECT_TRUE(watchdog.CheckOnce().empty());
+  EXPECT_TRUE(watchdog.violations().empty());
+}
+
+TEST_F(SafetyTest, DetectsStarvationGradeWaitAndDetaches) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+
+  // Attach some policy so there is something to auto-detach.
+  auto policy = MakeNumaGroupingPolicy();
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(concord.Attach(id, std::move(policy->spec)).ok());
+
+  WatchdogConfig config;
+  config.max_wait_ns = 10'000'000;  // 10ms counts as starvation for the test
+  config.auto_detach = true;
+  FairnessWatchdog watchdog(config);
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+
+  // Manufacture a starved waiter: hold the lock for 30ms while one thread
+  // waits; its completed acquisition lands in the wait histogram.
+  std::atomic<bool> acquired{false};
+  lock_.Lock();
+  std::thread victim([&] {
+    lock_.Lock();
+    acquired.store(true);
+    lock_.Unlock();
+  });
+  const LockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  timespec ts{0, 30'000'000};
+  nanosleep(&ts, nullptr);
+  lock_.Unlock();
+  victim.join();
+  ASSERT_TRUE(acquired.load());
+
+  const auto fresh = watchdog.CheckOnce();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].lock_id, id);
+  EXPECT_EQ(fresh[0].kind, FairnessWatchdog::ViolationKind::kMaxWaitExceeded);
+  EXPECT_GE(fresh[0].observed_ns, 10'000'000u);
+  EXPECT_TRUE(fresh[0].detached);
+
+  // The policy was detached; profiling hooks remain (stats still collected).
+  EXPECT_EQ(watchdog.violations().size(), 1u);
+  // A second check without new starvation does not re-flag the same max.
+  EXPECT_TRUE(watchdog.CheckOnce().empty());
+}
+
+TEST_F(SafetyTest, BackgroundPollerCatchesViolations) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+  WatchdogConfig config;
+  config.max_wait_ns = 5'000'000;
+  config.poll_interval_ms = 2;
+  config.auto_detach = false;
+  FairnessWatchdog watchdog(config);
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+  watchdog.Start();
+
+  std::atomic<bool> acquired{false};
+  lock_.Lock();
+  std::thread victim([&] {
+    lock_.Lock();
+    acquired.store(true);
+    lock_.Unlock();
+  });
+  const LockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  timespec ts{0, 20'000'000};
+  nanosleep(&ts, nullptr);
+  lock_.Unlock();
+  victim.join();
+  ASSERT_TRUE(acquired.load());
+
+  EXPECT_TRUE(Await([&] { return !watchdog.violations().empty(); }));
+  watchdog.Stop();
+  ASSERT_FALSE(watchdog.violations().empty());
+  EXPECT_FALSE(watchdog.violations()[0].detached);
+}
+
+TEST_F(SafetyTest, UnwatchStopsDetection) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+  WatchdogConfig config;
+  config.max_wait_ns = 1;  // everything is a violation
+  FairnessWatchdog watchdog(config);
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+  watchdog.Unwatch(id);
+
+  std::atomic<bool> acquired{false};
+  lock_.Lock();
+  std::thread victim([&] {
+    lock_.Lock();
+    acquired.store(true);
+    lock_.Unlock();
+  });
+  const LockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  lock_.Unlock();
+  victim.join();
+  EXPECT_TRUE(watchdog.CheckOnce().empty());
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,103 @@
+// Tests for the proc-lock table (lock2) and global-lock hash table (fig 2c)
+// substrates.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/kernelsim/hashtable.h"
+#include "src/kernelsim/proc_locks.h"
+#include "src/sync/shfllock.h"
+#include "src/sync/ticket_lock.h"
+
+namespace concord {
+namespace {
+
+TEST(ProcLockTableTest, LockUnlockSemantics) {
+  ProcLockTable<TicketLock> table(8);
+  EXPECT_TRUE(table.FileLock(3, /*owner=*/1));
+  EXPECT_FALSE(table.FileLock(3, /*owner=*/2));  // already held
+  EXPECT_FALSE(table.FileUnlock(3, /*owner=*/2));  // wrong owner
+  EXPECT_TRUE(table.FileUnlock(3, /*owner=*/1));
+  EXPECT_TRUE(table.FileLock(3, /*owner=*/2));  // free again
+  EXPECT_TRUE(table.FileUnlock(3, 2));
+  EXPECT_EQ(table.live_locks(), 0u);
+}
+
+TEST(ProcLockTableTest, Lock2CycleUnderContention) {
+  ProcLockTable<ShflLock> table(64);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kIters; ++i) {
+        table.LockUnlockCycle(static_cast<std::uint32_t>(t),
+                              static_cast<std::uint32_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(table.live_locks(), 0u);
+}
+
+TEST(HashTableTest, InsertLookupErase) {
+  GlobalLockHashTable<TicketLock> table(8);
+  EXPECT_TRUE(table.Insert(1, 100));
+  EXPECT_FALSE(table.Insert(1, 200));  // duplicate
+  std::uint64_t value = 0;
+  EXPECT_TRUE(table.Lookup(1, &value));
+  EXPECT_EQ(value, 100u);
+  EXPECT_FALSE(table.Lookup(2, &value));
+  EXPECT_TRUE(table.Erase(1));
+  EXPECT_FALSE(table.Erase(1));
+  EXPECT_EQ(table.Size(), 0u);
+}
+
+TEST(HashTableTest, ManyKeysAcrossBuckets) {
+  GlobalLockHashTable<TicketLock> table(4);  // force chains
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(table.Insert(k, k * 3));
+  }
+  EXPECT_EQ(table.Size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    std::uint64_t value = 0;
+    ASSERT_TRUE(table.Lookup(k, &value));
+    EXPECT_EQ(value, k * 3);
+  }
+  for (std::uint64_t k = 0; k < 1000; k += 2) {
+    ASSERT_TRUE(table.Erase(k));
+  }
+  EXPECT_EQ(table.Size(), 500u);
+}
+
+TEST(HashTableTest, ConcurrentMixedWorkloadKeepsConsistency) {
+  GlobalLockHashTable<ShflLock> table(10);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      // Disjoint key ranges per thread; interleaved ops on the shared lock.
+      const std::uint64_t base = static_cast<std::uint64_t>(t) << 32;
+      for (std::uint64_t i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(table.Insert(base + i, i));
+        std::uint64_t value = 0;
+        ASSERT_TRUE(table.Lookup(base + i, &value));
+        ASSERT_EQ(value, i);
+        if (i % 2 == 0) {
+          ASSERT_TRUE(table.Erase(base + i));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(table.Size(), static_cast<std::uint64_t>(kThreads) * 1000);
+}
+
+}  // namespace
+}  // namespace concord

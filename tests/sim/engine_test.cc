@@ -1,0 +1,197 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/memory.h"
+#include "src/sim/task.h"
+
+namespace concord {
+namespace {
+
+TEST(SimEngineTest, DelayAdvancesVirtualTime) {
+  SimEngine engine;
+  std::uint64_t observed = 0;
+  auto body = [](SimEngine& eng, std::uint64_t* out) -> SimTask<> {
+    co_await eng.Delay(100);
+    *out = eng.now();
+    co_await eng.Delay(50);
+    *out = eng.now();
+  };
+  engine.Spawn(0, body(engine, &observed));
+  engine.Run(1'000);
+  EXPECT_EQ(observed, 150u);
+  EXPECT_EQ(engine.now(), 1'000u);
+}
+
+TEST(SimEngineTest, RunStopsAtTimeLimit) {
+  SimEngine engine;
+  std::uint64_t steps = 0;
+  auto body = [](SimEngine& eng, std::uint64_t* out) -> SimTask<> {
+    while (true) {
+      co_await eng.Delay(10);
+      ++*out;
+    }
+  };
+  engine.Spawn(0, body(engine, &steps));
+  engine.Run(100);
+  EXPECT_EQ(steps, 10u);
+}
+
+TEST(SimEngineTest, VthreadsInterleaveDeterministically) {
+  SimEngine engine;
+  std::vector<int> order;
+  auto body = [](SimEngine& eng, std::vector<int>* log, int id,
+                 std::uint64_t delay) -> SimTask<> {
+    co_await eng.Delay(delay);
+    log->push_back(id);
+  };
+  engine.Spawn(0, body(engine, &order, 1, 30));
+  engine.Spawn(1, body(engine, &order, 2, 10));
+  engine.Spawn(2, body(engine, &order, 3, 20));
+  engine.Run(100);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(SimEngineTest, CurrentCpuTracksSpawnedCpu) {
+  SimEngine engine;
+  std::uint32_t seen_cpu = 999;
+  std::uint32_t seen_socket = 999;
+  auto body = [](SimEngine& eng, std::uint32_t* cpu,
+                 std::uint32_t* socket) -> SimTask<> {
+    co_await eng.Delay(5);
+    *cpu = eng.current_cpu();
+    *socket = eng.current_socket();
+  };
+  engine.Spawn(25, body(engine, &seen_cpu, &seen_socket));
+  engine.Run(100);
+  EXPECT_EQ(seen_cpu, 25u);
+  EXPECT_EQ(seen_socket, 2u);  // 25 / 10 cores per socket
+}
+
+TEST(SimEngineTest, DestroyingEngineWithSuspendedVthreadsIsSafe) {
+  auto engine = std::make_unique<SimEngine>();
+  auto body = [](SimEngine& eng) -> SimTask<> {
+    while (true) {
+      co_await eng.Delay(1000);
+    }
+  };
+  engine->Spawn(0, body(*engine));
+  engine->Run(5000);
+  engine.reset();  // must not leak or crash (ASan would flag leaks)
+  SUCCEED();
+}
+
+TEST(SimWordTest, LoadStoreRoundTrip) {
+  SimEngine engine;
+  std::uint64_t loaded = 0;
+  auto body = [](SimEngine&, SimWord& word, std::uint64_t* out) -> SimTask<> {
+    co_await word.Store(42);
+    *out = co_await word.Load();
+  };
+  SimWord word(engine);
+  engine.Spawn(0, body(engine, word, &loaded));
+  engine.Run(10'000);
+  EXPECT_EQ(loaded, 42u);
+  EXPECT_EQ(word.PeekValue(), 42u);
+}
+
+TEST(SimWordTest, FetchAddAndCas) {
+  SimEngine engine;
+  std::uint64_t old1 = 0, cas_ok = 0, cas_fail = 1;
+  auto body = [](SimEngine&, SimWord& word, std::uint64_t* o1, std::uint64_t* ok,
+                 std::uint64_t* fail) -> SimTask<> {
+    *o1 = co_await word.FetchAdd(5);     // 0 -> 5
+    *ok = co_await word.CompareExchange(5, 9);
+    *fail = co_await word.CompareExchange(5, 11);
+  };
+  SimWord word(engine);
+  engine.Spawn(0, body(engine, word, &old1, &cas_ok, &cas_fail));
+  engine.Run(10'000);
+  EXPECT_EQ(old1, 0u);
+  EXPECT_EQ(cas_ok, 1u);
+  EXPECT_EQ(cas_fail, 0u);
+  EXPECT_EQ(word.PeekValue(), 9u);
+}
+
+TEST(SimWordTest, RemoteAccessCostsMoreThanLocal) {
+  SimEngine engine;
+  std::uint64_t local_cost = 0, remote_cost = 0;
+
+  auto writer = [](SimEngine& eng, SimWord& word, std::uint64_t* cost) -> SimTask<> {
+    co_await word.Store(1);
+    const std::uint64_t t0 = eng.now();
+    co_await word.Store(2);  // second store: we own the line
+    *cost = eng.now() - t0;
+  };
+  auto remote_reader = [](SimEngine& eng, SimWord& word,
+                          std::uint64_t* cost) -> SimTask<> {
+    co_await eng.Delay(1000);  // after the writer owns the line
+    const std::uint64_t t0 = eng.now();
+    co_await word.Load();
+    *cost = eng.now() - t0;
+  };
+  SimWord word(engine);
+  engine.Spawn(0, writer(engine, word, &local_cost));
+  engine.Spawn(70, remote_reader(engine, word, &remote_cost));  // socket 7
+  engine.Run(100'000);
+  EXPECT_EQ(local_cost, engine.config().local_hit_ns);
+  EXPECT_EQ(remote_cost, engine.config().remote_ns);
+}
+
+TEST(SimWordTest, SpinUntilWakesOnMutation) {
+  SimEngine engine;
+  std::uint64_t woke_at = 0;
+  auto waiter = [](SimEngine& eng, SimWord& word, std::uint64_t* out) -> SimTask<> {
+    co_await word.SpinUntil([](std::uint64_t v) { return v == 7; });
+    *out = eng.now();
+  };
+  auto setter = [](SimEngine& eng, SimWord& word) -> SimTask<> {
+    co_await eng.Delay(500);
+    co_await word.Store(7);
+  };
+  SimWord word(engine);
+  engine.Spawn(0, waiter(engine, word, &woke_at));
+  engine.Spawn(1, setter(engine, word));
+  engine.Run(100'000);
+  EXPECT_GT(woke_at, 500u);   // woke only after the store
+  EXPECT_LT(woke_at, 2'000u); // and promptly (no polling)
+}
+
+TEST(SimWordTest, SpinWakeChargesPerWaiterLineTransfers) {
+  // With k spinners on one line, the last-woken waiter pays ~k transfers —
+  // the non-scalability mechanism for centralized locks.
+  constexpr int kWaiters = 10;
+  SimEngine engine;
+  std::vector<std::uint64_t> wake_times(kWaiters, 0);
+  auto waiter = [](SimEngine& eng, SimWord& word, std::uint64_t* out) -> SimTask<> {
+    co_await word.SpinUntil([](std::uint64_t v) { return v == 1; });
+    *out = eng.now();
+  };
+  auto setter = [](SimEngine& eng, SimWord& word) -> SimTask<> {
+    co_await eng.Delay(100);
+    co_await word.Store(1);
+  };
+  SimWord word(engine);
+  for (int i = 0; i < kWaiters; ++i) {
+    engine.Spawn(i, waiter(engine, word, &wake_times[i]));
+  }
+  engine.Spawn(79, setter(engine, word));
+  engine.Run(1'000'000);
+  std::uint64_t min_wake = ~0ull, max_wake = 0;
+  for (std::uint64_t t : wake_times) {
+    ASSERT_GT(t, 0u);
+    min_wake = std::min(min_wake, t);
+    max_wake = std::max(max_wake, t);
+  }
+  // The spread must cover at least (kWaiters-1) same-socket transfers.
+  EXPECT_GE(max_wake - min_wake,
+            (kWaiters - 1) * engine.config().same_socket_ns);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,325 @@
+#include "src/sim/locks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/concord/policies.h"
+#include "src/sim/workloads.h"
+
+namespace concord {
+namespace {
+
+// Generic mutual-exclusion probe: N vthreads hammer lock/unlock around a
+// non-atomic counter and an inside-flag.
+template <typename LockT, typename LockFn, typename UnlockFn>
+void RunExclusionProbe(SimEngine& engine, LockT& lock, LockFn do_lock,
+                       UnlockFn do_unlock, int threads, int iters,
+                       std::uint64_t* counter, bool* violated) {
+  auto worker = [](SimEngine& eng, LockT& l, LockFn lk, UnlockFn ul, int n,
+                   std::uint64_t* c, bool* bad, int* inside) -> SimTask<> {
+    for (int i = 0; i < n; ++i) {
+      auto token = co_await lk(l);
+      if (++*inside != 1) {
+        *bad = true;
+      }
+      co_await eng.Delay(20);
+      --*inside;
+      *c += 1;
+      co_await ul(l, token);
+      co_await eng.Delay(10);
+    }
+  };
+  auto inside = std::make_unique<int>(0);
+  for (int t = 0; t < threads; ++t) {
+    engine.Spawn(t, worker(engine, lock, do_lock, do_unlock, iters, counter,
+                           violated, inside.get()));
+  }
+  engine.Run(~0ull >> 1);
+}
+
+TEST(SimLockTest, TicketLockMutualExclusion) {
+  SimEngine engine;
+  SimTicketLock lock(engine);
+  std::uint64_t counter = 0;
+  bool violated = false;
+  RunExclusionProbe(
+      engine, lock,
+      [](SimTicketLock& l) -> SimTask<std::uint64_t> {
+        co_await l.Lock();
+        co_return 0;
+      },
+      [](SimTicketLock& l, std::uint64_t) -> SimTask<> { co_await l.Unlock(); },
+      8, 50, &counter, &violated);
+  EXPECT_EQ(counter, 8u * 50u);
+  EXPECT_FALSE(violated);
+}
+
+TEST(SimLockTest, McsLockMutualExclusion) {
+  SimEngine engine;
+  SimMcsLock lock(engine);
+  std::uint64_t counter = 0;
+  bool violated = false;
+  RunExclusionProbe(
+      engine, lock,
+      [](SimMcsLock& l) -> SimTask<std::uint64_t> { co_return co_await l.Lock(); },
+      [](SimMcsLock& l, std::uint64_t token) -> SimTask<> {
+        co_await l.Unlock(token);
+      },
+      8, 50, &counter, &violated);
+  EXPECT_EQ(counter, 8u * 50u);
+  EXPECT_FALSE(violated);
+}
+
+TEST(SimLockTest, CnaLockMutualExclusion) {
+  SimEngine engine;
+  SimCnaLock lock(engine);
+  std::uint64_t counter = 0;
+  bool violated = false;
+  RunExclusionProbe(
+      engine, lock,
+      [](SimCnaLock& l) -> SimTask<std::uint64_t> { co_return co_await l.Lock(); },
+      [](SimCnaLock& l, std::uint64_t token) -> SimTask<> {
+        co_await l.Unlock(token);
+      },
+      8, 50, &counter, &violated);
+  EXPECT_EQ(counter, 8u * 50u);
+  EXPECT_FALSE(violated);
+}
+
+TEST(SimLockTest, CnaCrossSocketExclusionAndCompletion) {
+  // 16 vthreads scattered over 4 sockets; every op must complete (no waiter
+  // stranded on the secondary queue).
+  SimEngine engine;
+  SimCnaLock lock(engine);
+  std::uint64_t counter = 0;
+  auto worker = [](SimEngine& eng, SimCnaLock& l, std::uint64_t* c) -> SimTask<> {
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t token = co_await l.Lock();
+      co_await eng.Delay(30);
+      *c += 1;
+      co_await l.Unlock(token);
+      co_await eng.Delay(10);
+    }
+  };
+  for (int t = 0; t < 16; ++t) {
+    engine.Spawn((t % 4) * 10 + t / 4, worker(engine, lock, &counter));
+  }
+  engine.Run(~0ull >> 1);
+  EXPECT_EQ(counter, 16u * 50u);
+}
+
+TEST(SimLockTest, ShflLockMutualExclusion) {
+  SimEngine engine;
+  SimShflLock lock(engine, SimPolicy::Builtin());
+  std::uint64_t counter = 0;
+  bool violated = false;
+  RunExclusionProbe(
+      engine, lock,
+      [](SimShflLock& l) -> SimTask<std::uint64_t> {
+        co_await l.Lock();
+        co_return 0;
+      },
+      [](SimShflLock& l, std::uint64_t) -> SimTask<> { co_await l.Unlock(); },
+      8, 50, &counter, &violated);
+  EXPECT_EQ(counter, 8u * 50u);
+  EXPECT_FALSE(violated);
+}
+
+TEST(SimLockTest, ShflLockShufflesAcrossSockets) {
+  SimEngine engine;
+  SimShflLock lock(engine, SimPolicy::Builtin());
+  std::uint64_t counter = 0;
+  bool violated = false;
+  // 16 threads across sockets 0 and 1 (cpus 0..7 and 10..17).
+  auto worker = [](SimEngine& eng, SimShflLock& l, std::uint64_t* c,
+                   bool* bad) -> SimTask<> {
+    (void)bad;
+    for (int i = 0; i < 40; ++i) {
+      co_await l.Lock();
+      co_await eng.Delay(50);
+      *c += 1;
+      co_await l.Unlock();
+      co_await eng.Delay(10);
+    }
+  };
+  for (int t = 0; t < 16; ++t) {
+    const std::uint32_t cpu = (t % 2 == 0) ? t / 2 : 10 + t / 2;
+    engine.Spawn(cpu, worker(engine, lock, &counter, &violated));
+  }
+  engine.Run(~0ull >> 1);
+  EXPECT_EQ(counter, 16u * 40u);
+  EXPECT_GT(lock.shuffle_moves(), 0u);
+}
+
+TEST(SimLockTest, NeutralRwReadersShareWritersExclude) {
+  SimEngine engine;
+  SimNeutralRwLock lock(engine);
+  int readers_inside = 0;
+  int max_readers = 0;
+  bool violated = false;
+
+  auto reader = [](SimEngine& eng, SimNeutralRwLock& l, int* inside, int* maxr,
+                   bool* bad) -> SimTask<> {
+    for (int i = 0; i < 30; ++i) {
+      co_await l.ReadLock();
+      ++*inside;
+      *maxr = std::max(*maxr, *inside);
+      co_await eng.Delay(200);
+      --*inside;
+      co_await l.ReadUnlock();
+      (void)bad;
+    }
+  };
+  auto writer = [](SimEngine& eng, SimNeutralRwLock& l, int* inside,
+                   bool* bad) -> SimTask<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await l.WriteLock();
+      if (*inside != 0) {
+        *bad = true;
+      }
+      co_await eng.Delay(100);
+      co_await l.WriteUnlock();
+      co_await eng.Delay(500);
+    }
+  };
+  for (int t = 0; t < 6; ++t) {
+    engine.Spawn(t, reader(engine, lock, &readers_inside, &max_readers, &violated));
+  }
+  engine.Spawn(70, writer(engine, lock, &readers_inside, &violated));
+  engine.Run(~0ull >> 1);
+  EXPECT_FALSE(violated);
+  EXPECT_GE(max_readers, 2);  // read sharing actually happened
+}
+
+TEST(SimLockTest, BravoFastPathAndRevocation) {
+  SimEngine engine;
+  SimBravoLock lock(engine, SimPolicy::Builtin());
+  bool violated = false;
+  int inside_writers = 0;
+
+  auto reader = [](SimEngine& eng, SimBravoLock& l) -> SimTask<> {
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t token = co_await l.ReadLock();
+      co_await eng.Delay(100);
+      co_await l.ReadUnlock(token);
+      co_await eng.Delay(20);
+    }
+  };
+  auto writer = [](SimEngine& eng, SimBravoLock& l, int* inside,
+                   bool* bad) -> SimTask<> {
+    co_await eng.Delay(2'000);
+    for (int i = 0; i < 5; ++i) {
+      co_await l.WriteLock();
+      if (++*inside != 1) {
+        *bad = true;
+      }
+      co_await eng.Delay(100);
+      --*inside;
+      co_await l.WriteUnlock();
+      co_await eng.Delay(3'000);
+    }
+  };
+  for (int t = 0; t < 8; ++t) {
+    engine.Spawn(t, reader(engine, lock));
+  }
+  engine.Spawn(40, writer(engine, lock, &inside_writers, &violated));
+  engine.Run(~0ull >> 1);
+  EXPECT_FALSE(violated);
+  EXPECT_GE(lock.revocations(), 1u);
+}
+
+// --- scalability-shape properties (the reason the simulator exists) ---------
+
+TEST(SimShapeTest, TicketLockCollapsesQueueLockDoesNot) {
+  Lock2Params params;
+  params.duration_ns = 2'000'000;
+
+  params.threads = 2;
+  const double ticket_2 = SimLock2(Lock2Flavor::kStockTicket, params).ops_per_msec;
+  const double mcs_2 = SimLock2(Lock2Flavor::kMcs, params).ops_per_msec;
+
+  params.threads = 64;
+  const double ticket_64 = SimLock2(Lock2Flavor::kStockTicket, params).ops_per_msec;
+  const double mcs_64 = SimLock2(Lock2Flavor::kMcs, params).ops_per_msec;
+
+  // Ticket collapses with waiter count; MCS stays roughly flat.
+  EXPECT_LT(ticket_64, ticket_2 * 0.5);
+  EXPECT_GT(mcs_64, ticket_64 * 2);
+  EXPECT_GT(mcs_64, mcs_2 * 0.4);  // MCS itself does not collapse
+}
+
+TEST(SimShapeTest, ShflLockBeatsStockAtHighThreadCounts) {
+  Lock2Params params;
+  params.duration_ns = 2'000'000;
+  params.threads = 64;
+  const double stock = SimLock2(Lock2Flavor::kStockTicket, params).ops_per_msec;
+  const double shfl = SimLock2(Lock2Flavor::kShflLock, params).ops_per_msec;
+  EXPECT_GT(shfl, stock * 2);
+}
+
+TEST(SimShapeTest, CnaBeatsFifoAtHighThreadCounts) {
+  Lock2Params params;
+  params.duration_ns = 2'000'000;
+  params.threads = 64;
+  const double mcs = SimLock2(Lock2Flavor::kMcs, params).ops_per_msec;
+  const double cna = SimLock2(Lock2Flavor::kCna, params).ops_per_msec;
+  EXPECT_GT(cna, mcs * 1.2);
+}
+
+TEST(SimShapeTest, ConcordShflLockMatchesShflLock) {
+  auto numa = MakeNumaGroupingPolicy();
+  ASSERT_TRUE(numa.ok());
+  ASSERT_TRUE(numa->spec.VerifyAll().ok());
+  const Program* cmp = &numa->spec.ChainFor(HookKind::kCmpNode).programs.front();
+
+  Lock2Params params;
+  params.duration_ns = 2'000'000;
+  params.threads = 40;
+  params.cmp_program = cmp;
+  const double shfl = SimLock2(Lock2Flavor::kShflLock, params).ops_per_msec;
+  const double concord =
+      SimLock2(Lock2Flavor::kConcordShflLock, params).ops_per_msec;
+  // The paper's claim: negligible overhead (cmp_node runs off critical path).
+  EXPECT_GT(concord, shfl * 0.9);
+}
+
+TEST(SimShapeTest, BravoScalesReadersStockDoesNot) {
+  PageFaultParams params;
+  params.duration_ns = 2'000'000;
+  params.writes_per_1024 = 0;  // pure readers to isolate the mechanism
+
+  params.threads = 4;
+  const double stock_4 =
+      SimPageFault(PageFaultFlavor::kStockNeutral, params).ops_per_msec;
+  const double bravo_4 = SimPageFault(PageFaultFlavor::kBravo, params).ops_per_msec;
+
+  params.threads = 64;
+  const double stock_64 =
+      SimPageFault(PageFaultFlavor::kStockNeutral, params).ops_per_msec;
+  const double bravo_64 =
+      SimPageFault(PageFaultFlavor::kBravo, params).ops_per_msec;
+
+  EXPECT_GT(bravo_64, bravo_4 * 4);      // BRAVO keeps scaling
+  EXPECT_LT(stock_64, stock_4 * 4);      // stock saturates on the lock line
+  EXPECT_GT(bravo_64, stock_64 * 2);     // and BRAVO wins outright
+}
+
+TEST(SimShapeTest, ConcordHooksWorstCaseOverheadBounded) {
+  HashParams params;
+  params.duration_ns = 2'000'000;
+  params.threads = 4;
+  const double base = SimHashTable(HashFlavor::kShflLock, params).ops_per_msec;
+  const double hooked =
+      SimHashTable(HashFlavor::kConcordEmptyHooks, params).ops_per_msec;
+  const double ratio = hooked / base;
+  // Paper: up to ~20% worst-case slowdown with hooks attached and no
+  // userspace code; must not be catastrophically worse, nor free.
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.02);
+}
+
+}  // namespace
+}  // namespace concord

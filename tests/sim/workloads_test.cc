@@ -1,0 +1,107 @@
+// Tests for the simulated will-it-scale drivers: determinism (bit-identical
+// reruns), sanity of the flavour relationships, and parameter monotonicity.
+
+#include "src/sim/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/concord/policies.h"
+
+namespace concord {
+namespace {
+
+TEST(SimWorkloadTest, Lock2IsDeterministic) {
+  Lock2Params params;
+  params.threads = 12;
+  params.duration_ns = 1'000'000;
+  const SimRunResult a = SimLock2(Lock2Flavor::kShflLock, params);
+  const SimRunResult b = SimLock2(Lock2Flavor::kShflLock, params);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(SimWorkloadTest, PageFaultIsDeterministic) {
+  PageFaultParams params;
+  params.threads = 12;
+  params.duration_ns = 1'000'000;
+  const SimRunResult a = SimPageFault(PageFaultFlavor::kBravo, params);
+  const SimRunResult b = SimPageFault(PageFaultFlavor::kBravo, params);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(SimWorkloadTest, HashTableIsDeterministic) {
+  HashParams params;
+  params.threads = 8;
+  params.duration_ns = 1'000'000;
+  const SimRunResult a = SimHashTable(HashFlavor::kShflLock, params);
+  const SimRunResult b = SimHashTable(HashFlavor::kShflLock, params);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+}
+
+TEST(SimWorkloadTest, SingleThreadMakesProgressOnEveryFlavor) {
+  Lock2Params lock2;
+  lock2.threads = 1;
+  lock2.duration_ns = 500'000;
+  EXPECT_GT(SimLock2(Lock2Flavor::kStockTicket, lock2).total_ops, 100u);
+  EXPECT_GT(SimLock2(Lock2Flavor::kMcs, lock2).total_ops, 100u);
+  EXPECT_GT(SimLock2(Lock2Flavor::kShflLock, lock2).total_ops, 100u);
+
+  PageFaultParams pf;
+  pf.threads = 1;
+  pf.duration_ns = 500'000;
+  EXPECT_GT(SimPageFault(PageFaultFlavor::kStockNeutral, pf).total_ops, 100u);
+  EXPECT_GT(SimPageFault(PageFaultFlavor::kBravo, pf).total_ops, 100u);
+  EXPECT_GT(SimPageFault(PageFaultFlavor::kBravoFixedBias, pf).total_ops, 100u);
+}
+
+TEST(SimWorkloadTest, LongerCriticalSectionsLowerThroughput) {
+  Lock2Params fast;
+  fast.threads = 8;
+  fast.duration_ns = 1'000'000;
+  fast.cs_ns = 100;
+  Lock2Params slow = fast;
+  slow.cs_ns = 2'000;
+  EXPECT_GT(SimLock2(Lock2Flavor::kShflLock, fast).total_ops,
+            SimLock2(Lock2Flavor::kShflLock, slow).total_ops);
+}
+
+TEST(SimWorkloadTest, MoreWritesLowerReadMostlyThroughput) {
+  PageFaultParams read_only;
+  read_only.threads = 16;
+  read_only.duration_ns = 1'000'000;
+  read_only.writes_per_1024 = 0;
+  PageFaultParams write_heavy = read_only;
+  write_heavy.writes_per_1024 = 128;
+  EXPECT_GT(SimPageFault(PageFaultFlavor::kBravo, read_only).total_ops,
+            SimPageFault(PageFaultFlavor::kBravo, write_heavy).total_ops);
+}
+
+TEST(SimWorkloadTest, ConcordBpfRunsTheRealProgram) {
+  // The Concord flavour must still work when driven by the actual verified
+  // NUMA program (not just native fallbacks).
+  auto numa = MakeNumaGroupingPolicy();
+  ASSERT_TRUE(numa.ok());
+  ASSERT_TRUE(numa->spec.VerifyAll().ok());
+  Lock2Params params;
+  params.threads = 16;
+  params.duration_ns = 1'000'000;
+  params.cmp_program = &numa->spec.ChainFor(HookKind::kCmpNode).programs.front();
+  const SimRunResult result = SimLock2(Lock2Flavor::kConcordShflLock, params);
+  EXPECT_GT(result.total_ops, 100u);
+}
+
+TEST(SimWorkloadTest, EmptyHooksCostSomethingButNotEverything) {
+  HashParams params;
+  params.threads = 2;
+  params.duration_ns = 1'000'000;
+  const double base =
+      static_cast<double>(SimHashTable(HashFlavor::kShflLock, params).total_ops);
+  const double hooked = static_cast<double>(
+      SimHashTable(HashFlavor::kConcordEmptyHooks, params).total_ops);
+  EXPECT_LT(hooked, base * 1.01);
+  EXPECT_GT(hooked, base * 0.6);
+}
+
+}  // namespace
+}  // namespace concord

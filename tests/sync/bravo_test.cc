@@ -1,0 +1,182 @@
+#include "src/sync/bravo.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/rcu/rcu.h"
+
+namespace concord {
+namespace {
+
+TEST(BravoTest, NeutralModeNeverUsesFastPath) {
+  BravoLock<NeutralRwLock> lock;  // default mode is kNeutral
+  for (int i = 0; i < 100; ++i) {
+    lock.ReadLock();
+    lock.ReadUnlock();
+  }
+  EXPECT_EQ(lock.fast_reads(), 0u);
+  EXPECT_EQ(lock.slow_reads(), 100u);
+}
+
+TEST(BravoTest, ReaderBiasEngagesFastPath) {
+  BravoLock<NeutralRwLock> lock;
+  lock.SetDefaultMode(RwMode::kReaderBias);
+  for (int i = 0; i < 100; ++i) {
+    lock.ReadLock();
+    lock.ReadUnlock();
+  }
+  EXPECT_GT(lock.fast_reads(), 0u);
+  EXPECT_TRUE(lock.bias_active());
+}
+
+TEST(BravoTest, WriterRevokesBias) {
+  BravoLock<NeutralRwLock> lock;
+  lock.SetDefaultMode(RwMode::kReaderBias);
+  lock.ReadLock();
+  lock.ReadUnlock();
+  ASSERT_TRUE(lock.bias_active());
+
+  lock.WriteLock();
+  lock.WriteUnlock();
+  EXPECT_FALSE(lock.bias_active());
+  EXPECT_EQ(lock.revocations(), 1u);
+}
+
+TEST(BravoTest, BiasReenablesAfterInhibitWindow) {
+  BravoLock<NeutralRwLock> lock;
+  lock.SetDefaultMode(RwMode::kReaderBias);
+  lock.ReadLock();
+  lock.ReadUnlock();
+  lock.WriteLock();
+  lock.WriteUnlock();
+  ASSERT_FALSE(lock.bias_active());
+  // The inhibit window is proportional to the (tiny) revocation cost; after
+  // a generous sleep a read re-arms the bias.
+  BurnNs(5'000'000);
+  lock.ReadLock();
+  lock.ReadUnlock();
+  EXPECT_TRUE(lock.bias_active());
+}
+
+TEST(BravoTest, WriterOnlyModeSerializesReaders) {
+  BravoLock<NeutralRwLock> lock;
+  lock.SetDefaultMode(RwMode::kWriterOnly);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 300; ++i) {
+        lock.ReadLock();  // takes the write path in this mode
+        if (inside.fetch_add(1) != 0) {
+          overlapped.store(true);
+        }
+        inside.fetch_sub(1);
+        lock.ReadUnlock();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(BravoTest, RwModeHookSwitchesRegimesLive) {
+  BravoLock<NeutralRwLock> lock;
+  static std::atomic<std::uint32_t> mode{
+      static_cast<std::uint32_t>(RwMode::kNeutral)};
+  auto hooks = std::make_unique<RwHooks>();
+  hooks->rw_mode = [](void*) { return mode.load(); };
+  lock.InstallHooks(hooks.get());
+
+  lock.ReadLock();
+  lock.ReadUnlock();
+  EXPECT_EQ(lock.fast_reads(), 0u);
+
+  mode.store(static_cast<std::uint32_t>(RwMode::kReaderBias));
+  for (int i = 0; i < 10; ++i) {
+    lock.ReadLock();
+    lock.ReadUnlock();
+  }
+  EXPECT_GT(lock.fast_reads(), 0u);
+
+  lock.InstallHooks(nullptr);
+  Rcu::Global().Synchronize();
+}
+
+TEST(BravoTest, FastReadersBlockWriterUntilDrained) {
+  BravoLock<NeutralRwLock> lock;
+  lock.SetDefaultMode(RwMode::kReaderBias);
+  // Arm bias.
+  lock.ReadLock();
+  lock.ReadUnlock();
+
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release_reader{false};
+  std::atomic<bool> writer_done{false};
+
+  std::thread reader([&] {
+    lock.ReadLock();
+    reader_in.store(true);
+    while (!release_reader.load()) {
+      std::this_thread::yield();
+    }
+    EXPECT_FALSE(writer_done.load());  // writer must not finish while we read
+    lock.ReadUnlock();
+  });
+  while (!reader_in.load()) {
+    std::this_thread::yield();
+  }
+
+  std::thread writer([&] {
+    lock.WriteLock();
+    writer_done.store(true);
+    lock.WriteUnlock();
+  });
+  BurnNs(5'000'000);
+  EXPECT_FALSE(writer_done.load());
+  release_reader.store(true);
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST(BravoTest, MixedFastSlowReadersKeepCorrectness) {
+  BravoLock<NeutralRwLock> lock;
+  lock.SetDefaultMode(RwMode::kReaderBias);
+  std::uint64_t value = 0;
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if (t == 0 && i % 10 == 0) {
+          lock.WriteLock();
+          value += 1;  // only writer mutates
+          lock.WriteUnlock();
+        } else {
+          lock.ReadLock();
+          const std::uint64_t v1 = value;
+          const std::uint64_t v2 = value;
+          if (v1 != v2) {
+            torn.store(true);
+          }
+          lock.ReadUnlock();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(torn.load());
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,68 @@
+#include "src/sync/parking_lot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/base/time.h"
+
+namespace concord {
+namespace {
+
+TEST(ParkingLotTest, ParkReturnsImmediatelyOnValueMismatch) {
+  std::atomic<std::uint32_t> word{5};
+  const std::uint64_t start = MonotonicNowNs();
+  ParkingLot::Park(&word, 4);  // expected != actual => no sleep
+  EXPECT_LT(MonotonicNowNs() - start, 100'000'000ull);
+}
+
+TEST(ParkingLotTest, UnparkOneWakesParkedThread) {
+  std::atomic<std::uint32_t> word{1};
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    while (word.load() == 1) {
+      ParkingLot::Park(&word, 1);
+    }
+    woke.store(true);
+  });
+  BurnNs(5'000'000);
+  EXPECT_FALSE(woke.load());
+  word.store(0);
+  ParkingLot::UnparkOne(&word);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ParkingLotTest, UnparkAllWakesEveryone) {
+  std::atomic<std::uint32_t> word{1};
+  std::atomic<int> woke{0};
+  std::thread sleepers[3];
+  for (auto& t : sleepers) {
+    t = std::thread([&] {
+      while (word.load() == 1) {
+        ParkingLot::Park(&word, 1);
+      }
+      woke.fetch_add(1);
+    });
+  }
+  BurnNs(10'000'000);
+  word.store(0);
+  ParkingLot::UnparkAll(&word);
+  for (auto& t : sleepers) {
+    t.join();
+  }
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(ParkingLotTest, TimeoutExpires) {
+  std::atomic<std::uint32_t> word{1};
+  const std::uint64_t start = MonotonicNowNs();
+  ParkingLot::Park(&word, 1, /*timeout_ns=*/5'000'000);  // 5ms
+  const std::uint64_t elapsed = MonotonicNowNs() - start;
+  EXPECT_GE(elapsed, 4'000'000ull);
+  EXPECT_LT(elapsed, 5'000'000'000ull);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,177 @@
+#include "src/sync/phase_fair.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace concord {
+namespace {
+
+TEST(PhaseFairTest, UncontendedReadAndWrite) {
+  PhaseFairRwLock lock;
+  lock.ReadLock();
+  lock.ReadUnlock();
+  lock.WriteLock();
+  lock.WriteUnlock();
+  lock.ReadLock();
+  lock.ReadUnlock();
+}
+
+TEST(PhaseFairTest, ReadersShare) {
+  PhaseFairRwLock lock;
+  lock.ReadLock();
+  std::atomic<bool> second_entered{false};
+  std::thread other([&] {
+    lock.ReadLock();
+    second_entered.store(true);
+    lock.ReadUnlock();
+  });
+  other.join();  // must complete while we still hold our read lock
+  EXPECT_TRUE(second_entered.load());
+  lock.ReadUnlock();
+}
+
+TEST(PhaseFairTest, WriterExcludesEveryone) {
+  PhaseFairRwLock lock;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if ((t + i) % 3 == 0) {
+          lock.WriteLock();
+          if (inside.fetch_add(1) != 0) {
+            violated.store(true);
+          }
+          inside.fetch_sub(1);
+          lock.WriteUnlock();
+        } else {
+          lock.ReadLock();
+          if (inside.load() != 0) {
+            violated.store(true);  // reader overlapping a writer
+          }
+          lock.ReadUnlock();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(PhaseFairTest, WriteProtectedCounterExact) {
+  PhaseFairRwLock lock;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.WriteLock();
+        counter = counter + 1;
+        lock.WriteUnlock();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter, 20'000u);
+}
+
+TEST(PhaseFairTest, LateReaderDoesNotOvertakeWaitingWriter) {
+  // The phase-fair property's writer half: once a writer is waiting, readers
+  // arriving afterwards must not slip in ahead of it.
+  PhaseFairRwLock lock;
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> late_reader_entered{false};
+
+  lock.ReadLock();  // hold a read phase open
+
+  std::thread writer([&] {
+    lock.WriteLock();
+    writer_done.store(true);
+    lock.WriteUnlock();
+  });
+  // Wait until the writer has published its presence bits.
+  const std::uint64_t deadline = MonotonicNowNs() + 10'000'000'000ull;
+  while (!lock.writer_present() && MonotonicNowNs() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(lock.writer_present());
+
+  std::thread late_reader([&] {
+    lock.ReadLock();
+    // By phase fairness the writer ran first.
+    EXPECT_TRUE(writer_done.load());
+    late_reader_entered.store(true);
+    lock.ReadUnlock();
+  });
+
+  BurnNs(5'000'000);
+  EXPECT_FALSE(late_reader_entered.load());  // blocked behind the writer
+  EXPECT_FALSE(writer_done.load());          // writer blocked on us
+
+  lock.ReadUnlock();
+  writer.join();
+  late_reader.join();
+  EXPECT_TRUE(late_reader_entered.load());
+}
+
+TEST(PhaseFairTest, ReaderPhaseSeparatesConsecutiveWriters) {
+  // The reader half: a reader that arrived while writer A was active (or
+  // waiting) enters before writer B that queued behind A — consecutive
+  // writers cannot monopolize the lock.
+  PhaseFairRwLock lock;
+  std::vector<std::string> order;
+  std::mutex order_mu;
+  auto log = [&](const char* who) {
+    std::lock_guard<std::mutex> guard(order_mu);
+    order.push_back(who);
+  };
+
+  lock.WriteLock();  // writer A active
+
+  // Sleeping poll so the other threads get CPU even on a 1-core host.
+  auto await = [&](auto pred) {
+    const std::uint64_t deadline = MonotonicNowNs() + 10'000'000'000ull;
+    while (!pred() && MonotonicNowNs() < deadline) {
+      timespec ts{0, 1'000'000};
+      nanosleep(&ts, nullptr);
+    }
+    ASSERT_TRUE(pred());
+  };
+
+  std::thread reader([&] {
+    lock.ReadLock();
+    log("reader");
+    lock.ReadUnlock();
+  });
+  await([&] { return lock.readers_arrived() == 1; });
+
+  std::thread writer_b([&] {
+    lock.WriteLock();
+    log("writerB");
+    lock.WriteUnlock();
+  });
+  await([&] { return lock.writers_arrived() == 2; });
+
+  lock.WriteUnlock();  // end writer A's phase
+  reader.join();
+  writer_b.join();
+
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "reader");  // reader phase between the two writers
+  EXPECT_EQ(order[1], "writerB");
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,112 @@
+#include "src/sync/seqlock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace concord {
+namespace {
+
+TEST(SeqLockTest, SequenceEvenWhenIdle) {
+  SeqLock lock;
+  EXPECT_EQ(lock.sequence() % 2, 0u);
+  const std::uint32_t snap = lock.ReadBegin();
+  EXPECT_FALSE(lock.ReadRetry(snap));
+}
+
+TEST(SeqLockTest, WriteBumpsSequenceTwice) {
+  SeqLock lock;
+  const std::uint32_t before = lock.sequence();
+  lock.WriteLock();
+  EXPECT_EQ(lock.sequence(), before + 1);  // odd: in progress
+  lock.WriteUnlock();
+  EXPECT_EQ(lock.sequence(), before + 2);  // even: stable
+}
+
+TEST(SeqLockTest, ReadDuringWriteRetries) {
+  SeqLock lock;
+  const std::uint32_t snap = lock.ReadBegin();
+  lock.WriteLock();
+  lock.WriteUnlock();
+  EXPECT_TRUE(lock.ReadRetry(snap));
+}
+
+TEST(SeqLockTest, TryWriteLockRespectsWriters) {
+  SeqLock lock;
+  ASSERT_TRUE(lock.TryWriteLock());
+  std::thread other([&lock] { EXPECT_FALSE(lock.TryWriteLock()); });
+  other.join();
+  lock.WriteUnlock();
+}
+
+TEST(SeqCountTest, ReadReturnsLastWrite) {
+  SeqCount<std::uint64_t> value(5);
+  EXPECT_EQ(value.Read(), 5u);
+  value.Write(9);
+  EXPECT_EQ(value.Read(), 9u);
+  value.Update([](std::uint64_t& v) { v *= 2; });
+  EXPECT_EQ(value.Read(), 18u);
+}
+
+TEST(SeqCountTest, ReadersNeverObserveTornMultiWordValues) {
+  // The classic seqlock victory condition: a two-word value whose halves
+  // must always match. Writers keep them consistent; any torn read would
+  // produce mismatched halves.
+  struct Pair {
+    std::uint64_t a;
+    std::uint64_t b;  // invariant: b == a * 3
+  };
+  SeqCount<Pair> value(Pair{0, 0});
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Pair p = value.Read();
+        if (p.b != p.a * 3) {
+          torn.store(true);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 20'000; ++i) {
+      value.Write(Pair{i, i * 3});
+    }
+    stop.store(true);
+  });
+  writer.join();
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_FALSE(torn.load());
+  const Pair final = value.Read();
+  EXPECT_EQ(final.a, 20'000u);
+}
+
+TEST(SeqLockTest, WritersAreMutuallyExclusive) {
+  SeqLock lock;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        lock.WriteLock();
+        counter = counter + 1;
+        lock.WriteUnlock();
+      }
+    });
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  EXPECT_EQ(counter, 40'000u);
+  EXPECT_EQ(lock.sequence(), 80'000u);  // two bumps per write
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,139 @@
+#include "src/sync/wait_event.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace concord {
+namespace {
+
+TEST(WaitEventTest, ReturnsImmediatelyWhenPredicateHolds) {
+  WaitEvent event;
+  event.WaitUntil([] { return true; });
+  SUCCEED();
+}
+
+TEST(WaitEventTest, WakeAllReleasesWaiter) {
+  WaitEvent event;
+  std::atomic<bool> flag{false};
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    event.WaitUntil([&] { return flag.load(); });
+    woke.store(true);
+  });
+  BurnNs(5'000'000);
+  EXPECT_FALSE(woke.load());
+  flag.store(true);
+  event.WakeAll();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(WaitEventTest, SpuriousWakesAreAbsorbed) {
+  WaitEvent event;
+  std::atomic<bool> flag{false};
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    event.WaitUntil([&] { return flag.load(); });
+    woke.store(true);
+  });
+  // Wakes without making the predicate true must not release the waiter.
+  for (int i = 0; i < 5; ++i) {
+    event.WakeAll();
+    BurnNs(1'000'000);
+  }
+  EXPECT_FALSE(woke.load());
+  flag.store(true);
+  event.WakeAll();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(WaitEventTest, TimeoutExpiresWithFalsePredicate) {
+  WaitEvent event;
+  const std::uint64_t start = MonotonicNowNs();
+  const bool result =
+      event.WaitUntilFor([] { return false; }, /*timeout_ns=*/10'000'000);
+  EXPECT_FALSE(result);
+  EXPECT_GE(MonotonicNowNs() - start, 9'000'000u);
+}
+
+TEST(WaitEventTest, TimeoutReturnsTrueIfPredicateBecomesTrue) {
+  WaitEvent event;
+  std::atomic<bool> flag{false};
+  std::thread setter([&] {
+    BurnNs(3'000'000);
+    flag.store(true);
+    event.WakeAll();
+  });
+  const bool result =
+      event.WaitUntilFor([&] { return flag.load(); }, 10'000'000'000ull);
+  EXPECT_TRUE(result);
+  setter.join();
+}
+
+TEST(WaitEventTest, ManyWaitersAllReleased) {
+  WaitEvent event;
+  std::atomic<int> released{0};
+  std::atomic<int> gate{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 6; ++i) {
+    waiters.emplace_back([&] {
+      event.WaitUntil([&] { return gate.load() != 0; });
+      released.fetch_add(1);
+    });
+  }
+  BurnNs(5'000'000);
+  EXPECT_EQ(released.load(), 0);
+  gate.store(1);
+  event.WakeAll();
+  for (auto& waiter : waiters) {
+    waiter.join();
+  }
+  EXPECT_EQ(released.load(), 6);
+}
+
+TEST(WaitEventTest, ProducerConsumerQueueDrainsCompletely) {
+  // The Btrfs-style pattern: a non-blocking structure + wait events.
+  WaitEvent not_empty;
+  std::atomic<int> queue{0};
+  std::atomic<int> consumed{0};
+  constexpr int kItems = 5'000;
+
+  std::thread consumer([&] {
+    while (consumed.load() < kItems) {
+      not_empty.WaitUntil(
+          [&] { return queue.load() > 0 || consumed.load() >= kItems; });
+      int current = queue.load();
+      while (current > 0 &&
+             !queue.compare_exchange_weak(current, current - 1)) {
+      }
+      if (current > 0) {
+        consumed.fetch_add(1);
+      }
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      queue.fetch_add(1);
+      not_empty.WakeOne();
+    }
+  });
+  producer.join();
+  // Keep nudging the consumer until it drains (WakeOne may have raced the
+  // final increments).
+  while (consumed.load() < kItems) {
+    not_empty.WakeAll();
+    std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(consumed.load(), kItems);
+  EXPECT_EQ(queue.load(), 0);
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,84 @@
+#include "src/topology/thread_context.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace concord {
+namespace {
+
+TEST(ThreadContextTest, CurrentRegistersLazily) {
+  ThreadContext& ctx = Self();
+  EXPECT_TRUE(ThreadRegistry::Global().IsCurrentRegistered());
+  // Same context on repeated calls.
+  EXPECT_EQ(&ctx, &Self());
+}
+
+TEST(ThreadContextTest, SocketDerivedFromVcpu) {
+  ThreadContext& ctx = Self();
+  EXPECT_EQ(ctx.socket, MachineTopology::Global().SocketOfCpu(ctx.vcpu));
+}
+
+TEST(ThreadContextTest, DistinctThreadsGetDistinctIds) {
+  std::set<std::uint32_t> ids;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      ThreadContext& ctx = Self();
+      std::lock_guard<std::mutex> guard(mu);
+      ids.insert(ctx.task_id);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(ThreadContextTest, ExplicitRegistrationPinsVcpu) {
+  std::thread t([] {
+    ThreadContext& ctx = ThreadRegistry::Global().RegisterCurrent(42);
+    EXPECT_EQ(ctx.vcpu, 42u);
+    EXPECT_EQ(ctx.socket, 4u);  // 42 / 10 with the 8x10 default topology
+  });
+  t.join();
+}
+
+TEST(ThreadContextTest, EwmaConvergesTowardSamples) {
+  std::thread t([] {
+    ThreadContext& ctx = Self();
+    for (int i = 0; i < 200; ++i) {
+      ctx.UpdateCsEwma(800);
+    }
+    const std::uint64_t ewma = ctx.cs_length_ewma_ns.load(std::memory_order_relaxed);
+    // Fixed-point EWMA converges just below the sample value.
+    EXPECT_GT(ewma, 700u);
+    EXPECT_LE(ewma, 800u);
+  });
+  t.join();
+}
+
+TEST(ThreadContextTest, AnnotationsAreVisible) {
+  std::thread t([] {
+    ThreadContext& ctx = Self();
+    ctx.priority.store(7, std::memory_order_relaxed);
+    ctx.task_class.store(static_cast<std::uint8_t>(TaskClass::kLatencyCritical),
+                         std::memory_order_relaxed);
+    EXPECT_EQ(ctx.priority.load(std::memory_order_relaxed), 7);
+    EXPECT_EQ(ctx.Class(), TaskClass::kLatencyCritical);
+  });
+  t.join();
+}
+
+TEST(ThreadContextTest, RegistryIndexedAccess) {
+  ThreadContext& ctx = Self();
+  ThreadContext& same = ThreadRegistry::Global().Get(ctx.task_id);
+  EXPECT_EQ(&ctx, &same);
+}
+
+}  // namespace
+}  // namespace concord

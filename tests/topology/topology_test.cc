@@ -1,0 +1,50 @@
+#include "src/topology/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace concord {
+namespace {
+
+TEST(TopologyTest, DefaultShapeIsPaperMachine) {
+  // The default virtual machine mirrors the paper's testbed: 8 sockets,
+  // 10 cores each.
+  MachineTopology& topo = MachineTopology::Global();
+  EXPECT_EQ(topo.num_sockets(), 8u);
+  EXPECT_EQ(topo.total_cpus(), 80u);
+}
+
+TEST(TopologyTest, SocketArithmetic) {
+  MachineTopology& topo = MachineTopology::Global();
+  EXPECT_EQ(topo.SocketOfCpu(0), 0u);
+  EXPECT_EQ(topo.SocketOfCpu(9), 0u);
+  EXPECT_EQ(topo.SocketOfCpu(10), 1u);
+  EXPECT_EQ(topo.SocketOfCpu(79), 7u);
+  EXPECT_EQ(topo.CoreInSocket(25), 5u);
+}
+
+TEST(TopologyTest, ConfigChangesShape) {
+  MachineTopology& topo = MachineTopology::Global();
+  topo.ResetForTest();
+  topo.Configure({.num_sockets = 2, .cores_per_socket = 4});
+  EXPECT_EQ(topo.total_cpus(), 8u);
+  EXPECT_EQ(topo.SocketOfCpu(4), 1u);
+  // Restore the paper default for other tests in this binary.
+  topo.ResetForTest();
+  topo.Configure({.num_sockets = 8, .cores_per_socket = 10});
+}
+
+TEST(TopologyTest, AssignNextCpuRoundRobinsAndWraps) {
+  MachineTopology& topo = MachineTopology::Global();
+  topo.ResetForTest();
+  topo.Configure({.num_sockets = 2, .cores_per_socket = 2});
+  EXPECT_EQ(topo.AssignNextCpu(), 0u);
+  EXPECT_EQ(topo.AssignNextCpu(), 1u);
+  EXPECT_EQ(topo.AssignNextCpu(), 2u);
+  EXPECT_EQ(topo.AssignNextCpu(), 3u);
+  EXPECT_EQ(topo.AssignNextCpu(), 0u);  // wraps
+  topo.ResetForTest();
+  topo.Configure({.num_sockets = 8, .cores_per_socket = 10});
+}
+
+}  // namespace
+}  // namespace concord

@@ -1,0 +1,121 @@
+// concord_asm — assemble, verify and disassemble policy programs offline.
+//
+// The developer loop for writing a policy: edit the .casm file, run this
+// tool against the target hook, read the verifier's verdict before going
+// anywhere near a lock.
+//
+// Usage:
+//   concord_asm <hook> <file.casm>       assemble + verify + disassemble
+//   concord_asm --hooks                  list hook names and context layouts
+//
+// `<hook>` is one of the Table-1 names (cmp_node, skip_shuffle,
+// schedule_waiter, lock_acquire, lock_contended, lock_acquired,
+// lock_release) or rw_mode. Programs that reference maps get a scratch
+// 8-byte array map bound at index 0 (matching the `mov r1, 0` convention the
+// policy library uses).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/bpf/assembler.h"
+#include "src/bpf/maps.h"
+#include "src/bpf/verifier.h"
+#include "src/concord/hooks.h"
+
+namespace concord {
+namespace {
+
+const HookKind kAllHooks[] = {
+    HookKind::kCmpNode,      HookKind::kSkipShuffle, HookKind::kScheduleWaiter,
+    HookKind::kLockAcquire,  HookKind::kLockContended, HookKind::kLockAcquired,
+    HookKind::kLockRelease,  HookKind::kRwMode,
+};
+
+bool ParseHook(const std::string& name, HookKind* out) {
+  for (HookKind kind : kAllHooks) {
+    if (name == HookKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintHooks() {
+  std::printf("hook             granted capabilities         context fields\n");
+  for (HookKind kind : kAllHooks) {
+    const ContextDescriptor& desc = DescriptorFor(kind);
+    const std::uint32_t caps = CapabilitiesFor(kind);
+    std::string cap_names;
+    if (caps & kCapRead) cap_names += "read ";
+    if (caps & kCapMapRead) cap_names += "map-read ";
+    if (caps & kCapMapWrite) cap_names += "map-write ";
+    if (caps & kCapTrace) cap_names += "trace ";
+    if (caps & kCapLockMutate) cap_names += "lock-mutate ";
+    std::printf("%-16s %-28s ctx '%s' (%u bytes)\n", HookKindName(kind),
+                cap_names.c_str(), desc.name().c_str(), desc.size());
+    for (const ContextField& field : desc.fields()) {
+      std::printf("%-16s %-28s   +%-3u %s%s (%u bytes)\n", "", "", field.offset,
+                  field.name.c_str(), field.writable ? " [rw]" : "", field.width);
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--hooks") {
+    PrintHooks();
+    return 0;
+  }
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <hook> <file.casm>\n       %s --hooks\n", argv[0],
+                 argv[0]);
+    return 2;
+  }
+
+  HookKind kind;
+  if (!ParseHook(argv[1], &kind)) {
+    std::fprintf(stderr, "unknown hook '%s' (try --hooks)\n", argv[1]);
+    return 2;
+  }
+
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  ArrayMap scratch("scratch", 8, 8);
+  auto program =
+      AssembleProgram(argv[2], buffer.str(), &DescriptorFor(kind), {&scratch});
+  if (!program.ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("assembled %zu instructions against hook '%s'\n",
+              program->insns.size(), HookKindName(kind));
+
+  Verifier::Options options;
+  options.allowed_capabilities = CapabilitiesFor(kind);
+  Status verdict = Verifier::Verify(*program, options);
+  if (!verdict.ok()) {
+    std::printf("VERIFIER REJECTED: %s\n", verdict.ToString().c_str());
+    return 1;
+  }
+  std::printf("verifier: OK (capabilities used: 0x%x)\n\n",
+              program->used_capabilities);
+  for (std::size_t pc = 0; pc < program->insns.size(); ++pc) {
+    std::printf("%4zu: %s\n", pc, DisassembleInsn(program->insns[pc]).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main(int argc, char** argv) { return concord::Run(argc, argv); }
