@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/a1_numa_policy.cc" "bench/CMakeFiles/a1_numa_policy.dir/a1_numa_policy.cc.o" "gcc" "bench/CMakeFiles/a1_numa_policy.dir/a1_numa_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/concord_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_rcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

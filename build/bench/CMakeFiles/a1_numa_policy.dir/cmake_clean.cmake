@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_numa_policy.dir/a1_numa_policy.cc.o"
+  "CMakeFiles/a1_numa_policy.dir/a1_numa_policy.cc.o.d"
+  "a1_numa_policy"
+  "a1_numa_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_numa_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_bravo_crossover.dir/a2_bravo_crossover.cc.o"
+  "CMakeFiles/a2_bravo_crossover.dir/a2_bravo_crossover.cc.o.d"
+  "a2_bravo_crossover"
+  "a2_bravo_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_bravo_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for a2_bravo_crossover.
+# This may be replaced when dependencies are built.

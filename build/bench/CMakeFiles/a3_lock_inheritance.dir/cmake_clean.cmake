@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_lock_inheritance.dir/a3_lock_inheritance.cc.o"
+  "CMakeFiles/a3_lock_inheritance.dir/a3_lock_inheritance.cc.o.d"
+  "a3_lock_inheritance"
+  "a3_lock_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_lock_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

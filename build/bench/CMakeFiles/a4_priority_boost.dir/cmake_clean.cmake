@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4_priority_boost.dir/a4_priority_boost.cc.o"
+  "CMakeFiles/a4_priority_boost.dir/a4_priority_boost.cc.o.d"
+  "a4_priority_boost"
+  "a4_priority_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4_priority_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

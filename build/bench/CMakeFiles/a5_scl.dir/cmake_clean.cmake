@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a5_scl.dir/a5_scl.cc.o"
+  "CMakeFiles/a5_scl.dir/a5_scl.cc.o.d"
+  "a5_scl"
+  "a5_scl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a5_scl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

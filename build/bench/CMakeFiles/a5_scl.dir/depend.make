@@ -1,0 +1,2 @@
+# Empty dependencies file for a5_scl.
+# This may be replaced when dependencies are built.

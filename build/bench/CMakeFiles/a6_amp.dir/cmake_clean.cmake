@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a6_amp.dir/a6_amp.cc.o"
+  "CMakeFiles/a6_amp.dir/a6_amp.cc.o.d"
+  "a6_amp"
+  "a6_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a6_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

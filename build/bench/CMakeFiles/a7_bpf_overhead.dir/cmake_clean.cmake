@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a7_bpf_overhead.dir/a7_bpf_overhead.cc.o"
+  "CMakeFiles/a7_bpf_overhead.dir/a7_bpf_overhead.cc.o.d"
+  "a7_bpf_overhead"
+  "a7_bpf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a7_bpf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a8_profiler_overhead.dir/a8_profiler_overhead.cc.o"
+  "CMakeFiles/a8_profiler_overhead.dir/a8_profiler_overhead.cc.o.d"
+  "a8_profiler_overhead"
+  "a8_profiler_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a8_profiler_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

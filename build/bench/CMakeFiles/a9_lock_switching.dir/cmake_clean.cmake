@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a9_lock_switching.dir/a9_lock_switching.cc.o"
+  "CMakeFiles/a9_lock_switching.dir/a9_lock_switching.cc.o.d"
+  "a9_lock_switching"
+  "a9_lock_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a9_lock_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_pagefault.dir/fig2a_pagefault.cc.o"
+  "CMakeFiles/fig2a_pagefault.dir/fig2a_pagefault.cc.o.d"
+  "fig2a_pagefault"
+  "fig2a_pagefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_pagefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

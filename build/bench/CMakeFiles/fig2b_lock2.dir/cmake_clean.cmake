@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_lock2.dir/fig2b_lock2.cc.o"
+  "CMakeFiles/fig2b_lock2.dir/fig2b_lock2.cc.o.d"
+  "fig2b_lock2"
+  "fig2b_lock2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_lock2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

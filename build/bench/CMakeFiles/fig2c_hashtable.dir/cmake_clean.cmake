@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_hashtable.dir/fig2c_hashtable.cc.o"
+  "CMakeFiles/fig2c_hashtable.dir/fig2c_hashtable.cc.o.d"
+  "fig2c_hashtable"
+  "fig2c_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_switch.dir/blocking_switch.cpp.o"
+  "CMakeFiles/blocking_switch.dir/blocking_switch.cpp.o.d"
+  "blocking_switch"
+  "blocking_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_watchdog.dir/fairness_watchdog.cpp.o"
+  "CMakeFiles/fairness_watchdog.dir/fairness_watchdog.cpp.o.d"
+  "fairness_watchdog"
+  "fairness_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_switching.dir/live_switching.cpp.o"
+  "CMakeFiles/live_switching.dir/live_switching.cpp.o.d"
+  "live_switching"
+  "live_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

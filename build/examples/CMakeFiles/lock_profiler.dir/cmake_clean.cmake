@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_profiler.dir/lock_profiler.cpp.o"
+  "CMakeFiles/lock_profiler.dir/lock_profiler.cpp.o.d"
+  "lock_profiler"
+  "lock_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

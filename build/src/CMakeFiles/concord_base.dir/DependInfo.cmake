@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/histogram.cc" "src/CMakeFiles/concord_base.dir/base/histogram.cc.o" "gcc" "src/CMakeFiles/concord_base.dir/base/histogram.cc.o.d"
+  "/root/repo/src/base/spinwait.cc" "src/CMakeFiles/concord_base.dir/base/spinwait.cc.o" "gcc" "src/CMakeFiles/concord_base.dir/base/spinwait.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/concord_base.dir/base/status.cc.o" "gcc" "src/CMakeFiles/concord_base.dir/base/status.cc.o.d"
+  "/root/repo/src/base/time.cc" "src/CMakeFiles/concord_base.dir/base/time.cc.o" "gcc" "src/CMakeFiles/concord_base.dir/base/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_base.dir/base/histogram.cc.o"
+  "CMakeFiles/concord_base.dir/base/histogram.cc.o.d"
+  "CMakeFiles/concord_base.dir/base/spinwait.cc.o"
+  "CMakeFiles/concord_base.dir/base/spinwait.cc.o.d"
+  "CMakeFiles/concord_base.dir/base/status.cc.o"
+  "CMakeFiles/concord_base.dir/base/status.cc.o.d"
+  "CMakeFiles/concord_base.dir/base/time.cc.o"
+  "CMakeFiles/concord_base.dir/base/time.cc.o.d"
+  "libconcord_base.a"
+  "libconcord_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpf/assembler.cc" "src/CMakeFiles/concord_bpf.dir/bpf/assembler.cc.o" "gcc" "src/CMakeFiles/concord_bpf.dir/bpf/assembler.cc.o.d"
+  "/root/repo/src/bpf/disasm.cc" "src/CMakeFiles/concord_bpf.dir/bpf/disasm.cc.o" "gcc" "src/CMakeFiles/concord_bpf.dir/bpf/disasm.cc.o.d"
+  "/root/repo/src/bpf/helpers.cc" "src/CMakeFiles/concord_bpf.dir/bpf/helpers.cc.o" "gcc" "src/CMakeFiles/concord_bpf.dir/bpf/helpers.cc.o.d"
+  "/root/repo/src/bpf/maps.cc" "src/CMakeFiles/concord_bpf.dir/bpf/maps.cc.o" "gcc" "src/CMakeFiles/concord_bpf.dir/bpf/maps.cc.o.d"
+  "/root/repo/src/bpf/verifier.cc" "src/CMakeFiles/concord_bpf.dir/bpf/verifier.cc.o" "gcc" "src/CMakeFiles/concord_bpf.dir/bpf/verifier.cc.o.d"
+  "/root/repo/src/bpf/vm.cc" "src/CMakeFiles/concord_bpf.dir/bpf/vm.cc.o" "gcc" "src/CMakeFiles/concord_bpf.dir/bpf/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/concord_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

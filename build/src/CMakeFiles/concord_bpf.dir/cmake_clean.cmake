@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_bpf.dir/bpf/assembler.cc.o"
+  "CMakeFiles/concord_bpf.dir/bpf/assembler.cc.o.d"
+  "CMakeFiles/concord_bpf.dir/bpf/disasm.cc.o"
+  "CMakeFiles/concord_bpf.dir/bpf/disasm.cc.o.d"
+  "CMakeFiles/concord_bpf.dir/bpf/helpers.cc.o"
+  "CMakeFiles/concord_bpf.dir/bpf/helpers.cc.o.d"
+  "CMakeFiles/concord_bpf.dir/bpf/maps.cc.o"
+  "CMakeFiles/concord_bpf.dir/bpf/maps.cc.o.d"
+  "CMakeFiles/concord_bpf.dir/bpf/verifier.cc.o"
+  "CMakeFiles/concord_bpf.dir/bpf/verifier.cc.o.d"
+  "CMakeFiles/concord_bpf.dir/bpf/vm.cc.o"
+  "CMakeFiles/concord_bpf.dir/bpf/vm.cc.o.d"
+  "libconcord_bpf.a"
+  "libconcord_bpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/concord/concord.cc" "src/CMakeFiles/concord_core.dir/concord/concord.cc.o" "gcc" "src/CMakeFiles/concord_core.dir/concord/concord.cc.o.d"
+  "/root/repo/src/concord/hooks.cc" "src/CMakeFiles/concord_core.dir/concord/hooks.cc.o" "gcc" "src/CMakeFiles/concord_core.dir/concord/hooks.cc.o.d"
+  "/root/repo/src/concord/policies.cc" "src/CMakeFiles/concord_core.dir/concord/policies.cc.o" "gcc" "src/CMakeFiles/concord_core.dir/concord/policies.cc.o.d"
+  "/root/repo/src/concord/policy.cc" "src/CMakeFiles/concord_core.dir/concord/policy.cc.o" "gcc" "src/CMakeFiles/concord_core.dir/concord/policy.cc.o.d"
+  "/root/repo/src/concord/profiler.cc" "src/CMakeFiles/concord_core.dir/concord/profiler.cc.o" "gcc" "src/CMakeFiles/concord_core.dir/concord/profiler.cc.o.d"
+  "/root/repo/src/concord/safety.cc" "src/CMakeFiles/concord_core.dir/concord/safety.cc.o" "gcc" "src/CMakeFiles/concord_core.dir/concord/safety.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/concord_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_rcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_core.dir/concord/concord.cc.o"
+  "CMakeFiles/concord_core.dir/concord/concord.cc.o.d"
+  "CMakeFiles/concord_core.dir/concord/hooks.cc.o"
+  "CMakeFiles/concord_core.dir/concord/hooks.cc.o.d"
+  "CMakeFiles/concord_core.dir/concord/policies.cc.o"
+  "CMakeFiles/concord_core.dir/concord/policies.cc.o.d"
+  "CMakeFiles/concord_core.dir/concord/policy.cc.o"
+  "CMakeFiles/concord_core.dir/concord/policy.cc.o.d"
+  "CMakeFiles/concord_core.dir/concord/profiler.cc.o"
+  "CMakeFiles/concord_core.dir/concord/profiler.cc.o.d"
+  "CMakeFiles/concord_core.dir/concord/safety.cc.o"
+  "CMakeFiles/concord_core.dir/concord/safety.cc.o.d"
+  "libconcord_core.a"
+  "libconcord_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

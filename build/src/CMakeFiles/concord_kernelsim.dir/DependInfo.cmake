@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernelsim/vfs.cc" "src/CMakeFiles/concord_kernelsim.dir/kernelsim/vfs.cc.o" "gcc" "src/CMakeFiles/concord_kernelsim.dir/kernelsim/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/concord_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_rcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_kernelsim.dir/kernelsim/vfs.cc.o"
+  "CMakeFiles/concord_kernelsim.dir/kernelsim/vfs.cc.o.d"
+  "libconcord_kernelsim.a"
+  "libconcord_kernelsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

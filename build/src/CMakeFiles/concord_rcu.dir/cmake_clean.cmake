@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_rcu.dir/rcu/rcu.cc.o"
+  "CMakeFiles/concord_rcu.dir/rcu/rcu.cc.o.d"
+  "libconcord_rcu.a"
+  "libconcord_rcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_rcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

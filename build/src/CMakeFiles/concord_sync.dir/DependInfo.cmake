@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/cna_lock.cc" "src/CMakeFiles/concord_sync.dir/sync/cna_lock.cc.o" "gcc" "src/CMakeFiles/concord_sync.dir/sync/cna_lock.cc.o.d"
+  "/root/repo/src/sync/mcs_lock.cc" "src/CMakeFiles/concord_sync.dir/sync/mcs_lock.cc.o" "gcc" "src/CMakeFiles/concord_sync.dir/sync/mcs_lock.cc.o.d"
+  "/root/repo/src/sync/parking_lot.cc" "src/CMakeFiles/concord_sync.dir/sync/parking_lot.cc.o" "gcc" "src/CMakeFiles/concord_sync.dir/sync/parking_lot.cc.o.d"
+  "/root/repo/src/sync/shfllock.cc" "src/CMakeFiles/concord_sync.dir/sync/shfllock.cc.o" "gcc" "src/CMakeFiles/concord_sync.dir/sync/shfllock.cc.o.d"
+  "/root/repo/src/sync/wait_event.cc" "src/CMakeFiles/concord_sync.dir/sync/wait_event.cc.o" "gcc" "src/CMakeFiles/concord_sync.dir/sync/wait_event.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/concord_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_rcu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_sync.dir/sync/cna_lock.cc.o"
+  "CMakeFiles/concord_sync.dir/sync/cna_lock.cc.o.d"
+  "CMakeFiles/concord_sync.dir/sync/mcs_lock.cc.o"
+  "CMakeFiles/concord_sync.dir/sync/mcs_lock.cc.o.d"
+  "CMakeFiles/concord_sync.dir/sync/parking_lot.cc.o"
+  "CMakeFiles/concord_sync.dir/sync/parking_lot.cc.o.d"
+  "CMakeFiles/concord_sync.dir/sync/shfllock.cc.o"
+  "CMakeFiles/concord_sync.dir/sync/shfllock.cc.o.d"
+  "CMakeFiles/concord_sync.dir/sync/wait_event.cc.o"
+  "CMakeFiles/concord_sync.dir/sync/wait_event.cc.o.d"
+  "libconcord_sync.a"
+  "libconcord_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

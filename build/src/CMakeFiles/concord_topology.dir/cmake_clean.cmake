@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_topology.dir/topology/thread_context.cc.o"
+  "CMakeFiles/concord_topology.dir/topology/thread_context.cc.o.d"
+  "CMakeFiles/concord_topology.dir/topology/topology.cc.o"
+  "CMakeFiles/concord_topology.dir/topology/topology.cc.o.d"
+  "libconcord_topology.a"
+  "libconcord_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

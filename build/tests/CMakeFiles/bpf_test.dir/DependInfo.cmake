@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bpf/assembler_test.cc" "tests/CMakeFiles/bpf_test.dir/bpf/assembler_test.cc.o" "gcc" "tests/CMakeFiles/bpf_test.dir/bpf/assembler_test.cc.o.d"
+  "/root/repo/tests/bpf/disasm_test.cc" "tests/CMakeFiles/bpf_test.dir/bpf/disasm_test.cc.o" "gcc" "tests/CMakeFiles/bpf_test.dir/bpf/disasm_test.cc.o.d"
+  "/root/repo/tests/bpf/maps_test.cc" "tests/CMakeFiles/bpf_test.dir/bpf/maps_test.cc.o" "gcc" "tests/CMakeFiles/bpf_test.dir/bpf/maps_test.cc.o.d"
+  "/root/repo/tests/bpf/verifier_fuzz_test.cc" "tests/CMakeFiles/bpf_test.dir/bpf/verifier_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/bpf_test.dir/bpf/verifier_fuzz_test.cc.o.d"
+  "/root/repo/tests/bpf/verifier_test.cc" "tests/CMakeFiles/bpf_test.dir/bpf/verifier_test.cc.o" "gcc" "tests/CMakeFiles/bpf_test.dir/bpf/verifier_test.cc.o.d"
+  "/root/repo/tests/bpf/vm_property_test.cc" "tests/CMakeFiles/bpf_test.dir/bpf/vm_property_test.cc.o" "gcc" "tests/CMakeFiles/bpf_test.dir/bpf/vm_property_test.cc.o.d"
+  "/root/repo/tests/bpf/vm_test.cc" "tests/CMakeFiles/bpf_test.dir/bpf/vm_test.cc.o" "gcc" "tests/CMakeFiles/bpf_test.dir/bpf/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/concord_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_rcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_test.dir/bpf/assembler_test.cc.o"
+  "CMakeFiles/bpf_test.dir/bpf/assembler_test.cc.o.d"
+  "CMakeFiles/bpf_test.dir/bpf/disasm_test.cc.o"
+  "CMakeFiles/bpf_test.dir/bpf/disasm_test.cc.o.d"
+  "CMakeFiles/bpf_test.dir/bpf/maps_test.cc.o"
+  "CMakeFiles/bpf_test.dir/bpf/maps_test.cc.o.d"
+  "CMakeFiles/bpf_test.dir/bpf/verifier_fuzz_test.cc.o"
+  "CMakeFiles/bpf_test.dir/bpf/verifier_fuzz_test.cc.o.d"
+  "CMakeFiles/bpf_test.dir/bpf/verifier_test.cc.o"
+  "CMakeFiles/bpf_test.dir/bpf/verifier_test.cc.o.d"
+  "CMakeFiles/bpf_test.dir/bpf/vm_property_test.cc.o"
+  "CMakeFiles/bpf_test.dir/bpf/vm_property_test.cc.o.d"
+  "CMakeFiles/bpf_test.dir/bpf/vm_test.cc.o"
+  "CMakeFiles/bpf_test.dir/bpf/vm_test.cc.o.d"
+  "bpf_test"
+  "bpf_test.pdb"
+  "bpf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

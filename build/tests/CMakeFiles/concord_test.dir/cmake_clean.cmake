@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_test.dir/concord/composition_test.cc.o"
+  "CMakeFiles/concord_test.dir/concord/composition_test.cc.o.d"
+  "CMakeFiles/concord_test.dir/concord/concord_test.cc.o"
+  "CMakeFiles/concord_test.dir/concord/concord_test.cc.o.d"
+  "CMakeFiles/concord_test.dir/concord/policies_test.cc.o"
+  "CMakeFiles/concord_test.dir/concord/policies_test.cc.o.d"
+  "CMakeFiles/concord_test.dir/concord/profiler_test.cc.o"
+  "CMakeFiles/concord_test.dir/concord/profiler_test.cc.o.d"
+  "CMakeFiles/concord_test.dir/concord/rw_attach_test.cc.o"
+  "CMakeFiles/concord_test.dir/concord/rw_attach_test.cc.o.d"
+  "CMakeFiles/concord_test.dir/concord/safety_test.cc.o"
+  "CMakeFiles/concord_test.dir/concord/safety_test.cc.o.d"
+  "concord_test"
+  "concord_test.pdb"
+  "concord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

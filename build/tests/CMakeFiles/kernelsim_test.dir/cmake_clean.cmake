@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelsim_test.dir/kernelsim/address_space_test.cc.o"
+  "CMakeFiles/kernelsim_test.dir/kernelsim/address_space_test.cc.o.d"
+  "CMakeFiles/kernelsim_test.dir/kernelsim/vfs_test.cc.o"
+  "CMakeFiles/kernelsim_test.dir/kernelsim/vfs_test.cc.o.d"
+  "CMakeFiles/kernelsim_test.dir/kernelsim/workloads_test.cc.o"
+  "CMakeFiles/kernelsim_test.dir/kernelsim/workloads_test.cc.o.d"
+  "kernelsim_test"
+  "kernelsim_test.pdb"
+  "kernelsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

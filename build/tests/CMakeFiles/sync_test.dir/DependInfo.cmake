@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sync/bravo_test.cc" "tests/CMakeFiles/sync_test.dir/sync/bravo_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/bravo_test.cc.o.d"
+  "/root/repo/tests/sync/mutual_exclusion_test.cc" "tests/CMakeFiles/sync_test.dir/sync/mutual_exclusion_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/mutual_exclusion_test.cc.o.d"
+  "/root/repo/tests/sync/numa_locks_test.cc" "tests/CMakeFiles/sync_test.dir/sync/numa_locks_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/numa_locks_test.cc.o.d"
+  "/root/repo/tests/sync/parking_lot_test.cc" "tests/CMakeFiles/sync_test.dir/sync/parking_lot_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/parking_lot_test.cc.o.d"
+  "/root/repo/tests/sync/phase_fair_test.cc" "tests/CMakeFiles/sync_test.dir/sync/phase_fair_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/phase_fair_test.cc.o.d"
+  "/root/repo/tests/sync/rw_lock_test.cc" "tests/CMakeFiles/sync_test.dir/sync/rw_lock_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/rw_lock_test.cc.o.d"
+  "/root/repo/tests/sync/seqlock_test.cc" "tests/CMakeFiles/sync_test.dir/sync/seqlock_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/seqlock_test.cc.o.d"
+  "/root/repo/tests/sync/shfllock_test.cc" "tests/CMakeFiles/sync_test.dir/sync/shfllock_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/shfllock_test.cc.o.d"
+  "/root/repo/tests/sync/torture_test.cc" "tests/CMakeFiles/sync_test.dir/sync/torture_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/torture_test.cc.o.d"
+  "/root/repo/tests/sync/wait_event_test.cc" "tests/CMakeFiles/sync_test.dir/sync/wait_event_test.cc.o" "gcc" "tests/CMakeFiles/sync_test.dir/sync/wait_event_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/concord_kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_rcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/concord_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_test.dir/sync/bravo_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/bravo_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/mutual_exclusion_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/mutual_exclusion_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/numa_locks_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/numa_locks_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/parking_lot_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/parking_lot_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/phase_fair_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/phase_fair_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/rw_lock_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/rw_lock_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/seqlock_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/seqlock_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/shfllock_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/shfllock_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/torture_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/torture_test.cc.o.d"
+  "CMakeFiles/sync_test.dir/sync/wait_event_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync/wait_event_test.cc.o.d"
+  "sync_test"
+  "sync_test.pdb"
+  "sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

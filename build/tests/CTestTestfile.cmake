@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/rcu_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/concord_test[1]_include.cmake")
+include("/root/repo/build/tests/kernelsim_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/bpf_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

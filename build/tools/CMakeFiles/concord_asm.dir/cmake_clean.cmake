@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_asm.dir/concord_asm.cc.o"
+  "CMakeFiles/concord_asm.dir/concord_asm.cc.o.d"
+  "concord_asm"
+  "concord_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
