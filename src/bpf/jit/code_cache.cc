@@ -1,0 +1,78 @@
+#include "src/bpf/jit/code_cache.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace concord {
+namespace jit {
+
+ExecutableCode::~ExecutableCode() { Release(); }
+
+ExecutableCode& ExecutableCode::operator=(ExecutableCode&& other) noexcept {
+  if (this != &other) {
+    Release();
+    base_ = other.base_;
+    map_len_ = other.map_len_;
+    code_len_ = other.code_len_;
+    other.base_ = nullptr;
+    other.map_len_ = 0;
+    other.code_len_ = 0;
+  }
+  return *this;
+}
+
+void ExecutableCode::Release() {
+  if (base_ != nullptr) {
+    ::munmap(base_, map_len_);
+    base_ = nullptr;
+  }
+}
+
+CodeCache& CodeCache::Global() {
+  static CodeCache* cache = new CodeCache();
+  return *cache;
+}
+
+StatusOr<ExecutableCode> CodeCache::Publish(const std::uint8_t* code,
+                                            std::size_t len) {
+  if (code == nullptr || len == 0) {
+    return InvalidArgumentError("empty code buffer");
+  }
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t page_size = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  const std::size_t map_len = (len + page_size - 1) & ~(page_size - 1);
+
+  void* base = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return InternalError(std::string("mmap of code region failed: ") +
+                         std::strerror(errno));
+  }
+  std::memcpy(base, code, len);
+  // Seal: from here on the region is never writable again (W^X).
+  if (::mprotect(base, map_len, PROT_READ | PROT_EXEC) != 0) {
+    const int err = errno;
+    ::munmap(base, map_len);
+    return InternalError(std::string("mprotect(PROT_READ|PROT_EXEC) failed: ") +
+                         std::strerror(err));
+  }
+
+  programs_.fetch_add(1, std::memory_order_relaxed);
+  code_bytes_.fetch_add(len, std::memory_order_relaxed);
+  mapped_bytes_.fetch_add(map_len, std::memory_order_relaxed);
+  return ExecutableCode(base, map_len, len);
+}
+
+CodeCache::Stats CodeCache::stats() const {
+  Stats s;
+  s.programs_published = programs_.load(std::memory_order_relaxed);
+  s.code_bytes = code_bytes_.load(std::memory_order_relaxed);
+  s.mapped_bytes = mapped_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace jit
+}  // namespace concord

@@ -4,6 +4,7 @@
 #define SRC_BPF_PROGRAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "src/bpf/maps.h"
 
 namespace concord {
+
+class JitProgram;  // src/bpf/jit/jit.h
 
 // Hard program-size cap, as in classic eBPF.
 inline constexpr std::size_t kMaxProgramInsns = 4096;
@@ -34,6 +37,12 @@ struct Program {
 
   // Filled in by the verifier: capability union of all helpers called.
   std::uint32_t used_capabilities = 0;
+
+  // Native code for this program, set by PolicySpec::JitCompileAll after
+  // verification when the JIT is enabled. Shared between copies of the
+  // program so the executable mapping lives exactly as long as some attached
+  // or in-flight copy references it. Null means "interpret".
+  std::shared_ptr<const JitProgram> jit;
 };
 
 }  // namespace concord

@@ -1,10 +1,12 @@
-// The policy-program interpreter.
+// The policy-program interpreter — the reference execution tier.
 //
 // Executes verified programs only (CHECK-enforced): all memory-safety and
 // termination arguments live in the verifier; the interpreter adds a
 // belt-and-braces instruction budget and nothing else on the hot path.
-// There is no JIT — see DESIGN.md §6; interpretation makes our measured
-// "Concord" overhead an upper bound on the paper's.
+// Attached policies normally run through the x86-64 JIT instead
+// (src/bpf/jit/jit.h, dispatched via RunPolicyProgram); this interpreter
+// defines the semantics the JIT must match bit-for-bit and is the fallback
+// on unsupported platforms or with CONCORD_JIT=off. See docs/JIT.md.
 
 #ifndef SRC_BPF_VM_H_
 #define SRC_BPF_VM_H_

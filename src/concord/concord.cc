@@ -1,7 +1,7 @@
 #include "src/concord/concord.h"
 
 #include "src/base/time.h"
-#include "src/bpf/vm.h"
+#include "src/bpf/jit/jit.h"
 #include "src/rcu/rcu.h"
 
 namespace concord {
@@ -31,11 +31,13 @@ struct CompiledPolicy {
 
 namespace {
 
+// Chains dispatch through RunPolicyProgram: a program compiled at attach
+// time runs native, anything else falls back to the interpreter.
 std::uint64_t RunDecisionChain(const HookChain& chain, void* ctx) {
   switch (chain.combinator) {
     case Combinator::kFirstNonZero: {
       for (const Program& program : chain.programs) {
-        const std::uint64_t result = BpfVm::Run(program, ctx);
+        const std::uint64_t result = RunPolicyProgram(program, ctx);
         if (result != 0) {
           return result;
         }
@@ -44,7 +46,7 @@ std::uint64_t RunDecisionChain(const HookChain& chain, void* ctx) {
     }
     case Combinator::kAll: {
       for (const Program& program : chain.programs) {
-        if (BpfVm::Run(program, ctx) == 0) {
+        if (RunPolicyProgram(program, ctx) == 0) {
           return 0;
         }
       }
@@ -52,7 +54,7 @@ std::uint64_t RunDecisionChain(const HookChain& chain, void* ctx) {
     }
     case Combinator::kAny: {
       for (const Program& program : chain.programs) {
-        if (BpfVm::Run(program, ctx) != 0) {
+        if (RunPolicyProgram(program, ctx) != 0) {
           return 1;
         }
       }
@@ -72,7 +74,7 @@ void RunTapChain(const HookChain* chain, std::uint64_t lock_id, HookKind kind) {
   ctx.hook = static_cast<std::uint32_t>(kind);
   ctx.reserved = 0;
   for (const Program& program : chain->programs) {
-    BpfVm::Run(program, &ctx);
+    RunPolicyProgram(program, &ctx);
   }
 }
 
@@ -495,6 +497,9 @@ Status Concord::Attach(std::uint64_t lock_id, PolicySpec spec) {
                                    entry->name + "'");
   }
   CONCORD_RETURN_IF_ERROR(spec.VerifyAll());
+  // Compile the now-verified chains to native code (no-op when the JIT is
+  // disabled; per-program failures silently keep the interpreter).
+  spec.JitCompileAll();
   entry->spec = std::make_shared<const PolicySpec>(std::move(spec));
   entry->native.reset();
   entry->native_rw.reset();

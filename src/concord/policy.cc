@@ -1,5 +1,6 @@
 #include "src/concord/policy.h"
 
+#include "src/bpf/jit/jit.h"
 #include "src/bpf/verifier.h"
 
 namespace concord {
@@ -35,6 +36,25 @@ Status PolicySpec::VerifyAll() {
     }
   }
   return Status::Ok();
+}
+
+void PolicySpec::JitCompileAll() {
+  if (!Jit::Enabled()) {
+    return;
+  }
+  for (int k = 0; k < kNumHookKinds; ++k) {
+    for (Program& program : chains[k].programs) {
+      if (!program.verified || program.jit != nullptr) {
+        continue;
+      }
+      StatusOr<std::shared_ptr<const JitProgram>> compiled =
+          Jit::Compile(program);
+      if (compiled.ok()) {
+        program.jit = std::move(compiled.value());
+      }
+      // On failure the program keeps jit == nullptr and interprets.
+    }
+  }
 }
 
 }  // namespace concord

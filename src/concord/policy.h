@@ -70,6 +70,13 @@ struct PolicySpec {
   // Verifies every program in every chain against its hook's rules.
   // Idempotent; called by Concord at attach.
   Status VerifyAll();
+
+  // Compiles every verified program to native code when the JIT is enabled
+  // (Jit::Enabled()). A program that fails to compile simply keeps running
+  // on the interpreter — compilation is a pure acceleration, never a
+  // functional requirement. Idempotent; called by Concord at attach, after
+  // VerifyAll.
+  void JitCompileAll();
 };
 
 }  // namespace concord

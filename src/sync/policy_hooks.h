@@ -5,7 +5,9 @@
 // decision points. The Concord layer (src/concord) builds these tables from
 // either native C++ functions ("precompiled" in the paper's comparison) or
 // verified BPF programs ("Concord-..."), and hot-swaps them while the lock is
-// under contention.
+// under contention. BPF-backed slots dispatch through RunPolicyProgram
+// (src/bpf/jit/jit.h): attach-time JIT-compiled native code when available,
+// the interpreter otherwise — the table shape is identical either way.
 //
 // Hook semantics follow Table 1:
 //   cmp_node        - should `curr` be moved into the shuffler's group?

@@ -1,0 +1,409 @@
+// Differential fuzzing: JIT vs interpreter on random verified programs.
+//
+// The JIT's correctness contract is "bit-for-bit the interpreter, faster".
+// These tests generate thousands of pseudo-random programs — straight-line
+// ALU soup, forward-branchy programs, helper-calling programs, map-touching
+// programs — verify them, and require both execution tiers to agree on R0,
+// on context bytes, and (for maps) on the full map contents. Stack effects
+// are folded into R0 by a fixed epilogue so divergence in any store surfaces
+// as an R0 mismatch. Finally, every shipped policy program from
+// src/concord/policies.cc is run through both tiers on randomized contexts.
+//
+// Only deterministic helpers (the Self()-reading id/topology getters) are
+// generated; ktime_get_ns would trivially diverge between two runs.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/bpf/jit/jit.h"
+#include "src/bpf/maps.h"
+#include "src/bpf/verifier.h"
+#include "src/bpf/vm.h"
+#include "src/concord/policies.h"
+
+namespace concord {
+namespace {
+
+struct DiffCtx {
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+const ContextDescriptor& Desc() {
+  static const ContextDescriptor desc("jit_diff_ctx", sizeof(DiffCtx),
+                                      {{"a", 0, 8, false},
+                                       {"b", 8, 8, false}});
+  return desc;
+}
+
+constexpr std::uint8_t kBinaryAluOps[] = {
+    kBpfAdd, kBpfSub, kBpfMul, kBpfDiv, kBpfOr,  kBpfAnd,
+    kBpfLsh, kBpfRsh, kBpfMod, kBpfXor, kBpfMov, kBpfArsh,
+};
+constexpr std::uint8_t kCondJmpOps[] = {
+    kBpfJeq, kBpfJgt,  kBpfJge,  kBpfJset, kBpfJne, kBpfJsgt,
+    kBpfJsge, kBpfJlt, kBpfJle,  kBpfJslt, kBpfJsle,
+};
+// Deterministic no-argument helpers (same thread => same result).
+constexpr std::uint32_t kDeterministicHelpers[] = {
+    kHelperGetSmpProcessorId, kHelperGetNumaNodeId, kHelperGetCurrentTaskId,
+    kHelperGetTaskPriority,   kHelperGetTaskClass,  kHelperGetLocksHeld,
+    kHelperGetCsEwmaNs,
+};
+
+// Tracks which registers are initialized on *every* path. After the first
+// (forward) jump, conservatively stop admitting new registers: a register
+// initialized only on the fall-through path is uninitialized on the taken
+// path and the verifier would reject its use.
+class InitTracker {
+ public:
+  InitTracker() {
+    for (std::uint8_t r : {0, 2, 3, 4, 5}) {
+      init_[r] = true;  // set by the generator prologue
+    }
+  }
+  void MarkJump() { frozen_ = true; }
+  void MarkWrite(std::uint8_t reg) {
+    if (!frozen_) {
+      init_[reg] = true;
+    }
+  }
+  void MarkHelperCall() {
+    // r0 gets the result; r1-r5 are clobbered on every path.
+    init_[0] = true;  // safe even when frozen: true on both paths already
+    for (int r = 1; r <= 5; ++r) {
+      init_[r] = false;
+    }
+  }
+  // A random initialized register usable as an ALU/store operand (never r1,
+  // which holds the context pointer until the first call clobbers it).
+  std::uint8_t Pick(Xoshiro256& rng) const {
+    std::uint8_t candidates[11];
+    int n = 0;
+    for (std::uint8_t r = 0; r < 10; ++r) {
+      if (r != 1 && init_[r]) {
+        candidates[n++] = r;
+      }
+    }
+    return candidates[rng.NextBounded(static_cast<std::uint64_t>(n))];
+  }
+
+ private:
+  bool init_[11] = {};
+  bool frozen_ = false;
+};
+
+// One aligned random (size, offset) pair inside the two prologue-initialized
+// stack double-words at [r10-8] and [r10-16].
+std::int16_t RandomSlotOffset(Xoshiro256& rng, int width) {
+  const std::int16_t base = rng.NextBounded(2) == 0 ? -8 : -16;
+  const std::int16_t lanes = static_cast<std::int16_t>(8 / width);
+  return static_cast<std::int16_t>(
+      base + width * static_cast<std::int16_t>(rng.NextBounded(lanes)));
+}
+
+std::uint8_t RandomWidth(Xoshiro256& rng, int* width_bytes) {
+  switch (rng.NextBounded(4)) {
+    case 0:
+      *width_bytes = 1;
+      return kBpfSizeB;
+    case 1:
+      *width_bytes = 2;
+      return kBpfSizeH;
+    case 2:
+      *width_bytes = 4;
+      return kBpfSizeW;
+    default:
+      *width_bytes = 8;
+      return kBpfSizeDw;
+  }
+}
+
+// Generates one random program: fixed prologue (ctx loads + register and
+// stack-slot seeds), `body_len` random single-slot instructions, and a fixed
+// epilogue folding both stack slots into R0.
+Program GenerateProgram(Xoshiro256& rng, bool with_helpers) {
+  std::vector<Insn> insns;
+  insns.push_back(LoadMem(kBpfSizeDw, 2, 1, 0));  // r2 = ctx.a
+  insns.push_back(LoadMem(kBpfSizeDw, 3, 1, 8));  // r3 = ctx.b
+  insns.push_back(MovImm(0, static_cast<std::int32_t>(rng.Next())));
+  insns.push_back(MovImm(4, static_cast<std::int32_t>(rng.Next())));
+  insns.push_back(MovImm(5, static_cast<std::int32_t>(rng.Next())));
+  insns.push_back(
+      StoreMemImm(kBpfSizeDw, 10, -8, static_cast<std::int32_t>(rng.Next())));
+  insns.push_back(
+      StoreMemImm(kBpfSizeDw, 10, -16, static_cast<std::int32_t>(rng.Next())));
+
+  InitTracker init;
+  const std::size_t body_len = 8 + rng.NextBounded(40);
+  for (std::size_t i = 0; i < body_len; ++i) {
+    const bool is64 = rng.NextBounded(2) == 0;
+    if (with_helpers && rng.NextBounded(6) == 0) {
+      insns.push_back(Call(static_cast<std::int32_t>(
+          kDeterministicHelpers[rng.NextBounded(
+              std::size(kDeterministicHelpers))])));
+      init.MarkHelperCall();
+      continue;
+    }
+    switch (rng.NextBounded(10)) {
+      case 0:
+      case 1:
+      case 2: {  // ALU reg
+        const std::uint8_t op = kBinaryAluOps[rng.NextBounded(
+            std::size(kBinaryAluOps))];
+        const std::uint8_t dst = init.Pick(rng);
+        insns.push_back(AluReg(op, dst, init.Pick(rng), is64));
+        init.MarkWrite(dst);
+        break;
+      }
+      case 3:
+      case 4: {  // ALU imm
+        const std::uint8_t op = kBinaryAluOps[rng.NextBounded(
+            std::size(kBinaryAluOps))];
+        std::int32_t imm = static_cast<std::int32_t>(rng.Next());
+        if (op == kBpfDiv || op == kBpfMod) {
+          imm |= 1;  // the verifier rejects constant-zero divisors
+        } else if (op == kBpfLsh || op == kBpfRsh || op == kBpfArsh) {
+          imm &= is64 ? 63 : 31;
+        }
+        const std::uint8_t dst = init.Pick(rng);
+        insns.push_back(AluImm(op, dst, imm, is64));
+        init.MarkWrite(dst);
+        break;
+      }
+      case 5: {  // neg
+        const std::uint8_t dst = init.Pick(rng);
+        insns.push_back(AluImm(kBpfNeg, dst, 0, is64));
+        init.MarkWrite(dst);
+        break;
+      }
+      case 6: {  // forward jump (conditional, or unconditional for JMP64)
+        const std::int16_t off =
+            static_cast<std::int16_t>(rng.NextBounded(body_len - i));
+        if (is64 && rng.NextBounded(8) == 0) {
+          insns.push_back(Jump(off));
+        } else {
+          const std::uint8_t op = kCondJmpOps[rng.NextBounded(
+              std::size(kCondJmpOps))];
+          if (rng.NextBounded(2) == 0) {
+            insns.push_back(
+                JmpReg(op, init.Pick(rng), init.Pick(rng), off, is64));
+          } else {
+            insns.push_back(JmpImm(op, init.Pick(rng),
+                                   static_cast<std::int32_t>(rng.Next()), off,
+                                   is64));
+          }
+        }
+        init.MarkJump();
+        break;
+      }
+      case 7: {  // stack store (register)
+        int width = 0;
+        const std::uint8_t size = RandomWidth(rng, &width);
+        insns.push_back(
+            StoreMemReg(size, 10, init.Pick(rng), RandomSlotOffset(rng, width)));
+        break;
+      }
+      case 8: {  // stack load
+        int width = 0;
+        const std::uint8_t size = RandomWidth(rng, &width);
+        const std::uint8_t dst = init.Pick(rng);
+        insns.push_back(LoadMem(size, dst, 10, RandomSlotOffset(rng, width)));
+        init.MarkWrite(dst);
+        break;
+      }
+      default: {  // atomic add (word or double-word)
+        const bool dw = rng.NextBounded(2) == 0;
+        insns.push_back(AtomicAdd(dw ? kBpfSizeDw : kBpfSizeW, 10,
+                                  init.Pick(rng),
+                                  RandomSlotOffset(rng, dw ? 8 : 4)));
+        break;
+      }
+    }
+  }
+  // Epilogue: every jump targets at most this point; fold the stack into r0
+  // so any divergent store shows up in the result.
+  insns.push_back(LoadMem(kBpfSizeDw, 6, 10, -8));
+  insns.push_back(AluReg(kBpfXor, 0, 6));
+  insns.push_back(LoadMem(kBpfSizeDw, 7, 10, -16));
+  insns.push_back(AluReg(kBpfXor, 0, 7));
+  insns.push_back(Exit());
+
+  Program program;
+  program.name = "jit_diff";
+  program.ctx_desc = &Desc();
+  program.insns = std::move(insns);
+  return program;
+}
+
+// Runs `rounds` random programs through both tiers. Programs the verifier
+// rejects (e.g. a div by a register it proved zero, or a jump-shadowed
+// init) are skipped; the acceptance rate must stay high enough for the test
+// to mean something.
+void RunDifferentialRounds(std::uint64_t seed, int rounds, bool with_helpers) {
+  Xoshiro256 rng(seed);
+  int accepted = 0;
+  for (int round = 0; round < rounds; ++round) {
+    Program program = GenerateProgram(rng, with_helpers);
+    if (!Verifier::Verify(program).ok()) {
+      continue;
+    }
+    ++accepted;
+
+    auto compiled = Jit::Compile(program);
+    ASSERT_TRUE(compiled.ok())
+        << "round " << round << ": " << compiled.status().ToString();
+
+    for (int input = 0; input < 3; ++input) {
+      DiffCtx ctx{rng.Next(), rng.Next()};
+      DiffCtx interp_ctx = ctx;
+      DiffCtx jit_ctx = ctx;
+      const std::uint64_t want = BpfVm::Run(program, &interp_ctx);
+      const std::uint64_t got = compiled.value()->Run(program, &jit_ctx);
+      ASSERT_EQ(want, got) << "round " << round << " input " << input
+                           << " a=" << ctx.a << " b=" << ctx.b;
+      ASSERT_EQ(std::memcmp(&interp_ctx, &jit_ctx, sizeof(DiffCtx)), 0);
+    }
+  }
+  EXPECT_GT(accepted, rounds / 2) << "generator acceptance collapsed";
+}
+
+TEST(JitDifferentialTest, RandomAluAndBranchProgramsAgree) {
+  if (!Jit::Supported()) GTEST_SKIP() << "no JIT backend";
+  RunDifferentialRounds(0x1157c0de, 2500, /*with_helpers=*/false);
+}
+
+TEST(JitDifferentialTest, RandomHelperCallingProgramsAgree) {
+  if (!Jit::Supported()) GTEST_SKIP() << "no JIT backend";
+  RunDifferentialRounds(0xca11ab1e, 1500, /*with_helpers=*/true);
+}
+
+TEST(JitDifferentialTest, RandomMapProgramsAgreeIncludingMapState) {
+  if (!Jit::Supported()) GTEST_SKIP() << "no JIT backend";
+  // Each round: identical 4-slot array maps, a random read-modify-write
+  // program; interp mutates one map, native code the other. R0 and all four
+  // slots must agree afterwards.
+  Xoshiro256 rng(0x3a9c0de5);
+  constexpr std::uint8_t kValueOps[] = {kBpfAdd, kBpfSub, kBpfXor,
+                                        kBpfOr,  kBpfAnd, kBpfMul};
+  for (int round = 0; round < 300; ++round) {
+    ArrayMap map_interp("m_interp", 8, 4);
+    ArrayMap map_jit("m_jit", 8, 4);
+    for (std::uint32_t slot = 0; slot < 4; ++slot) {
+      const std::uint64_t seed_value = rng.Next();
+      ASSERT_TRUE(map_interp.UpdateTyped(slot, seed_value).ok());
+      ASSERT_TRUE(map_jit.UpdateTyped(slot, seed_value).ok());
+    }
+
+    const std::int32_t key = static_cast<std::int32_t>(rng.NextBounded(4));
+    const std::uint8_t op = kValueOps[rng.NextBounded(std::size(kValueOps))];
+    const std::int32_t delta = static_cast<std::int32_t>(rng.Next());
+
+    Program interp_prog;
+    interp_prog.name = "jit_diff_map";
+    interp_prog.ctx_desc = &Desc();
+    interp_prog.maps = {&map_interp};
+    interp_prog.insns = {
+        StoreMemImm(kBpfSizeW, 10, -4, key),
+        MovImm(1, 0),  // map index
+        MovReg(2, 10),
+        AluImm(kBpfAdd, 2, -4),
+        Call(kHelperMapLookupElem),
+        JmpImm(kBpfJne, 0, 0, 2),
+        MovImm(0, 0),
+        Exit(),
+        LoadMem(kBpfSizeDw, 3, 0, 0),
+        AluImm(op, 3, delta),
+        StoreMemReg(kBpfSizeDw, 0, 3, 0),
+        MovReg(0, 3),
+        Exit(),
+    };
+    ASSERT_TRUE(Verifier::Verify(interp_prog).ok());
+
+    Program jit_prog = interp_prog;
+    jit_prog.maps = {&map_jit};
+    auto compiled = Jit::Compile(jit_prog);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+    DiffCtx ctx{0, 0};
+    const std::uint64_t want = BpfVm::Run(interp_prog, &ctx);
+    const std::uint64_t got = compiled.value()->Run(jit_prog, &ctx);
+    ASSERT_EQ(want, got) << "round " << round;
+    for (std::uint32_t slot = 0; slot < 4; ++slot) {
+      std::uint64_t via_interp = 0;
+      std::uint64_t via_jit = 0;
+      ASSERT_TRUE(map_interp.LookupTyped(slot, &via_interp));
+      ASSERT_TRUE(map_jit.LookupTyped(slot, &via_jit));
+      ASSERT_EQ(via_interp, via_jit) << "round " << round << " slot " << slot;
+    }
+  }
+}
+
+// Every policy program this repo ships must execute identically on both
+// tiers — this is the ISSUE's acceptance bar for the JIT.
+TEST(JitDifferentialTest, ShippedPoliciesAgreeOnRandomContexts) {
+  if (!Jit::Supported()) GTEST_SKIP() << "no JIT backend";
+  Xoshiro256 rng(0x90110c1e);
+
+  std::vector<std::pair<std::string, PolicySpec>> specs;
+  auto add_tunable = [&specs](const char* label,
+                              StatusOr<TunablePolicy> policy) {
+    ASSERT_TRUE(policy.ok()) << label << ": " << policy.status().ToString();
+    specs.emplace_back(label, std::move(policy.value().spec));
+  };
+  add_tunable("numa_grouping", MakeNumaGroupingPolicy());
+  add_tunable("priority_boost", MakePriorityBoostPolicy());
+  add_tunable("lock_inheritance", MakeLockInheritancePolicy());
+  add_tunable("scl", MakeSclPolicy());
+  add_tunable("amp_fast_core", MakeAmpFastCorePolicy());
+  add_tunable("vcpu_preemption", MakeVcpuPreemptionPolicy());
+  add_tunable("adaptive_parking", MakeAdaptiveParkingPolicy());
+  add_tunable("shuffle_fairness_guard", MakeShuffleFairnessGuard());
+  add_tunable("rw_switch", MakeRwSwitchPolicy(RwMode::kNeutral));
+  {
+    auto profiler = MakeBpfProfilerPolicy();
+    ASSERT_TRUE(profiler.ok()) << profiler.status().ToString();
+    specs.emplace_back("bpf_profiler", std::move(profiler.value().spec));
+  }
+
+  int programs_checked = 0;
+  for (auto& [label, spec] : specs) {
+    ASSERT_TRUE(spec.VerifyAll().ok()) << label;
+    for (int k = 0; k < kNumHookKinds; ++k) {
+      const auto kind = static_cast<HookKind>(k);
+      for (const Program& program : spec.ChainFor(kind).programs) {
+        ++programs_checked;
+        auto compiled = Jit::Compile(program);
+        ASSERT_TRUE(compiled.ok())
+            << label << "/" << program.name << ": "
+            << compiled.status().ToString();
+
+        const std::uint32_t ctx_size = program.ctx_desc->size();
+        const std::size_t words = (ctx_size + 7) / 8;
+        for (int round = 0; round < 64; ++round) {
+          std::vector<std::uint64_t> ctx(words);
+          for (std::uint64_t& word : ctx) {
+            word = rng.Next();
+          }
+          std::vector<std::uint64_t> interp_ctx = ctx;
+          std::vector<std::uint64_t> jit_ctx = ctx;
+          const std::uint64_t want = BpfVm::Run(program, interp_ctx.data());
+          const std::uint64_t got =
+              compiled.value()->Run(program, jit_ctx.data());
+          ASSERT_EQ(want, got)
+              << label << "/" << program.name << " round " << round;
+          ASSERT_EQ(std::memcmp(interp_ctx.data(), jit_ctx.data(), ctx_size),
+                    0)
+              << label << "/" << program.name << " round " << round;
+        }
+      }
+    }
+  }
+  EXPECT_GT(programs_checked, 0) << "no shipped policy programs were tested";
+}
+
+}  // namespace
+}  // namespace concord

@@ -6,6 +6,9 @@
 //
 // Usage:
 //   concord_asm <hook> <file.casm>       assemble + verify + disassemble
+//   concord_asm --jit-dump <hook> <file.casm>
+//                                        ... then JIT-compile and hex-dump
+//                                        the native x86-64 code
 //   concord_asm --hooks                  list hook names and context layouts
 //
 // `<hook>` is one of the Table-1 names (cmp_node, skip_shuffle,
@@ -20,6 +23,7 @@
 #include <string>
 
 #include "src/bpf/assembler.h"
+#include "src/bpf/jit/jit.h"
 #include "src/bpf/maps.h"
 #include "src/bpf/verifier.h"
 #include "src/concord/hooks.h"
@@ -68,30 +72,36 @@ int Run(int argc, char** argv) {
     PrintHooks();
     return 0;
   }
-  if (argc != 3) {
+  bool jit_dump = false;
+  int arg = 1;
+  if (argc >= 2 && std::string(argv[1]) == "--jit-dump") {
+    jit_dump = true;
+    arg = 2;
+  }
+  if (argc - arg != 2) {
     std::fprintf(stderr,
-                 "usage: %s <hook> <file.casm>\n       %s --hooks\n", argv[0],
-                 argv[0]);
+                 "usage: %s [--jit-dump] <hook> <file.casm>\n       %s --hooks\n",
+                 argv[0], argv[0]);
     return 2;
   }
 
   HookKind kind;
-  if (!ParseHook(argv[1], &kind)) {
-    std::fprintf(stderr, "unknown hook '%s' (try --hooks)\n", argv[1]);
+  if (!ParseHook(argv[arg], &kind)) {
+    std::fprintf(stderr, "unknown hook '%s' (try --hooks)\n", argv[arg]);
     return 2;
   }
 
-  std::ifstream in(argv[2]);
+  std::ifstream in(argv[arg + 1]);
   if (!in) {
-    std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+    std::fprintf(stderr, "cannot open '%s'\n", argv[arg + 1]);
     return 2;
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
 
   ArrayMap scratch("scratch", 8, 8);
-  auto program =
-      AssembleProgram(argv[2], buffer.str(), &DescriptorFor(kind), {&scratch});
+  auto program = AssembleProgram(argv[arg + 1], buffer.str(),
+                                 &DescriptorFor(kind), {&scratch});
   if (!program.ok()) {
     std::fprintf(stderr, "assembly failed: %s\n",
                  program.status().ToString().c_str());
@@ -111,6 +121,22 @@ int Run(int argc, char** argv) {
               program->used_capabilities);
   for (std::size_t pc = 0; pc < program->insns.size(); ++pc) {
     std::printf("%4zu: %s\n", pc, DisassembleInsn(program->insns[pc]).c_str());
+  }
+
+  if (jit_dump) {
+    if (!Jit::Supported()) {
+      std::fprintf(stderr, "\njit: no backend on this platform/build\n");
+      return 1;
+    }
+    auto compiled = Jit::Compile(*program);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "\njit: compile failed: %s\n",
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\njit: %zu bytes of x86-64 code\n%s",
+                compiled.value()->code_size(),
+                compiled.value()->HexDump().c_str());
   }
   return 0;
 }
