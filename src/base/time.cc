@@ -2,6 +2,14 @@
 
 namespace concord {
 
+namespace detail {
+std::atomic<ClockInterface*> g_clock_override{nullptr};
+}  // namespace detail
+
+ClockInterface* SetClockOverrideForTest(ClockInterface* clock) {
+  return detail::g_clock_override.exchange(clock, std::memory_order_acq_rel);
+}
+
 void BurnNs(std::uint64_t ns) {
   if (ns == 0) {
     return;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/base/fault.h"
 #include "src/base/time.h"
 #include "src/bpf/program.h"
 #include "src/topology/thread_context.h"
@@ -91,6 +92,9 @@ BpfMap* MapAt(VmEnv& env, std::uint64_t index) {
 std::uint64_t HelperMapLookupElem(std::uint64_t map_index, std::uint64_t key_ptr,
                                   std::uint64_t, std::uint64_t, std::uint64_t,
                                   VmEnv& env) {
+  if (CONCORD_FAULT_POINT("bpf.map_lookup")) {
+    return 0;  // injected miss: policies must tolerate a null map value
+  }
   BpfMap* map = MapAt(env, map_index);
   if (map == nullptr) {
     return 0;
@@ -102,6 +106,9 @@ std::uint64_t HelperMapLookupElem(std::uint64_t map_index, std::uint64_t key_ptr
 std::uint64_t HelperMapUpdateElem(std::uint64_t map_index, std::uint64_t key_ptr,
                                   std::uint64_t value_ptr, std::uint64_t,
                                   std::uint64_t, VmEnv& env) {
+  if (CONCORD_FAULT_POINT("bpf.helper")) {
+    return static_cast<std::uint64_t>(-1);
+  }
   BpfMap* map = MapAt(env, map_index);
   if (map == nullptr) {
     return static_cast<std::uint64_t>(-1);
@@ -114,6 +121,9 @@ std::uint64_t HelperMapUpdateElem(std::uint64_t map_index, std::uint64_t key_ptr
 std::uint64_t HelperMapDeleteElem(std::uint64_t map_index, std::uint64_t key_ptr,
                                   std::uint64_t, std::uint64_t, std::uint64_t,
                                   VmEnv& env) {
+  if (CONCORD_FAULT_POINT("bpf.helper")) {
+    return static_cast<std::uint64_t>(-1);
+  }
   BpfMap* map = MapAt(env, map_index);
   if (map == nullptr) {
     return static_cast<std::uint64_t>(-1);

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/fault.h"
 #include "src/bpf/helpers.h"
 #include "src/bpf/insn.h"
 
@@ -792,6 +793,9 @@ StatusOr<std::shared_ptr<const JitProgram>> Jit::Compile(
     const Program& program) {
 #if CONCORD_JIT_SUPPORTED
   CONCORD_CHECK(program.verified);
+  if (CONCORD_FAULT_POINT("jit.compile")) {
+    return InternalError("fault injection: jit.compile");
+  }
   Compiler compiler(program);
   StatusOr<jit::ExecutableCode> code = compiler.Compile();
   if (!code.ok()) {

@@ -1,7 +1,9 @@
 #include "src/concord/concord.h"
 
+#include "src/base/fault.h"
 #include "src/base/time.h"
 #include "src/bpf/jit/jit.h"
+#include "src/concord/containment.h"
 #include "src/rcu/rcu.h"
 
 namespace concord {
@@ -16,6 +18,9 @@ struct CompiledPolicy {
   std::optional<ShflHooks> native;         // nullable user native hooks
   std::optional<RwHooks> native_rw;
   LockProfileStats* stats = nullptr;  // nullable; owned by the entry
+  // Budget accounting, owned by the entry; outlives this table (the entry
+  // only swaps its budget after the RCU grace period retiring this table).
+  HookBudgetState* budget = nullptr;
 
   ShflHooks shfl_table;
   RwHooks rw_table;
@@ -78,11 +83,69 @@ void RunTapChain(const HookChain* chain, std::uint64_t lock_id, HookKind kind) {
   }
 }
 
+// --- dispatch accounting -----------------------------------------------------
+//
+// Times one policy invocation against its runtime budget and attributes any
+// fault-injection fires on this thread to the policy. The destructor only
+// flags (HookBudgetState::tripped); it never detaches — trampolines run
+// inside an RCU read section where waiting out a grace period would
+// deadlock. ContainmentRegistry::Poll() harvests the flag asynchronously.
+
+#if CONCORD_HOOK_BUDGETS
+class DispatchScope {
+ public:
+  DispatchScope(CompiledPolicy* cp, HookKind kind)
+      : budget_(cp->budget), stats_(cp->stats), kind_(kind) {
+    if (budget_ == nullptr) {
+      return;
+    }
+    if (budget_->budget_ns != 0) {
+      start_ns_ = ClockNowNs();
+    }
+#if CONCORD_FAULT_INJECTION
+    fires_before_ = FaultRegistry::ThreadFires();
+#endif
+  }
+
+  ~DispatchScope() {
+    if (budget_ == nullptr) {
+      return;
+    }
+#if CONCORD_FAULT_INJECTION
+    if (FaultRegistry::ThreadFires() != fires_before_) {
+      budget_->AccountFault();
+    }
+#endif
+    const std::uint64_t elapsed_ns =
+        budget_->budget_ns != 0 ? ClockNowNs() - start_ns_ : 0;
+    budget_->AccountDispatch(kind_, elapsed_ns, stats_);
+  }
+
+  DispatchScope(const DispatchScope&) = delete;
+  DispatchScope& operator=(const DispatchScope&) = delete;
+
+ private:
+  HookBudgetState* budget_;
+  LockProfileStats* stats_;
+  HookKind kind_;
+  std::uint64_t start_ns_ = 0;
+#if CONCORD_FAULT_INJECTION
+  std::uint64_t fires_before_ = 0;
+#endif
+};
+#else   // !CONCORD_HOOK_BUDGETS
+class DispatchScope {
+ public:
+  DispatchScope(CompiledPolicy*, HookKind) {}
+};
+#endif  // CONCORD_HOOK_BUDGETS
+
 // --- ShflLock trampolines ----------------------------------------------------
 
 bool CmpNodeTrampoline(void* user_data, const ShflWaiterView& shuffler,
                        const ShflWaiterView& curr) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
+  DispatchScope scope(cp, HookKind::kCmpNode);
   if (cp->native.has_value() && cp->native->cmp_node != nullptr) {
     return cp->native->cmp_node(cp->native->user_data, shuffler, curr);
   }
@@ -95,6 +158,7 @@ bool CmpNodeTrampoline(void* user_data, const ShflWaiterView& shuffler,
 
 bool SkipShuffleTrampoline(void* user_data, const ShflWaiterView& shuffler) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
+  DispatchScope scope(cp, HookKind::kSkipShuffle);
   if (cp->native.has_value() && cp->native->skip_shuffle != nullptr) {
     return cp->native->skip_shuffle(cp->native->user_data, shuffler);
   }
@@ -108,6 +172,7 @@ bool SkipShuffleTrampoline(void* user_data, const ShflWaiterView& shuffler) {
 bool ScheduleWaiterTrampoline(void* user_data, const ShflWaiterView& waiter,
                               std::uint32_t spin_iterations) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
+  DispatchScope scope(cp, HookKind::kScheduleWaiter);
   if (cp->native.has_value() && cp->native->schedule_waiter != nullptr) {
     return cp->native->schedule_waiter(cp->native->user_data, waiter,
                                        spin_iterations);
@@ -122,22 +187,27 @@ bool ScheduleWaiterTrampoline(void* user_data, const ShflWaiterView& waiter,
 template <HookKind kKind>
 void ProfileTapTrampoline(void* user_data, std::uint64_t lock_id) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
-  if (cp->native.has_value()) {
-    void (*tap)(void*, std::uint64_t) = nullptr;
-    if constexpr (kKind == HookKind::kLockAcquire) {
-      tap = cp->native->lock_acquire;
-    } else if constexpr (kKind == HookKind::kLockContended) {
-      tap = cp->native->lock_contended;
-    } else if constexpr (kKind == HookKind::kLockAcquired) {
-      tap = cp->native->lock_acquired;
-    } else {
-      tap = cp->native->lock_release;
+  {
+    // Scope covers only the policy's own work (native tap + BPF chain), not
+    // the framework profiler below — the budget bounds the *policy*.
+    DispatchScope scope(cp, kKind);
+    if (cp->native.has_value()) {
+      void (*tap)(void*, std::uint64_t) = nullptr;
+      if constexpr (kKind == HookKind::kLockAcquire) {
+        tap = cp->native->lock_acquire;
+      } else if constexpr (kKind == HookKind::kLockContended) {
+        tap = cp->native->lock_contended;
+      } else if constexpr (kKind == HookKind::kLockAcquired) {
+        tap = cp->native->lock_acquired;
+      } else {
+        tap = cp->native->lock_release;
+      }
+      if (tap != nullptr) {
+        tap(cp->native->user_data, lock_id);
+      }
     }
-    if (tap != nullptr) {
-      tap(cp->native->user_data, lock_id);
-    }
+    RunTapChain(cp->ChainFor(kKind), lock_id, kKind);
   }
-  RunTapChain(cp->ChainFor(kKind), lock_id, kKind);
   if (cp->stats != nullptr) {
     if constexpr (kKind == HookKind::kLockAcquire) {
       ProfilerTaps::OnAcquire(*cp->stats, lock_id);
@@ -155,6 +225,7 @@ void ProfileTapTrampoline(void* user_data, std::uint64_t lock_id) {
 
 std::uint32_t RwModeTrampoline(void* user_data) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
+  DispatchScope scope(cp, HookKind::kRwMode);
   if (cp->native_rw.has_value() && cp->native_rw->rw_mode != nullptr) {
     return cp->native_rw->rw_mode(cp->native_rw->user_data);
   }
@@ -168,22 +239,25 @@ std::uint32_t RwModeTrampoline(void* user_data) {
 template <HookKind kKind>
 void RwProfileTapTrampoline(void* user_data, std::uint64_t lock_id) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
-  if (cp->native_rw.has_value()) {
-    void (*tap)(void*, std::uint64_t) = nullptr;
-    if constexpr (kKind == HookKind::kLockAcquire) {
-      tap = cp->native_rw->lock_acquire;
-    } else if constexpr (kKind == HookKind::kLockContended) {
-      tap = cp->native_rw->lock_contended;
-    } else if constexpr (kKind == HookKind::kLockAcquired) {
-      tap = cp->native_rw->lock_acquired;
-    } else {
-      tap = cp->native_rw->lock_release;
+  {
+    DispatchScope scope(cp, kKind);
+    if (cp->native_rw.has_value()) {
+      void (*tap)(void*, std::uint64_t) = nullptr;
+      if constexpr (kKind == HookKind::kLockAcquire) {
+        tap = cp->native_rw->lock_acquire;
+      } else if constexpr (kKind == HookKind::kLockContended) {
+        tap = cp->native_rw->lock_contended;
+      } else if constexpr (kKind == HookKind::kLockAcquired) {
+        tap = cp->native_rw->lock_acquired;
+      } else {
+        tap = cp->native_rw->lock_release;
+      }
+      if (tap != nullptr) {
+        tap(cp->native_rw->user_data, lock_id);
+      }
     }
-    if (tap != nullptr) {
-      tap(cp->native_rw->user_data, lock_id);
-    }
+    RunTapChain(cp->ChainFor(kKind), lock_id, kKind);
   }
-  RunTapChain(cp->ChainFor(kKind), lock_id, kKind);
   if (cp->stats != nullptr) {
     if constexpr (kKind == HookKind::kLockAcquire) {
       ProfilerTaps::OnAcquire(*cp->stats, lock_id);
@@ -285,24 +359,33 @@ const Concord::Entry* Concord::EntryFor(std::uint64_t lock_id) const {
 
 Status Concord::Unregister(std::uint64_t lock_id) {
   CONCORD_RETURN_IF_ERROR(Detach(lock_id));
-  std::lock_guard<std::mutex> guard(mu_);
-  Entry* entry = EntryFor(lock_id);
-  if (entry == nullptr) {
-    return NotFoundError("lock id " + std::to_string(lock_id));
-  }
-  // Drop profiling hooks too if they were installed.
-  if (entry->current != nullptr) {
-    if (entry->kind == LockKind::kShfl) {
-      entry->shfl->InstallHooks(nullptr);
-    } else {
-      entry->rw_install(nullptr);
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Entry* entry = EntryFor(lock_id);
+    if (entry == nullptr) {
+      return NotFoundError("lock id " + std::to_string(lock_id));
     }
-    Rcu::Global().Synchronize();
-    entry->current.reset();
+    // Drop profiling hooks too if they were installed.
+    if (entry->current != nullptr) {
+      if (entry->kind == LockKind::kShfl) {
+        entry->shfl->InstallHooks(nullptr);
+      } else {
+        entry->rw_install(nullptr);
+      }
+      Rcu::Global().Synchronize();
+      entry->current.reset();
+    }
+    entry->kind = LockKind::kNone;
+    entry->shfl = nullptr;
+    entry->rw_install = nullptr;
+    entry->quarantined_spec.reset();
+    entry->quarantined_native.reset();
+    entry->quarantined_native_rw.reset();
+    entry->budget.reset();
   }
-  entry->kind = LockKind::kNone;
-  entry->shfl = nullptr;
-  entry->rw_install = nullptr;
+  // Outside mu_: containment may hold its own mutex while calling into this
+  // registry, never the other way around.
+  ContainmentRegistry::Global().Forget(lock_id);
   return Status::Ok();
 }
 
@@ -362,7 +445,8 @@ std::vector<Concord::LockInfo> Concord::ListLocks(
       info.policy_name = entry->spec->name;
     } else if (entry->native.has_value() || entry->native_rw.has_value()) {
       info.has_policy = true;
-      info.policy_name = "<native>";
+      info.policy_name =
+          entry->native_name.empty() ? "<native>" : entry->native_name;
     }
     result.push_back(std::move(info));
   }
@@ -376,6 +460,7 @@ Status Concord::ReinstallLocked(std::uint64_t lock_id) {
   }
 
   std::shared_ptr<CompiledPolicy> fresh;
+  std::unique_ptr<HookBudgetState> fresh_budget;
   const bool has_payload = entry->spec != nullptr || entry->native.has_value() ||
                            entry->native_rw.has_value() || entry->profiling;
   if (has_payload) {
@@ -385,6 +470,34 @@ Status Concord::ReinstallLocked(std::uint64_t lock_id) {
     fresh->native = entry->native;
     fresh->native_rw = entry->native_rw;
     fresh->stats = entry->profiling ? entry->stats.get() : nullptr;
+
+#if CONCORD_HOOK_BUDGETS
+    // Budget accounting rides along whenever a policy is attached and either
+    // a budget is configured or fault injection is compiled in (the latter
+    // needs the state purely for fault attribution). Profiling-only tables
+    // carry no budget — there is no policy to contain.
+    if (entry->spec != nullptr || entry->native.has_value() ||
+        entry->native_rw.has_value()) {
+      std::uint64_t budget_ns = 0;
+      std::uint32_t trip = 8;
+      if (entry->spec != nullptr) {
+        budget_ns = entry->spec->hook_budget_ns;
+        trip = entry->spec->hook_budget_trip;
+      } else if (entry->native.has_value()) {
+        budget_ns = entry->native->hook_budget_ns;
+        trip = entry->native->hook_budget_trip;
+      } else {
+        budget_ns = entry->native_rw->hook_budget_ns;
+        trip = entry->native_rw->hook_budget_trip;
+      }
+      if (budget_ns != 0 || CONCORD_FAULT_INJECTION) {
+        fresh_budget = std::make_unique<HookBudgetState>();
+        fresh_budget->budget_ns = budget_ns;
+        fresh_budget->trip_overruns = trip == 0 ? 1 : trip;
+        fresh->budget = fresh_budget.get();
+      }
+    }
+#endif
 
     const bool is_rw = entry->kind == LockKind::kRw;
     if (!is_rw) {
@@ -471,39 +584,62 @@ Status Concord::ReinstallLocked(std::uint64_t lock_id) {
   if (old != nullptr || fresh != nullptr) {
     Rcu::Global().Synchronize();
   }
+  // Only after the grace period may the previous budget die: the retiring
+  // table's trampolines could still have been accounting into it.
+  entry->budget = std::move(fresh_budget);
   // `old` destructs here (after the grace period).
   return Status::Ok();
 }
 
 Status Concord::Attach(std::uint64_t lock_id, PolicySpec spec) {
-  std::lock_guard<std::mutex> guard(mu_);
-  Entry* entry = EntryFor(lock_id);
-  if (entry == nullptr) {
-    return NotFoundError("lock id " + std::to_string(lock_id));
-  }
-  // Kind compatibility: rw locks take rw_mode/profile chains only; shfl
-  // locks take everything except rw_mode.
-  if (entry->kind == LockKind::kRw) {
-    for (HookKind kind : {HookKind::kCmpNode, HookKind::kSkipShuffle,
-                          HookKind::kScheduleWaiter}) {
-      if (!spec.ChainFor(kind).empty()) {
-        return FailedPreconditionError(
-            std::string("hook ") + HookKindName(kind) +
-            " cannot attach to readers-writer lock '" + entry->name + "'");
-      }
+  const std::string policy_name = spec.name;
+  std::uint32_t jit_failures = 0;
+  Status status;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Entry* entry = EntryFor(lock_id);
+    if (entry == nullptr) {
+      return NotFoundError("lock id " + std::to_string(lock_id));
     }
-  } else if (!spec.ChainFor(HookKind::kRwMode).empty()) {
-    return FailedPreconditionError("hook rw_mode cannot attach to mutex '" +
-                                   entry->name + "'");
+    // Kind compatibility: rw locks take rw_mode/profile chains only; shfl
+    // locks take everything except rw_mode.
+    if (entry->kind == LockKind::kRw) {
+      for (HookKind kind : {HookKind::kCmpNode, HookKind::kSkipShuffle,
+                            HookKind::kScheduleWaiter}) {
+        if (!spec.ChainFor(kind).empty()) {
+          return FailedPreconditionError(
+              std::string("hook ") + HookKindName(kind) +
+              " cannot attach to readers-writer lock '" + entry->name + "'");
+        }
+      }
+    } else if (!spec.ChainFor(HookKind::kRwMode).empty()) {
+      return FailedPreconditionError("hook rw_mode cannot attach to mutex '" +
+                                     entry->name + "'");
+    }
+    CONCORD_RETURN_IF_ERROR(spec.VerifyAll());
+    // Compile the now-verified chains to native code (no-op when the JIT is
+    // disabled; per-program failures keep the interpreter and are surfaced
+    // to containment as an informational event).
+    jit_failures = spec.JitCompileAll();
+    entry->spec = std::make_shared<const PolicySpec>(std::move(spec));
+    entry->native.reset();
+    entry->native_rw.reset();
+    // A manual attach supersedes anything parked by a quarantine.
+    entry->quarantined_spec.reset();
+    entry->quarantined_native.reset();
+    entry->quarantined_native_rw.reset();
+    status = ReinstallLocked(lock_id);
   }
-  CONCORD_RETURN_IF_ERROR(spec.VerifyAll());
-  // Compile the now-verified chains to native code (no-op when the JIT is
-  // disabled; per-program failures silently keep the interpreter).
-  spec.JitCompileAll();
-  entry->spec = std::make_shared<const PolicySpec>(std::move(spec));
-  entry->native.reset();
-  entry->native_rw.reset();
-  return ReinstallLocked(lock_id);
+  // Containment notifications happen outside mu_: the sanctioned lock order
+  // is containment -> concord, never the reverse.
+  if (status.ok()) {
+    ContainmentRegistry::Global().OnManualAttach(lock_id, policy_name);
+    if (jit_failures > 0) {
+      ContainmentRegistry::Global().NoteJitFallback(lock_id, policy_name,
+                                                    jit_failures);
+    }
+  }
+  return status;
 }
 
 Status Concord::AttachBySelector(const std::string& selector,
@@ -519,47 +655,176 @@ Status Concord::AttachBySelector(const std::string& selector,
   return Status::Ok();
 }
 
-Status Concord::AttachNative(std::uint64_t lock_id, const ShflHooks& hooks) {
-  std::lock_guard<std::mutex> guard(mu_);
-  Entry* entry = EntryFor(lock_id);
-  if (entry == nullptr) {
-    return NotFoundError("lock id " + std::to_string(lock_id));
+Status Concord::AttachNative(std::uint64_t lock_id, const ShflHooks& hooks,
+                             std::string name) {
+  Status status;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Entry* entry = EntryFor(lock_id);
+    if (entry == nullptr) {
+      return NotFoundError("lock id " + std::to_string(lock_id));
+    }
+    if (entry->kind != LockKind::kShfl) {
+      return FailedPreconditionError("'" + entry->name + "' is not a ShflLock");
+    }
+    entry->native = hooks;
+    entry->native_name = name;
+    entry->spec.reset();
+    entry->native_rw.reset();
+    entry->quarantined_spec.reset();
+    entry->quarantined_native.reset();
+    entry->quarantined_native_rw.reset();
+    status = ReinstallLocked(lock_id);
   }
-  if (entry->kind != LockKind::kShfl) {
-    return FailedPreconditionError("'" + entry->name + "' is not a ShflLock");
+  if (status.ok()) {
+    ContainmentRegistry::Global().OnManualAttach(lock_id, name);
   }
-  entry->native = hooks;
-  entry->spec.reset();
-  entry->native_rw.reset();
-  return ReinstallLocked(lock_id);
+  return status;
 }
 
-Status Concord::AttachNativeRw(std::uint64_t lock_id, const RwHooks& hooks) {
-  std::lock_guard<std::mutex> guard(mu_);
-  Entry* entry = EntryFor(lock_id);
-  if (entry == nullptr) {
-    return NotFoundError("lock id " + std::to_string(lock_id));
+Status Concord::AttachNativeRw(std::uint64_t lock_id, const RwHooks& hooks,
+                               std::string name) {
+  Status status;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Entry* entry = EntryFor(lock_id);
+    if (entry == nullptr) {
+      return NotFoundError("lock id " + std::to_string(lock_id));
+    }
+    if (entry->kind != LockKind::kRw) {
+      return FailedPreconditionError("'" + entry->name +
+                                     "' is not a readers-writer lock");
+    }
+    entry->native_rw = hooks;
+    entry->native_name = name;
+    entry->spec.reset();
+    entry->native.reset();
+    entry->quarantined_spec.reset();
+    entry->quarantined_native.reset();
+    entry->quarantined_native_rw.reset();
+    status = ReinstallLocked(lock_id);
   }
-  if (entry->kind != LockKind::kRw) {
-    return FailedPreconditionError("'" + entry->name +
-                                   "' is not a readers-writer lock");
+  if (status.ok()) {
+    ContainmentRegistry::Global().OnManualAttach(lock_id, name);
   }
-  entry->native_rw = hooks;
-  entry->spec.reset();
-  entry->native.reset();
-  return ReinstallLocked(lock_id);
+  return status;
 }
 
 Status Concord::Detach(std::uint64_t lock_id) {
+  Status status;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Entry* entry = EntryFor(lock_id);
+    if (entry == nullptr) {
+      return NotFoundError("lock id " + std::to_string(lock_id));
+    }
+    entry->spec.reset();
+    entry->native.reset();
+    entry->native_rw.reset();
+    entry->quarantined_spec.reset();
+    entry->quarantined_native.reset();
+    entry->quarantined_native_rw.reset();
+    status = ReinstallLocked(lock_id);
+  }
+  if (status.ok()) {
+    ContainmentRegistry::Global().OnManualDetach(lock_id);
+  }
+  return status;
+}
+
+Status Concord::DetachForQuarantine(std::uint64_t lock_id) {
   std::lock_guard<std::mutex> guard(mu_);
   Entry* entry = EntryFor(lock_id);
   if (entry == nullptr) {
     return NotFoundError("lock id " + std::to_string(lock_id));
   }
+  if (entry->spec == nullptr && !entry->native.has_value() &&
+      !entry->native_rw.has_value()) {
+    return FailedPreconditionError("'" + entry->name +
+                                   "' has no attached policy to quarantine");
+  }
+  entry->quarantined_spec = std::move(entry->spec);
+  entry->quarantined_native = std::move(entry->native);
+  entry->quarantined_native_rw = std::move(entry->native_rw);
   entry->spec.reset();
   entry->native.reset();
   entry->native_rw.reset();
   return ReinstallLocked(lock_id);
+}
+
+Status Concord::ReattachFromQuarantine(std::uint64_t lock_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return NotFoundError("lock id " + std::to_string(lock_id));
+  }
+  if (entry->quarantined_spec == nullptr &&
+      !entry->quarantined_native.has_value() &&
+      !entry->quarantined_native_rw.has_value()) {
+    return FailedPreconditionError("'" + entry->name +
+                                   "' has no quarantined policy to re-attach");
+  }
+  entry->spec = std::move(entry->quarantined_spec);
+  entry->native = std::move(entry->quarantined_native);
+  entry->native_rw = std::move(entry->quarantined_native_rw);
+  entry->quarantined_spec.reset();
+  entry->quarantined_native.reset();
+  entry->quarantined_native_rw.reset();
+  return ReinstallLocked(lock_id);
+}
+
+std::string Concord::AttachedPolicyName(std::uint64_t lock_id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const Entry* entry = EntryFor(lock_id);
+  if (entry == nullptr) {
+    return "";
+  }
+  if (entry->spec != nullptr) {
+    return entry->spec->name;
+  }
+  if (entry->quarantined_spec != nullptr) {
+    return entry->quarantined_spec->name;
+  }
+  if (entry->native.has_value() || entry->native_rw.has_value() ||
+      entry->quarantined_native.has_value() ||
+      entry->quarantined_native_rw.has_value()) {
+    return entry->native_name.empty() ? "<native>" : entry->native_name;
+  }
+  return "";
+}
+
+std::vector<Concord::BudgetTrip> Concord::HarvestBudgetTrips() {
+  std::vector<BudgetTrip> trips;
+  std::lock_guard<std::mutex> guard(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry* entry = entries_[i].get();
+    if (entry->kind == LockKind::kNone || entry->budget == nullptr) {
+      continue;
+    }
+    if (entry->budget->tripped.exchange(0, std::memory_order_acq_rel) == 0) {
+      continue;
+    }
+    BudgetTrip trip;
+    trip.lock_id = i + 1;
+    if (entry->spec != nullptr) {
+      trip.policy_name = entry->spec->name;
+    } else {
+      trip.policy_name = entry->native_name.empty() ? "<native>"
+                                                    : entry->native_name;
+    }
+    trip.overruns = entry->budget->overruns.load(std::memory_order_relaxed);
+    trip.dispatch_faults =
+        entry->budget->dispatch_faults.load(std::memory_order_relaxed);
+    trip.max_observed_ns = entry->budget->max_ns.load(std::memory_order_relaxed);
+    trips.push_back(std::move(trip));
+  }
+  return trips;
+}
+
+const HookBudgetState* Concord::BudgetState(std::uint64_t lock_id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const Entry* entry = EntryFor(lock_id);
+  return entry == nullptr ? nullptr : entry->budget.get();
 }
 
 Status Concord::EnableProfiling(std::uint64_t lock_id) {
@@ -602,6 +867,12 @@ const LockProfileStats* Concord::Stats(std::uint64_t lock_id) const {
   return entry == nullptr ? nullptr : entry->stats.get();
 }
 
+LockProfileStats* Concord::MutableStats(std::uint64_t lock_id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Entry* entry = EntryFor(lock_id);
+  return entry == nullptr ? nullptr : entry->stats.get();
+}
+
 std::string Concord::ProfileReport(const std::string& selector) const {
   const std::vector<std::uint64_t> ids = Select(selector);
   std::string report;
@@ -630,8 +901,11 @@ void Concord::ResetForTest() {
   for (std::uint64_t id : ids) {
     Unregister(id);
   }
-  std::lock_guard<std::mutex> guard(mu_);
-  entries_.clear();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    entries_.clear();
+  }
+  ContainmentRegistry::Global().ResetForTest();
 }
 
 }  // namespace concord

@@ -90,12 +90,44 @@ class Concord {
   Status AttachBySelector(const std::string& selector, const PolicySpec& spec);
 
   // "Precompiled" comparison path: native function-pointer hooks, no BPF.
-  Status AttachNative(std::uint64_t lock_id, const ShflHooks& hooks);
-  Status AttachNativeRw(std::uint64_t lock_id, const RwHooks& hooks);
+  // `name` identifies the policy in containment events and ListLocks.
+  Status AttachNative(std::uint64_t lock_id, const ShflHooks& hooks,
+                      std::string name = "<native>");
+  Status AttachNativeRw(std::uint64_t lock_id, const RwHooks& hooks,
+                        std::string name = "<native>");
 
   // Removes any attached policy (lock reverts to default behaviour;
   // profiling, if enabled, stays).
   Status Detach(std::uint64_t lock_id);
+
+  // --- containment plumbing (src/concord/containment.h) ----------------------
+
+  // Detaches the policy's hook table but *parks* the spec/native hooks on
+  // the entry so ReattachFromQuarantine can restore them without the
+  // controller. Profiling stays. Fails if no policy is attached.
+  Status DetachForQuarantine(std::uint64_t lock_id);
+
+  // Restores a policy parked by DetachForQuarantine (probation re-attach).
+  Status ReattachFromQuarantine(std::uint64_t lock_id);
+
+  // Name of the attached (or quarantine-parked) policy, "" if none.
+  std::string AttachedPolicyName(std::uint64_t lock_id) const;
+
+  // A policy whose HookBudgetState crossed its trip threshold (or observed a
+  // dispatch fault). Harvested — and the trip flag cleared — by
+  // ContainmentRegistry::Poll().
+  struct BudgetTrip {
+    std::uint64_t lock_id = 0;
+    std::string policy_name;
+    std::uint64_t overruns = 0;
+    std::uint64_t dispatch_faults = 0;
+    std::uint64_t max_observed_ns = 0;
+  };
+  std::vector<BudgetTrip> HarvestBudgetTrips();
+
+  // Budget accounting for the attached policy, nullptr when absent (no
+  // policy, or budgets compiled out / not configured).
+  const HookBudgetState* BudgetState(std::uint64_t lock_id) const;
 
   // --- dynamic profiling ------------------------------------------------------
 
@@ -103,6 +135,9 @@ class Concord {
   Status EnableProfilingBySelector(const std::string& selector);
   Status DisableProfiling(std::uint64_t lock_id);
   const LockProfileStats* Stats(std::uint64_t lock_id) const;
+  // Containment needs to bump per-lock quarantine counters; tests use it to
+  // feed synthetic samples into the watchdog's histograms.
+  LockProfileStats* MutableStats(std::uint64_t lock_id);
 
   // Formatted report for all profiled locks matching `selector`.
   std::string ProfileReport(const std::string& selector = "*") const;
@@ -127,8 +162,19 @@ class Concord {
     std::shared_ptr<const PolicySpec> spec;          // BPF policy, if any
     std::optional<ShflHooks> native;                 // native policy, if any
     std::optional<RwHooks> native_rw;
+    std::string native_name;                         // label for native hooks
     bool profiling = false;
     std::unique_ptr<LockProfileStats> stats;
+
+    // Quarantine parking spots (DetachForQuarantine / ReattachFromQuarantine).
+    std::shared_ptr<const PolicySpec> quarantined_spec;
+    std::optional<ShflHooks> quarantined_native;
+    std::optional<RwHooks> quarantined_native_rw;
+
+    // Budget accounting shared with the live CompiledPolicy. Replaced (after
+    // the RCU grace period) on every reinstall, so counters restart per
+    // attachment epoch.
+    std::unique_ptr<HookBudgetState> budget;
   };
 
   Concord() = default;

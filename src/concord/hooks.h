@@ -11,11 +11,17 @@
 #ifndef SRC_CONCORD_HOOKS_H_
 #define SRC_CONCORD_HOOKS_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/bpf/context.h"
 #include "src/bpf/helpers.h"
+#include "src/concord/profiler.h"
 #include "src/sync/policy_hooks.h"
+
+#ifndef CONCORD_HOOK_BUDGETS
+#define CONCORD_HOOK_BUDGETS 1
+#endif
 
 namespace concord {
 
@@ -72,6 +78,80 @@ struct RwModeCtx {
   std::uint64_t lock_id;
 };
 static_assert(sizeof(RwModeCtx) == 8);
+
+// --- hook runtime budgets ----------------------------------------------------
+//
+// One HookBudgetState is owned by the Concord registry entry for an attached
+// policy (src/concord/concord.cc) and shared with the live CompiledPolicy
+// trampoline table. Trampolines account each policy invocation here; the
+// containment registry's Poll() harvests trips asynchronously — the hot path
+// never detaches (it runs inside an RCU read section where a synchronize
+// would deadlock), it only raises the `tripped` flag.
+//
+// Compiled out when CONCORD_HOOK_BUDGETS is 0 (the struct remains so the
+// registry layout is stable, but no trampoline touches it).
+
+struct HookBudgetState {
+  // Configuration, fixed at attach time.
+  std::uint64_t budget_ns = 0;      // per-invocation budget; 0 = no timing
+  std::uint32_t trip_overruns = 8;  // overruns before the trip flag raises
+
+  // Accounting (per hook kind: invocation count and summed execution time).
+  std::atomic<std::uint64_t> calls[8] = {};
+  std::atomic<std::uint64_t> spent_ns[8] = {};
+  std::atomic<std::uint64_t> overruns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+  // Faults observed inside policy dispatch (injected or real helper/map
+  // failures), attributed via FaultRegistry::ThreadFires() deltas.
+  std::atomic<std::uint64_t> dispatch_faults{0};
+  // Raised once the trip threshold is crossed; harvested (and cleared) by
+  // Concord::HarvestBudgetTrips().
+  std::atomic<std::uint32_t> tripped{0};
+
+  void AccountDispatch(HookKind kind, std::uint64_t elapsed_ns,
+                       LockProfileStats* stats) {
+    const auto k = static_cast<std::size_t>(kind);
+    calls[k].fetch_add(1, std::memory_order_relaxed);
+    spent_ns[k].fetch_add(elapsed_ns, std::memory_order_relaxed);
+    std::uint64_t prev_max = max_ns.load(std::memory_order_relaxed);
+    while (elapsed_ns > prev_max &&
+           !max_ns.compare_exchange_weak(prev_max, elapsed_ns,
+                                         std::memory_order_relaxed)) {
+    }
+    if (budget_ns != 0 && elapsed_ns > budget_ns) {
+      const std::uint64_t total =
+          overruns.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (stats != nullptr) {
+        stats->budget_overruns.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (total >= trip_overruns) {
+        tripped.store(1, std::memory_order_release);
+      }
+    }
+  }
+
+  void AccountFault() {
+    dispatch_faults.fetch_add(1, std::memory_order_relaxed);
+    tripped.store(1, std::memory_order_release);
+  }
+
+  std::uint64_t TotalCalls() const {
+    std::uint64_t total = 0;
+    for (const auto& c : calls) {
+      total += c.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::uint64_t TotalSpentNs() const {
+    std::uint64_t total = 0;
+    for (const auto& s : spent_ns) {
+      total += s.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+static_assert(kNumHookKinds == 8, "HookBudgetState arrays track kNumHookKinds");
 
 // --- per-hook verification rules ---------------------------------------------
 

@@ -38,10 +38,11 @@ Status PolicySpec::VerifyAll() {
   return Status::Ok();
 }
 
-void PolicySpec::JitCompileAll() {
+std::uint32_t PolicySpec::JitCompileAll() {
   if (!Jit::Enabled()) {
-    return;
+    return 0;
   }
+  std::uint32_t failures = 0;
   for (int k = 0; k < kNumHookKinds; ++k) {
     for (Program& program : chains[k].programs) {
       if (!program.verified || program.jit != nullptr) {
@@ -51,10 +52,13 @@ void PolicySpec::JitCompileAll() {
           Jit::Compile(program);
       if (compiled.ok()) {
         program.jit = std::move(compiled.value());
+      } else {
+        // The program keeps jit == nullptr and interprets.
+        ++failures;
       }
-      // On failure the program keeps jit == nullptr and interprets.
     }
   }
+  return failures;
 }
 
 }  // namespace concord

@@ -56,6 +56,11 @@ struct PolicySpec {
   // it regardless.
   bool needs_hold_accounting = false;
 
+  // Runtime budget per hook invocation (0 = no timing) and how many overruns
+  // trip containment. See src/concord/containment.h.
+  std::uint64_t hook_budget_ns = 0;
+  std::uint32_t hook_budget_trip = 8;
+
   // Adds `program` to the chain for `kind`. Fails if the program was built
   // against the wrong context descriptor.
   Status AddProgram(HookKind kind, Program program);
@@ -75,8 +80,9 @@ struct PolicySpec {
   // (Jit::Enabled()). A program that fails to compile simply keeps running
   // on the interpreter — compilation is a pure acceleration, never a
   // functional requirement. Idempotent; called by Concord at attach, after
-  // VerifyAll.
-  void JitCompileAll();
+  // VerifyAll. Returns the number of programs that fell back to the
+  // interpreter (recorded by containment as an informational event).
+  std::uint32_t JitCompileAll();
 };
 
 }  // namespace concord

@@ -94,7 +94,16 @@ std::string LockProfileStats::Summary() const {
       releases.load(std::memory_order_relaxed), wait_ns.Percentile(50),
       wait_ns.Percentile(99), wait_ns.Max(), hold_ns.Percentile(50),
       hold_ns.Percentile(99));
-  return line;
+  std::string out = line;
+  const std::uint64_t overruns = budget_overruns.load(std::memory_order_relaxed);
+  const std::uint64_t quars = quarantines.load(std::memory_order_relaxed);
+  if (overruns != 0 || quars != 0) {
+    std::snprintf(line, sizeof(line),
+                  " budget_overruns=%" PRIu64 " quarantines=%" PRIu64, overruns,
+                  quars);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace concord

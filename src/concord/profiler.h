@@ -19,6 +19,11 @@ struct LockProfileStats {
   std::atomic<std::uint64_t> acquisitions{0};
   std::atomic<std::uint64_t> contentions{0};
   std::atomic<std::uint64_t> releases{0};
+  // Containment counters (src/concord/containment.h): hook invocations that
+  // blew their runtime budget, and how often this lock's policy was
+  // quarantined as a result of any fault class.
+  std::atomic<std::uint64_t> budget_overruns{0};
+  std::atomic<std::uint64_t> quarantines{0};
   Log2Histogram wait_ns;  // contended acquisitions: time from acquire to grant
   Log2Histogram hold_ns;  // critical-section lengths
 
@@ -26,6 +31,8 @@ struct LockProfileStats {
     acquisitions.store(0, std::memory_order_relaxed);
     contentions.store(0, std::memory_order_relaxed);
     releases.store(0, std::memory_order_relaxed);
+    budget_overruns.store(0, std::memory_order_relaxed);
+    quarantines.store(0, std::memory_order_relaxed);
     wait_ns.Reset();
     hold_ns.Reset();
   }

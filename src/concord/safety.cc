@@ -2,6 +2,8 @@
 
 #include <time.h>
 
+#include "src/concord/containment.h"
+
 namespace concord {
 
 FairnessWatchdog::FairnessWatchdog(WatchdogConfig config) : config_(config) {}
@@ -64,7 +66,7 @@ void FairnessWatchdog::PollLoop() {
 
 std::vector<FairnessWatchdog::Violation> FairnessWatchdog::CheckOnce() {
   std::vector<Violation> fresh;
-  std::vector<std::uint64_t> to_detach;
+  std::vector<Violation> to_report;
   {
     std::lock_guard<std::mutex> guard(mu_);
     for (WatchState& state : watched_) {
@@ -82,9 +84,7 @@ std::vector<FairnessWatchdog::Violation> FairnessWatchdog::CheckOnce() {
         violation.detached = config_.auto_detach;
         fresh.push_back(violation);
         state.last_flagged_max_ns = max_wait;
-        if (config_.auto_detach) {
-          to_detach.push_back(state.lock_id);
-        }
+        to_report.push_back(violation);
         continue;
       }
       if (config_.p99_over_p50_limit > 0 && stats->wait_ns.TotalCount() >= 100) {
@@ -101,9 +101,7 @@ std::vector<FairnessWatchdog::Violation> FairnessWatchdog::CheckOnce() {
           violation.detached = config_.auto_detach;
           fresh.push_back(violation);
           state.last_flagged_max_ns = p99;
-          if (config_.auto_detach) {
-            to_detach.push_back(state.lock_id);
-          }
+          to_report.push_back(violation);
         }
       }
     }
@@ -111,9 +109,18 @@ std::vector<FairnessWatchdog::Violation> FairnessWatchdog::CheckOnce() {
       violations_.push_back(violation);
     }
   }
-  // Detach outside mu_ (Concord has its own lock; avoid ordering surprises).
-  for (std::uint64_t lock_id : to_detach) {
-    Concord::Global().Detach(lock_id);
+  // Act outside mu_ (Concord and containment have their own locks; avoid
+  // ordering surprises). With containment, a violation becomes a recorded
+  // fault event; auto_detach maps to an immediate quarantine — the policy is
+  // parked for probation re-attach instead of silently dropped forever.
+  for (const Violation& violation : to_report) {
+    if (config_.use_containment) {
+      ContainmentRegistry::Global().OnFairnessViolation(
+          violation.lock_id, violation.observed_ns,
+          /*quarantine_now=*/config_.auto_detach);
+    } else if (config_.auto_detach) {
+      Concord::Global().Detach(violation.lock_id);
+    }
   }
   return fresh;
 }

@@ -34,6 +34,12 @@ struct WatchdogConfig {
   // Detach the offending lock's policy automatically on violation.
   bool auto_detach = true;
 
+  // Route violations through the containment registry
+  // (src/concord/containment.h): the violation becomes a recorded containment
+  // event and, with auto_detach, a quarantine with probation re-attach —
+  // instead of the legacy silent one-shot detach (use_containment = false).
+  bool use_containment = true;
+
   std::uint64_t poll_interval_ms = 10;
 };
 

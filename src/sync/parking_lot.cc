@@ -7,6 +7,8 @@
 
 #include <climits>
 
+#include "src/base/fault.h"
+
 namespace concord {
 namespace {
 
@@ -14,6 +16,18 @@ long Futex(std::atomic<std::uint32_t>* word, int op, std::uint32_t value,
            const timespec* timeout) {
   return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), op, value,
                  timeout, nullptr, 0);
+}
+
+// Injected wakeup latency: stalls (never drops) the wake so tests can prove
+// waiters survive a tardy unpark. Compiles to nothing in release builds.
+void MaybeDelayWake() {
+  if (const std::uint64_t delay_ns = CONCORD_FAULT_DELAY_NS("park.delayed_wake");
+      delay_ns != 0) {
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(delay_ns / 1'000'000'000ull);
+    ts.tv_nsec = static_cast<long>(delay_ns % 1'000'000'000ull);
+    nanosleep(&ts, nullptr);
+  }
 }
 
 }  // namespace
@@ -31,10 +45,12 @@ void ParkingLot::Park(std::atomic<std::uint32_t>* word, std::uint32_t expected,
 }
 
 void ParkingLot::UnparkOne(std::atomic<std::uint32_t>* word) {
+  MaybeDelayWake();
   Futex(word, FUTEX_WAKE_PRIVATE, 1, nullptr);
 }
 
 void ParkingLot::UnparkAll(std::atomic<std::uint32_t>* word) {
+  MaybeDelayWake();
   Futex(word, FUTEX_WAKE_PRIVATE, INT_MAX, nullptr);
 }
 

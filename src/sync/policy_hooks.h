@@ -77,6 +77,13 @@ struct ShflHooks {
   // it (the shuffle-round budget bounds the shuffler; this bounds the
   // victim). Clamped to ShflLock::kBypassCap.
   std::uint32_t max_waiter_bypasses = 128;
+
+  // Runtime budget per hook invocation, in nanoseconds. 0 disables budget
+  // timing entirely for this table. When nonzero, the Concord dispatch path
+  // times each hook call and trips containment after `hook_budget_trip`
+  // overruns (see src/concord/containment.h).
+  std::uint64_t hook_budget_ns = 0;
+  std::uint32_t hook_budget_trip = 8;
 };
 
 // Readers-writer lock mode, consulted by BRAVO-style locks on the reader
@@ -100,6 +107,10 @@ struct RwHooks {
   void (*lock_contended)(void* user_data, std::uint64_t lock_id) = nullptr;
   void (*lock_acquired)(void* user_data, std::uint64_t lock_id) = nullptr;
   void (*lock_release)(void* user_data, std::uint64_t lock_id) = nullptr;
+
+  // Same semantics as ShflHooks::hook_budget_ns / hook_budget_trip.
+  std::uint64_t hook_budget_ns = 0;
+  std::uint32_t hook_budget_trip = 8;
 };
 
 }  // namespace concord

@@ -1,0 +1,57 @@
+#include "src/base/time.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace concord {
+namespace {
+
+TEST(ClockTest, DefaultsToRealMonotonicClock) {
+  const std::uint64_t before = MonotonicNowNs();
+  const std::uint64_t now = ClockNowNs();
+  const std::uint64_t after = MonotonicNowNs();
+  EXPECT_GE(now, before);
+  EXPECT_LE(now, after);
+}
+
+TEST(ClockTest, FakeClockStartsAtConfiguredTimeAndAdvances) {
+  FakeClock clock(1'000);
+  EXPECT_EQ(clock.NowNs(), 1'000u);
+  clock.AdvanceNs(500);
+  EXPECT_EQ(clock.NowNs(), 1'500u);
+  clock.AdvanceMs(2);
+  EXPECT_EQ(clock.NowNs(), 2'001'500u);
+}
+
+TEST(ClockTest, OverrideRedirectsClockNowNs) {
+  FakeClock clock(42);
+  ClockInterface* prev = SetClockOverrideForTest(&clock);
+  EXPECT_EQ(prev, nullptr);
+  EXPECT_EQ(ClockNowNs(), 42u);
+  clock.AdvanceNs(8);
+  EXPECT_EQ(ClockNowNs(), 50u);
+  SetClockOverrideForTest(nullptr);
+  EXPECT_GT(ClockNowNs(), 50u);  // real clock again
+}
+
+TEST(ClockTest, ScopedFakeClockInstallsAndRestores) {
+  {
+    ScopedFakeClock scoped(7);
+    EXPECT_EQ(ClockNowNs(), 7u);
+    scoped.clock().AdvanceMs(1);
+    EXPECT_EQ(ClockNowNs(), 1'000'007u);
+  }
+  EXPECT_GT(ClockNowNs(), 1'000'007u);  // restored to the real clock
+}
+
+TEST(ClockTest, FakeClockReadableAcrossThreads) {
+  ScopedFakeClock scoped(1);
+  std::uint64_t seen = 0;
+  std::thread reader([&] { seen = ClockNowNs(); });
+  reader.join();
+  EXPECT_GE(seen, 1u);
+}
+
+}  // namespace
+}  // namespace concord

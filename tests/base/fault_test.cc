@@ -1,0 +1,133 @@
+#include "src/base/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace concord {
+namespace {
+
+#if CONCORD_FAULT_INJECTION
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FaultTest, UnarmedPointNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(CONCORD_FAULT_POINT("fault_test.unarmed"));
+  }
+  EXPECT_EQ(FaultRegistry::Global().Evaluations("fault_test.unarmed"), 0u);
+}
+
+TEST_F(FaultTest, AlwaysModeFiresEveryEvaluation) {
+  FaultRegistry::Global().Arm("fault_test.always", {});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(CONCORD_FAULT_POINT("fault_test.always"));
+  }
+  EXPECT_EQ(FaultRegistry::Global().Evaluations("fault_test.always"), 10u);
+  EXPECT_EQ(FaultRegistry::Global().Fires("fault_test.always"), 10u);
+}
+
+TEST_F(FaultTest, NthModeFiresExactlyOnce) {
+  FaultRegistry::Spec spec;
+  spec.mode = FaultRegistry::Mode::kNth;
+  spec.n = 3;
+  FaultRegistry::Global().Arm("fault_test.nth", spec);
+  EXPECT_FALSE(CONCORD_FAULT_POINT("fault_test.nth"));
+  EXPECT_FALSE(CONCORD_FAULT_POINT("fault_test.nth"));
+  EXPECT_TRUE(CONCORD_FAULT_POINT("fault_test.nth"));
+  EXPECT_FALSE(CONCORD_FAULT_POINT("fault_test.nth"));
+  EXPECT_EQ(FaultRegistry::Global().Fires("fault_test.nth"), 1u);
+}
+
+TEST_F(FaultTest, FirstNModeFiresThenStops) {
+  FaultRegistry::Spec spec;
+  spec.mode = FaultRegistry::Mode::kFirstN;
+  spec.n = 2;
+  FaultRegistry::Global().Arm("fault_test.firstn", spec);
+  EXPECT_TRUE(CONCORD_FAULT_POINT("fault_test.firstn"));
+  EXPECT_TRUE(CONCORD_FAULT_POINT("fault_test.firstn"));
+  EXPECT_FALSE(CONCORD_FAULT_POINT("fault_test.firstn"));
+  EXPECT_EQ(FaultRegistry::Global().Fires("fault_test.firstn"), 2u);
+}
+
+TEST_F(FaultTest, OneInModeIsSeededAndDeterministic) {
+  FaultRegistry::Spec spec;
+  spec.mode = FaultRegistry::Mode::kOneIn;
+  spec.n = 4;
+  spec.seed = 99;
+  FaultRegistry::Global().Arm("fault_test.onein", spec);
+  std::vector<bool> first_run;
+  for (int i = 0; i < 64; ++i) {
+    first_run.push_back(CONCORD_FAULT_POINT("fault_test.onein"));
+  }
+  const std::uint64_t fires = FaultRegistry::Global().Fires("fault_test.onein");
+  // Pseudo-random at rate ~1/4: somewhere well inside (0, 64).
+  EXPECT_GT(fires, 2u);
+  EXPECT_LT(fires, 40u);
+
+  // Re-arming with the same seed replays the exact schedule.
+  FaultRegistry::Global().Arm("fault_test.onein", spec);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(CONCORD_FAULT_POINT("fault_test.onein"), first_run[i]) << i;
+  }
+}
+
+TEST_F(FaultTest, DisarmStopsFiring) {
+  FaultRegistry::Global().Arm("fault_test.disarm", {});
+  EXPECT_TRUE(CONCORD_FAULT_POINT("fault_test.disarm"));
+  FaultRegistry::Global().Disarm("fault_test.disarm");
+  EXPECT_FALSE(CONCORD_FAULT_POINT("fault_test.disarm"));
+}
+
+TEST_F(FaultTest, DirectiveParsing) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  EXPECT_TRUE(registry.ArmFromDirective("p.a=always"));
+  EXPECT_TRUE(registry.ArmFromDirective("p.b=1in8"));
+  EXPECT_TRUE(registry.ArmFromDirective("p.c=1in8:42"));
+  EXPECT_TRUE(registry.ArmFromDirective("p.d=nth5"));
+  EXPECT_TRUE(registry.ArmFromDirective("p.e=first3"));
+  EXPECT_TRUE(registry.ArmFromDirective("p.f=always@1000000"));
+
+  EXPECT_FALSE(registry.ArmFromDirective(""));
+  EXPECT_FALSE(registry.ArmFromDirective("noequals"));
+  EXPECT_FALSE(registry.ArmFromDirective("p.g="));
+  EXPECT_FALSE(registry.ArmFromDirective("p.g=bogus"));
+  EXPECT_FALSE(registry.ArmFromDirective("p.g=1in0"));
+  EXPECT_FALSE(registry.ArmFromDirective("p.g=nthx"));
+  EXPECT_FALSE(registry.ArmFromDirective("p.g=always@"));
+  EXPECT_FALSE(registry.ArmFromDirective("p.g=always@abc"));
+
+  EXPECT_TRUE(CONCORD_FAULT_POINT("p.a"));
+  EXPECT_EQ(CONCORD_FAULT_DELAY_NS("p.f"), 1'000'000u);
+}
+
+TEST_F(FaultTest, DelayOnlyReturnsWhenArmedWithDelay) {
+  EXPECT_EQ(CONCORD_FAULT_DELAY_NS("fault_test.nodelay"), 0u);
+  FaultRegistry::Spec spec;
+  spec.delay_ns = 777;
+  FaultRegistry::Global().Arm("fault_test.delay", spec);
+  EXPECT_EQ(CONCORD_FAULT_DELAY_NS("fault_test.delay"), 777u);
+}
+
+TEST_F(FaultTest, ThreadFiresCountsThisThreadsFires) {
+  const std::uint64_t before = FaultRegistry::ThreadFires();
+  FaultRegistry::Global().Arm("fault_test.tls", {});
+  CONCORD_FAULT_POINT("fault_test.tls");
+  CONCORD_FAULT_POINT("fault_test.tls");
+  EXPECT_EQ(FaultRegistry::ThreadFires(), before + 2);
+}
+
+#else  // !CONCORD_FAULT_INJECTION
+
+TEST(FaultTest, MacrosCompileOutToConstants) {
+  EXPECT_FALSE(CONCORD_FAULT_POINT("anything"));
+  EXPECT_EQ(CONCORD_FAULT_DELAY_NS("anything"), 0u);
+}
+
+#endif  // CONCORD_FAULT_INJECTION
+
+}  // namespace
+}  // namespace concord

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/base/time.h"
+#include "src/concord/containment.h"
 #include "src/concord/policies.h"
 #include "src/sync/shfllock.h"
 
@@ -133,6 +134,137 @@ TEST_F(SafetyTest, BackgroundPollerCatchesViolations) {
   watchdog.Stop();
   ASSERT_FALSE(watchdog.violations().empty());
   EXPECT_FALSE(watchdog.violations()[0].detached);
+}
+
+TEST_F(SafetyTest, DetectsWaitSkewFromP99OverP50) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+  WatchdogConfig config;
+  config.max_wait_ns = ~0ull;  // keep the max-wait detector out of the way
+  config.p99_over_p50_limit = 4.0;
+  config.auto_detach = false;
+  FairnessWatchdog watchdog(config);
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+
+  // Feed a bimodal wait distribution directly: ~98% short waits and a few
+  // starved outliers — the shape a starving cmp_node policy produces. p50
+  // lands in the 512ns bucket, p99 in the 524us bucket: skew ~1000x.
+  LockProfileStats* stats = concord.MutableStats(id);
+  ASSERT_NE(stats, nullptr);
+  for (int i = 0; i < 120; ++i) {
+    stats->wait_ns.Record(1'000);
+  }
+  stats->wait_ns.Record(1'000'000);
+  stats->wait_ns.Record(1'000'000);
+
+  const auto fresh = watchdog.CheckOnce();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].kind, FairnessWatchdog::ViolationKind::kWaitSkew);
+  EXPECT_GE(fresh[0].observed_ns, 100'000u);
+  // The same skew is not re-flagged on the next pass.
+  EXPECT_TRUE(watchdog.CheckOnce().empty());
+}
+
+TEST_F(SafetyTest, NoSkewFlagBelowSampleFloor) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+  WatchdogConfig config;
+  config.max_wait_ns = ~0ull;
+  config.p99_over_p50_limit = 4.0;
+  FairnessWatchdog watchdog(config);
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+
+  // Same skewed shape but under 100 samples: too little signal to act on.
+  LockProfileStats* stats = concord.MutableStats(id);
+  ASSERT_NE(stats, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    stats->wait_ns.Record(1'000);
+  }
+  stats->wait_ns.Record(1'000'000);
+  EXPECT_TRUE(watchdog.CheckOnce().empty());
+}
+
+TEST_F(SafetyTest, ViolationFeedsContainmentQuarantine) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+  auto policy = MakeNumaGroupingPolicy();
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(concord.Attach(id, std::move(policy->spec)).ok());
+
+  WatchdogConfig config;
+  config.max_wait_ns = 10'000'000;
+  config.auto_detach = true;
+  config.use_containment = true;
+  FairnessWatchdog watchdog(config);
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+
+  std::atomic<bool> acquired{false};
+  lock_.Lock();
+  std::thread victim([&] {
+    lock_.Lock();
+    acquired.store(true);
+    lock_.Unlock();
+  });
+  const LockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  timespec ts{0, 30'000'000};
+  nanosleep(&ts, nullptr);
+  lock_.Unlock();
+  victim.join();
+  ASSERT_TRUE(acquired.load());
+
+  ASSERT_EQ(watchdog.CheckOnce().size(), 1u);
+
+  // auto_detach + containment = straight to quarantine: the hook table is
+  // gone but the spec is parked under its name for probation re-attach.
+  ContainmentRegistry& registry = ContainmentRegistry::Global();
+  EXPECT_EQ(registry.HealthOf(id), PolicyHealth::kQuarantined);
+  EXPECT_EQ(concord.AttachedPolicyName(id), "numa_grouping");
+  bool saw_quarantine = false;
+  for (const ContainmentEvent& event : registry.events()) {
+    if (event.lock_id == id &&
+        event.fault == ContainmentFault::kFairnessViolation &&
+        event.action == ContainmentAction::kQuarantined) {
+      saw_quarantine = true;
+    }
+  }
+  EXPECT_TRUE(saw_quarantine);
+  EXPECT_GE(stats->quarantines.load(), 1u);
+}
+
+TEST_F(SafetyTest, LegacyDetachPathStillWorks) {
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock_, "l", "t");
+  auto policy = MakeNumaGroupingPolicy();
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(concord.Attach(id, std::move(policy->spec)).ok());
+
+  WatchdogConfig config;
+  config.max_wait_ns = 10'000'000;
+  config.auto_detach = true;
+  config.use_containment = false;  // legacy one-shot detach
+  FairnessWatchdog watchdog(config);
+  ASSERT_TRUE(watchdog.Watch(id).ok());
+
+  std::atomic<bool> acquired{false};
+  lock_.Lock();
+  std::thread victim([&] {
+    lock_.Lock();
+    acquired.store(true);
+    lock_.Unlock();
+  });
+  const LockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  timespec ts{0, 30'000'000};
+  nanosleep(&ts, nullptr);
+  lock_.Unlock();
+  victim.join();
+  ASSERT_TRUE(acquired.load());
+
+  ASSERT_EQ(watchdog.CheckOnce().size(), 1u);
+  // Legacy path: no parked spec, no containment state.
+  EXPECT_EQ(ContainmentRegistry::Global().HealthOf(id), PolicyHealth::kActive);
+  EXPECT_TRUE(concord.AttachedPolicyName(id).empty());
 }
 
 TEST_F(SafetyTest, UnwatchStopsDetection) {
