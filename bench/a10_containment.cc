@@ -21,6 +21,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
+
 #include <mutex>
 
 #include "src/base/time.h"
@@ -136,4 +138,4 @@ BENCHMARK(BM_Contended_BudgetOn)->Threads(4)->UseRealTime();
 }  // namespace
 }  // namespace concord
 
-BENCHMARK_MAIN();
+CONCORD_GBENCH_MAIN("a10_containment");

@@ -32,6 +32,9 @@ void Run() {
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("a1_numa_policy");
+  concord::bench::ReportConfig("duration_ns", 3'000'000.0);
   concord::Run();
+  concord::bench::ReportWrite();
   return 0;
 }

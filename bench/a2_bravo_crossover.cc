@@ -30,6 +30,11 @@ void Run() {
         SimPageFault(PageFaultFlavor::kBravoFixedBias, params).ops_per_msec;
     std::printf("%16u %16.1f %16.1f %16.1f %10s\n", writes, stock, adaptive,
                 fixed, adaptive >= stock ? "BRAVO" : "Stock");
+    const std::map<std::string, std::string> labels = {
+        {"writes_per_1024", std::to_string(writes)}};
+    bench::ReportMetric("Stock", "ops_per_msec", stock, labels);
+    bench::ReportMetric("BRAVO_adaptive", "ops_per_msec", adaptive, labels);
+    bench::ReportMetric("BRAVO_fixed", "ops_per_msec", fixed, labels);
   }
   std::printf("(fixed bias shows the crossover the adaptive inhibit window — "
               "and a Concord rw_mode policy — exists to avoid)\n");
@@ -39,6 +44,10 @@ void Run() {
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("a2_bravo_crossover");
+  concord::bench::ReportConfig("threads", 40.0);
+  concord::bench::ReportConfig("duration_ns", 5'000'000.0);
   concord::Run();
+  concord::bench::ReportWrite();
   return 0;
 }

@@ -32,7 +32,7 @@ void Run() {
   const std::uint64_t id = concord.RegisterShflLock(lock, "a3_lock", "bench");
   CONCORD_CHECK(concord.EnableProfiling(id).ok());
   auto contended = [&concord, id] {
-    return concord.Stats(id)->contentions.load();
+    return concord.Stats(id)->Contentions();
   };
 
   constexpr int kRounds = 3;
@@ -50,12 +50,21 @@ void Run() {
   std::printf("%24s %12.1f\n", "inheritance policy",
               boosted.mean_position["renamer"]);
   std::printf("(lower is earlier; arrival position was 6)\n");
+  bench::ReportMetric("renamer_grant_position", "position",
+                      fifo.mean_position["renamer"], {{"policy", "fifo"}});
+  bench::ReportMetric("renamer_grant_position", "position",
+                      boosted.mean_position["renamer"],
+                      {{"policy", "inheritance"}});
 }
 
 }  // namespace
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("a3_lock_inheritance");
+  concord::bench::ReportConfig("waiters", 8.0);
+  concord::bench::ReportConfig("arrival_position", 6.0);
   concord::Run();
+  concord::bench::ReportWrite();
   return 0;
 }

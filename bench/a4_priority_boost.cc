@@ -27,7 +27,7 @@ void Run() {
   const std::uint64_t id = concord.RegisterShflLock(lock, "a4_lock", "bench");
   CONCORD_CHECK(concord.EnableProfiling(id).ok());
   auto contended = [&concord, id] {
-    return concord.Stats(id)->contentions.load();
+    return concord.Stats(id)->Contentions();
   };
 
   constexpr int kRounds = 3;
@@ -45,12 +45,20 @@ void Run() {
   std::printf("%24s %12.1f\n", "FIFO (no policy)", fifo.mean_position["vip"]);
   std::printf("%24s %12.1f\n", "priority policy", boosted.mean_position["vip"]);
   std::printf("(lower is earlier; arrival position was 7)\n");
+  bench::ReportMetric("vip_grant_position", "position",
+                      fifo.mean_position["vip"], {{"policy", "fifo"}});
+  bench::ReportMetric("vip_grant_position", "position",
+                      boosted.mean_position["vip"], {{"policy", "priority"}});
 }
 
 }  // namespace
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("a4_priority_boost");
+  concord::bench::ReportConfig("waiters", 8.0);
+  concord::bench::ReportConfig("arrival_position", 7.0);
   concord::Run();
+  concord::bench::ReportWrite();
   return 0;
 }

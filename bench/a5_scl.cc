@@ -34,7 +34,7 @@ void Run() {
   const std::uint64_t id = concord.RegisterShflLock(lock, "a5_lock", "bench");
   CONCORD_CHECK(concord.EnableProfiling(id).ok());
   auto contended = [&concord, id] {
-    return concord.Stats(id)->contentions.load();
+    return concord.Stats(id)->Contentions();
   };
 
   constexpr int kRounds = 3;
@@ -55,12 +55,23 @@ void Run() {
               scl.mean_position["quick"]);
   std::printf("(quick tasks arrived at positions 4-6; SCL must pull them "
               "forward)\n");
+  bench::ReportMetric("hog_grant_position", "position",
+                      fifo.mean_position["hog"], {{"policy", "fifo"}});
+  bench::ReportMetric("quick_grant_position", "position",
+                      fifo.mean_position["quick"], {{"policy", "fifo"}});
+  bench::ReportMetric("hog_grant_position", "position",
+                      scl.mean_position["hog"], {{"policy", "scl"}});
+  bench::ReportMetric("quick_grant_position", "position",
+                      scl.mean_position["quick"], {{"policy", "scl"}});
 }
 
 }  // namespace
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("a5_scl");
+  concord::bench::ReportConfig("waiters", 7.0);
   concord::Run();
+  concord::bench::ReportWrite();
   return 0;
 }

@@ -32,7 +32,7 @@ void Run() {
   const std::uint64_t id = concord.RegisterShflLock(lock, "a6_lock", "bench");
   CONCORD_CHECK(concord.EnableProfiling(id).ok());
   auto contended = [&concord, id] {
-    return concord.Stats(id)->contentions.load();
+    return concord.Stats(id)->Contentions();
   };
 
   constexpr int kRounds = 3;
@@ -52,6 +52,14 @@ void Run() {
   std::printf("%16s %12.1f %12.1f\n", "AMP policy", amp.mean_position["slow"],
               amp.mean_position["fast"]);
   std::printf("(fast-core waiters arrived at positions 5-7)\n");
+  bench::ReportMetric("slow_grant_position", "position",
+                      fifo.mean_position["slow"], {{"policy", "fifo"}});
+  bench::ReportMetric("fast_grant_position", "position",
+                      fifo.mean_position["fast"], {{"policy", "fifo"}});
+  bench::ReportMetric("slow_grant_position", "position",
+                      amp.mean_position["slow"], {{"policy", "amp"}});
+  bench::ReportMetric("fast_grant_position", "position",
+                      amp.mean_position["fast"], {{"policy", "amp"}});
 }
 
 void RunSimPart() {
@@ -71,13 +79,27 @@ void RunSimPart() {
               static_cast<unsigned long long>(amp.fast_ops),
               static_cast<unsigned long long>(amp.slow_ops));
   std::printf("(the policy trades slow-core share for total throughput)\n");
+  for (const auto& [policy, result] :
+       {std::pair<const char*, const AmpResult&>{"fifo", fifo},
+        {"amp", amp}}) {
+    const std::map<std::string, std::string> labels = {{"policy", policy}};
+    bench::ReportMetric("sim_total", "ops_per_msec", result.total.ops_per_msec,
+                        labels);
+    bench::ReportMetric("sim_fast_ops", "ops",
+                        static_cast<double>(result.fast_ops), labels);
+    bench::ReportMetric("sim_slow_ops", "ops",
+                        static_cast<double>(result.slow_ops), labels);
+  }
 }
 
 }  // namespace
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("a6_amp");
+  concord::bench::ReportConfig("waiters", 8.0);
   concord::Run();
   concord::RunSimPart();
+  concord::bench::ReportWrite();
   return 0;
 }

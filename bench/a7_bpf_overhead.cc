@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
+
 #include "src/bpf/jit/jit.h"
 #include "src/bpf/vm.h"
 #include "src/concord/concord.h"
@@ -177,4 +179,4 @@ BENCHMARK(BM_RwModeDecision_Jit);
 }  // namespace
 }  // namespace concord
 
-BENCHMARK_MAIN();
+CONCORD_GBENCH_MAIN("a7_bpf_overhead");

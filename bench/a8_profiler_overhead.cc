@@ -2,9 +2,17 @@
 // four profiling hooks is "increase critical section" — this quantifies it:
 // uncontended lock/unlock with no profiling, the built-in native profiler,
 // and the all-BPF per-CPU-map profiler.
+//
+// Also the flight recorder's overhead budget: TraceRuntimeOff measures a
+// registered lock with the recorder compiled in but not enabled (the
+// always-paid gate branch; compare against a -DCONCORD_ENABLE_TRACE=OFF
+// build of BM_LockUnlock_NoProfiling for the compile-out delta), and
+// TraceEnabled measures full per-event recording.
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
+#include "src/base/trace.h"
 #include "src/concord/concord.h"
 #include "src/concord/policies.h"
 #include "src/sync/shfllock.h"
@@ -31,7 +39,7 @@ void BM_LockUnlock_NativeProfiler(benchmark::State& state) {
     lock.Unlock();
   }
   state.counters["acquisitions"] = static_cast<double>(
-      concord.Stats(id)->acquisitions.load(std::memory_order_relaxed));
+      concord.Stats(id)->Acquisitions());
   CONCORD_CHECK(concord.Unregister(id).ok());
 }
 BENCHMARK(BM_LockUnlock_NativeProfiler);
@@ -54,7 +62,40 @@ void BM_LockUnlock_BpfProfiler(benchmark::State& state) {
 }
 BENCHMARK(BM_LockUnlock_BpfProfiler);
 
+void BM_LockUnlock_TraceRuntimeOff(benchmark::State& state) {
+  static ShflLock lock;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "a8_troff", "bench");
+  // Registered (nonzero lock id, so the gate really indexes the bitmap) but
+  // tracing never enabled: this is the cost production pays for carrying the
+  // recorder.
+  for (auto _ : state) {
+    lock.Lock();
+    lock.Unlock();
+  }
+  CONCORD_CHECK(concord.Unregister(id).ok());
+}
+BENCHMARK(BM_LockUnlock_TraceRuntimeOff);
+
+#if CONCORD_TRACE
+void BM_LockUnlock_TraceEnabled(benchmark::State& state) {
+  static ShflLock lock;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "a8_tron", "bench");
+  CONCORD_CHECK(concord.EnableTracing(id).ok());
+  for (auto _ : state) {
+    lock.Lock();
+    lock.Unlock();
+  }
+  state.counters["trace_events"] = static_cast<double>(
+      TraceRegistry::Global().Collect().size());
+  CONCORD_CHECK(concord.DisableTracing(id).ok());
+  CONCORD_CHECK(concord.Unregister(id).ok());
+}
+BENCHMARK(BM_LockUnlock_TraceEnabled);
+#endif
+
 }  // namespace
 }  // namespace concord
 
-BENCHMARK_MAIN();
+CONCORD_GBENCH_MAIN("a8_profiler_overhead");

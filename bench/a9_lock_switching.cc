@@ -56,6 +56,7 @@ void RunRwSwitchExperiment() {
                           {"neutral", RwMode::kNeutral},
                           {"reader-bias", RwMode::kReaderBias},
                           {"writer-only", RwMode::kWriterOnly}};
+  int phase_index = 0;
   for (const Phase& phase : phases) {
     CONCORD_CHECK(
         knobs->UpdateTyped(std::uint32_t{0},
@@ -67,9 +68,19 @@ void RunRwSwitchExperiment() {
     bench::SleepMs(200);
     const double rate =
         static_cast<double>(reads.load() - reads_before) / 200.0;
+    const std::uint64_t fast = lock.fast_reads() - fast_before;
+    const std::uint64_t slow = lock.slow_reads() - slow_before;
     std::printf("%14s %14.1f %14llu %14llu\n", phase.name, rate,
-                static_cast<unsigned long long>(lock.fast_reads() - fast_before),
-                static_cast<unsigned long long>(lock.slow_reads() - slow_before));
+                static_cast<unsigned long long>(fast),
+                static_cast<unsigned long long>(slow));
+    const std::map<std::string, std::string> labels = {
+        {"phase", std::to_string(phase_index)}, {"mode", phase.name}};
+    bench::ReportMetric("rw_switch_reads", "reads_per_msec", rate, labels);
+    bench::ReportMetric("rw_switch_fast_reads", "reads",
+                        static_cast<double>(fast), labels);
+    bench::ReportMetric("rw_switch_slow_reads", "reads",
+                        static_cast<double>(slow), labels);
+    ++phase_index;
   }
 
   stop.store(true);
@@ -150,20 +161,33 @@ void RunAttachChurnExperiment() {
   std::printf("%24s %14.1f ops/msec\n", "no switching", quiet_rate);
   std::printf("%24s %14.1f ops/msec (10ms wakeups, no patching)\n",
               "control", control_rate);
+  const double us_per_patch_cycle =
+      switches == 0 ? 0.0
+                    : static_cast<double>(switch_ns_total) / 1000.0 /
+                          static_cast<double>(switches / 2);
   std::printf("%24s %14.1f ops/msec (%llu switches, %.1f us per patch "
               "cycle incl. grace period)\n",
               "live re-patching", churn_rate,
-              static_cast<unsigned long long>(switches),
-              switches == 0 ? 0.0
-                            : static_cast<double>(switch_ns_total) / 1000.0 /
-                                  static_cast<double>(switches / 2));
+              static_cast<unsigned long long>(switches), us_per_patch_cycle);
+  bench::ReportMetric("churn_ops", "ops_per_msec", quiet_rate,
+                      {{"phase", "no_switching"}});
+  bench::ReportMetric("churn_ops", "ops_per_msec", control_rate,
+                      {{"phase", "control"}});
+  bench::ReportMetric("churn_ops", "ops_per_msec", churn_rate,
+                      {{"phase", "live_repatching"}});
+  bench::ReportMetric("patch_cycle", "us", us_per_patch_cycle,
+                      {{"switches", std::to_string(switches)}});
 }
 
 }  // namespace
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("a9_lock_switching");
+  concord::bench::ReportConfig("reader_threads", 3.0);
+  concord::bench::ReportConfig("phase_ms", 200.0);
   concord::RunRwSwitchExperiment();
   concord::RunAttachChurnExperiment();
+  concord::bench::ReportWrite();
   return 0;
 }

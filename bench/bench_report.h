@@ -1,0 +1,168 @@
+// Machine-readable benchmark results.
+//
+// Every bench binary writes BENCH_<name>.json next to its stdout table so CI
+// (and the paper's plotting scripts) never scrape formatted text. The file
+// goes to $BENCH_JSON_DIR when set, else the working directory, and follows
+// schema_version 1, validated by tools/bench_json_check:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<binary name>",
+//     "git_sha": "<build-time sha or 'unknown'>",
+//     "timestamp_unix": <seconds>,
+//     "config": {"<key>": <string|number>, ...},
+//     "metrics": [
+//       {"name": "...", "unit": "...", "value": <number>,
+//        "labels": {"<key>": "<value>", ...}},
+//       ...
+//     ]
+//   }
+//
+// The sweep helpers in bench/common.h feed every PrintRow() cell in here
+// automatically; benches that print free-form tables call AddMetric()
+// directly.
+
+#ifndef BENCH_BENCH_REPORT_H_
+#define BENCH_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/json.h"
+
+#ifndef CONCORD_GIT_SHA
+#define CONCORD_GIT_SHA "unknown"
+#endif
+
+namespace concord {
+namespace bench {
+
+struct BenchMetric {
+  std::string name;
+  std::string unit;
+  double value = 0.0;
+  std::map<std::string, std::string> labels;
+};
+
+class BenchReport {
+ public:
+  static BenchReport& Global() {
+    static BenchReport* report = new BenchReport();
+    return *report;
+  }
+
+  void SetBench(std::string name) { bench_ = std::move(name); }
+  const std::string& bench() const { return bench_; }
+
+  void SetConfig(const std::string& key, const std::string& value) {
+    config_strings_[key] = value;
+  }
+  void SetConfig(const std::string& key, double value) {
+    config_numbers_[key] = value;
+  }
+
+  void AddMetric(std::string name, std::string unit, double value,
+                 std::map<std::string, std::string> labels = {}) {
+    metrics_.push_back(
+        {std::move(name), std::move(unit), value, std::move(labels)});
+  }
+
+  std::string ToJson() const {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.NumberField("schema_version", 1);
+    writer.Field("bench", bench_);
+    writer.Field("git_sha", CONCORD_GIT_SHA);
+    writer.NumberField("timestamp_unix",
+                       static_cast<std::int64_t>(std::time(nullptr)));
+    writer.Key("config").BeginObject();
+    for (const auto& [key, value] : config_strings_) {
+      writer.Field(key, value);
+    }
+    for (const auto& [key, value] : config_numbers_) {
+      writer.NumberField(key, value);
+    }
+    writer.EndObject();
+    writer.Key("metrics").BeginArray();
+    for (const BenchMetric& metric : metrics_) {
+      writer.BeginObject();
+      writer.Field("name", metric.name);
+      writer.Field("unit", metric.unit);
+      writer.NumberField("value", metric.value);
+      writer.Key("labels").BeginObject();
+      for (const auto& [key, value] : metric.labels) {
+        writer.Field(key, value);
+      }
+      writer.EndObject();
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+    return writer.TakeString();
+  }
+
+  // Writes BENCH_<bench>.json; returns the path, or "" on failure (which is
+  // also reported on stderr so CI logs show it).
+  std::string WriteFile() const {
+    if (bench_.empty()) {
+      std::fprintf(stderr, "bench_report: no bench name set, not writing\n");
+      return "";
+    }
+    const char* dir = std::getenv("BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/BENCH_" + bench_ + ".json"
+                           : "BENCH_" + bench_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench_report: cannot open %s\n", path.c_str());
+      return "";
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                        json.size() &&
+                    std::fputc('\n', file) != EOF;
+    std::fclose(file);
+    if (!ok) {
+      std::fprintf(stderr, "bench_report: short write to %s\n", path.c_str());
+      return "";
+    }
+    std::fprintf(stderr, "bench_report: wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  BenchReport() = default;
+
+  std::string bench_;
+  std::map<std::string, std::string> config_strings_;
+  std::map<std::string, double> config_numbers_;
+  std::vector<BenchMetric> metrics_;
+};
+
+// Convenience wrappers so bench mains read as a checklist.
+inline void ReportInit(const std::string& bench_name) {
+  BenchReport::Global().SetBench(bench_name);
+}
+inline void ReportConfig(const std::string& key, const std::string& value) {
+  BenchReport::Global().SetConfig(key, value);
+}
+inline void ReportConfig(const std::string& key, double value) {
+  BenchReport::Global().SetConfig(key, value);
+}
+inline void ReportMetric(std::string name, std::string unit, double value,
+                         std::map<std::string, std::string> labels = {}) {
+  BenchReport::Global().AddMetric(std::move(name), std::move(unit), value,
+                                  std::move(labels));
+}
+inline std::string ReportWrite() { return BenchReport::Global().WriteFile(); }
+
+}  // namespace bench
+}  // namespace concord
+
+#endif  // BENCH_BENCH_REPORT_H_

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "src/base/time.h"
 #include "src/sync/shfllock.h"
 #include "src/topology/thread_context.h"
@@ -34,13 +35,28 @@ inline const std::vector<std::uint32_t>& PaperThreadSweep() {
   return sweep;
 }
 
-inline void PrintHeader(const char* title, const std::vector<std::string>& cols) {
+// Sweep-table state: PrintRow() records every cell into the bench report
+// under the table PrintHeader() opened, so the JSON artifact mirrors the
+// printed tables without per-bench plumbing.
+struct SweepTableState {
+  std::string title;
+  std::vector<std::string> cols;
+  std::string unit;
+};
+inline SweepTableState& CurrentSweepTable() {
+  static SweepTableState state;
+  return state;
+}
+
+inline void PrintHeader(const char* title, const std::vector<std::string>& cols,
+                        const char* unit = "ops_per_msec") {
   std::printf("\n=== %s ===\n", title);
   std::printf("%8s", "threads");
   for (const auto& col : cols) {
     std::printf(" %16s", col.c_str());
   }
   std::printf("\n");
+  CurrentSweepTable() = {title, cols, unit};
 }
 
 inline void PrintRow(std::uint32_t threads, const std::vector<double>& values) {
@@ -49,6 +65,13 @@ inline void PrintRow(std::uint32_t threads, const std::vector<double>& values) {
     std::printf(" %16.1f", v);
   }
   std::printf("\n");
+  const SweepTableState& table = CurrentSweepTable();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::string col =
+        i < table.cols.size() ? table.cols[i] : "col" + std::to_string(i);
+    ReportMetric(col, table.unit, values[i],
+                 {{"table", table.title}, {"threads", std::to_string(threads)}});
+  }
 }
 
 inline void SleepMs(std::uint64_t ms) {

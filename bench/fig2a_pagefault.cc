@@ -107,7 +107,9 @@ void RunRealPart() {
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("fig2a_pagefault");
   concord::RunSimPart();
   concord::RunRealPart();
+  concord::bench::ReportWrite();
   return 0;
 }

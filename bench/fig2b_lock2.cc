@@ -105,7 +105,11 @@ void RunRealPart() {
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("fig2b_lock2");
+  concord::bench::ReportConfig("sim_duration_ns", 3'000'000.0);
+  concord::bench::ReportConfig("real_duration_ms", 400.0);
   concord::RunSimPart();
   concord::RunRealPart();
+  concord::bench::ReportWrite();
   return 0;
 }

@@ -31,7 +31,7 @@ void RunSimPart() {
 
   bench::PrintHeader(
       "Fig 2(c) hashtable [simulated, normalized throughput vs ShflLock]",
-      {"Concord(empty)", "Concord(BPF taps)"});
+      {"Concord(empty)", "Concord(BPF taps)"}, "ratio");
   for (std::uint32_t threads : bench::PaperThreadSweep()) {
     HashParams params;
     params.threads = threads;
@@ -83,7 +83,7 @@ void RunRealPart() {
   constexpr std::uint64_t kMs = 400;
   bench::PrintHeader(
       "Fig 2(c) hashtable [real threads, normalized throughput vs ShflLock]",
-      {"Concord(policy)", "Concord(+profiler)"});
+      {"Concord(policy)", "Concord(+profiler)"}, "ratio");
   for (std::uint32_t threads : {1u, 2u, 4u}) {
     GlobalLockHashTable<ShflLock> base_table;
     base_table.global_lock().SetBlocking(true);
@@ -119,7 +119,9 @@ void RunRealPart() {
 }  // namespace concord
 
 int main() {
+  concord::bench::ReportInit("fig2c_hashtable");
   concord::RunSimPart();
   concord::RunRealPart();
+  concord::bench::ReportWrite();
   return 0;
 }

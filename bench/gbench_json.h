@@ -1,0 +1,65 @@
+// google-benchmark adapter for the BENCH_<name>.json artifact.
+//
+// CONCORD_GBENCH_MAIN(name) replaces BENCHMARK_MAIN(): it runs the registered
+// benchmarks through a reporter that mirrors every per-iteration run (and its
+// user counters) into the bench report, then writes BENCH_<name>.json.
+
+#ifndef BENCH_GBENCH_JSON_H_
+#define BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+
+namespace concord {
+namespace bench {
+
+class JsonRecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type == Run::RT_Aggregate || run.error_occurred) {
+        continue;  // aggregates restate per-iteration runs; errors have no data
+      }
+      const double iters = static_cast<double>(run.iterations);
+      const double ns_per_op =
+          run.iterations > 0 ? run.real_accumulated_time / iters * 1e9 : 0.0;
+      const std::map<std::string, std::string> labels = {
+          {"iterations", std::to_string(run.iterations)}};
+      ReportMetric(run.benchmark_name(), "ns_per_op", ns_per_op, labels);
+      for (const auto& [counter_name, counter] : run.counters) {
+        ReportMetric(run.benchmark_name() + "/" + counter_name, "counter",
+                     counter.value, labels);
+      }
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
+inline int RunGbenchWithJson(const std::string& bench_name, int argc,
+                             char** argv) {
+  ReportInit(bench_name);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonRecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  ReportWrite();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace concord
+
+#define CONCORD_GBENCH_MAIN(bench_name)                              \
+  int main(int argc, char** argv) {                                  \
+    return ::concord::bench::RunGbenchWithJson(bench_name, argc, argv); \
+  }
+
+#endif  // BENCH_GBENCH_JSON_H_

@@ -75,8 +75,8 @@ int main() {
     victim_served.store(true);
     g_lock.Unlock();
   });
-  const LockProfileStats* stats = concord.Stats(id);
-  while (stats->contentions.load() == 0) {
+  const ShardedLockProfileStats* stats = concord.Stats(id);
+  while (stats->Contentions() == 0) {
     SleepMs(1);
   }
   SleepMs(80);  // the victim is starving...

@@ -66,12 +66,12 @@ int main() {
               g_rename_lock.CurrentHooks() != nullptr ? "yes" : "no (zero cost)");
 
   // Detailed histograms for the hot lock.
-  const LockProfileStats* stats = concord.Stats(page_id);
+  const ShardedLockProfileStats* stats = concord.Stats(page_id);
   std::printf("\npage_lock hold-time histogram (ns buckets):\n%s",
-              stats->hold_ns.ToString().c_str());
-  if (stats->wait_ns.TotalCount() > 0) {
+              stats->HoldNs().ToString().c_str());
+  if (stats->WaitNs().TotalCount() > 0) {
     std::printf("\npage_lock wait-time histogram (ns buckets):\n%s",
-                stats->wait_ns.ToString().c_str());
+                stats->WaitNs().ToString().c_str());
   }
 
   for (std::uint64_t id : concord.Select("*")) {

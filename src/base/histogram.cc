@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/base/json.h"
+
 namespace concord {
 
 std::uint64_t Log2Histogram::TotalCount() const {
@@ -35,8 +37,7 @@ std::uint64_t Log2Histogram::Percentile(double p) const {
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen > target) {
-      // Bucket i holds values in [2^(i-1), 2^i); report the lower bound.
-      return i == 0 ? 0 : (1ull << (i - 1));
+      return BucketLowerBound(i);
     }
   }
   return Max();
@@ -73,15 +74,46 @@ std::string Log2Histogram::ToString() const {
     if (count == 0) {
       continue;
     }
-    const std::uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
-    const std::uint64_t hi = (i >= 63) ? ~0ull : (1ull << i);
+    const std::uint64_t lo = BucketLowerBound(i);
     const double pct =
         total == 0 ? 0.0 : 100.0 * static_cast<double>(count) / static_cast<double>(total);
-    std::snprintf(line, sizeof(line), "[%12" PRIu64 ", %12" PRIu64 ") %10" PRIu64 "  %5.1f%%\n",
-                  lo, hi, count, pct);
+    if (i == kBuckets - 1) {
+      // 2^64 does not fit in a u64; the top bucket's upper bound is open.
+      std::snprintf(line, sizeof(line),
+                    "[%12" PRIu64 ", %12s) %10" PRIu64 "  %5.1f%%\n", lo, "inf",
+                    count, pct);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "[%12" PRIu64 ", %12" PRIu64 ") %10" PRIu64 "  %5.1f%%\n",
+                    lo, 1ull << (i + 1), count, pct);
+    }
     out += line;
   }
   return out;
+}
+
+void Log2Histogram::AppendJson(JsonWriter& writer) const {
+  writer.BeginObject();
+  writer.NumberField("count", TotalCount());
+  writer.NumberField("sum", Sum());
+  writer.NumberField("mean", Mean());
+  writer.NumberField("max", Max());
+  writer.NumberField("p50", Percentile(50));
+  writer.NumberField("p90", Percentile(90));
+  writer.NumberField("p99", Percentile(99));
+  writer.Key("buckets").BeginArray();
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t count = buckets_[i].load(std::memory_order_relaxed);
+    if (count == 0) {
+      continue;
+    }
+    writer.BeginObject();
+    writer.NumberField("lo", BucketLowerBound(i));
+    writer.NumberField("count", count);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
 }
 
 }  // namespace concord

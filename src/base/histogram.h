@@ -23,14 +23,34 @@ class Log2Histogram {
 
   Log2Histogram() = default;
 
+  // Snapshot copy: relaxed loads of another histogram's live counters.
+  // Buckets copied concurrently with writers are each individually
+  // consistent; the copy as a whole is a statistical snapshot, which is all
+  // any reader of this type gets anyway.
+  Log2Histogram(const Log2Histogram& other) { CopyFrom(other); }
+  Log2Histogram& operator=(const Log2Histogram& other) {
+    CopyFrom(other);
+    return *this;
+  }
+
+  // Bucket b holds values v with floor(log2(v)) == b, i.e. [2^b, 2^(b+1)),
+  // with 0 joining 1 in bucket 0. Every u64 has exactly one bucket: the top
+  // bucket 63 covers [2^63, UINT64_MAX] and is reported with that honest
+  // lower bound (values that large used to be conflated into the [2^62,2^63)
+  // bucket, under-reporting tail percentiles by up to 2x).
+  static int BucketFor(std::uint64_t value) {
+    return value < 2 ? 0 : 63 - __builtin_clzll(value);
+  }
+
+  // Inclusive lower bound of `bucket`.
+  static std::uint64_t BucketLowerBound(int bucket) {
+    return bucket == 0 ? 0 : (1ull << bucket);
+  }
+
   // Thread-safe; relaxed ordering is fine because readers only want
   // statistically consistent totals.
   void Record(std::uint64_t value) {
-    int bucket = value == 0 ? 0 : 64 - __builtin_clzll(value);
-    if (bucket >= kBuckets) {
-      bucket = kBuckets - 1;
-    }
-    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
     // Max: racy CAS loop, bounded retries unnecessary — contention is rare.
     std::uint64_t prev = max_.load(std::memory_order_relaxed);
@@ -59,7 +79,22 @@ class Log2Histogram {
   // Human-readable ASCII rendering (one line per non-empty bucket).
   std::string ToString() const;
 
+  // Machine-readable form: {"count","sum","mean","max","p50","p90","p99",
+  // "buckets":[{"lo","count"}...]} appended to `writer` as one JSON object.
+  void AppendJson(class JsonWriter& writer) const;
+
  private:
+  void CopyFrom(const Log2Histogram& other) {
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> max_{0};

@@ -1,0 +1,419 @@
+#include "src/base/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/base/check.h"
+
+namespace concord {
+
+// --- writer ------------------------------------------------------------------
+
+void JsonWriter::AppendEscaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) {
+      out_.push_back(',');
+    }
+    wrote_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CONCORD_CHECK(!wrote_element_.empty());
+  wrote_element_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CONCORD_CHECK(!wrote_element_.empty());
+  wrote_element_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  CONCORD_CHECK(!wrote_element_.empty());
+  if (wrote_element_.back()) {
+    out_.push_back(',');
+  }
+  wrote_element_.back() = true;
+  AppendEscaped(out_, key);
+  out_.push_back(':');
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(std::uint64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(std::int64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+// --- parser ------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!IsObject()) {
+    return nullptr;
+  }
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      found = &v;
+    }
+  }
+  return found;
+}
+
+namespace {
+
+constexpr int kMaxParseDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue value;
+    CONCORD_RETURN_IF_ERROR(ParseValue(value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxParseDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return ParseString(out.string_value);
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        return ParseKeyword(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(JsonValue& out) {
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) == word) {
+        pos_ += word.size();
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.bool_value = true;
+      return Status::Ok();
+    }
+    if (match("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.bool_value = false;
+      return Status::Ok();
+    }
+    if (match("null")) {
+      out.type = JsonValue::Type::kNull;
+      return Status::Ok();
+    }
+    return Error("invalid literal");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("invalid value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number_value = value;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string& out) {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::Ok();
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // Encode as UTF-8; surrogate pairs are not needed by any producer
+          // in this repo and decode to replacement-style two-unit output.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    CONCORD_CHECK(Consume('{'));
+    out.type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      CONCORD_RETURN_IF_ERROR(ParseString(key));
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      JsonValue value;
+      CONCORD_RETURN_IF_ERROR(ParseValue(value, depth + 1));
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return Status::Ok();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    CONCORD_CHECK(Consume('['));
+    out.type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      CONCORD_RETURN_IF_ERROR(ParseValue(value, depth + 1));
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return Status::Ok();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace concord

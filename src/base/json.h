@@ -1,0 +1,107 @@
+// Dependency-free JSON emission and parsing.
+//
+// The observability layer exports machine-readable artifacts — Chrome
+// trace-event files, per-lock stats dumps, BENCH_*.json results — and the
+// schema checker in tools/ must read them back. Both directions live here so
+// every producer and consumer agrees on one implementation, with no external
+// library (the container bakes in only the C++ toolchain).
+
+#ifndef SRC_BASE_JSON_H_
+#define SRC_BASE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace concord {
+
+// --- writer ------------------------------------------------------------------
+//
+// Streaming writer with automatic comma placement. Keys and values must be
+// emitted in a legal order (Key() inside objects, values inside arrays or
+// after a Key()); the writer CHECKs nesting depth underflow but otherwise
+// trusts the caller — it is an internal producer API, not a validator.
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(std::uint64_t value);
+  JsonWriter& Number(std::int64_t value);
+  JsonWriter& Number(int value) { return Number(static_cast<std::int64_t>(value)); }
+  JsonWriter& Number(unsigned value) {
+    return Number(static_cast<std::uint64_t>(value));
+  }
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Convenience for the common `"key": value` pairs.
+  JsonWriter& Field(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  template <typename T>
+  JsonWriter& NumberField(std::string_view key, T value) {
+    return Key(key).Number(value);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  static void AppendEscaped(std::string& out, std::string_view text);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written
+  // (the next element needs a leading comma).
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+// --- parser ------------------------------------------------------------------
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  // Insertion-ordered; duplicate keys keep the last occurrence on lookup.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsBool() const { return type == Type::kBool; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing garbage is
+// an error). Depth-limited to keep malicious inputs from overflowing the
+// stack — this parser reads tool output, not untrusted network data, but the
+// checker binary feeds it arbitrary files.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace concord
+
+#endif  // SRC_BASE_JSON_H_

@@ -39,12 +39,14 @@ void BurnNs(std::uint64_t ns);
 // --- injectable clock --------------------------------------------------------
 //
 // Control-plane time (watchdog polling baselines, containment backoff
-// schedules, hook-budget timing) goes through ClockNowNs() so tests can
-// install a FakeClock and drive those schedules deterministically. Hot paths
-// that only feed statistics (profiler, waiter views) keep calling
-// MonotonicNowNs() directly: they never make timeout decisions, and the
-// override check — a single relaxed load that predicts perfectly — is still
-// a cost we do not want replicated in every probe.
+// schedules, hook-budget timing) and sampled observability paths (the
+// dynamic lock profiler's wait/hold stamps, flight-recorder events) go
+// through ClockNowNs() so tests can install a FakeClock and drive them
+// deterministically — the override check is a single relaxed load that
+// predicts perfectly, and these paths already pay a clock read. Hot paths
+// that feed raw statistics on every operation (waiter views, hold-time
+// EWMA) keep calling MonotonicNowNs() directly: they never make timeout
+// decisions and run even with no observer attached.
 
 class ClockInterface {
  public:

@@ -1,9 +1,12 @@
 #include "src/concord/concord.h"
 
 #include "src/base/fault.h"
+#include "src/base/json.h"
 #include "src/base/time.h"
+#include "src/base/trace.h"
 #include "src/bpf/jit/jit.h"
 #include "src/concord/containment.h"
+#include "src/concord/trace_export.h"
 #include "src/rcu/rcu.h"
 
 namespace concord {
@@ -17,7 +20,7 @@ struct CompiledPolicy {
   std::shared_ptr<const PolicySpec> spec;  // nullable
   std::optional<ShflHooks> native;         // nullable user native hooks
   std::optional<RwHooks> native_rw;
-  LockProfileStats* stats = nullptr;  // nullable; owned by the entry
+  ShardedLockProfileStats* stats = nullptr;  // nullable; owned by the entry
   // Budget accounting, owned by the entry; outlives this table (the entry
   // only swaps its budget after the RCU grace period retiring this table).
   HookBudgetState* budget = nullptr;
@@ -126,7 +129,7 @@ class DispatchScope {
 
  private:
   HookBudgetState* budget_;
-  LockProfileStats* stats_;
+  ShardedLockProfileStats* stats_;
   HookKind kind_;
   std::uint64_t start_ns_ = 0;
 #if CONCORD_FAULT_INJECTION
@@ -140,11 +143,20 @@ class DispatchScope {
 };
 #endif  // CONCORD_HOOK_BUDGETS
 
+// Flight-recorder tap: one kPolicyDispatch event per policy hook invocation
+// (arg = the HookKind), so a trace shows exactly where attached-policy time
+// goes. Gated inside TraceRecord; free when the lock is not being traced.
+inline void TraceDispatch(const CompiledPolicy* cp, HookKind kind) {
+  TraceRecord(cp->lock_id, TraceEventKind::kPolicyDispatch,
+              static_cast<std::uint64_t>(kind));
+}
+
 // --- ShflLock trampolines ----------------------------------------------------
 
 bool CmpNodeTrampoline(void* user_data, const ShflWaiterView& shuffler,
                        const ShflWaiterView& curr) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
+  TraceDispatch(cp, HookKind::kCmpNode);
   DispatchScope scope(cp, HookKind::kCmpNode);
   if (cp->native.has_value() && cp->native->cmp_node != nullptr) {
     return cp->native->cmp_node(cp->native->user_data, shuffler, curr);
@@ -158,6 +170,7 @@ bool CmpNodeTrampoline(void* user_data, const ShflWaiterView& shuffler,
 
 bool SkipShuffleTrampoline(void* user_data, const ShflWaiterView& shuffler) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
+  TraceDispatch(cp, HookKind::kSkipShuffle);
   DispatchScope scope(cp, HookKind::kSkipShuffle);
   if (cp->native.has_value() && cp->native->skip_shuffle != nullptr) {
     return cp->native->skip_shuffle(cp->native->user_data, shuffler);
@@ -172,6 +185,7 @@ bool SkipShuffleTrampoline(void* user_data, const ShflWaiterView& shuffler) {
 bool ScheduleWaiterTrampoline(void* user_data, const ShflWaiterView& waiter,
                               std::uint32_t spin_iterations) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
+  TraceDispatch(cp, HookKind::kScheduleWaiter);
   DispatchScope scope(cp, HookKind::kScheduleWaiter);
   if (cp->native.has_value() && cp->native->schedule_waiter != nullptr) {
     return cp->native->schedule_waiter(cp->native->user_data, waiter,
@@ -203,10 +217,14 @@ void ProfileTapTrampoline(void* user_data, std::uint64_t lock_id) {
         tap = cp->native->lock_release;
       }
       if (tap != nullptr) {
+        TraceDispatch(cp, kKind);
         tap(cp->native->user_data, lock_id);
       }
     }
-    RunTapChain(cp->ChainFor(kKind), lock_id, kKind);
+    if (const HookChain* chain = cp->ChainFor(kKind)) {
+      TraceDispatch(cp, kKind);
+      RunTapChain(chain, lock_id, kKind);
+    }
   }
   if (cp->stats != nullptr) {
     if constexpr (kKind == HookKind::kLockAcquire) {
@@ -225,6 +243,7 @@ void ProfileTapTrampoline(void* user_data, std::uint64_t lock_id) {
 
 std::uint32_t RwModeTrampoline(void* user_data) {
   auto* cp = static_cast<CompiledPolicy*>(user_data);
+  TraceDispatch(cp, HookKind::kRwMode);
   DispatchScope scope(cp, HookKind::kRwMode);
   if (cp->native_rw.has_value() && cp->native_rw->rw_mode != nullptr) {
     return cp->native_rw->rw_mode(cp->native_rw->user_data);
@@ -253,10 +272,14 @@ void RwProfileTapTrampoline(void* user_data, std::uint64_t lock_id) {
         tap = cp->native_rw->lock_release;
       }
       if (tap != nullptr) {
+        TraceDispatch(cp, kKind);
         tap(cp->native_rw->user_data, lock_id);
       }
     }
-    RunTapChain(cp->ChainFor(kKind), lock_id, kKind);
+    if (const HookChain* chain = cp->ChainFor(kKind)) {
+      TraceDispatch(cp, kKind);
+      RunTapChain(chain, lock_id, kKind);
+    }
   }
   if (cp->stats != nullptr) {
     if constexpr (kKind == HookKind::kLockAcquire) {
@@ -375,6 +398,7 @@ Status Concord::Unregister(std::uint64_t lock_id) {
       Rcu::Global().Synchronize();
       entry->current.reset();
     }
+    TraceRegistry::Global().DisableLock(lock_id);
     entry->kind = LockKind::kNone;
     entry->shfl = nullptr;
     entry->rw_install = nullptr;
@@ -440,6 +464,7 @@ std::vector<Concord::LockInfo> Concord::ListLocks(
     info.lock_class = entry->lock_class;
     info.is_rw = entry->kind == LockKind::kRw;
     info.profiling = entry->profiling;
+    info.tracing = TraceEnabled(id);
     if (entry->spec != nullptr) {
       info.has_policy = true;
       info.policy_name = entry->spec->name;
@@ -816,6 +841,7 @@ std::vector<Concord::BudgetTrip> Concord::HarvestBudgetTrips() {
     trip.dispatch_faults =
         entry->budget->dispatch_faults.load(std::memory_order_relaxed);
     trip.max_observed_ns = entry->budget->max_ns.load(std::memory_order_relaxed);
+    TraceRecord(trip.lock_id, TraceEventKind::kBudgetTrip, trip.overruns);
     trips.push_back(std::move(trip));
   }
   return trips;
@@ -834,7 +860,7 @@ Status Concord::EnableProfiling(std::uint64_t lock_id) {
     return NotFoundError("lock id " + std::to_string(lock_id));
   }
   if (entry->stats == nullptr) {
-    entry->stats = std::make_unique<LockProfileStats>();
+    entry->stats = std::make_unique<ShardedLockProfileStats>();
   }
   entry->profiling = true;
   return ReinstallLocked(lock_id);
@@ -861,13 +887,13 @@ Status Concord::DisableProfiling(std::uint64_t lock_id) {
   return ReinstallLocked(lock_id);
 }
 
-const LockProfileStats* Concord::Stats(std::uint64_t lock_id) const {
+const ShardedLockProfileStats* Concord::Stats(std::uint64_t lock_id) const {
   std::lock_guard<std::mutex> guard(mu_);
   const Entry* entry = EntryFor(lock_id);
   return entry == nullptr ? nullptr : entry->stats.get();
 }
 
-LockProfileStats* Concord::MutableStats(std::uint64_t lock_id) {
+ShardedLockProfileStats* Concord::MutableStats(std::uint64_t lock_id) {
   std::lock_guard<std::mutex> guard(mu_);
   Entry* entry = EntryFor(lock_id);
   return entry == nullptr ? nullptr : entry->stats.get();
@@ -888,6 +914,82 @@ std::string Concord::ProfileReport(const std::string& selector) const {
   return report;
 }
 
+std::string Concord::StatsJson(const std::string& selector) const {
+  const std::vector<std::uint64_t> ids = Select(selector);
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("locks").BeginArray();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (std::uint64_t id : ids) {
+      const Entry* entry = EntryFor(id);
+      if (entry == nullptr || entry->stats == nullptr) {
+        continue;
+      }
+      writer.BeginObject();
+      writer.NumberField("lock_id", id);
+      writer.Field("name", entry->name);
+      writer.Field("class", entry->lock_class);
+      writer.Key("stats");
+      entry->stats->AppendJson(writer);
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+Status Concord::EnableTracing(std::uint64_t lock_id) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (EntryFor(lock_id) == nullptr) {
+      return NotFoundError("lock id " + std::to_string(lock_id));
+    }
+  }
+#if !CONCORD_TRACE
+  return FailedPreconditionError(
+      "flight recorder compiled out (CONCORD_ENABLE_TRACE=OFF)");
+#else
+  TraceRegistry::Global().EnableLock(lock_id);
+  return Status::Ok();
+#endif
+}
+
+Status Concord::EnableTracingBySelector(const std::string& selector) {
+  const std::vector<std::uint64_t> ids = Select(selector);
+  if (ids.empty()) {
+    return NotFoundError("selector '" + selector + "' matches no locks");
+  }
+  for (std::uint64_t id : ids) {
+    CONCORD_RETURN_IF_ERROR(EnableTracing(id));
+  }
+  return Status::Ok();
+}
+
+Status Concord::DisableTracing(std::uint64_t lock_id) {
+  TraceRegistry::Global().DisableLock(lock_id);
+  return Status::Ok();
+}
+
+std::vector<TraceEvent> Concord::TraceEvents() const {
+  return TraceRegistry::Global().Collect();
+}
+
+std::string Concord::TraceChromeJson() const {
+  const std::vector<TraceEvent> events = TraceEvents();
+  std::map<std::uint64_t, std::string> names;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i]->kind != LockKind::kNone) {
+        names[i + 1] = entries_[i]->name;
+      }
+    }
+  }
+  return ChromeTraceJson(events, names);
+}
+
 void Concord::ResetForTest() {
   std::vector<std::uint64_t> ids;
   {
@@ -905,6 +1007,7 @@ void Concord::ResetForTest() {
     std::lock_guard<std::mutex> guard(mu_);
     entries_.clear();
   }
+  TraceRegistry::Global().ResetForTest();
   ContainmentRegistry::Global().ResetForTest();
 }
 

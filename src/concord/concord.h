@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/trace.h"
 #include "src/concord/policy.h"
 #include "src/concord/profiler.h"
 #include "src/sync/policy_hooks.h"
@@ -77,6 +78,7 @@ class Concord {
     bool has_policy = false;     // BPF spec or native hooks attached
     std::string policy_name;     // spec name, or "<native>" for native hooks
     bool profiling = false;
+    bool tracing = false;        // flight-recorder runtime gate (src/base/trace.h)
   };
   std::vector<LockInfo> ListLocks(const std::string& selector = "*") const;
 
@@ -134,13 +136,34 @@ class Concord {
   Status EnableProfiling(std::uint64_t lock_id);
   Status EnableProfilingBySelector(const std::string& selector);
   Status DisableProfiling(std::uint64_t lock_id);
-  const LockProfileStats* Stats(std::uint64_t lock_id) const;
+  const ShardedLockProfileStats* Stats(std::uint64_t lock_id) const;
   // Containment needs to bump per-lock quarantine counters; tests use it to
-  // feed synthetic samples into the watchdog's histograms.
-  LockProfileStats* MutableStats(std::uint64_t lock_id);
+  // feed synthetic samples into the watchdog's histograms. Control-plane
+  // writers should target ControlShard().
+  ShardedLockProfileStats* MutableStats(std::uint64_t lock_id);
 
   // Formatted report for all profiled locks matching `selector`.
   std::string ProfileReport(const std::string& selector = "*") const;
+
+  // Machine-readable profiling stats for every profiled lock matching
+  // `selector`: {"locks":[{"lock_id","name","class","stats":{...}}]}.
+  std::string StatsJson(const std::string& selector = "*") const;
+
+  // --- flight recorder (src/base/trace.h) -------------------------------------
+
+  // Runtime per-lock trace gates. Tracing needs no policy or profiling
+  // attachment — the recorder taps are compiled into the lock paths and cost
+  // one branch per event site while disabled.
+  Status EnableTracing(std::uint64_t lock_id);
+  Status EnableTracingBySelector(const std::string& selector);
+  Status DisableTracing(std::uint64_t lock_id);
+
+  // Merged, ts-sorted snapshot of every thread's ring.
+  std::vector<TraceEvent> TraceEvents() const;
+
+  // Chrome trace-event JSON (Perfetto-loadable) of the current snapshot,
+  // labeled with registered lock names.
+  std::string TraceChromeJson() const;
 
   // Test-only: drops every registration. No lock may be under contention.
   void ResetForTest();
@@ -164,7 +187,7 @@ class Concord {
     std::optional<RwHooks> native_rw;
     std::string native_name;                         // label for native hooks
     bool profiling = false;
-    std::unique_ptr<LockProfileStats> stats;
+    std::unique_ptr<ShardedLockProfileStats> stats;
 
     // Quarantine parking spots (DetachForQuarantine / ReattachFromQuarantine).
     std::shared_ptr<const PolicySpec> quarantined_spec;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "src/base/time.h"
+#include "src/base/trace.h"
 #include "src/concord/concord.h"
 #include "src/concord/profiler.h"
 
@@ -136,9 +137,11 @@ void ContainmentRegistry::QuarantineLocked(std::uint64_t lock_id, State& state,
   state.probation_due_ns = ClockNowNs() + state.backoff_ns;
   state.health = PolicyHealth::kQuarantined;
   Concord::Global().DetachForQuarantine(lock_id);
-  if (LockProfileStats* stats = Concord::Global().MutableStats(lock_id)) {
-    stats->quarantines.fetch_add(1, std::memory_order_relaxed);
+  if (ShardedLockProfileStats* stats = Concord::Global().MutableStats(lock_id)) {
+    stats->ControlShard().quarantines.fetch_add(1, std::memory_order_relaxed);
   }
+  TraceRecord(lock_id, TraceEventKind::kQuarantine,
+              static_cast<std::uint64_t>(fault));
   RecordLocked(lock_id, state.policy_name, fault, ContainmentAction::kQuarantined,
                detail + " backoff_ns=" + std::to_string(state.backoff_ns), fresh);
 }

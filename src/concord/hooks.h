@@ -109,7 +109,7 @@ struct HookBudgetState {
   std::atomic<std::uint32_t> tripped{0};
 
   void AccountDispatch(HookKind kind, std::uint64_t elapsed_ns,
-                       LockProfileStats* stats) {
+                       ShardedLockProfileStats* stats) {
     const auto k = static_cast<std::size_t>(kind);
     calls[k].fetch_add(1, std::memory_order_relaxed);
     spent_ns[k].fetch_add(elapsed_ns, std::memory_order_relaxed);
@@ -122,7 +122,7 @@ struct HookBudgetState {
       const std::uint64_t total =
           overruns.fetch_add(1, std::memory_order_relaxed) + 1;
       if (stats != nullptr) {
-        stats->budget_overruns.fetch_add(1, std::memory_order_relaxed);
+        stats->Shard().budget_overruns.fetch_add(1, std::memory_order_relaxed);
       }
       if (total >= trip_overruns) {
         tripped.store(1, std::memory_order_release);

@@ -3,32 +3,42 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "src/base/json.h"
 #include "src/base/time.h"
 
 namespace concord {
 namespace {
 
-// Per-thread in-flight acquisition records. Locks nest, so this is a small
-// stack; entries are matched by lock id at acquired/release time, tolerating
-// out-of-order release for the (rare) non-LIFO unlock patterns.
+// Per-thread in-flight acquisition records. Locks nest, so this behaves as a
+// small stack: slots are matched by lock id at acquired/release time,
+// newest-first (LIFO). Matching the *oldest* slot instead — as an earlier
+// version did — pairs a recursive re-acquisition's timestamps with the outer
+// acquisition's slot, inflating its hold time and orphaning the inner slot.
+// Out-of-order release of different locks still works because matching is by
+// lock id, not strictly stack order.
 struct InFlight {
   std::uint64_t lock_id = 0;
   std::uint64_t acquire_ns = 0;
   std::uint64_t acquired_ns = 0;
+  std::uint64_t seq = 0;  // allocation order; higher = more recent
   bool contended = false;
   bool live = false;
 };
 
 constexpr int kMaxInFlight = 16;
 thread_local InFlight tls_inflight[kMaxInFlight];
+thread_local std::uint64_t tls_inflight_seq = 0;
 
+// Newest live slot for `lock_id` (highest seq), or nullptr.
 InFlight* FindSlot(std::uint64_t lock_id) {
+  InFlight* best = nullptr;
   for (auto& slot : tls_inflight) {
-    if (slot.live && slot.lock_id == lock_id) {
-      return &slot;
+    if (slot.live && slot.lock_id == lock_id &&
+        (best == nullptr || slot.seq > best->seq)) {
+      best = &slot;
     }
   }
-  return nullptr;
+  return best;
 }
 
 InFlight* AllocSlot(std::uint64_t lock_id) {
@@ -39,71 +49,191 @@ InFlight* AllocSlot(std::uint64_t lock_id) {
       slot.contended = false;
       slot.acquire_ns = 0;
       slot.acquired_ns = 0;
+      slot.seq = ++tls_inflight_seq;
       return &slot;
     }
   }
-  return nullptr;  // too deeply nested: drop the sample
+  return nullptr;  // too deeply nested: caller records the drop
+}
+
+void AppendCountersJson(JsonWriter& writer, std::uint64_t acquisitions,
+                        std::uint64_t contentions, std::uint64_t releases,
+                        std::uint64_t dropped, std::uint64_t overruns,
+                        std::uint64_t quarantines, double contention_rate,
+                        const Log2Histogram& wait_ns,
+                        const Log2Histogram& hold_ns) {
+  writer.BeginObject();
+  writer.NumberField("acquisitions", acquisitions);
+  writer.NumberField("contentions", contentions);
+  writer.NumberField("releases", releases);
+  writer.NumberField("dropped_samples", dropped);
+  writer.NumberField("budget_overruns", overruns);
+  writer.NumberField("quarantines", quarantines);
+  writer.NumberField("contention_rate", contention_rate);
+  writer.Key("wait_ns");
+  wait_ns.AppendJson(writer);
+  writer.Key("hold_ns");
+  hold_ns.AppendJson(writer);
+  writer.EndObject();
+}
+
+std::string SummaryLine(std::uint64_t acquisitions, std::uint64_t contentions,
+                        std::uint64_t releases, std::uint64_t dropped,
+                        std::uint64_t overruns, std::uint64_t quarantines,
+                        double contention_rate, const Log2Histogram& wait_ns,
+                        const Log2Histogram& hold_ns) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "acq=%" PRIu64 " contended=%" PRIu64 " (%.1f%%) rel=%" PRIu64
+                " wait[p50=%" PRIu64 "ns p99=%" PRIu64 "ns max=%" PRIu64
+                "ns] hold[p50=%" PRIu64 "ns p99=%" PRIu64 "ns]",
+                acquisitions, contentions, 100.0 * contention_rate, releases,
+                wait_ns.Percentile(50), wait_ns.Percentile(99), wait_ns.Max(),
+                hold_ns.Percentile(50), hold_ns.Percentile(99));
+  std::string out = line;
+  if (dropped != 0) {
+    std::snprintf(line, sizeof(line), " dropped_samples=%" PRIu64, dropped);
+    out += line;
+  }
+  if (overruns != 0 || quarantines != 0) {
+    std::snprintf(line, sizeof(line),
+                  " budget_overruns=%" PRIu64 " quarantines=%" PRIu64, overruns,
+                  quarantines);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace
 
-void ProfilerTaps::OnAcquire(LockProfileStats& stats, std::uint64_t lock_id) {
-  stats.acquisitions.fetch_add(1, std::memory_order_relaxed);
+void ProfilerTaps::OnAcquire(ShardedLockProfileStats& stats,
+                             std::uint64_t lock_id) {
+  LockProfileStats& shard = stats.Shard();
+  shard.acquisitions.fetch_add(1, std::memory_order_relaxed);
   if (InFlight* slot = AllocSlot(lock_id)) {
-    slot->acquire_ns = MonotonicNowNs();
+    slot->acquire_ns = ClockNowNs();
+  } else {
+    shard.dropped_samples.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void ProfilerTaps::OnContended(LockProfileStats& stats, std::uint64_t lock_id) {
-  stats.contentions.fetch_add(1, std::memory_order_relaxed);
+void ProfilerTaps::OnContended(ShardedLockProfileStats& stats,
+                               std::uint64_t lock_id) {
+  stats.Shard().contentions.fetch_add(1, std::memory_order_relaxed);
   if (InFlight* slot = FindSlot(lock_id)) {
     slot->contended = true;
   }
 }
 
-void ProfilerTaps::OnAcquired(LockProfileStats& stats, std::uint64_t lock_id) {
-  const std::uint64_t now = MonotonicNowNs();
+void ProfilerTaps::OnAcquired(ShardedLockProfileStats& stats,
+                              std::uint64_t lock_id) {
   if (InFlight* slot = FindSlot(lock_id)) {
+    const std::uint64_t now = ClockNowNs();
     slot->acquired_ns = now;
     if (slot->contended) {
-      stats.wait_ns.Record(now - slot->acquire_ns);
+      stats.Shard().wait_ns.Record(now - slot->acquire_ns);
     }
   }
 }
 
-void ProfilerTaps::OnRelease(LockProfileStats& stats, std::uint64_t lock_id) {
-  const std::uint64_t now = MonotonicNowNs();
-  stats.releases.fetch_add(1, std::memory_order_relaxed);
+void ProfilerTaps::OnRelease(ShardedLockProfileStats& stats,
+                             std::uint64_t lock_id) {
+  LockProfileStats& shard = stats.Shard();
+  shard.releases.fetch_add(1, std::memory_order_relaxed);
   if (InFlight* slot = FindSlot(lock_id)) {
     if (slot->acquired_ns != 0) {
-      stats.hold_ns.Record(now - slot->acquired_ns);
+      shard.hold_ns.Record(ClockNowNs() - slot->acquired_ns);
     }
     slot->live = false;
   }
+  // No slot: either the sample was dropped at acquire (already counted) or
+  // profiling attached mid-critical-section; nothing to time either way.
+}
+
+void LockProfileStats::MergeFrom(const LockProfileStats& other) {
+  acquisitions.fetch_add(other.acquisitions.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  contentions.fetch_add(other.contentions.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  releases.fetch_add(other.releases.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  dropped_samples.fetch_add(
+      other.dropped_samples.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  budget_overruns.fetch_add(
+      other.budget_overruns.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  quarantines.fetch_add(other.quarantines.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  wait_ns.MergeFrom(other.wait_ns);
+  hold_ns.MergeFrom(other.hold_ns);
 }
 
 std::string LockProfileStats::Summary() const {
-  char line[256];
-  std::snprintf(
-      line, sizeof(line),
-      "acq=%" PRIu64 " contended=%" PRIu64 " (%.1f%%) rel=%" PRIu64
-      " wait[p50=%" PRIu64 "ns p99=%" PRIu64 "ns max=%" PRIu64
-      "ns] hold[p50=%" PRIu64 "ns p99=%" PRIu64 "ns]",
-      acquisitions.load(std::memory_order_relaxed),
-      contentions.load(std::memory_order_relaxed), 100.0 * ContentionRate(),
-      releases.load(std::memory_order_relaxed), wait_ns.Percentile(50),
-      wait_ns.Percentile(99), wait_ns.Max(), hold_ns.Percentile(50),
-      hold_ns.Percentile(99));
-  std::string out = line;
-  const std::uint64_t overruns = budget_overruns.load(std::memory_order_relaxed);
-  const std::uint64_t quars = quarantines.load(std::memory_order_relaxed);
-  if (overruns != 0 || quars != 0) {
-    std::snprintf(line, sizeof(line),
-                  " budget_overruns=%" PRIu64 " quarantines=%" PRIu64, overruns,
-                  quars);
-    out += line;
+  return SummaryLine(acquisitions.load(std::memory_order_relaxed),
+                     contentions.load(std::memory_order_relaxed),
+                     releases.load(std::memory_order_relaxed),
+                     dropped_samples.load(std::memory_order_relaxed),
+                     budget_overruns.load(std::memory_order_relaxed),
+                     quarantines.load(std::memory_order_relaxed),
+                     ContentionRate(), wait_ns, hold_ns);
+}
+
+void LockProfileStats::AppendJson(JsonWriter& writer) const {
+  AppendCountersJson(writer, acquisitions.load(std::memory_order_relaxed),
+                     contentions.load(std::memory_order_relaxed),
+                     releases.load(std::memory_order_relaxed),
+                     dropped_samples.load(std::memory_order_relaxed),
+                     budget_overruns.load(std::memory_order_relaxed),
+                     quarantines.load(std::memory_order_relaxed),
+                     ContentionRate(), wait_ns, hold_ns);
+}
+
+std::size_t ShardedLockProfileStats::ThisThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+Log2Histogram ShardedLockProfileStats::WaitNs() const {
+  Log2Histogram merged;
+  for (const AlignedStats& shard : shards_) {
+    merged.MergeFrom(shard.stats.wait_ns);
   }
-  return out;
+  return merged;
+}
+
+Log2Histogram ShardedLockProfileStats::HoldNs() const {
+  Log2Histogram merged;
+  for (const AlignedStats& shard : shards_) {
+    merged.MergeFrom(shard.stats.hold_ns);
+  }
+  return merged;
+}
+
+void ShardedLockProfileStats::MergeInto(LockProfileStats& out) const {
+  for (const AlignedStats& shard : shards_) {
+    out.MergeFrom(shard.stats);
+  }
+}
+
+std::string ShardedLockProfileStats::Summary() const {
+  return SummaryLine(Acquisitions(), Contentions(), Releases(),
+                     DroppedSamples(), BudgetOverruns(), Quarantines(),
+                     ContentionRate(), WaitNs(), HoldNs());
+}
+
+void ShardedLockProfileStats::AppendJson(JsonWriter& writer) const {
+  AppendCountersJson(writer, Acquisitions(), Contentions(), Releases(),
+                     DroppedSamples(), BudgetOverruns(), Quarantines(),
+                     ContentionRate(), WaitNs(), HoldNs());
+}
+
+void ShardedLockProfileStats::Reset() {
+  for (AlignedStats& shard : shards_) {
+    shard.stats.Reset();
+  }
 }
 
 }  // namespace concord

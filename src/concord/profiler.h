@@ -2,23 +2,37 @@
 //
 // Unlike lockstat, which profiles every lock in the kernel at once, Concord
 // attaches profiling taps per lock instance / class / pattern. Stats live in
-// a dense array indexed by registry lock id so the taps are wait-free.
+// per-CPU-style shards behind the registry lock id so the taps are wait-free
+// AND do not ping-pong one cache line between every acquiring core: each
+// thread records into its own shard, and readers sum across shards on
+// demand (sums are monotonic, so pollers can watch counters live).
 
 #ifndef SRC_CONCORD_PROFILER_H_
 #define SRC_CONCORD_PROFILER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
+#include "src/base/cacheline.h"
 #include "src/base/histogram.h"
 
 namespace concord {
 
+class JsonWriter;
+
+// One shard of profiling state. Also usable standalone as a plain stats
+// block (tests, merged snapshots).
 struct LockProfileStats {
   std::atomic<std::uint64_t> acquisitions{0};
   std::atomic<std::uint64_t> contentions{0};
   std::atomic<std::uint64_t> releases{0};
+  // Samples the profiler could NOT time: in-flight slot table exhausted by
+  // >kMaxInFlight-deep lock nesting. Counted instead of silently dropped so
+  // a suspicious wait/hold histogram can be cross-checked against how much
+  // of the traffic it actually saw.
+  std::atomic<std::uint64_t> dropped_samples{0};
   // Containment counters (src/concord/containment.h): hook invocations that
   // blew their runtime budget, and how often this lock's policy was
   // quarantined as a result of any fault class.
@@ -31,11 +45,16 @@ struct LockProfileStats {
     acquisitions.store(0, std::memory_order_relaxed);
     contentions.store(0, std::memory_order_relaxed);
     releases.store(0, std::memory_order_relaxed);
+    dropped_samples.store(0, std::memory_order_relaxed);
     budget_overruns.store(0, std::memory_order_relaxed);
     quarantines.store(0, std::memory_order_relaxed);
     wait_ns.Reset();
     hold_ns.Reset();
   }
+
+  // Adds `other`'s counters and histograms into this block (shard
+  // aggregation; relaxed reads, statistically consistent).
+  void MergeFrom(const LockProfileStats& other);
 
   double ContentionRate() const {
     const std::uint64_t acq = acquisitions.load(std::memory_order_relaxed);
@@ -48,17 +67,94 @@ struct LockProfileStats {
 
   // One-lock summary line: counts, contention rate, wait/hold p50/p99.
   std::string Summary() const;
+
+  // Machine-readable counters + histograms, appended as one JSON object.
+  void AppendJson(JsonWriter& writer) const;
 };
 
-// Native profiling taps. `user_data` must point at a ProfilerBinding (below);
-// these functions are installed into ShflHooks/RwHooks slots by the Concord
-// attach machinery and stamp per-thread timestamps to compute wait and hold
-// durations.
+// The per-lock profiling unit the registry owns: kShards cache-aligned
+// LockProfileStats written by the hot taps, plus read-side aggregation.
+//
+// Writers: Shard() hashes the calling thread onto a shard; one acquisition's
+// whole lifecycle (acquire/contended/acquired) runs on one thread, so its
+// samples land in one shard. Release may run on another thread only for
+// hand-off-style usage; counters still total correctly because every read
+// sums all shards.
+//
+// Readers: the counter accessors are live and monotonic (safe to poll from
+// a watcher thread while workers record). Histogram accessors return merged
+// snapshot copies.
+class ShardedLockProfileStats {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  // The calling thread's shard. Thread→shard assignment is round-robin at
+  // first use, fixed thereafter.
+  LockProfileStats& Shard() { return shards_[ThisThreadShard()].stats; }
+
+  // Shard for control-plane writers (containment bumping quarantine counts,
+  // tests injecting synthetic histogram samples). Just shard 0 — it merges
+  // into every aggregate like any other shard; the name documents intent.
+  LockProfileStats& ControlShard() { return shards_[0].stats; }
+
+  // --- live monotonic cross-shard counters ----------------------------------
+  std::uint64_t Acquisitions() const { return Sum(&LockProfileStats::acquisitions); }
+  std::uint64_t Contentions() const { return Sum(&LockProfileStats::contentions); }
+  std::uint64_t Releases() const { return Sum(&LockProfileStats::releases); }
+  std::uint64_t DroppedSamples() const {
+    return Sum(&LockProfileStats::dropped_samples);
+  }
+  std::uint64_t BudgetOverruns() const {
+    return Sum(&LockProfileStats::budget_overruns);
+  }
+  std::uint64_t Quarantines() const { return Sum(&LockProfileStats::quarantines); }
+
+  double ContentionRate() const {
+    const std::uint64_t acq = Acquisitions();
+    return acq == 0 ? 0.0
+                    : static_cast<double>(Contentions()) /
+                          static_cast<double>(acq);
+  }
+
+  // --- merged histogram snapshots -------------------------------------------
+  Log2Histogram WaitNs() const;
+  Log2Histogram HoldNs() const;
+
+  // Adds every shard into `out`.
+  void MergeInto(LockProfileStats& out) const;
+
+  std::string Summary() const;
+  void AppendJson(JsonWriter& writer) const;
+  void Reset();
+
+ private:
+  struct CONCORD_CACHE_ALIGNED AlignedStats {
+    LockProfileStats stats;
+  };
+
+  static std::size_t ThisThreadShard();
+
+  std::uint64_t Sum(std::atomic<std::uint64_t> LockProfileStats::* field) const {
+    std::uint64_t total = 0;
+    for (const AlignedStats& shard : shards_) {
+      total += (shard.stats.*field).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  AlignedStats shards_[kShards];
+};
+
+// Native profiling taps. These functions are installed into ShflHooks/
+// RwHooks slots by the Concord attach machinery; they stamp per-thread
+// timestamps to compute wait and hold durations. In-flight acquisitions are
+// matched per thread by lock id, newest-first (LIFO), so recursive or
+// repeated acquisition of the same lock nests correctly.
 struct ProfilerTaps {
-  static void OnAcquire(LockProfileStats& stats, std::uint64_t lock_id);
-  static void OnContended(LockProfileStats& stats, std::uint64_t lock_id);
-  static void OnAcquired(LockProfileStats& stats, std::uint64_t lock_id);
-  static void OnRelease(LockProfileStats& stats, std::uint64_t lock_id);
+  static void OnAcquire(ShardedLockProfileStats& stats, std::uint64_t lock_id);
+  static void OnContended(ShardedLockProfileStats& stats, std::uint64_t lock_id);
+  static void OnAcquired(ShardedLockProfileStats& stats, std::uint64_t lock_id);
+  static void OnRelease(ShardedLockProfileStats& stats, std::uint64_t lock_id);
 };
 
 }  // namespace concord

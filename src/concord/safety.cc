@@ -21,8 +21,8 @@ Status FairnessWatchdog::Watch(std::uint64_t lock_id) {
   WatchState state;
   state.lock_id = lock_id;
   // Baseline: violations are only raised for waits observed from now on.
-  const LockProfileStats* stats = Concord::Global().Stats(lock_id);
-  state.last_flagged_max_ns = stats != nullptr ? stats->wait_ns.Max() : 0;
+  const ShardedLockProfileStats* stats = Concord::Global().Stats(lock_id);
+  state.last_flagged_max_ns = stats != nullptr ? stats->WaitNs().Max() : 0;
   watched_.push_back(state);
   return Status::Ok();
 }
@@ -70,11 +70,12 @@ std::vector<FairnessWatchdog::Violation> FairnessWatchdog::CheckOnce() {
   {
     std::lock_guard<std::mutex> guard(mu_);
     for (WatchState& state : watched_) {
-      const LockProfileStats* stats = Concord::Global().Stats(state.lock_id);
+      const ShardedLockProfileStats* stats = Concord::Global().Stats(state.lock_id);
       if (stats == nullptr) {
         continue;
       }
-      const std::uint64_t max_wait = stats->wait_ns.Max();
+      const Log2Histogram wait_ns = stats->WaitNs();
+      const std::uint64_t max_wait = wait_ns.Max();
       if (max_wait > config_.max_wait_ns &&
           max_wait > state.last_flagged_max_ns) {
         Violation violation;
@@ -87,9 +88,9 @@ std::vector<FairnessWatchdog::Violation> FairnessWatchdog::CheckOnce() {
         to_report.push_back(violation);
         continue;
       }
-      if (config_.p99_over_p50_limit > 0 && stats->wait_ns.TotalCount() >= 100) {
-        const std::uint64_t p50 = stats->wait_ns.Percentile(50);
-        const std::uint64_t p99 = stats->wait_ns.Percentile(99);
+      if (config_.p99_over_p50_limit > 0 && wait_ns.TotalCount() >= 100) {
+        const std::uint64_t p50 = wait_ns.Percentile(50);
+        const std::uint64_t p99 = wait_ns.Percentile(99);
         if (p50 > 0 &&
             static_cast<double>(p99) >
                 static_cast<double>(p50) * config_.p99_over_p50_limit &&

@@ -1,0 +1,220 @@
+#include "src/concord/trace_export.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/json.h"
+
+namespace concord {
+namespace {
+
+// LIFO matcher state for one (tid, lock_id) pair.
+struct MatchState {
+  std::vector<std::uint64_t> wait_starts;  // kAcquire timestamps
+  std::vector<std::uint64_t> hold_starts;  // kAcquired timestamps
+};
+
+std::uint64_t PairKey(std::uint32_t tid, std::uint64_t lock_id) {
+  return (static_cast<std::uint64_t>(tid) << 32) | (lock_id & 0xFFFFFFFFull);
+}
+
+std::string LockLabel(std::uint64_t lock_id,
+                      const std::map<std::uint64_t, std::string>& lock_names) {
+  const auto it = lock_names.find(lock_id);
+  if (it != lock_names.end()) {
+    return it->second;
+  }
+  return "lock" + std::to_string(lock_id);
+}
+
+}  // namespace
+
+std::vector<TraceLockSummary> SummarizeTrace(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::uint64_t, TraceLockSummary> by_lock;
+  std::map<std::uint64_t, MatchState> matchers;
+
+  for (const TraceEvent& event : events) {
+    TraceLockSummary& s = by_lock[event.lock_id];
+    s.lock_id = event.lock_id;
+    MatchState& m = matchers[PairKey(event.tid, event.lock_id)];
+    switch (event.kind) {
+      case TraceEventKind::kAcquire:
+        m.wait_starts.push_back(event.ts_ns);
+        break;
+      case TraceEventKind::kContended:
+        ++s.contentions;
+        break;
+      case TraceEventKind::kAcquired:
+        ++s.acquisitions;
+        if (m.wait_starts.empty()) {
+          ++s.unmatched_events;
+        } else {
+          const std::uint64_t wait = event.ts_ns - m.wait_starts.back();
+          m.wait_starts.pop_back();
+          ++s.matched_waits;
+          s.total_wait_ns += wait;
+          s.max_wait_ns = std::max(s.max_wait_ns, wait);
+        }
+        m.hold_starts.push_back(event.ts_ns);
+        break;
+      case TraceEventKind::kRelease:
+        ++s.releases;
+        if (m.hold_starts.empty()) {
+          ++s.unmatched_events;
+        } else {
+          const std::uint64_t hold = event.ts_ns - m.hold_starts.back();
+          m.hold_starts.pop_back();
+          ++s.matched_holds;
+          s.total_hold_ns += hold;
+          s.max_hold_ns = std::max(s.max_hold_ns, hold);
+        }
+        break;
+      case TraceEventKind::kPark:
+        ++s.parks;
+        break;
+      case TraceEventKind::kWake:
+        ++s.wakes;
+        break;
+      case TraceEventKind::kShuffleRound:
+        ++s.shuffle_rounds;
+        break;
+      case TraceEventKind::kPolicyDispatch:
+        ++s.policy_dispatches;
+        break;
+      case TraceEventKind::kBudgetTrip:
+        ++s.budget_trips;
+        break;
+      case TraceEventKind::kQuarantine:
+        ++s.quarantines;
+        break;
+    }
+  }
+
+  // Acquires and acquireds still waiting for a partner are unmatched.
+  for (const auto& [key, m] : matchers) {
+    const std::uint64_t lock_id = key & 0xFFFFFFFFull;
+    by_lock[lock_id].unmatched_events +=
+        m.wait_starts.size() + m.hold_starts.size();
+  }
+
+  std::vector<TraceLockSummary> summaries;
+  summaries.reserve(by_lock.size());
+  for (auto& [id, summary] : by_lock) {
+    summaries.push_back(std::move(summary));
+  }
+  std::sort(summaries.begin(), summaries.end(),
+            [](const TraceLockSummary& a, const TraceLockSummary& b) {
+              if (a.total_wait_ns != b.total_wait_ns) {
+                return a.total_wait_ns > b.total_wait_ns;
+              }
+              return a.lock_id < b.lock_id;
+            });
+  return summaries;
+}
+
+namespace {
+
+// One Chrome trace event. `ph` "X" events carry a duration; "i" instants
+// carry a scope. ts/dur are microseconds per the trace-event format.
+void AppendChromeEvent(JsonWriter& writer, const std::string& name,
+                       const char* cat, const char* ph, std::uint64_t ts_ns,
+                       std::uint64_t dur_ns, std::uint32_t tid,
+                       std::uint64_t lock_id, std::uint64_t arg,
+                       bool has_arg) {
+  writer.BeginObject();
+  writer.Field("name", name);
+  writer.Field("cat", cat);
+  writer.Field("ph", ph);
+  writer.NumberField("ts", static_cast<double>(ts_ns) / 1000.0);
+  if (ph[0] == 'X') {
+    writer.NumberField("dur", static_cast<double>(dur_ns) / 1000.0);
+  } else {
+    writer.Field("s", "t");  // thread-scoped instant
+  }
+  writer.NumberField("pid", 1);
+  writer.NumberField("tid", tid);
+  writer.Key("args").BeginObject();
+  writer.NumberField("lock_id", lock_id);
+  if (has_arg) {
+    writer.NumberField("arg", arg);
+  }
+  writer.EndObject();
+  writer.EndObject();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(
+    const std::vector<TraceEvent>& events,
+    const std::map<std::uint64_t, std::string>& lock_names) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Field("displayTimeUnit", "ns");
+  writer.Key("traceEvents").BeginArray();
+
+  std::map<std::uint64_t, MatchState> matchers;
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& event : events) {
+    if (std::find(tids.begin(), tids.end(), event.tid) == tids.end()) {
+      tids.push_back(event.tid);
+    }
+    const std::string label = LockLabel(event.lock_id, lock_names);
+    MatchState& m = matchers[PairKey(event.tid, event.lock_id)];
+    switch (event.kind) {
+      case TraceEventKind::kAcquire:
+        m.wait_starts.push_back(event.ts_ns);
+        break;
+      case TraceEventKind::kAcquired:
+        if (!m.wait_starts.empty()) {
+          const std::uint64_t start = m.wait_starts.back();
+          m.wait_starts.pop_back();
+          AppendChromeEvent(writer, label + " wait", "wait", "X", start,
+                            event.ts_ns - start, event.tid, event.lock_id, 0,
+                            /*has_arg=*/false);
+        }
+        m.hold_starts.push_back(event.ts_ns);
+        break;
+      case TraceEventKind::kRelease:
+        if (!m.hold_starts.empty()) {
+          const std::uint64_t start = m.hold_starts.back();
+          m.hold_starts.pop_back();
+          AppendChromeEvent(writer, label + " hold", "hold", "X", start,
+                            event.ts_ns - start, event.tid, event.lock_id, 0,
+                            /*has_arg=*/false);
+        }
+        break;
+      case TraceEventKind::kContended:
+      case TraceEventKind::kPark:
+      case TraceEventKind::kWake:
+      case TraceEventKind::kShuffleRound:
+      case TraceEventKind::kPolicyDispatch:
+      case TraceEventKind::kBudgetTrip:
+      case TraceEventKind::kQuarantine:
+        AppendChromeEvent(
+            writer, label + " " + TraceEventKindName(event.kind), "lock", "i",
+            event.ts_ns, 0, event.tid, event.lock_id, event.arg,
+            /*has_arg=*/true);
+        break;
+    }
+  }
+
+  // Thread tracks get stable names so Perfetto's timeline is readable.
+  for (std::uint32_t tid : tids) {
+    writer.BeginObject();
+    writer.Field("name", "thread_name");
+    writer.Field("ph", "M");
+    writer.NumberField("pid", 1);
+    writer.NumberField("tid", tid);
+    writer.Key("args").BeginObject();
+    writer.Field("name", "recorder thread " + std::to_string(tid));
+    writer.EndObject();
+    writer.EndObject();
+  }
+
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+}  // namespace concord

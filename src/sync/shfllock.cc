@@ -3,6 +3,7 @@
 #include "src/base/check.h"
 #include "src/base/spinwait.h"
 #include "src/base/time.h"
+#include "src/base/trace.h"
 #include "src/sync/parking_lot.h"
 
 namespace concord {
@@ -40,6 +41,7 @@ ShflWaiterView ShflLock::MakeView(const ShflQNode& node, std::uint64_t now_ns) {
 
 void ShflLock::Lock() {
   ThreadContext& ctx = Self();
+  TraceRecord(lock_id_, TraceEventKind::kAcquire);
   // Hold-time accounting (timestamps + EWMA) is policy food; it is only
   // maintained while a hook table is installed so that an unpatched lock
   // costs no clock reads. (Install any policy or enable profiling to warm
@@ -63,6 +65,7 @@ void ShflLock::Lock() {
     holder_ctx_ = &ctx;
     ctx.locks_held.fetch_add(1, std::memory_order_relaxed);
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    TraceRecord(lock_id_, TraceEventKind::kAcquired);
     if (hooked) {
       RcuReadGuard rcu;
       const ShflHooks* hooks = hooks_.Read();
@@ -82,6 +85,7 @@ void ShflLock::Lock() {
   holder_ctx_ = &ctx;
   ctx.locks_held.fetch_add(1, std::memory_order_relaxed);
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  TraceRecord(lock_id_, TraceEventKind::kAcquired);
   if (hooked) {
     RcuReadGuard rcu;
     const ShflHooks* hooks = hooks_.Read();
@@ -107,6 +111,7 @@ bool ShflLock::TryLock() {
 }
 
 void ShflLock::SlowLock(ShflQNode& node) {
+  TraceRecord(lock_id_, TraceEventKind::kContended);
   if (hooks_.Read() != nullptr) {
     RcuReadGuard rcu;
     const ShflHooks* hooks = hooks_.Read();
@@ -162,6 +167,7 @@ void ShflLock::SlowLock(ShflQNode& node) {
       if (locked_.compare_exchange_strong(expected, 2, std::memory_order_acq_rel,
                                           std::memory_order_relaxed)) {
         parks_.fetch_add(1, std::memory_order_relaxed);
+        TraceRecord(lock_id_, TraceEventKind::kPark, spin.iterations());
         ParkingLot::Park(&locked_, 2);
         spin.Reset();
       }
@@ -215,6 +221,7 @@ void ShflLock::WaitUntilHead(ShflQNode& node) {
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
         parks_.fetch_add(1, std::memory_order_relaxed);
+        TraceRecord(lock_id_, TraceEventKind::kPark, spin.iterations());
         ParkingLot::Park(&node.status, ShflQNode::kParked);
       } else if (expected == ShflQNode::kHead) {
         return;
@@ -229,6 +236,7 @@ void ShflLock::PromoteToHead(ShflQNode& node) {
   const std::uint32_t prev =
       node.status.exchange(ShflQNode::kHead, std::memory_order_acq_rel);
   if (prev == ShflQNode::kParked) {
+    TraceRecord(lock_id_, TraceEventKind::kWake);
     ParkingLot::UnparkOne(&node.status);
   }
 }
@@ -308,6 +316,7 @@ std::uint32_t ShflLock::ShuffleRound(ShflQNode& head, const ShflHooks& hooks) {
     }
   }
 
+  TraceRecord(lock_id_, TraceEventKind::kShuffleRound, moved);
   if (moved > 0) {
     shuffle_moves_.fetch_add(moved, std::memory_order_relaxed);
     // Queue-integrity runtime check (§4.2): the shuffled window must still
@@ -335,8 +344,10 @@ void ShflLock::Unlock() {
   holder_ctx_ = nullptr;
 
   const std::uint32_t prev = locked_.exchange(0, std::memory_order_release);
+  TraceRecord(lock_id_, TraceEventKind::kRelease);
   if (prev == 2) {
     // The queue head parked on the lock word; wake it.
+    TraceRecord(lock_id_, TraceEventKind::kWake);
     ParkingLot::UnparkOne(&locked_);
   }
 

@@ -135,8 +135,9 @@ class ShflLock {
   // waiters moved.
   std::uint32_t ShuffleRound(ShflQNode& head, const ShflHooks& hooks);
 
-  // Promotes `node` to queue head, waking it if parked.
-  static void PromoteToHead(ShflQNode& node);
+  // Promotes `node` to queue head, waking it if parked. Non-static only for
+  // the flight-recorder tap (needs lock_id_); touches no other lock state.
+  void PromoteToHead(ShflQNode& node);
 
   // Spins/parks until this node becomes the queue head.
   void WaitUntilHead(ShflQNode& node);

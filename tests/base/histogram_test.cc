@@ -19,9 +19,9 @@ TEST(Log2HistogramTest, EmptyHistogram) {
 
 TEST(Log2HistogramTest, SingleSampleLandsInCorrectBucket) {
   Log2Histogram h;
-  h.Record(1000);  // 2^9 < 1000 < 2^10 -> bucket 10
+  h.Record(1000);  // floor(log2(1000)) = 9 -> bucket 9: [512, 1024)
   EXPECT_EQ(h.TotalCount(), 1u);
-  EXPECT_EQ(h.BucketCount(10), 1u);
+  EXPECT_EQ(h.BucketCount(9), 1u);
   EXPECT_EQ(h.Sum(), 1000u);
   EXPECT_EQ(h.Max(), 1000u);
 }
@@ -34,13 +34,58 @@ TEST(Log2HistogramTest, ZeroGoesToBucketZero) {
 
 TEST(Log2HistogramTest, PowerOfTwoBoundaries) {
   Log2Histogram h;
-  h.Record(1);    // bucket 1: [1,2)
-  h.Record(2);    // bucket 2: [2,4)
-  h.Record(3);    // bucket 2
-  h.Record(4);    // bucket 3: [4,8)
-  EXPECT_EQ(h.BucketCount(1), 1u);
-  EXPECT_EQ(h.BucketCount(2), 2u);
-  EXPECT_EQ(h.BucketCount(3), 1u);
+  h.Record(1);    // bucket 0: [0,2)
+  h.Record(2);    // bucket 1: [2,4)
+  h.Record(3);    // bucket 1
+  h.Record(4);    // bucket 2: [4,8)
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+}
+
+TEST(Log2HistogramTest, BucketForCoversEveryBoundary) {
+  // Exact floor(log2): 2^k-1 stays in bucket k-1, 2^k starts bucket k.
+  EXPECT_EQ(Log2Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Log2Histogram::BucketFor(1), 0);
+  EXPECT_EQ(Log2Histogram::BucketFor(2), 1);
+  for (int k = 2; k < 64; ++k) {
+    EXPECT_EQ(Log2Histogram::BucketFor((1ull << k) - 1), k - 1) << "k=" << k;
+    EXPECT_EQ(Log2Histogram::BucketFor(1ull << k), k) << "k=" << k;
+  }
+  EXPECT_EQ(Log2Histogram::BucketFor(UINT64_MAX), 63);
+}
+
+TEST(Log2HistogramTest, TopBucketIsHonestOverflowBucket) {
+  // Regression: values >= 2^63 used to be clamped into the bucket labeled
+  // [2^62, 2^63), under-reporting tail percentiles by up to 2x. Bucket 63
+  // must report them with lower bound 2^63.
+  Log2Histogram h;
+  h.Record(1ull << 63);
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.BucketCount(63), 2u);
+  EXPECT_EQ(h.BucketCount(62), 0u);
+  EXPECT_EQ(Log2Histogram::BucketLowerBound(63), 1ull << 63);
+  EXPECT_EQ(h.Percentile(50), 1ull << 63);
+  // The biggest representable value is still one bucket away from 2^62.
+  h.Record((1ull << 62));
+  EXPECT_EQ(h.BucketCount(62), 1u);
+}
+
+TEST(Log2HistogramTest, PercentileEdgeCases) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Record(100);  // bucket 6: [64,128)
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(10'000);  // bucket 13: [8192,16384)
+  }
+  EXPECT_EQ(h.Percentile(0), 64u);
+  EXPECT_EQ(h.Percentile(50), 64u);
+  // p100 resolves to the recorded maximum, not a bucket bound.
+  EXPECT_EQ(h.Percentile(100), 10'000u);
+  // Out-of-range p is clamped.
+  EXPECT_EQ(h.Percentile(-5), h.Percentile(0));
+  EXPECT_EQ(h.Percentile(250), h.Percentile(100));
 }
 
 TEST(Log2HistogramTest, MeanMatchesArithmetic) {
@@ -84,6 +129,19 @@ TEST(Log2HistogramTest, MergeCombinesCountsSumAndMax) {
   EXPECT_EQ(a.TotalCount(), 3u);
   EXPECT_EQ(a.Sum(), 1015u);
   EXPECT_EQ(a.Max(), 1000u);
+}
+
+TEST(Log2HistogramTest, SnapshotCopyIsIndependent) {
+  Log2Histogram a;
+  a.Record(100);
+  Log2Histogram copy = a;  // snapshot copy ctor
+  a.Record(100);
+  EXPECT_EQ(copy.TotalCount(), 1u);
+  EXPECT_EQ(a.TotalCount(), 2u);
+  copy = a;
+  EXPECT_EQ(copy.TotalCount(), 2u);
+  EXPECT_EQ(copy.Sum(), 200u);
+  EXPECT_EQ(copy.Max(), 100u);
 }
 
 TEST(Log2HistogramTest, ToStringListsNonEmptyBuckets) {

@@ -1,0 +1,152 @@
+#include "src/base/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace concord {
+namespace {
+
+// --- writer -------------------------------------------------------------------
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{}");
+
+  JsonWriter a;
+  a.BeginArray();
+  a.EndArray();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriterTest, FieldsAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "shfl");
+  w.NumberField("id", std::uint64_t{7});
+  w.Key("flags").BeginArray();
+  w.Bool(true);
+  w.Bool(false);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"name":"shfl","id":7,"flags":[true,false,null]})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.String("a\"b\\c\n\t\x01");
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonWriterTest, LargeU64RoundTripsExactly) {
+  // Doubles lose precision past 2^53; u64 counters must be emitted as
+  // integers verbatim.
+  JsonWriter w;
+  w.Number(UINT64_MAX);
+  EXPECT_EQ(w.str(), "18446744073709551615");
+}
+
+TEST(JsonWriterTest, NestedObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("outer").BeginObject();
+  w.NumberField("x", 1);
+  w.EndObject();
+  w.NumberField("y", 2);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"outer":{"x":1},"y":2})");
+}
+
+// --- parser -------------------------------------------------------------------
+
+TEST(JsonParserTest, ParsesScalars) {
+  auto v = ParseJson("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsNumber());
+  EXPECT_DOUBLE_EQ(v->number_value, 42.0);
+
+  v = ParseJson("-1.5e2");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->number_value, -150.0);
+
+  v = ParseJson("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsBool());
+  EXPECT_TRUE(v->bool_value);
+
+  v = ParseJson("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsNull());
+
+  v = ParseJson(R"("hi\nthere")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "hi\nthere");
+}
+
+TEST(JsonParserTest, ParsesNestedStructure) {
+  auto v = ParseJson(R"({"a":[1,2,{"b":"c"}],"d":{"e":false}})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->IsObject());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->IsArray());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number_value, 1.0);
+  const JsonValue* b = a->array[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string_value, "c");
+  const JsonValue* d = v->Find("d");
+  ASSERT_NE(d, nullptr);
+  const JsonValue* e = d->Find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->bool_value);
+}
+
+TEST(JsonParserTest, ParsesUnicodeEscapes) {
+  auto v = ParseJson(R"("Aé")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+}
+
+TEST(JsonParserTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) {
+    deep += "[";
+  }
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonRoundTripTest, WriterOutputParses) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("bench", "fig2b");
+  w.NumberField("ops", 123456.75);
+  w.Key("threads").BeginArray();
+  for (int t : {1, 2, 4, 8}) {
+    w.Number(t);
+  }
+  w.EndArray();
+  w.EndObject();
+
+  auto v = ParseJson(w.str());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("bench")->string_value, "fig2b");
+  EXPECT_DOUBLE_EQ(v->Find("ops")->number_value, 123456.75);
+  EXPECT_EQ(v->Find("threads")->array.size(), 4u);
+}
+
+}  // namespace
+}  // namespace concord

@@ -290,10 +290,10 @@ TEST_F(ContainmentTest, BudgetOverrunsTripAndQuarantine) {
   EXPECT_EQ(fresh[0].fault, ContainmentFault::kBudgetOverrun);
   EXPECT_EQ(fresh[0].policy_name, "slow-release");
 
-  const LockProfileStats* stats = concord.Stats(id);
+  const ShardedLockProfileStats* stats = concord.Stats(id);
   ASSERT_NE(stats, nullptr);
-  EXPECT_GE(stats->budget_overruns.load(), 3u);
-  EXPECT_EQ(stats->quarantines.load(), 1u);
+  EXPECT_GE(stats->BudgetOverruns(), 3u);
+  EXPECT_EQ(stats->Quarantines(), 1u);
 
   // With the hostile tap quarantined the lock is back to stock + profiling.
   lock_.Lock();

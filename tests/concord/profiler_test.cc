@@ -37,14 +37,14 @@ TEST_F(ProfilerTest, CountsUncontendedAcquisitions) {
     BurnNs(10'000);
   }
 
-  const LockProfileStats* stats = concord.Stats(id);
+  const ShardedLockProfileStats* stats = concord.Stats(id);
   ASSERT_NE(stats, nullptr);
-  EXPECT_EQ(stats->acquisitions.load(), 50u);
-  EXPECT_EQ(stats->releases.load(), 50u);
-  EXPECT_EQ(stats->contentions.load(), 0u);
+  EXPECT_EQ(stats->Acquisitions(), 50u);
+  EXPECT_EQ(stats->Releases(), 50u);
+  EXPECT_EQ(stats->Contentions(), 0u);
   // Hold times around 10us must be visible in the histogram.
-  EXPECT_EQ(stats->hold_ns.TotalCount(), 50u);
-  EXPECT_GE(stats->hold_ns.Percentile(50), 4'000u);
+  EXPECT_EQ(stats->HoldNs().TotalCount(), 50u);
+  EXPECT_GE(stats->HoldNs().Percentile(50), 4'000u);
 }
 
 TEST_F(ProfilerTest, RecordsContentionAndWaitTimes) {
@@ -59,21 +59,22 @@ TEST_F(ProfilerTest, RecordsContentionAndWaitTimes) {
     lock.Lock();
     lock.Unlock();
   });
-  // Wait until the profiler has seen the contention event.
-  const LockProfileStats* stats = concord.Stats(id);
+  // Wait until the profiler has seen the contention event. The Stats pointer
+  // is grabbed once and polled live while the worker records into it.
+  const ShardedLockProfileStats* stats = concord.Stats(id);
   const std::uint64_t deadline = MonotonicNowNs() + 10'000'000'000ull;
-  while (stats->contentions.load() == 0 && MonotonicNowNs() < deadline) {
+  while (stats->Contentions() == 0 && MonotonicNowNs() < deadline) {
     timespec ts{0, 1'000'000};
     nanosleep(&ts, nullptr);
   }
-  waiter_contended.store(stats->contentions.load() > 0);
+  waiter_contended.store(stats->Contentions() > 0);
   lock.Unlock();
   waiter.join();
 
   EXPECT_TRUE(waiter_contended.load());
-  EXPECT_GE(stats->contentions.load(), 1u);
-  EXPECT_GE(stats->wait_ns.TotalCount(), 1u);
-  EXPECT_GT(stats->wait_ns.Max(), 0u);
+  EXPECT_GE(stats->Contentions(), 1u);
+  EXPECT_GE(stats->WaitNs().TotalCount(), 1u);
+  EXPECT_GT(stats->WaitNs().Max(), 0u);
 }
 
 TEST_F(ProfilerTest, PerLockGranularity) {
@@ -93,7 +94,7 @@ TEST_F(ProfilerTest, PerLockGranularity) {
   for (int i = 0; i < 20; ++i) {
     ShflGuard g2(cold_a);
   }
-  EXPECT_EQ(concord.Stats(hot_id)->acquisitions.load(), 20u);
+  EXPECT_EQ(concord.Stats(hot_id)->Acquisitions(), 20u);
   EXPECT_EQ(concord.Stats(cold_a_id), nullptr);  // never enabled
   // Unprofiled locks carry no hook table at all (zero overhead).
   EXPECT_EQ(cold_a.CurrentHooks(), nullptr);
@@ -108,11 +109,11 @@ TEST_F(ProfilerTest, DisableStopsCounting) {
     ShflGuard guard(lock);
   }
   ASSERT_TRUE(concord.DisableProfiling(id).ok());
-  const std::uint64_t before = concord.Stats(id)->acquisitions.load();
+  const std::uint64_t before = concord.Stats(id)->Acquisitions();
   {
     ShflGuard guard(lock);
   }
-  EXPECT_EQ(concord.Stats(id)->acquisitions.load(), before);
+  EXPECT_EQ(concord.Stats(id)->Acquisitions(), before);
 }
 
 TEST_F(ProfilerTest, ProfilesRwLocks) {
@@ -128,10 +129,10 @@ TEST_F(ProfilerTest, ProfilesRwLocks) {
   lock.WriteLock();
   lock.WriteUnlock();
 
-  const LockProfileStats* stats = concord.Stats(id);
+  const ShardedLockProfileStats* stats = concord.Stats(id);
   ASSERT_NE(stats, nullptr);
-  EXPECT_EQ(stats->acquisitions.load(), 11u);
-  EXPECT_EQ(stats->releases.load(), 11u);
+  EXPECT_EQ(stats->Acquisitions(), 11u);
+  EXPECT_EQ(stats->Releases(), 11u);
 }
 
 TEST_F(ProfilerTest, ReportListsProfiledLocksBySelector) {
@@ -165,13 +166,147 @@ TEST_F(ProfilerTest, ProfilingComposesWithPolicy) {
   for (int i = 0; i < 25; ++i) {
     ShflGuard guard(lock);
   }
-  EXPECT_EQ(concord.Stats(id)->acquisitions.load(), 25u);
+  EXPECT_EQ(concord.Stats(id)->Acquisitions(), 25u);
   // Detaching the policy keeps profiling alive.
   ASSERT_TRUE(concord.Detach(id).ok());
   {
     ShflGuard guard(lock);
   }
-  EXPECT_EQ(concord.Stats(id)->acquisitions.load(), 26u);
+  EXPECT_EQ(concord.Stats(id)->Acquisitions(), 26u);
+}
+
+// --- tap-level regression tests ----------------------------------------------
+//
+// These drive ProfilerTaps directly (the unit under the trampolines) with a
+// FakeClock, so wait/hold samples are exact and the in-flight matching rules
+// are pinned down deterministically.
+
+TEST(ProfilerTapsTest, RecursiveSameLockMatchesNewestSlot) {
+  ScopedFakeClock fake(1'000);
+  ShardedLockProfileStats stats;
+  const std::uint64_t id = 7;
+
+  // Outer acquisition at t=1000, granted immediately.
+  ProfilerTaps::OnAcquire(stats, id);
+  ProfilerTaps::OnAcquired(stats, id);
+  fake.clock().AdvanceNs(1'000);  // t=2000
+  // Recursive re-acquisition of the SAME lock id, granted at t=2000,
+  // released at t=3000 → inner hold exactly 1000ns.
+  ProfilerTaps::OnAcquire(stats, id);
+  ProfilerTaps::OnAcquired(stats, id);
+  fake.clock().AdvanceNs(1'000);  // t=3000
+  ProfilerTaps::OnRelease(stats, id);
+  fake.clock().AdvanceNs(2'000);  // t=5000
+  // Outer release at t=5000 → outer hold exactly 4000ns.
+  ProfilerTaps::OnRelease(stats, id);
+
+  // Oldest-first matching (the old bug) pairs the inner acquired/release
+  // with the OUTER slot: the outer release then finds a slot that never saw
+  // OnAcquired and records nothing — one sample instead of two, and the
+  // 4000ns outer hold is lost.
+  const Log2Histogram hold = stats.HoldNs();
+  EXPECT_EQ(hold.TotalCount(), 2u);
+  EXPECT_EQ(hold.Sum(), 5'000u);  // 1000 (inner) + 4000 (outer)
+  EXPECT_EQ(hold.Max(), 4'000u);
+  EXPECT_EQ(stats.DroppedSamples(), 0u);
+}
+
+TEST(ProfilerTapsTest, DeepNestingCountsDroppedSamples) {
+  ScopedFakeClock fake(1'000);
+  ShardedLockProfileStats stats;
+  const std::uint64_t id = 9;
+  constexpr int kDepth = 20;  // kMaxInFlight is 16: 4 drops
+
+  for (int i = 0; i < kDepth; ++i) {
+    ProfilerTaps::OnAcquire(stats, id);
+    ProfilerTaps::OnAcquired(stats, id);
+    fake.clock().AdvanceNs(100);
+  }
+  for (int i = 0; i < kDepth; ++i) {
+    ProfilerTaps::OnRelease(stats, id);
+  }
+
+  EXPECT_EQ(stats.Acquisitions(), static_cast<std::uint64_t>(kDepth));
+  EXPECT_EQ(stats.Releases(), static_cast<std::uint64_t>(kDepth));
+  EXPECT_EQ(stats.DroppedSamples(), 4u);
+  // Only the 16 tracked acquisitions produced hold samples.
+  EXPECT_EQ(stats.HoldNs().TotalCount(), 16u);
+  // The drop count is surfaced, not silent.
+  EXPECT_NE(stats.Summary().find("dropped_samples=4"), std::string::npos);
+}
+
+TEST(ProfilerTapsTest, ReleaseWithoutSlotIsCountedButNotTimed) {
+  // Profiling attached mid-critical-section: the release tap fires with no
+  // matching in-flight slot. The release must count; no bogus hold sample.
+  ScopedFakeClock fake(1'000);
+  ShardedLockProfileStats stats;
+  ProfilerTaps::OnRelease(stats, 11);
+  EXPECT_EQ(stats.Releases(), 1u);
+  EXPECT_EQ(stats.HoldNs().TotalCount(), 0u);
+  EXPECT_EQ(stats.DroppedSamples(), 0u);
+}
+
+TEST(ProfilerTapsTest, ContendedWaitIsExactUnderFakeClock) {
+  ScopedFakeClock fake(10'000);
+  ShardedLockProfileStats stats;
+  const std::uint64_t id = 3;
+
+  ProfilerTaps::OnAcquire(stats, id);
+  ProfilerTaps::OnContended(stats, id);
+  fake.clock().AdvanceNs(6'000);  // waited 6000ns for the grant
+  ProfilerTaps::OnAcquired(stats, id);
+  fake.clock().AdvanceNs(500);
+  ProfilerTaps::OnRelease(stats, id);
+
+  EXPECT_EQ(stats.Contentions(), 1u);
+  const Log2Histogram wait = stats.WaitNs();
+  EXPECT_EQ(wait.TotalCount(), 1u);
+  EXPECT_EQ(wait.Sum(), 6'000u);
+  EXPECT_EQ(stats.HoldNs().Sum(), 500u);
+}
+
+TEST(ShardedStatsTest, CountersAggregateAcrossShards) {
+  ShardedLockProfileStats stats;
+  // Write to two distinct shards directly (ControlShard is shard 0; pick a
+  // second one through MergeFrom of a standalone block).
+  stats.ControlShard().acquisitions.fetch_add(3);
+  stats.ControlShard().quarantines.fetch_add(1);
+  LockProfileStats extra;
+  extra.acquisitions.fetch_add(4);
+  extra.wait_ns.Record(1'000);
+  stats.ControlShard().MergeFrom(extra);
+
+  EXPECT_EQ(stats.Acquisitions(), 7u);
+  EXPECT_EQ(stats.Quarantines(), 1u);
+  EXPECT_EQ(stats.WaitNs().TotalCount(), 1u);
+
+  LockProfileStats merged;
+  stats.MergeInto(merged);
+  EXPECT_EQ(merged.acquisitions.load(), 7u);
+  EXPECT_EQ(merged.wait_ns.TotalCount(), 1u);
+
+  stats.Reset();
+  EXPECT_EQ(stats.Acquisitions(), 0u);
+  EXPECT_EQ(stats.WaitNs().TotalCount(), 0u);
+}
+
+TEST(ShardedStatsTest, ConcurrentWritersLandOnTheirOwnShards) {
+  ShardedLockProfileStats stats;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&stats] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stats.Shard().acquisitions.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(stats.Acquisitions(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
 }  // namespace

@@ -83,8 +83,8 @@ TEST_F(SafetyTest, DetectsStarvationGradeWaitAndDetaches) {
     acquired.store(true);
     lock_.Unlock();
   });
-  const LockProfileStats* stats = concord.Stats(id);
-  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  const ShardedLockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->Contentions() >= 1; }));
   timespec ts{0, 30'000'000};
   nanosleep(&ts, nullptr);
   lock_.Unlock();
@@ -122,8 +122,8 @@ TEST_F(SafetyTest, BackgroundPollerCatchesViolations) {
     acquired.store(true);
     lock_.Unlock();
   });
-  const LockProfileStats* stats = concord.Stats(id);
-  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  const ShardedLockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->Contentions() >= 1; }));
   timespec ts{0, 20'000'000};
   nanosleep(&ts, nullptr);
   lock_.Unlock();
@@ -149,13 +149,13 @@ TEST_F(SafetyTest, DetectsWaitSkewFromP99OverP50) {
   // Feed a bimodal wait distribution directly: ~98% short waits and a few
   // starved outliers — the shape a starving cmp_node policy produces. p50
   // lands in the 512ns bucket, p99 in the 524us bucket: skew ~1000x.
-  LockProfileStats* stats = concord.MutableStats(id);
+  ShardedLockProfileStats* stats = concord.MutableStats(id);
   ASSERT_NE(stats, nullptr);
   for (int i = 0; i < 120; ++i) {
-    stats->wait_ns.Record(1'000);
+    stats->ControlShard().wait_ns.Record(1'000);
   }
-  stats->wait_ns.Record(1'000'000);
-  stats->wait_ns.Record(1'000'000);
+  stats->ControlShard().wait_ns.Record(1'000'000);
+  stats->ControlShard().wait_ns.Record(1'000'000);
 
   const auto fresh = watchdog.CheckOnce();
   ASSERT_EQ(fresh.size(), 1u);
@@ -175,12 +175,12 @@ TEST_F(SafetyTest, NoSkewFlagBelowSampleFloor) {
   ASSERT_TRUE(watchdog.Watch(id).ok());
 
   // Same skewed shape but under 100 samples: too little signal to act on.
-  LockProfileStats* stats = concord.MutableStats(id);
+  ShardedLockProfileStats* stats = concord.MutableStats(id);
   ASSERT_NE(stats, nullptr);
   for (int i = 0; i < 50; ++i) {
-    stats->wait_ns.Record(1'000);
+    stats->ControlShard().wait_ns.Record(1'000);
   }
-  stats->wait_ns.Record(1'000'000);
+  stats->ControlShard().wait_ns.Record(1'000'000);
   EXPECT_TRUE(watchdog.CheckOnce().empty());
 }
 
@@ -205,8 +205,8 @@ TEST_F(SafetyTest, ViolationFeedsContainmentQuarantine) {
     acquired.store(true);
     lock_.Unlock();
   });
-  const LockProfileStats* stats = concord.Stats(id);
-  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  const ShardedLockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->Contentions() >= 1; }));
   timespec ts{0, 30'000'000};
   nanosleep(&ts, nullptr);
   lock_.Unlock();
@@ -229,7 +229,7 @@ TEST_F(SafetyTest, ViolationFeedsContainmentQuarantine) {
     }
   }
   EXPECT_TRUE(saw_quarantine);
-  EXPECT_GE(stats->quarantines.load(), 1u);
+  EXPECT_GE(stats->Quarantines(), 1u);
 }
 
 TEST_F(SafetyTest, LegacyDetachPathStillWorks) {
@@ -253,8 +253,8 @@ TEST_F(SafetyTest, LegacyDetachPathStillWorks) {
     acquired.store(true);
     lock_.Unlock();
   });
-  const LockProfileStats* stats = concord.Stats(id);
-  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  const ShardedLockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->Contentions() >= 1; }));
   timespec ts{0, 30'000'000};
   nanosleep(&ts, nullptr);
   lock_.Unlock();
@@ -283,8 +283,8 @@ TEST_F(SafetyTest, UnwatchStopsDetection) {
     acquired.store(true);
     lock_.Unlock();
   });
-  const LockProfileStats* stats = concord.Stats(id);
-  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  const ShardedLockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->Contentions() >= 1; }));
   lock_.Unlock();
   victim.join();
   EXPECT_TRUE(watchdog.CheckOnce().empty());

@@ -125,10 +125,10 @@ TEST_F(ChaosTest, SlowReleaseTapQuarantinedAndThroughputRecovers) {
   }
   ASSERT_TRUE(quarantined);
 
-  const LockProfileStats* stats = concord.Stats(id);
+  const ShardedLockProfileStats* stats = concord.Stats(id);
   ASSERT_NE(stats, nullptr);
-  EXPECT_GE(stats->budget_overruns.load(), 8u);
-  EXPECT_GE(stats->quarantines.load(), 1u);
+  EXPECT_GE(stats->BudgetOverruns(), 8u);
+  EXPECT_GE(stats->Quarantines(), 1u);
 
   // With the tap off the lock, throughput returns to >= 90% of stock. The
   // post-quarantine hook table is identical to the pre-attach one
@@ -241,8 +241,8 @@ TEST_F(ChaosTest, StarvingCmpNodeQuarantinedByWatchdogWithBackoff) {
     acquired.store(true);
     lock_.Unlock();
   });
-  const LockProfileStats* stats = concord.Stats(id);
-  ASSERT_TRUE(Await([&] { return stats->contentions.load() >= 1; }));
+  const ShardedLockProfileStats* stats = concord.Stats(id);
+  ASSERT_TRUE(Await([&] { return stats->Contentions() >= 1; }));
   SleepMs(30);
   lock_.Unlock();
   victim.join();

@@ -1,0 +1,165 @@
+// bench_json_check: validates BENCH_*.json artifacts against schema_version 1
+// (see bench/bench_report.h). CI runs this over every file the smoke-bench
+// job produces; a schema drift fails the build instead of silently breaking
+// whatever consumes the artifacts.
+//
+// usage: bench_json_check FILE...
+// exit: 0 if every file validates, 1 otherwise.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+
+namespace concord {
+namespace {
+
+struct Checker {
+  const char* path;
+  std::vector<std::string> errors;
+
+  void Fail(const std::string& message) { errors.push_back(message); }
+
+  const JsonValue* Require(const JsonValue& root, const char* key,
+                           JsonValue::Type type, const char* type_name) {
+    const JsonValue* value = root.Find(key);
+    if (value == nullptr) {
+      Fail(std::string("missing key \"") + key + "\"");
+      return nullptr;
+    }
+    if (value->type != type) {
+      Fail(std::string("\"") + key + "\" must be a " + type_name);
+      return nullptr;
+    }
+    return value;
+  }
+
+  void CheckFiniteNumber(const JsonValue& value, const std::string& where) {
+    if (!value.IsNumber() || !std::isfinite(value.number_value)) {
+      Fail(where + " must be a finite number");
+    }
+  }
+
+  void CheckMetric(const JsonValue& metric, std::size_t index) {
+    const std::string where = "metrics[" + std::to_string(index) + "]";
+    if (!metric.IsObject()) {
+      Fail(where + " must be an object");
+      return;
+    }
+    const JsonValue* name = metric.Find("name");
+    if (name == nullptr || !name->IsString() || name->string_value.empty()) {
+      Fail(where + ".name must be a non-empty string");
+    }
+    const JsonValue* unit = metric.Find("unit");
+    if (unit == nullptr || !unit->IsString()) {
+      Fail(where + ".unit must be a string");
+    }
+    const JsonValue* value = metric.Find("value");
+    if (value == nullptr) {
+      Fail(where + ".value is missing");
+    } else {
+      CheckFiniteNumber(*value, where + ".value");
+    }
+    const JsonValue* labels = metric.Find("labels");
+    if (labels == nullptr || !labels->IsObject()) {
+      Fail(where + ".labels must be an object");
+    } else {
+      for (const auto& [key, label] : labels->object) {
+        if (!label.IsString()) {
+          Fail(where + ".labels[\"" + key + "\"] must be a string");
+        }
+      }
+    }
+  }
+
+  void CheckRoot(const JsonValue& root) {
+    if (!root.IsObject()) {
+      Fail("top level must be an object");
+      return;
+    }
+    const JsonValue* version = root.Find("schema_version");
+    if (version == nullptr || !version->IsNumber() ||
+        version->number_value != 1.0) {
+      Fail("schema_version must be the number 1");
+    }
+    const JsonValue* bench =
+        Require(root, "bench", JsonValue::Type::kString, "string");
+    if (bench != nullptr && bench->string_value.empty()) {
+      Fail("\"bench\" must be non-empty");
+    }
+    Require(root, "git_sha", JsonValue::Type::kString, "string");
+    const JsonValue* timestamp = root.Find("timestamp_unix");
+    if (timestamp == nullptr) {
+      Fail("missing key \"timestamp_unix\"");
+    } else {
+      CheckFiniteNumber(*timestamp, "timestamp_unix");
+    }
+    const JsonValue* config =
+        Require(root, "config", JsonValue::Type::kObject, "object");
+    if (config != nullptr) {
+      for (const auto& [key, value] : config->object) {
+        if (!value.IsString() && !value.IsNumber()) {
+          Fail("config[\"" + key + "\"] must be a string or number");
+        }
+      }
+    }
+    const JsonValue* metrics =
+        Require(root, "metrics", JsonValue::Type::kArray, "array");
+    if (metrics != nullptr) {
+      if (metrics->array.empty()) {
+        Fail("metrics must not be empty");
+      }
+      for (std::size_t i = 0; i < metrics->array.size(); ++i) {
+        CheckMetric(metrics->array[i], i);
+      }
+    }
+  }
+};
+
+bool CheckFile(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+
+  Checker checker{path, {}};
+  const auto parsed = ParseJson(text);
+  if (!parsed.ok()) {
+    checker.Fail("not valid JSON: " + parsed.status().ToString());
+  } else {
+    checker.CheckRoot(*parsed);
+  }
+  if (checker.errors.empty()) {
+    std::printf("%s: OK\n", path);
+    return true;
+  }
+  for (const std::string& error : checker.errors) {
+    std::fprintf(stderr, "%s: %s\n", path, error.c_str());
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    all_ok = concord::CheckFile(argv[i]) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}
