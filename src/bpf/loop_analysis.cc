@@ -1,0 +1,36 @@
+#include "src/bpf/loop_analysis.h"
+
+namespace concord {
+
+LoopAnalysis LoopAnalysis::Analyze(const std::vector<Insn>& insns,
+                                   const std::vector<bool>& imm64_second) {
+  LoopAnalysis la;
+  la.is_header_.assign(insns.size(), false);
+  la.edge_at_.assign(insns.size(), -1);
+
+  for (std::size_t pc = 0; pc < insns.size(); ++pc) {
+    if (imm64_second[pc]) {
+      continue;
+    }
+    const Insn& insn = insns[pc];
+    if (insn.Class() != kBpfClassJmp && insn.Class() != kBpfClassJmp32) {
+      continue;
+    }
+    const std::uint8_t op = insn.JmpOp();
+    if (op == kBpfExit || op == kBpfCall) {
+      continue;
+    }
+    const std::int64_t target = static_cast<std::int64_t>(pc) + 1 +
+                                static_cast<std::int64_t>(insn.off);
+    if (target < 0 || target > static_cast<std::int64_t>(pc)) {
+      continue;  // forward edge (or out of bounds, rejected elsewhere)
+    }
+    const auto header = static_cast<std::size_t>(target);
+    la.edge_at_[pc] = static_cast<int>(la.back_edges_.size());
+    la.back_edges_.push_back(BackEdge{pc, header});
+    la.is_header_[header] = true;
+  }
+  return la;
+}
+
+}  // namespace concord

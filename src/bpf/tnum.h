@@ -1,0 +1,155 @@
+// Tracked numbers ("tnums"): the known-bits abstract domain.
+//
+// A Tnum represents the set of 64-bit values { value | x : x & ~mask == 0 }:
+// bits where `mask` is 0 are known to equal the corresponding bit of `value`;
+// bits where `mask` is 1 are unknown. This is the same domain the kernel
+// eBPF verifier uses (Gershuni et al., PLDI '19 describe why intervals alone
+// are not enough: alignment proofs need bit-level knowledge that survives
+// shifts and masks, which intervals lose immediately).
+//
+// The transfer functions below are ports of the standard kernel algorithms
+// (tnum_add's carry analysis, the shift-and-add multiplier) restated for this
+// codebase. All are sound over-approximations: the result set always contains
+// every value the concrete operation can produce from operands in the input
+// sets.
+
+#ifndef SRC_BPF_TNUM_H_
+#define SRC_BPF_TNUM_H_
+
+#include <cstdint>
+
+namespace concord {
+
+struct Tnum {
+  std::uint64_t value = 0;
+  std::uint64_t mask = ~0ull;  // default: fully unknown
+
+  static constexpr Tnum Unknown() { return Tnum{0, ~0ull}; }
+  static constexpr Tnum Const(std::uint64_t v) { return Tnum{v, 0}; }
+
+  bool IsConst() const { return mask == 0; }
+  // Smallest / largest value in the represented set.
+  std::uint64_t Min() const { return value; }
+  std::uint64_t Max() const { return value | mask; }
+
+  bool operator==(const Tnum& other) const {
+    return value == other.value && mask == other.mask;
+  }
+};
+
+// True iff every value representable by `b` is representable by `a`.
+inline bool TnumIn(const Tnum& a, const Tnum& b) {
+  if ((b.mask & ~a.mask) != 0) {
+    return false;
+  }
+  return (b.value & ~a.mask) == a.value;
+}
+
+inline Tnum TnumAdd(Tnum a, Tnum b) {
+  const std::uint64_t sm = a.mask + b.mask;
+  const std::uint64_t sv = a.value + b.value;
+  const std::uint64_t sigma = sm + sv;
+  const std::uint64_t chi = sigma ^ sv;
+  const std::uint64_t mu = chi | a.mask | b.mask;
+  return Tnum{sv & ~mu, mu};
+}
+
+inline Tnum TnumSub(Tnum a, Tnum b) {
+  const std::uint64_t dv = a.value - b.value;
+  const std::uint64_t alpha = dv + a.mask;
+  const std::uint64_t beta = dv - b.mask;
+  const std::uint64_t chi = alpha ^ beta;
+  const std::uint64_t mu = chi | a.mask | b.mask;
+  return Tnum{dv & ~mu, mu};
+}
+
+inline Tnum TnumAnd(Tnum a, Tnum b) {
+  const std::uint64_t alpha = a.value | a.mask;
+  const std::uint64_t beta = b.value | b.mask;
+  const std::uint64_t v = a.value & b.value;
+  return Tnum{v, alpha & beta & ~v};
+}
+
+inline Tnum TnumOr(Tnum a, Tnum b) {
+  const std::uint64_t v = a.value | b.value;
+  const std::uint64_t mu = a.mask | b.mask;
+  return Tnum{v, mu & ~v};
+}
+
+inline Tnum TnumXor(Tnum a, Tnum b) {
+  const std::uint64_t v = a.value ^ b.value;
+  const std::uint64_t mu = a.mask | b.mask;
+  return Tnum{v & ~mu, mu};
+}
+
+inline Tnum TnumLshift(Tnum a, std::uint8_t shift) {
+  return Tnum{a.value << shift, a.mask << shift};
+}
+
+inline Tnum TnumRshift(Tnum a, std::uint8_t shift) {
+  return Tnum{a.value >> shift, a.mask >> shift};
+}
+
+inline Tnum TnumArshift(Tnum a, std::uint8_t shift) {
+  return Tnum{
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(a.value) >> shift),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(a.mask) >> shift)};
+}
+
+// Shift-and-add multiplication: for each (possibly unknown) bit of `a`,
+// accumulate the correspondingly shifted `b` into an unknown-accumulator.
+inline Tnum TnumMul(Tnum a, Tnum b) {
+  const std::uint64_t acc_v = a.value * b.value;
+  Tnum acc_m{0, 0};
+  while (a.value != 0 || a.mask != 0) {
+    if ((a.value & 1) != 0) {
+      acc_m = TnumAdd(acc_m, Tnum{0, b.mask});
+    } else if ((a.mask & 1) != 0) {
+      acc_m = TnumAdd(acc_m, Tnum{0, b.value | b.mask});
+    }
+    a = TnumRshift(a, 1);
+    b = TnumLshift(b, 1);
+  }
+  return TnumAdd(Tnum{acc_v, 0}, acc_m);
+}
+
+// Intersection of the two sets. Only meaningful when the sets overlap (the
+// caller detects contradictions through the interval bounds instead).
+inline Tnum TnumIntersect(Tnum a, Tnum b) {
+  const std::uint64_t v = a.value | b.value;
+  const std::uint64_t mu = a.mask & b.mask;
+  return Tnum{v & ~mu, mu};
+}
+
+// Union (join) of the two sets.
+inline Tnum TnumUnion(Tnum a, Tnum b) {
+  const std::uint64_t v = a.value & b.value;
+  const std::uint64_t mu = a.mask | b.mask | (a.value ^ b.value);
+  return Tnum{v & ~mu, mu};
+}
+
+// The coarsest tnum containing every value in [min, max].
+inline Tnum TnumRange(std::uint64_t min, std::uint64_t max) {
+  const std::uint64_t chi = min ^ max;
+  if (chi == 0) {
+    return Tnum::Const(min);
+  }
+  int bits = 64;
+  while (bits > 0 && (chi & (1ull << (bits - 1))) == 0) {
+    --bits;
+  }
+  if (bits > 63) {
+    return Tnum::Unknown();
+  }
+  const std::uint64_t delta = (1ull << bits) - 1;
+  return Tnum{min & ~delta, delta};
+}
+
+// Truncation to the low 32 bits (the ALU32 / zero-extension view).
+inline Tnum TnumCast32(Tnum a) {
+  return Tnum{a.value & 0xffffffffull, a.mask & 0xffffffffull};
+}
+
+}  // namespace concord
+
+#endif  // SRC_BPF_TNUM_H_

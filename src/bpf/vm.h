@@ -20,9 +20,12 @@ namespace concord {
 
 class BpfVm {
  public:
-  // Paranoid runtime cap; the verifier already guarantees termination in at
-  // most kMaxProgramInsns steps (no back edges), so hitting this aborts.
-  static constexpr std::uint64_t kInsnBudget = 2 * kMaxProgramInsns;
+  // Paranoid runtime cap; the verifier already guarantees termination — every
+  // admitted loop's back edge carries a per-path trip budget
+  // (Verifier::Options::max_loop_trips) — so hitting this aborts. Sized above
+  // the worst case a verified program can legally reach (every insn executed
+  // once per trip of a maxed-out loop).
+  static constexpr std::uint64_t kInsnBudget = 1ull << 26;
 
   // Runs `program` with R1 = `ctx` (size must equal the program's context
   // descriptor size). `hook_data` is an attach-point side channel passed to

@@ -1,0 +1,131 @@
+#include "src/concord/policy_lint.h"
+
+#include <cstdio>
+
+#include "src/sync/shfllock.h"
+
+namespace concord {
+namespace {
+
+std::string U64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void Finding(LintReport& report, const char* rule, std::string message) {
+  report.findings.push_back({rule, std::move(message)});
+}
+
+// R0 at exit must be provably inside [0, max_value].
+void CheckReturnRange(LintReport& report, const Verifier::Analysis& analysis,
+                      std::uint64_t max_value) {
+  if (!analysis.has_exit) {
+    return;  // unreachable for verified programs; nothing to check
+  }
+  const ScalarValue& r0 = analysis.r0_exit;
+  if (r0.umax > max_value) {
+    Finding(report, "return-range",
+            "return value not proven in [0, " + U64(max_value) +
+                "]: verifier bounds R0 at exit to " + r0.ToString());
+  }
+}
+
+// Every admitted loop must be proven to finish within `max_trips` trips.
+void CheckLoopBound(LintReport& report, const Verifier::Analysis& analysis,
+                    std::uint64_t max_trips, const char* why) {
+  for (const auto& loop : analysis.loops) {
+    if (loop.max_trips > max_trips) {
+      Finding(report, "loop-bound",
+              "loop with back edge at insn " + U64(loop.back_edge_pc) +
+                  " runs up to " + U64(loop.max_trips) + " trips, above the " +
+                  U64(max_trips) + "-trip hook bound (" + why + ")");
+    }
+  }
+}
+
+}  // namespace
+
+std::string LintReport::ToString() const {
+  std::string out;
+  for (const auto& finding : findings) {
+    out += finding.rule + ": " + finding.message + "\n";
+  }
+  return out;
+}
+
+LintReport LintPolicyProgram(HookKind kind,
+                             const Verifier::Analysis& analysis) {
+  LintReport report;
+  switch (kind) {
+    case HookKind::kCmpNode:
+      // The comparator runs once per scanned waiter inside the shuffler's
+      // queue walk; it must be a pure decision.
+      if (analysis.writes_map) {
+        Finding(report, "cmp-node-pure",
+                "cmp_node must be pure but calls a map-writing helper");
+      }
+      if (analysis.writes_ctx) {
+        Finding(report, "cmp-node-pure",
+                "cmp_node must be pure but writes its context");
+      }
+      CheckReturnRange(report, analysis, 1);
+      CheckLoopBound(report, analysis, ShflLock::kMaxShuffleScan,
+                     "cmp_node runs once per scanned waiter");
+      break;
+    case HookKind::kSkipShuffle:
+      CheckReturnRange(report, analysis, 1);
+      CheckLoopBound(report, analysis, ShflLock::kShuffleRoundCap,
+                     "the lock clamps shuffling rounds at kShuffleRoundCap");
+      break;
+    case HookKind::kScheduleWaiter:
+      CheckReturnRange(report, analysis, 1);
+      for (std::size_t pc : analysis.ctx_ptr_across_call_pcs) {
+        Finding(report, "waiter-ptr-across-call",
+                "waiter context pointer held in a callee-saved register "
+                "across the helper call at insn " +
+                    U64(pc) + "; helpers may park or requeue the waiter, "
+                             "making the pointer stale");
+      }
+      break;
+    case HookKind::kRwMode:
+      // RwMode: 0 = neutral, 1 = reader-biased, 2 = writer-biased.
+      CheckReturnRange(report, analysis, 2);
+      break;
+    case HookKind::kLockAcquire:
+    case HookKind::kLockContended:
+    case HookKind::kLockAcquired:
+    case HookKind::kLockRelease:
+      // Profiling taps: return value is ignored and runtime budgets contain
+      // their cost; nothing to lint statically.
+      break;
+  }
+  return report;
+}
+
+Status CheckPolicyProgram(HookKind kind, Program& program, LintReport* report,
+                          Verifier::Analysis* analysis) {
+  Verifier::Options options;
+  options.allowed_capabilities = CapabilitiesFor(kind);
+  Verifier::Analysis local_analysis;
+  CONCORD_RETURN_IF_ERROR(Verifier::Verify(program, options, &local_analysis));
+  LintReport local_report = LintPolicyProgram(kind, local_analysis);
+  if (analysis != nullptr) {
+    *analysis = local_analysis;
+  }
+  if (report != nullptr) {
+    *report = local_report;
+  }
+  if (!local_report.ok()) {
+    std::string message = "policy violates ";
+    message += HookKindName(kind);
+    message += " contract:\n";
+    message += local_report.ToString();
+    // Trim the trailing newline for a tidy Status message.
+    message.pop_back();
+    return PermissionDeniedError(message);
+  }
+  return Status::Ok();
+}
+
+}  // namespace concord

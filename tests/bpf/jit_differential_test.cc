@@ -344,6 +344,41 @@ TEST(JitDifferentialTest, RandomMapProgramsAgreeIncludingMapState) {
 
 // Every policy program this repo ships must execute identically on both
 // tiers — this is the ISSUE's acceptance bar for the JIT.
+TEST(JitDifferentialTest, BoundedLoopProgramsAgree) {
+  if (!Jit::Supported()) GTEST_SKIP() << "no JIT backend";
+  // Back edges reach the JIT as backward rel32 fixups; exercise them with a
+  // data-dependent loop: (b & 31) + 1 iterations folding a and the counter
+  // into r0.
+  Program program;
+  program.name = "loop_diff";
+  program.ctx_desc = &Desc();
+  program.insns = {
+      LoadMem(kBpfSizeDw, 2, 1, 0),  // r2 = a
+      LoadMem(kBpfSizeDw, 3, 1, 8),  // r3 = b
+      AluImm(kBpfAnd, 3, 31),
+      AluImm(kBpfAdd, 3, 1),  // trips = (b & 31) + 1
+      MovImm(0, 0),
+      MovImm(4, 0),            // counter
+      AluReg(kBpfAdd, 0, 2),   // 6: loop body
+      AluReg(kBpfXor, 0, 4),
+      AluImm(kBpfAdd, 4, 1),
+      JmpReg(kBpfJlt, 4, 3, -4),  // while (counter < trips)
+      Exit(),
+  };
+  ASSERT_TRUE(Verifier::Verify(program).ok());
+  auto compiled = Jit::Compile(program);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  Xoshiro256 rng(0x10071ed);
+  for (int round = 0; round < 256; ++round) {
+    DiffCtx ctx{rng.Next(), rng.Next()};
+    DiffCtx jit_ctx = ctx;
+    const std::uint64_t want = BpfVm::Run(program, &ctx);
+    const std::uint64_t got = compiled.value()->Run(program, &jit_ctx);
+    ASSERT_EQ(want, got) << "round " << round;
+  }
+}
+
 TEST(JitDifferentialTest, ShippedPoliciesAgreeOnRandomContexts) {
   if (!Jit::Supported()) GTEST_SKIP() << "no JIT backend";
   Xoshiro256 rng(0x90110c1e);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "src/base/rng.h"
+#include "src/bpf/jit/jit.h"
 #include "src/bpf/verifier.h"
 #include "src/bpf/vm.h"
 
@@ -151,6 +152,97 @@ TEST(VerifierFuzzTest, BiasedRandomProgramsAcceptedOnesAreSafe) {
   }
   // The bias should produce a healthy acceptance rate.
   EXPECT_GT(accepted, 100);
+}
+
+TEST(VerifierFuzzTest, LoopMutatorAcceptedProgramsTerminateAndMatchJit) {
+  // Loop-generating mutator: every program is a counted loop around a random
+  // body; mutations sometimes drop the counter increment (unbounded — must be
+  // rejected, never crash). The differential invariant for accepted programs:
+  // the interpreter terminates within its instruction budget without a trap,
+  // and the JIT computes bit-identical results.
+  Xoshiro256 rng(0x100b5);
+  // A tight trip budget keeps the unbounded mutants cheap to reject; every
+  // generated bound stays below it.
+  Verifier::Options options;
+  options.max_loop_trips = 256;
+  int accepted = 0;
+  int rejected = 0;
+  for (int round = 0; round < 600; ++round) {
+    Program program;
+    program.name = "loopfuzz";
+    program.ctx_desc = &Desc();
+    auto& insns = program.insns;
+    insns.push_back(MovImm(0, 0));
+    insns.push_back(MovImm(2, 0));  // loop counter
+    insns.push_back(MovImm(4, static_cast<std::int32_t>(rng.NextBounded(64))));
+    insns.push_back(LoadMem(kBpfSizeDw, 3, 1,
+                            static_cast<std::int16_t>(rng.NextBounded(2) * 8)));
+    const std::size_t body_start = insns.size();
+    const std::size_t body_len = 1 + rng.NextBounded(5);
+    for (std::size_t i = 0; i < body_len; ++i) {
+      switch (rng.NextBounded(6)) {
+        case 0:
+          insns.push_back(AluImm(
+              kBpfAdd, static_cast<std::uint8_t>(rng.NextBounded(2) * 4),
+              static_cast<std::int32_t>(rng.NextBounded(1000)) - 500));
+          break;
+        case 1:
+          insns.push_back(AluReg(kBpfAdd, 0, 3));
+          break;
+        case 2:
+          insns.push_back(AluReg(kBpfXor, 0, 4));
+          break;
+        case 3:
+          insns.push_back(AluImm(
+              kBpfAnd, 3, static_cast<std::int32_t>(rng.NextBounded(255)) + 1));
+          break;
+        case 4:
+          insns.push_back(StoreMemImm(
+              kBpfSizeDw, 10,
+              static_cast<std::int16_t>(-8 * (1 + rng.NextBounded(4))),
+              static_cast<std::int32_t>(rng.Next())));
+          break;
+        case 5:
+          // Forward skip on a constant: folds in the verifier, real at
+          // runtime.
+          insns.push_back(
+              JmpImm(kBpfJeq, 4, static_cast<std::int32_t>(rng.NextBounded(64)),
+                     1));
+          break;
+      }
+    }
+    // Mutation: one round in ten drops the increment — the loop makes no
+    // progress toward the bound and must be rejected.
+    if (rng.NextBounded(10) != 0) {
+      insns.push_back(AluImm(
+          kBpfAdd, 2, static_cast<std::int32_t>(rng.NextBounded(3)) + 1));
+    }
+    const std::size_t jmp_pc = insns.size();
+    insns.push_back(JmpImm(
+        kBpfJlt, 2, static_cast<std::int32_t>(rng.NextBounded(200)) + 1,
+        static_cast<std::int16_t>(static_cast<std::int64_t>(body_start) -
+                                  static_cast<std::int64_t>(jmp_pc) - 1)));
+    insns.push_back(Exit());
+
+    if (!Verifier::Verify(program, options).ok()) {
+      ++rejected;
+      continue;
+    }
+    ++accepted;
+    FuzzCtx ctx{rng.Next(), rng.Next(), 0, 0};
+    const std::uint64_t vm_result = BpfVm::Run(program, &ctx);
+    if (Jit::Supported()) {
+      auto compiled = Jit::Compile(program);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      EXPECT_EQ(compiled.value()->Run(program, &ctx), vm_result)
+          << "JIT diverged from interpreter on a looped program (round "
+          << round << ")";
+    }
+  }
+  // The mutator must exercise both outcomes: plenty of admitted loops and
+  // every increment-dropping mutation rejected.
+  EXPECT_GT(accepted, 150);
+  EXPECT_GT(rejected, 40);
 }
 
 }  // namespace

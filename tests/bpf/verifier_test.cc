@@ -84,15 +84,18 @@ TEST(VerifierTest, RejectsOverlongProgram) {
   EXPECT_EQ(Verifier::Verify(p).code(), StatusCode::kResourceExhausted);
 }
 
-TEST(VerifierTest, RejectsBackEdge) {
-  // 0: mov r0, 0 ; 1: ja -2 (self-loop region)
+TEST(VerifierTest, RejectsInfiniteLoop) {
+  // 0: mov r0, 0 ; 1: ja -2. Verifier v2 admits the back edge but the
+  // abstract state repeats at the loop header with no progress — rejected as
+  // an infinite loop, with the path that got there.
   Program p;
   p.name = "loop";
   p.ctx_desc = &Desc();
   p.insns = {MovImm(0, 0), Jump(-2), Exit()};
   Status s = Verifier::Verify(p);
   EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
-  EXPECT_NE(s.message().find("back edge"), std::string::npos);
+  EXPECT_NE(s.message().find("infinite loop"), std::string::npos);
+  EXPECT_NE(s.message().find("path:"), std::string::npos);
 }
 
 TEST(VerifierTest, RejectsJumpOutOfBounds) {
@@ -476,18 +479,22 @@ TEST(VerifierTest, AcceptsAtomicAddToInitializedStack) {
 // ---------- complexity -----------------------------------------------------
 
 TEST(VerifierTest, RejectsStateExplosion) {
-  // 40 consecutive unknown branches = 2^40 paths; must hit max_states.
+  // 40 consecutive branches on distinct unknown bits = 2^40 genuinely
+  // distinct paths; must hit max_states. (Equality tests against constants
+  // no longer explode: range refinement constant-folds the later branches.)
   ProgramBuilder b("explode", &Desc());
   b.Load(kBpfSizeDw, 2, 1, 0);
   for (int i = 0; i < 40; ++i) {
     auto l = b.NewLabel();
-    b.JmpIf(kBpfJeq, 2, i, l).Bind(l);
+    b.JmpIf(kBpfJset, 2, 1 << (i % 30), l).Bind(l);
   }
   b.Return(0);
   Verifier::Options small;
   small.max_states = 1000;
   Status s = VerifyBuilt(b, small);
   EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("abstract states"), std::string::npos);
+  EXPECT_NE(s.message().find("branch explosion"), std::string::npos);
 }
 
 TEST(VerifierTest, ConstantFoldingPrunesDeadBranches) {

@@ -6,6 +6,10 @@
 //
 // Usage:
 //   concord_asm <hook> <file.casm>       assemble + verify + disassemble
+//   concord_asm --verify <hook> <file.casm>
+//                                        ... and print the verifier log:
+//                                        states explored, proven loop trip
+//                                        bounds, R0 exit range, helpers
 //   concord_asm --jit-dump <hook> <file.casm>
 //                                        ... then JIT-compile and hex-dump
 //                                        the native x86-64 code
@@ -73,14 +77,24 @@ int Run(int argc, char** argv) {
     return 0;
   }
   bool jit_dump = false;
+  bool verify_log = false;
   int arg = 1;
-  if (argc >= 2 && std::string(argv[1]) == "--jit-dump") {
-    jit_dump = true;
-    arg = 2;
+  while (arg < argc) {
+    const std::string flag = argv[arg];
+    if (flag == "--jit-dump") {
+      jit_dump = true;
+      ++arg;
+    } else if (flag == "--verify") {
+      verify_log = true;
+      ++arg;
+    } else {
+      break;
+    }
   }
   if (argc - arg != 2) {
     std::fprintf(stderr,
-                 "usage: %s [--jit-dump] <hook> <file.casm>\n       %s --hooks\n",
+                 "usage: %s [--verify] [--jit-dump] <hook> <file.casm>\n"
+                 "       %s --hooks\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -112,13 +126,44 @@ int Run(int argc, char** argv) {
 
   Verifier::Options options;
   options.allowed_capabilities = CapabilitiesFor(kind);
-  Status verdict = Verifier::Verify(*program, options);
+  Verifier::Analysis analysis;
+  Status verdict = Verifier::Verify(*program, options, &analysis);
   if (!verdict.ok()) {
     std::printf("VERIFIER REJECTED: %s\n", verdict.ToString().c_str());
     return 1;
   }
-  std::printf("verifier: OK (capabilities used: 0x%x)\n\n",
+  std::printf("verifier: OK (capabilities used: 0x%x)\n",
               program->used_capabilities);
+  if (verify_log) {
+    std::printf("verifier log:\n");
+    std::printf("  abstract states explored: %zu\n", analysis.states_processed);
+    if (analysis.loops.empty()) {
+      std::printf("  loops: none\n");
+    }
+    for (const auto& loop : analysis.loops) {
+      std::printf("  loop: back edge at insn %zu -> header %zu, proven bound "
+                  "%llu trips\n",
+                  loop.back_edge_pc, loop.header_pc,
+                  static_cast<unsigned long long>(loop.max_trips));
+    }
+    if (analysis.has_exit) {
+      std::printf("  r0 at exit: %s\n", analysis.r0_exit.ToString().c_str());
+    }
+    for (std::uint32_t id : analysis.helpers_called) {
+      const HelperDef* helper = HelperRegistry::Global().Find(id);
+      std::printf("  helper called: %u (%s)\n", id,
+                  helper != nullptr ? helper->name.c_str() : "?");
+    }
+    std::printf("  writes map: %s, writes ctx: %s\n",
+                analysis.writes_map ? "yes" : "no",
+                analysis.writes_ctx ? "yes" : "no");
+    for (std::size_t pc : analysis.ctx_ptr_across_call_pcs) {
+      std::printf("  note: context pointer held across helper call at insn "
+                  "%zu\n",
+                  pc);
+    }
+  }
+  std::printf("\n");
   for (std::size_t pc = 0; pc < program->insns.size(); ++pc) {
     std::printf("%4zu: %s\n", pc, DisassembleInsn(program->insns[pc]).c_str());
   }

@@ -1,0 +1,283 @@
+// concord_check — static analysis gate for lock policies.
+//
+// Assembles each .casm file, runs the range-tracking verifier under the
+// target hook's capability mask, then applies the lock-invariant lint rules
+// (src/concord/policy_lint.h). Intended for CI: exits 0 only when every file
+// passes all three stages.
+//
+// Usage:
+//   concord_check [--json] [--hook <name>] <file.casm>...
+//
+// The hook is taken from a `; hook: <name>` comment directive in the file
+// (conventionally the first line); `--hook` overrides it for every file.
+// With --json the report is a machine-readable array on stdout, one element
+// per file, including the verifier's analysis facts for accepted programs.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/bpf/assembler.h"
+#include "src/bpf/maps.h"
+#include "src/bpf/verifier.h"
+#include "src/concord/hooks.h"
+#include "src/concord/policy_lint.h"
+
+namespace concord {
+namespace {
+
+const HookKind kAllHooks[] = {
+    HookKind::kCmpNode,      HookKind::kSkipShuffle, HookKind::kScheduleWaiter,
+    HookKind::kLockAcquire,  HookKind::kLockContended, HookKind::kLockAcquired,
+    HookKind::kLockRelease,  HookKind::kRwMode,
+};
+
+bool ParseHook(const std::string& name, HookKind* out) {
+  for (HookKind kind : kAllHooks) {
+    if (name == HookKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Scans the source for a `; hook: <name>` comment directive.
+bool FindHookDirective(const std::string& source, std::string* out) {
+  std::istringstream lines(source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t semi = line.find(';');
+    if (semi == std::string::npos) {
+      continue;
+    }
+    std::size_t pos = line.find("hook:", semi);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    pos += 5;
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '\r') {
+      ++end;
+    }
+    if (end > pos) {
+      *out = line.substr(pos, end - pos);
+      return true;
+    }
+  }
+  return false;
+}
+
+struct FileResult {
+  std::string file;
+  std::string hook;
+  bool ok = false;
+  std::string stage;  // failing stage: "read", "hook", "assemble", "verify", "lint"
+  std::string error;  // verifier/assembler message when stage is set
+  LintReport lint;
+  Verifier::Analysis analysis;
+  std::size_t insns = 0;
+};
+
+FileResult CheckFile(const std::string& path, const std::string& hook_override) {
+  FileResult result;
+  result.file = path;
+
+  std::ifstream in(path);
+  if (!in) {
+    result.stage = "read";
+    result.error = "cannot open file";
+    return result;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  std::string hook_name = hook_override;
+  if (hook_name.empty() && !FindHookDirective(source, &hook_name)) {
+    result.stage = "hook";
+    result.error = "no `; hook: <name>` directive and no --hook given";
+    return result;
+  }
+  result.hook = hook_name;
+  HookKind kind;
+  if (!ParseHook(hook_name, &kind)) {
+    result.stage = "hook";
+    result.error = "unknown hook '" + hook_name + "'";
+    return result;
+  }
+
+  ArrayMap scratch("scratch", 8, 8);
+  auto program = AssembleProgram(path, source, &DescriptorFor(kind), {&scratch});
+  if (!program.ok()) {
+    result.stage = "assemble";
+    result.error = program.status().ToString();
+    return result;
+  }
+  result.insns = program->insns.size();
+
+  Verifier::Options options;
+  options.allowed_capabilities = CapabilitiesFor(kind);
+  Status verdict = Verifier::Verify(*program, options, &result.analysis);
+  if (!verdict.ok()) {
+    result.stage = "verify";
+    result.error = verdict.ToString();
+    return result;
+  }
+
+  result.lint = LintPolicyProgram(kind, result.analysis);
+  if (!result.lint.ok()) {
+    result.stage = "lint";
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+void PrintHuman(const FileResult& r) {
+  if (r.ok) {
+    std::printf("%s: OK (hook %s, %zu insns, %zu states", r.file.c_str(),
+                r.hook.c_str(), r.insns, r.analysis.states_processed);
+    for (const auto& loop : r.analysis.loops) {
+      std::printf(", loop@%zu<=%llu trips", loop.back_edge_pc,
+                  static_cast<unsigned long long>(loop.max_trips));
+    }
+    std::printf(")\n");
+    return;
+  }
+  if (r.stage == "lint") {
+    std::printf("%s: LINT FAILED (hook %s)\n", r.file.c_str(), r.hook.c_str());
+    for (const auto& finding : r.lint.findings) {
+      std::printf("  [%s] %s\n", finding.rule.c_str(), finding.message.c_str());
+    }
+    return;
+  }
+  std::printf("%s: %s FAILED: %s\n", r.file.c_str(), r.stage.c_str(),
+              r.error.c_str());
+}
+
+void EmitJson(JsonWriter& json, const FileResult& r) {
+  json.BeginObject();
+  json.Field("file", r.file);
+  json.Field("hook", r.hook);
+  json.Key("ok").Bool(r.ok);
+  if (!r.ok) {
+    json.Field("stage", r.stage);
+    if (!r.error.empty()) {
+      json.Field("error", r.error);
+    }
+  }
+  json.Key("findings").BeginArray();
+  for (const auto& finding : r.lint.findings) {
+    json.BeginObject();
+    json.Field("rule", finding.rule);
+    json.Field("message", finding.message);
+    json.EndObject();
+  }
+  json.EndArray();
+  if (r.stage.empty() || r.stage == "lint") {
+    json.Key("analysis").BeginObject();
+    json.NumberField("insns", static_cast<std::uint64_t>(r.insns));
+    json.NumberField("states",
+                     static_cast<std::uint64_t>(r.analysis.states_processed));
+    json.Key("loops").BeginArray();
+    for (const auto& loop : r.analysis.loops) {
+      json.BeginObject();
+      json.NumberField("back_edge_pc",
+                       static_cast<std::uint64_t>(loop.back_edge_pc));
+      json.NumberField("header_pc", static_cast<std::uint64_t>(loop.header_pc));
+      json.NumberField("max_trips", loop.max_trips);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("helpers").BeginArray();
+    for (std::uint32_t id : r.analysis.helpers_called) {
+      json.Number(static_cast<std::uint64_t>(id));
+    }
+    json.EndArray();
+    json.Key("writes_map").Bool(r.analysis.writes_map);
+    json.Key("writes_ctx").Bool(r.analysis.writes_ctx);
+    if (r.analysis.has_exit) {
+      json.Key("r0").BeginObject();
+      json.NumberField("umin", r.analysis.r0_exit.umin);
+      json.NumberField("umax", r.analysis.r0_exit.umax);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+}
+
+int Run(int argc, char** argv) {
+  bool as_json = false;
+  std::string hook_override;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--hook") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--hook needs an argument\n");
+        return 2;
+      }
+      hook_override = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--hook <name>] <file.casm>...\n"
+                 "hook names: cmp_node skip_shuffle schedule_waiter "
+                 "lock_acquire lock_contended lock_acquired lock_release "
+                 "rw_mode\n",
+                 argv[0]);
+    return 2;
+  }
+  if (!hook_override.empty()) {
+    HookKind kind;
+    if (!ParseHook(hook_override, &kind)) {
+      std::fprintf(stderr, "unknown hook '%s'\n", hook_override.c_str());
+      return 2;
+    }
+  }
+
+  JsonWriter json;
+  json.BeginArray();
+  int failures = 0;
+  for (const std::string& file : files) {
+    const FileResult result = CheckFile(file, hook_override);
+    if (!result.ok) {
+      ++failures;
+    }
+    if (as_json) {
+      EmitJson(json, result);
+    } else {
+      PrintHuman(result);
+    }
+  }
+  json.EndArray();
+  if (as_json) {
+    std::printf("%s\n", json.str().c_str());
+  } else if (failures > 0) {
+    std::printf("%d of %zu file(s) failed\n", failures, files.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main(int argc, char** argv) { return concord::Run(argc, argv); }
