@@ -20,6 +20,7 @@
 //   bpf.helper         map_update/map_delete helpers return -1  (helpers.cc)
 //   jit.compile        Jit::Compile fails -> interpreter tier   (jit/jit.cc)
 //   park.delayed_wake  UnparkOne/UnparkAll delayed by delay_ns  (parking_lot.cc)
+//   autotune.decide    autotune controller decision step aborts (autotune/controller.cc)
 
 #ifndef SRC_BASE_FAULT_H_
 #define SRC_BASE_FAULT_H_

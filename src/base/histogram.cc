@@ -51,6 +51,25 @@ void Log2Histogram::Reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+Log2Histogram Log2Histogram::DeltaSince(const Log2Histogram& earlier) const {
+  Log2Histogram delta;
+  std::uint64_t sum_now = 0;
+  std::uint64_t sum_then = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t now = buckets_[i].load(std::memory_order_relaxed);
+    const std::uint64_t then = earlier.buckets_[i].load(std::memory_order_relaxed);
+    delta.buckets_[i].store(now > then ? now - then : 0,
+                            std::memory_order_relaxed);
+  }
+  sum_now = sum_.load(std::memory_order_relaxed);
+  sum_then = earlier.sum_.load(std::memory_order_relaxed);
+  delta.sum_.store(sum_now > sum_then ? sum_now - sum_then : 0,
+                   std::memory_order_relaxed);
+  delta.max_.store(max_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return delta;
+}
+
 void Log2Histogram::MergeFrom(const Log2Histogram& other) {
   for (int i = 0; i < kBuckets; ++i) {
     buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),

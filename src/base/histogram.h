@@ -76,6 +76,13 @@ class Log2Histogram {
   // Merges `other` into this histogram (used to aggregate per-CPU shards).
   void MergeFrom(const Log2Histogram& other);
 
+  // Windowed view: the samples recorded since `earlier`, an older snapshot of
+  // this same histogram. Buckets and sum are monotonic, so the bucket-wise
+  // difference is exact (clamped at 0 against mismatched snapshots); max is
+  // not windowable from two cumulative snapshots, so the delta keeps this
+  // histogram's cumulative max as an upper bound.
+  Log2Histogram DeltaSince(const Log2Histogram& earlier) const;
+
   // Human-readable ASCII rendering (one line per non-empty bucket).
   std::string ToString() const;
 

@@ -1,0 +1,229 @@
+#include "src/concord/autotune/candidates.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/check.h"
+#include "src/bpf/assembler.h"
+#include "src/concord/hooks.h"
+#include "src/concord/policies.h"
+
+namespace concord {
+namespace {
+
+PolicyCandidate PlainCandidate(ContentionRegime regime) {
+  PolicyCandidate plain;
+  plain.name = kPlainCandidateName;
+  plain.regime = regime;
+  plain.make = nullptr;
+  return plain;
+}
+
+// Reverse of HookKindName, for the "; hook: <name>" header in .casm files.
+bool HookKindFromName(const std::string& name, HookKind* out) {
+  for (int i = 0; i < kNumHookKinds; ++i) {
+    const auto kind = static_cast<HookKind>(i);
+    if (name == HookKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+// The "; hook: cmp_node" annotation every shipped policy carries.
+bool ParseHookAnnotation(const std::string& source, HookKind* out) {
+  std::istringstream lines(source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t pos = line.find("; hook:");
+    if (pos == std::string::npos) {
+      continue;
+    }
+    std::string name = line.substr(pos + 7);
+    const std::size_t begin = name.find_first_not_of(" \t");
+    if (begin == std::string::npos) {
+      return false;
+    }
+    const std::size_t end = name.find_last_not_of(" \t\r");
+    return HookKindFromName(name.substr(begin, end - begin + 1), out);
+  }
+  return false;
+}
+
+// Filename -> regime inference for examples/policies/. Conservative: only
+// patterns with an obvious regime mapping load; everything else is skipped
+// rather than guessed wrong.
+bool RegimeFromFilename(const std::string& stem, ContentionRegime* out) {
+  if (stem.find("numa") != std::string::npos) {
+    *out = ContentionRegime::kNumaSkewed;
+    return true;
+  }
+  if (stem.find("backoff") != std::string::npos) {
+    *out = ContentionRegime::kPathological;
+    return true;
+  }
+  if (stem.find("batch") != std::string::npos) {
+    *out = ContentionRegime::kModerate;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status PolicyCandidateRegistry::Register(PolicyCandidate candidate) {
+  if (candidate.name.empty() || candidate.name == kPlainCandidateName) {
+    return InvalidArgumentError("candidate name '" + candidate.name +
+                                "' is reserved");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  for (PolicyCandidate& existing : candidates_) {
+    if (existing.name == candidate.name) {
+      existing = std::move(candidate);
+      return Status::Ok();
+    }
+  }
+  candidates_.push_back(std::move(candidate));
+  return Status::Ok();
+}
+
+void PolicyCandidateRegistry::SeedBuiltins() {
+  PolicyCandidate numa;
+  numa.name = "numa_grouping";
+  numa.regime = ContentionRegime::kNumaSkewed;
+  numa.make = []() -> StatusOr<PolicySpec> {
+    auto policy = MakeNumaGroupingPolicy();
+    CONCORD_RETURN_IF_ERROR(policy.status());
+    return std::move(policy->spec);
+  };
+  CONCORD_CHECK(Register(std::move(numa)).ok());
+
+  PolicyCandidate guard;
+  guard.name = "shuffle_fairness_guard";
+  guard.regime = ContentionRegime::kPathological;
+  guard.make = []() -> StatusOr<PolicySpec> {
+    auto policy = MakeShuffleFairnessGuard();
+    CONCORD_RETURN_IF_ERROR(policy.status());
+    return std::move(policy->spec);
+  };
+  CONCORD_CHECK(Register(std::move(guard)).ok());
+
+  PolicyCandidate reader_bias;
+  reader_bias.name = "rw_reader_bias";
+  reader_bias.regime = ContentionRegime::kReaderHeavy;
+  reader_bias.for_rw = true;
+  reader_bias.make = []() -> StatusOr<PolicySpec> {
+    auto policy = MakeRwSwitchPolicy(RwMode::kReaderBias);
+    CONCORD_RETURN_IF_ERROR(policy.status());
+    policy->spec.name = "rw_reader_bias";
+    return std::move(policy->spec);
+  };
+  CONCORD_CHECK(Register(std::move(reader_bias)).ok());
+}
+
+int PolicyCandidateRegistry::SeedFromPolicyDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return 0;
+  }
+  int registered = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".casm") {
+      continue;
+    }
+    std::ifstream file(entry.path());
+    if (!file) {
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string source = buffer.str();
+    HookKind hook;
+    ContentionRegime regime;
+    const std::string stem = entry.path().stem().string();
+    if (!ParseHookAnnotation(source, &hook) ||
+        !RegimeFromFilename(stem, &regime)) {
+      continue;
+    }
+    // Assemble once now to reject broken files at load time; the candidate
+    // factory re-assembles per attach (programs are cheap to build and the
+    // spec must be fresh each time).
+    auto probe = AssembleProgram(stem, source, &DescriptorFor(hook), {});
+    if (!probe.ok()) {
+      continue;
+    }
+    PolicyCandidate candidate;
+    candidate.name = stem;
+    candidate.regime = regime;
+    candidate.for_rw = hook == HookKind::kRwMode;
+    candidate.make = [stem, source, hook]() -> StatusOr<PolicySpec> {
+      auto program = AssembleProgram(stem, source, &DescriptorFor(hook), {});
+      CONCORD_RETURN_IF_ERROR(program.status());
+      PolicySpec spec;
+      spec.name = stem;
+      CONCORD_RETURN_IF_ERROR(spec.AddProgram(hook, std::move(*program)));
+      return spec;
+    };
+    if (Register(std::move(candidate)).ok()) {
+      ++registered;
+    }
+  }
+  return registered;
+}
+
+PolicyCandidate PolicyCandidateRegistry::CandidateFor(
+    ContentionRegime regime, bool is_rw,
+    const std::vector<std::string>& skip) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const PolicyCandidate& candidate : candidates_) {
+    if (candidate.regime != regime || candidate.for_rw != is_rw) {
+      continue;
+    }
+    bool skipped = false;
+    for (const std::string& name : skip) {
+      if (name == candidate.name) {
+        skipped = true;
+        break;
+      }
+    }
+    if (!skipped) {
+      return candidate;
+    }
+  }
+  return PlainCandidate(regime);
+}
+
+StatusOr<PolicyCandidate> PolicyCandidateRegistry::FindByName(
+    const std::string& name) const {
+  if (name == kPlainCandidateName) {
+    return PlainCandidate(ContentionRegime::kModerate);
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const PolicyCandidate& candidate : candidates_) {
+    if (candidate.name == name) {
+      return candidate;
+    }
+  }
+  return NotFoundError("no candidate named '" + name + "'");
+}
+
+std::vector<std::string> PolicyCandidateRegistry::Names() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::string> names;
+  names.reserve(candidates_.size() + 1);
+  names.push_back(kPlainCandidateName);
+  for (const PolicyCandidate& candidate : candidates_) {
+    names.push_back(candidate.name);
+  }
+  return names;
+}
+
+void PolicyCandidateRegistry::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  candidates_.clear();
+}
+
+}  // namespace concord

@@ -1,0 +1,552 @@
+#include "src/concord/autotune/controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/base/fault.h"
+#include "src/base/json.h"
+#include "src/base/time.h"
+#include "src/concord/concord.h"
+#include "src/concord/containment.h"
+
+namespace concord {
+
+const char* AutotuneEventKindName(AutotuneEventKind kind) {
+  switch (kind) {
+    case AutotuneEventKind::kRegimeChange:
+      return "regime-change";
+    case AutotuneEventKind::kCanaryStart:
+      return "canary-start";
+    case AutotuneEventKind::kPromote:
+      return "promote";
+    case AutotuneEventKind::kRollback:
+      return "rollback";
+    case AutotuneEventKind::kCanaryAbort:
+      return "canary-abort";
+    case AutotuneEventKind::kQuarantineExit:
+      return "quarantine-exit";
+    case AutotuneEventKind::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+AutotuneController& AutotuneController::Global() {
+  static AutotuneController* instance = new AutotuneController();
+  return *instance;
+}
+
+Status AutotuneController::Configure(const AutotuneConfig& config) {
+  if (running()) {
+    return FailedPreconditionError("autotune: stop the controller first");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  config_ = config;
+  if (!seeded_) {
+    if (config_.seed_builtins) {
+      registry_.SeedBuiltins();
+    }
+    if (!config_.policy_dir.empty()) {
+      registry_.SeedFromPolicyDir(config_.policy_dir);
+    }
+    seeded_ = true;
+  }
+  return Status::Ok();
+}
+
+void AutotuneController::SetClassifier(
+    std::unique_ptr<RegimeClassifier> classifier) {
+  std::lock_guard<std::mutex> guard(mu_);
+  classifier_ = std::move(classifier);
+}
+
+ContentionRegime AutotuneController::ClassifyLocked(
+    const RegimeSignals& signals) const {
+  if (classifier_ != nullptr) {
+    return classifier_->Classify(signals);
+  }
+  return DefaultRegimeClassifier(config_.classifier).Classify(signals);
+}
+
+Status AutotuneController::Enroll(std::uint64_t lock_id) {
+  auto& concord = Concord::Global();
+  const auto infos = concord.ListLocks("*");
+  const Concord::LockInfo* info = nullptr;
+  for (const auto& candidate : infos) {
+    if (candidate.lock_id == lock_id) {
+      info = &candidate;
+      break;
+    }
+  }
+  if (info == nullptr) {
+    return NotFoundError("autotune: unknown lock id");
+  }
+  CONCORD_RETURN_IF_ERROR(concord.EnableProfiling(lock_id));
+
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& state : locks_) {
+    if (state->lock_id == lock_id) {
+      return Status::Ok();  // already enrolled
+    }
+  }
+  auto state = std::make_unique<LockState>();
+  state->lock_id = lock_id;
+  state->name = info->name;
+  state->is_rw = info->is_rw;
+  state->hysteresis = RegimeHysteresis(config_.hysteresis_windows);
+  // A manually attached policy becomes the incumbent so a rollback restores
+  // it rather than silently detaching the operator's choice.
+  if (info->has_policy && !info->policy_name.empty() &&
+      registry_.FindByName(info->policy_name).ok()) {
+    state->incumbent = info->policy_name;
+  }
+  locks_.push_back(std::move(state));
+  return Status::Ok();
+}
+
+Status AutotuneController::EnrollSelector(const std::string& selector) {
+  const auto ids = Concord::Global().Select(selector);
+  if (ids.empty()) {
+    return NotFoundError("autotune: selector '" + selector +
+                         "' matched no locks");
+  }
+  for (const std::uint64_t id : ids) {
+    CONCORD_RETURN_IF_ERROR(Enroll(id));
+  }
+  return Status::Ok();
+}
+
+Status AutotuneController::Unenroll(std::uint64_t lock_id,
+                                    bool detach_policy) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto it = locks_.begin(); it != locks_.end(); ++it) {
+    if ((*it)->lock_id != lock_id) {
+      continue;
+    }
+    locks_.erase(it);
+    lock.unlock();
+    if (detach_policy) {
+      (void)Concord::Global().Detach(lock_id);  // ok if nothing attached
+    }
+    return Status::Ok();
+  }
+  return NotFoundError("autotune: lock not enrolled");
+}
+
+std::vector<std::uint64_t> AutotuneController::Enrolled() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(locks_.size());
+  for (const auto& state : locks_) {
+    ids.push_back(state->lock_id);
+  }
+  return ids;
+}
+
+Status AutotuneController::SetSignalProbe(
+    std::uint64_t lock_id, std::function<double()> reader_fraction) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& state : locks_) {
+    if (state->lock_id == lock_id) {
+      state->reader_fraction = std::move(reader_fraction);
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("autotune: lock not enrolled");
+}
+
+void AutotuneController::EmitLocked(AutotuneEvent event,
+                                    std::vector<AutotuneEvent>& events) {
+  events_.push_back(event);
+  while (events_.size() > kMaxEvents) {
+    events_.pop_front();
+  }
+  events.push_back(std::move(event));
+}
+
+void AutotuneController::AddSkipLocked(LockState& state,
+                                       const std::string& name) {
+  if (name == kPlainCandidateName) {
+    return;  // plain is always available
+  }
+  for (SkipEntry& entry : state.skip) {
+    if (entry.name == name) {
+      entry.windows_left = config_.failed_candidate_backoff_windows;
+      return;
+    }
+  }
+  state.skip.push_back({name, config_.failed_candidate_backoff_windows});
+}
+
+bool AutotuneController::IsSkippedLocked(const LockState& state,
+                                         const std::string& name) const {
+  for (const SkipEntry& entry : state.skip) {
+    if (entry.name == name && entry.windows_left > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status AutotuneController::ApplyCandidateLocked(LockState& state,
+                                                const std::string& name) {
+  auto& concord = Concord::Global();
+  if (name == kPlainCandidateName) {
+    const Status status = concord.Detach(state.lock_id);
+    // "no policy attached" counts as success: the goal state is plain.
+    if (!status.ok() && !concord.AttachedPolicyName(state.lock_id).empty()) {
+      return status;
+    }
+    return Status::Ok();
+  }
+  auto candidate = registry_.FindByName(name);
+  CONCORD_RETURN_IF_ERROR(candidate.status());
+  auto spec = candidate->make();
+  CONCORD_RETURN_IF_ERROR(spec.status());
+  return concord.Attach(state.lock_id, std::move(*spec));
+}
+
+void AutotuneController::StartCanaryLocked(
+    LockState& state, const PolicyCandidate& candidate, std::uint64_t now_ns,
+    std::vector<AutotuneEvent>& events) {
+  const Status status = ApplyCandidateLocked(state, candidate.name);
+  if (!status.ok()) {
+    AddSkipLocked(state, candidate.name);
+    EmitLocked({now_ns, state.lock_id, state.name, AutotuneEventKind::kError,
+                state.hysteresis.stable(), candidate.name,
+                "canary attach failed: " + status.message()},
+               events);
+    return;
+  }
+  state.mode = Mode::kCanary;
+  state.canary_candidate = candidate.name;
+  state.canary_wait.Reset();
+  state.canary_scored = 0;
+  state.canary_total = 0;
+  EmitLocked({now_ns, state.lock_id, state.name,
+              AutotuneEventKind::kCanaryStart, state.hysteresis.stable(),
+              candidate.name, ""},
+             events);
+}
+
+void AutotuneController::FinishCanaryLocked(
+    LockState& state, bool promote, AutotuneEventKind kind,
+    const std::string& detail, std::uint64_t now_ns,
+    std::vector<AutotuneEvent>& events) {
+  const std::string candidate = state.canary_candidate;
+  state.mode = Mode::kObserving;
+  state.canary_candidate.clear();
+  state.canary_wait.Reset();
+  state.canary_scored = 0;
+  state.canary_total = 0;
+  state.cooldown = config_.cooldown_windows;
+
+  if (promote) {
+    state.incumbent = candidate;
+    EmitLocked({now_ns, state.lock_id, state.name, kind,
+                state.hysteresis.stable(), candidate, detail},
+               events);
+    return;
+  }
+
+  AddSkipLocked(state, candidate);
+  const Status status = ApplyCandidateLocked(state, state.incumbent);
+  if (!status.ok()) {
+    // Restoring the incumbent failed; fall back to plain, which cannot fail
+    // meaningfully (detach of nothing is a no-op).
+    (void)ApplyCandidateLocked(state, kPlainCandidateName);
+    state.incumbent = kPlainCandidateName;
+  }
+  EmitLocked({now_ns, state.lock_id, state.name, kind,
+              state.hysteresis.stable(), candidate, detail},
+             events);
+}
+
+void AutotuneController::TickLockLocked(LockState& state,
+                                        std::uint64_t now_ns,
+                                        std::vector<AutotuneEvent>& events) {
+  auto& concord = Concord::Global();
+  const ShardedLockProfileStats* stats = concord.Stats(state.lock_id);
+  if (stats == nullptr) {
+    return;  // lock unregistered or profiling disabled behind our back
+  }
+
+  // Sample: this window's delta.
+  const LockProfileSnapshot snapshot = stats->Snapshot();
+  if (!state.have_snapshot) {
+    state.last_snapshot = snapshot;
+    state.have_snapshot = true;
+    return;
+  }
+  const LockProfileSnapshot window = snapshot.DeltaSince(state.last_snapshot);
+  state.last_snapshot = snapshot;
+
+  // Containment outranks everything: a quarantined lock gets no decisions,
+  // and a canary is rolled back the moment the policy looks suspect.
+  const PolicyHealth health = ContainmentRegistry::Global().HealthOf(state.lock_id);
+  if (state.mode == Mode::kCanary &&
+      (health == PolicyHealth::kSuspect ||
+       health == PolicyHealth::kQuarantined ||
+       health == PolicyHealth::kBlacklisted)) {
+    FinishCanaryLocked(state, /*promote=*/false, AutotuneEventKind::kRollback,
+                       "containment health degraded during canary", now_ns,
+                       events);
+    return;
+  }
+  if (state.mode == Mode::kObserving &&
+      state.incumbent != kPlainCandidateName &&
+      (health == PolicyHealth::kQuarantined ||
+       health == PolicyHealth::kBlacklisted)) {
+    const std::string quarantined = state.incumbent;
+    AddSkipLocked(state, quarantined);
+    state.incumbent = kPlainCandidateName;
+    state.cooldown = config_.cooldown_windows;
+    // Containment already detached the hooks; Detach clears the parked spec
+    // so probation cannot resurrect a policy the tuner has given up on.
+    (void)concord.Detach(state.lock_id);
+    EmitLocked({now_ns, state.lock_id, state.name,
+                AutotuneEventKind::kQuarantineExit, state.hysteresis.stable(),
+                quarantined, "containment quarantined the promoted policy"},
+               events);
+    return;
+  }
+
+  // Chaos hook: an armed "autotune.decide" fault wedges this lock's decision
+  // step for the tick. Sampling above already happened — a wedged controller
+  // loses decisions, never attachment-state consistency.
+  if (CONCORD_FAULT_POINT("autotune.decide")) {
+    return;
+  }
+
+  const bool window_qualifies =
+      window.acquisitions >= config_.min_window_acquisitions;
+
+  // Classify (observation windows only — canary windows measure, not steer).
+  if (state.mode == Mode::kObserving && window_qualifies) {
+    RegimeSignals signals = RegimeSignals::FromWindow(window, state.is_rw);
+    if (state.reader_fraction) {
+      signals.reader_fraction = state.reader_fraction();
+    }
+    const ContentionRegime before = state.hysteresis.stable();
+    const ContentionRegime stable =
+        state.hysteresis.Observe(ClassifyLocked(signals));
+    if (stable != before) {
+      EmitLocked({now_ns, state.lock_id, state.name,
+                  AutotuneEventKind::kRegimeChange, stable, "",
+                  std::string("from ") + ContentionRegimeName(before)},
+                 events);
+    }
+    state.baseline_p50_ns = window.wait_ns.Percentile(50);
+    state.baseline_p99_ns = window.wait_ns.Percentile(99);
+    state.have_baseline = true;
+  }
+
+  // Decay per-window counters.
+  for (SkipEntry& entry : state.skip) {
+    if (entry.windows_left > 0) {
+      --entry.windows_left;
+    }
+  }
+  if (state.cooldown > 0) {
+    --state.cooldown;
+    return;
+  }
+
+  if (state.mode == Mode::kCanary) {
+    ++state.canary_total;
+    if (window_qualifies) {
+      state.canary_wait.MergeFrom(window.wait_ns);
+      ++state.canary_scored;
+    }
+    if (state.canary_scored < config_.canary_windows) {
+      if (state.canary_total >= config_.canary_windows * kCanaryPatience) {
+        FinishCanaryLocked(state, /*promote=*/false,
+                           AutotuneEventKind::kCanaryAbort,
+                           "canary starved of samples", now_ns, events);
+      }
+      return;
+    }
+    // Verdict.
+    const std::uint64_t cand_p50 = state.canary_wait.Percentile(50);
+    const std::uint64_t cand_p99 = state.canary_wait.Percentile(99);
+    const double margin = config_.promote_margin;
+    const double base_p99 = static_cast<double>(state.baseline_p99_ns);
+    const double base_p50 = static_cast<double>(state.baseline_p50_ns);
+    const bool p99_improves =
+        static_cast<double>(cand_p99) < base_p99 * (1.0 - margin);
+    const bool p99_holds = static_cast<double>(cand_p99) <= base_p99;
+    const bool p50_improves =
+        static_cast<double>(cand_p50) < base_p50 * (1.0 - margin);
+    const bool promote = p99_improves || (p99_holds && p50_improves);
+    const std::string detail =
+        "p50 " + std::to_string(state.baseline_p50_ns) + "->" +
+        std::to_string(cand_p50) + "ns, p99 " +
+        std::to_string(state.baseline_p99_ns) + "->" +
+        std::to_string(cand_p99) + "ns";
+    FinishCanaryLocked(state, promote,
+                       promote ? AutotuneEventKind::kPromote
+                               : AutotuneEventKind::kRollback,
+                       detail, now_ns, events);
+    return;
+  }
+
+  // Observing, no cooldown: act if the stable regime wants a different
+  // policy than the incumbent.
+  const ContentionRegime stable = state.hysteresis.stable();
+  const std::vector<std::string> skip = [&] {
+    std::vector<std::string> names;
+    for (const SkipEntry& entry : state.skip) {
+      if (entry.windows_left > 0) {
+        names.push_back(entry.name);
+      }
+    }
+    return names;
+  }();
+  const PolicyCandidate target =
+      registry_.CandidateFor(stable, state.is_rw, skip);
+  if (target.name == state.incumbent) {
+    return;
+  }
+  if (target.IsPlain()) {
+    // Reverting to plain needs no canary: detaching is always safe and an
+    // uncontended lock produces no samples to score anyway.
+    const Status status = ApplyCandidateLocked(state, kPlainCandidateName);
+    if (status.ok()) {
+      const std::string previous = state.incumbent;
+      state.incumbent = kPlainCandidateName;
+      state.cooldown = config_.cooldown_windows;
+      EmitLocked({now_ns, state.lock_id, state.name,
+                  AutotuneEventKind::kPromote, stable, kPlainCandidateName,
+                  "reverted from " + previous},
+                 events);
+    }
+    return;
+  }
+  if (!state.have_baseline || !window_qualifies) {
+    return;  // no baseline to score a canary against yet
+  }
+  StartCanaryLocked(state, target, now_ns, events);
+}
+
+std::vector<AutotuneEvent> AutotuneController::Tick() {
+  std::vector<AutotuneEvent> events;
+  const std::uint64_t now_ns = ClockNowNs();
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& state : locks_) {
+    TickLockLocked(*state, now_ns, events);
+  }
+  return events;
+}
+
+Status AutotuneController::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return FailedPreconditionError("autotune: already running");
+  }
+  {
+    std::lock_guard<std::mutex> guard(stop_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { ThreadMain(); });
+  return Status::Ok();
+}
+
+void AutotuneController::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void AutotuneController::ThreadMain() {
+  while (running_.load(std::memory_order_acquire)) {
+    (void)Tick();
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    const std::uint64_t window_ns = [this] {
+      std::lock_guard<std::mutex> guard(mu_);
+      return config_.window_ns;
+    }();
+    stop_cv_.wait_for(lock, std::chrono::nanoseconds(window_ns),
+                      [this] { return stop_requested_; });
+  }
+}
+
+std::string AutotuneController::StatusJson() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("running").Bool(running_.load(std::memory_order_acquire));
+  writer.NumberField("window_ns", config_.window_ns);
+  writer.Key("candidates").BeginArray();
+  for (const std::string& name : registry_.Names()) {
+    writer.String(name);
+  }
+  writer.EndArray();
+  writer.Key("locks").BeginArray();
+  for (const auto& state : locks_) {
+    writer.BeginObject();
+    writer.NumberField("lock_id", state->lock_id);
+    writer.Field("name", state->name);
+    writer.Field("regime", ContentionRegimeName(state->hysteresis.stable()));
+    writer.Field("mode",
+                 state->mode == Mode::kCanary ? "canary" : "observing");
+    writer.Field("incumbent", state->incumbent);
+    writer.NumberField("cooldown_windows", state->cooldown);
+    if (state->mode == Mode::kCanary) {
+      writer.Key("canary").BeginObject();
+      writer.Field("candidate", state->canary_candidate);
+      writer.NumberField("scored_windows", state->canary_scored);
+      writer.NumberField("total_windows", state->canary_total);
+      writer.NumberField("baseline_wait_p50_ns", state->baseline_p50_ns);
+      writer.NumberField("baseline_wait_p99_ns", state->baseline_p99_ns);
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("events").BeginArray();
+  for (const AutotuneEvent& event : events_) {
+    writer.BeginObject();
+    writer.NumberField("ts_ns", event.ts_ns);
+    writer.NumberField("lock_id", event.lock_id);
+    writer.Field("lock", event.lock_name);
+    writer.Field("kind", AutotuneEventKindName(event.kind));
+    writer.Field("regime", ContentionRegimeName(event.regime));
+    writer.Field("candidate", event.candidate);
+    writer.Field("detail", event.detail);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+std::vector<AutotuneEvent> AutotuneController::RecentEvents(
+    std::size_t max) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<AutotuneEvent> events;
+  const std::size_t count = std::min(max, events_.size());
+  events.insert(events.end(), events_.end() - count, events_.end());
+  return events;
+}
+
+void AutotuneController::ResetForTest() {
+  Stop();
+  std::lock_guard<std::mutex> guard(mu_);
+  locks_.clear();
+  events_.clear();
+  registry_.Clear();
+  classifier_.reset();
+  config_ = AutotuneConfig{};
+  seeded_ = false;
+}
+
+}  // namespace concord

@@ -1,0 +1,80 @@
+#include "src/concord/autotune/regime.h"
+
+namespace concord {
+
+const char* ContentionRegimeName(ContentionRegime regime) {
+  switch (regime) {
+    case ContentionRegime::kUncontended:
+      return "uncontended";
+    case ContentionRegime::kModerate:
+      return "moderate";
+    case ContentionRegime::kNumaSkewed:
+      return "numa-skewed";
+    case ContentionRegime::kReaderHeavy:
+      return "reader-heavy";
+    case ContentionRegime::kPathological:
+      return "pathological";
+  }
+  return "unknown";
+}
+
+RegimeSignals RegimeSignals::FromWindow(const LockProfileSnapshot& window,
+                                        bool is_rw) {
+  RegimeSignals signals;
+  signals.window_acquisitions = window.acquisitions;
+  signals.acquisitions_per_sec = window.AcquisitionsPerSec();
+  signals.contention_rate = window.ContentionRate();
+  signals.wait_p50_ns = window.wait_ns.Percentile(50);
+  signals.wait_p99_ns = window.wait_ns.Percentile(99);
+  signals.hold_p50_ns = window.hold_ns.Percentile(50);
+  signals.active_sockets = window.ActiveSockets();
+  signals.cross_socket_rate =
+      window.contentions == 0
+          ? 0.0
+          : static_cast<double>(window.cross_socket_handoffs) /
+                static_cast<double>(window.contentions);
+  signals.is_rw = is_rw;
+  return signals;
+}
+
+ContentionRegime DefaultRegimeClassifier::Classify(
+    const RegimeSignals& signals) const {
+  if (signals.contention_rate >= config_.pathological_min_rate ||
+      signals.wait_p99_ns >= config_.pathological_wait_p99_ns) {
+    return ContentionRegime::kPathological;
+  }
+  if (signals.is_rw &&
+      signals.reader_fraction >= config_.reader_heavy_min_fraction) {
+    return ContentionRegime::kReaderHeavy;
+  }
+  if (!signals.is_rw &&
+      signals.contention_rate >= config_.numa_min_contention &&
+      signals.active_sockets >= config_.numa_min_sockets &&
+      signals.cross_socket_rate >= config_.numa_min_cross_rate) {
+    return ContentionRegime::kNumaSkewed;
+  }
+  if (signals.contention_rate <= config_.uncontended_max_rate) {
+    return ContentionRegime::kUncontended;
+  }
+  return ContentionRegime::kModerate;
+}
+
+ContentionRegime RegimeHysteresis::Observe(ContentionRegime raw) {
+  if (raw == stable_) {
+    pending_count_ = 0;
+    return stable_;
+  }
+  if (raw == pending_) {
+    ++pending_count_;
+  } else {
+    pending_ = raw;
+    pending_count_ = 1;
+  }
+  if (pending_count_ >= required_) {
+    stable_ = pending_;
+    pending_count_ = 0;
+  }
+  return stable_;
+}
+
+}  // namespace concord

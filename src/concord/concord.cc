@@ -5,6 +5,7 @@
 #include "src/base/time.h"
 #include "src/base/trace.h"
 #include "src/bpf/jit/jit.h"
+#include "src/concord/autotune/controller.h"
 #include "src/concord/containment.h"
 #include "src/concord/trace_export.h"
 #include "src/rcu/rcu.h"
@@ -863,6 +864,7 @@ Status Concord::EnableProfiling(std::uint64_t lock_id) {
     entry->stats = std::make_unique<ShardedLockProfileStats>();
   }
   entry->profiling = true;
+  entry->profile_window_start_ns = ClockNowNs();
   return ReinstallLocked(lock_id);
 }
 
@@ -921,6 +923,7 @@ std::string Concord::StatsJson(const std::string& selector) const {
   writer.Key("locks").BeginArray();
   {
     std::lock_guard<std::mutex> guard(mu_);
+    const std::uint64_t now_ns = ClockNowNs();
     for (std::uint64_t id : ids) {
       const Entry* entry = EntryFor(id);
       if (entry == nullptr || entry->stats == nullptr) {
@@ -930,6 +933,10 @@ std::string Concord::StatsJson(const std::string& selector) const {
       writer.NumberField("lock_id", id);
       writer.Field("name", entry->name);
       writer.Field("class", entry->lock_class);
+      writer.Key("window").BeginObject();
+      writer.NumberField("start_ns", entry->profile_window_start_ns);
+      writer.NumberField("end_ns", now_ns);
+      writer.EndObject();
       writer.Key("stats");
       entry->stats->AppendJson(writer);
       writer.EndObject();
@@ -990,7 +997,49 @@ std::string Concord::TraceChromeJson() const {
   return ChromeTraceJson(events, names);
 }
 
+namespace {
+
+// CONCORD_AUTOTUNE is a kill switch, not an enable: unset means allowed.
+bool AutotuneDisabledByEnv() {
+  const char* env = std::getenv("CONCORD_AUTOTUNE");
+  if (env == nullptr) {
+    return false;
+  }
+  const std::string value(env);
+  return value == "0" || value == "off" || value == "false";
+}
+
+}  // namespace
+
+Status Concord::EnableAutotune(const std::string& selector) {
+  return EnableAutotune(selector, AutotuneConfig{});
+}
+
+Status Concord::EnableAutotune(const std::string& selector,
+                               const AutotuneConfig& config) {
+  if (AutotuneDisabledByEnv()) {
+    return FailedPreconditionError(
+        "autotune disabled by CONCORD_AUTOTUNE environment variable");
+  }
+  auto& controller = AutotuneController::Global();
+  CONCORD_RETURN_IF_ERROR(controller.Configure(config));
+  CONCORD_RETURN_IF_ERROR(controller.EnrollSelector(selector));
+  return controller.Start();
+}
+
+Status Concord::DisableAutotune() {
+  AutotuneController::Global().Stop();
+  return Status::Ok();
+}
+
+std::string Concord::AutotuneStatusJson() const {
+  return AutotuneController::Global().StatusJson();
+}
+
 void Concord::ResetForTest() {
+  // The controller thread walks registered locks; stop (and forget) it
+  // before tearing the registry down under it.
+  AutotuneController::Global().ResetForTest();
   std::vector<std::uint64_t> ids;
   {
     std::lock_guard<std::mutex> guard(mu_);

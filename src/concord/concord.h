@@ -165,6 +165,24 @@ class Concord {
   // labeled with registered lock names.
   std::string TraceChromeJson() const;
 
+  // --- autotune (src/concord/autotune/controller.h) ---------------------------
+
+  // Enrolls every lock matched by `selector` into the adaptive policy
+  // controller — enabling profiling on each — and starts its background
+  // decision thread. Honors the CONCORD_AUTOTUNE kill switch: when that
+  // environment variable is "0", "off" or "false", this fails and nothing
+  // starts.
+  Status EnableAutotune(const std::string& selector = "*");
+  Status EnableAutotune(const std::string& selector,
+                        const struct AutotuneConfig& config);
+
+  // Stops the controller thread. Enrollment and any controller-attached
+  // policies stay as they are.
+  Status DisableAutotune();
+
+  // AutotuneController::StatusJson() passthrough.
+  std::string AutotuneStatusJson() const;
+
   // Test-only: drops every registration. No lock may be under contention.
   void ResetForTest();
 
@@ -188,6 +206,9 @@ class Concord {
     std::string native_name;                         // label for native hooks
     bool profiling = false;
     std::unique_ptr<ShardedLockProfileStats> stats;
+    // Window boundary reported by StatsJson: ClockNowNs() at the most recent
+    // EnableProfiling call (counters are cumulative since then).
+    std::uint64_t profile_window_start_ns = 0;
 
     // Quarantine parking spots (DetachForQuarantine / ReattachFromQuarantine).
     std::shared_ptr<const PolicySpec> quarantined_spec;

@@ -5,6 +5,7 @@
 
 #include "src/base/json.h"
 #include "src/base/time.h"
+#include "src/topology/thread_context.h"
 
 namespace concord {
 namespace {
@@ -56,11 +57,19 @@ InFlight* AllocSlot(std::uint64_t lock_id) {
   return nullptr;  // too deeply nested: caller records the drop
 }
 
+// The socket slot a virtual socket folds into (sockets beyond the tracked
+// range share the last slot).
+std::size_t SocketSlotFor(std::uint32_t socket) {
+  return socket < kProfilerSocketSlots ? socket : kProfilerSocketSlots - 1;
+}
+
 void AppendCountersJson(JsonWriter& writer, std::uint64_t acquisitions,
                         std::uint64_t contentions, std::uint64_t releases,
                         std::uint64_t dropped, std::uint64_t overruns,
-                        std::uint64_t quarantines, double contention_rate,
-                        const Log2Histogram& wait_ns,
+                        std::uint64_t quarantines,
+                        const std::uint64_t* socket_acquisitions,
+                        std::uint64_t cross_socket_handoffs,
+                        double contention_rate, const Log2Histogram& wait_ns,
                         const Log2Histogram& hold_ns) {
   writer.BeginObject();
   writer.NumberField("acquisitions", acquisitions);
@@ -69,6 +78,12 @@ void AppendCountersJson(JsonWriter& writer, std::uint64_t acquisitions,
   writer.NumberField("dropped_samples", dropped);
   writer.NumberField("budget_overruns", overruns);
   writer.NumberField("quarantines", quarantines);
+  writer.Key("socket_acquisitions").BeginArray();
+  for (std::size_t i = 0; i < kProfilerSocketSlots; ++i) {
+    writer.Number(socket_acquisitions[i]);
+  }
+  writer.EndArray();
+  writer.NumberField("cross_socket_handoffs", cross_socket_handoffs);
   writer.NumberField("contention_rate", contention_rate);
   writer.Key("wait_ns");
   wait_ns.AppendJson(writer);
@@ -110,6 +125,8 @@ void ProfilerTaps::OnAcquire(ShardedLockProfileStats& stats,
                              std::uint64_t lock_id) {
   LockProfileStats& shard = stats.Shard();
   shard.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  shard.socket_acquisitions[SocketSlotFor(Self().socket)].fetch_add(
+      1, std::memory_order_relaxed);
   if (InFlight* slot = AllocSlot(lock_id)) {
     slot->acquire_ns = ClockNowNs();
   } else {
@@ -132,6 +149,15 @@ void ProfilerTaps::OnAcquired(ShardedLockProfileStats& stats,
     slot->acquired_ns = now;
     if (slot->contended) {
       stats.Shard().wait_ns.Record(now - slot->acquire_ns);
+      // Contended grants carry the NUMA handoff signal: did the lock move to
+      // a different socket than its previous (contended) owner's? Uncontended
+      // fast-path acquisitions skip this — they never ping-pong the line.
+      const std::uint32_t socket = Self().socket;
+      const std::uint32_t prev = stats.ExchangeOwnerSocket(socket);
+      if (prev != kNoOwnerSocket && prev != socket) {
+        stats.Shard().cross_socket_handoffs.fetch_add(1,
+                                                      std::memory_order_relaxed);
+      }
     }
   }
 }
@@ -157,6 +183,14 @@ void LockProfileStats::MergeFrom(const LockProfileStats& other) {
                         std::memory_order_relaxed);
   releases.fetch_add(other.releases.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kProfilerSocketSlots; ++i) {
+    socket_acquisitions[i].fetch_add(
+        other.socket_acquisitions[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  cross_socket_handoffs.fetch_add(
+      other.cross_socket_handoffs.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   dropped_samples.fetch_add(
       other.dropped_samples.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
@@ -180,12 +214,17 @@ std::string LockProfileStats::Summary() const {
 }
 
 void LockProfileStats::AppendJson(JsonWriter& writer) const {
+  std::uint64_t sockets[kProfilerSocketSlots];
+  for (std::size_t i = 0; i < kProfilerSocketSlots; ++i) {
+    sockets[i] = socket_acquisitions[i].load(std::memory_order_relaxed);
+  }
   AppendCountersJson(writer, acquisitions.load(std::memory_order_relaxed),
                      contentions.load(std::memory_order_relaxed),
                      releases.load(std::memory_order_relaxed),
                      dropped_samples.load(std::memory_order_relaxed),
                      budget_overruns.load(std::memory_order_relaxed),
-                     quarantines.load(std::memory_order_relaxed),
+                     quarantines.load(std::memory_order_relaxed), sockets,
+                     cross_socket_handoffs.load(std::memory_order_relaxed),
                      ContentionRate(), wait_ns, hold_ns);
 }
 
@@ -225,9 +264,91 @@ std::string ShardedLockProfileStats::Summary() const {
 }
 
 void ShardedLockProfileStats::AppendJson(JsonWriter& writer) const {
+  std::uint64_t sockets[kProfilerSocketSlots];
+  for (std::size_t i = 0; i < kProfilerSocketSlots; ++i) {
+    sockets[i] = SocketAcquisitions(i);
+  }
   AppendCountersJson(writer, Acquisitions(), Contentions(), Releases(),
-                     DroppedSamples(), BudgetOverruns(), Quarantines(),
-                     ContentionRate(), WaitNs(), HoldNs());
+                     DroppedSamples(), BudgetOverruns(), Quarantines(), sockets,
+                     CrossSocketHandoffs(), ContentionRate(), WaitNs(),
+                     HoldNs());
+}
+
+std::uint64_t ShardedLockProfileStats::SocketAcquisitions(
+    std::size_t socket_slot) const {
+  if (socket_slot >= kProfilerSocketSlots) {
+    return 0;
+  }
+  std::uint64_t total = 0;
+  for (const AlignedStats& shard : shards_) {
+    total += shard.stats.socket_acquisitions[socket_slot].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+LockProfileSnapshot ShardedLockProfileStats::Snapshot() const {
+  LockProfileSnapshot snap;
+  snap.taken_at_ns = ClockNowNs();
+  snap.acquisitions = Acquisitions();
+  snap.contentions = Contentions();
+  snap.releases = Releases();
+  for (std::size_t i = 0; i < kProfilerSocketSlots; ++i) {
+    snap.socket_acquisitions[i] = SocketAcquisitions(i);
+  }
+  snap.cross_socket_handoffs = CrossSocketHandoffs();
+  snap.dropped_samples = DroppedSamples();
+  snap.budget_overruns = BudgetOverruns();
+  snap.quarantines = Quarantines();
+  snap.wait_ns = WaitNs();
+  snap.hold_ns = HoldNs();
+  return snap;
+}
+
+namespace {
+std::uint64_t ClampedDelta(std::uint64_t now, std::uint64_t then) {
+  return now > then ? now - then : 0;
+}
+}  // namespace
+
+std::uint32_t LockProfileSnapshot::ActiveSockets(double min_share) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t slot : socket_acquisitions) {
+    total += slot;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  std::uint32_t active = 0;
+  for (const std::uint64_t slot : socket_acquisitions) {
+    if (static_cast<double>(slot) >=
+        min_share * static_cast<double>(total)) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+LockProfileSnapshot LockProfileSnapshot::DeltaSince(
+    const LockProfileSnapshot& earlier) const {
+  LockProfileSnapshot delta;
+  delta.taken_at_ns = taken_at_ns;
+  delta.window_start_ns = earlier.taken_at_ns;
+  delta.acquisitions = ClampedDelta(acquisitions, earlier.acquisitions);
+  delta.contentions = ClampedDelta(contentions, earlier.contentions);
+  delta.releases = ClampedDelta(releases, earlier.releases);
+  for (std::size_t i = 0; i < kProfilerSocketSlots; ++i) {
+    delta.socket_acquisitions[i] =
+        ClampedDelta(socket_acquisitions[i], earlier.socket_acquisitions[i]);
+  }
+  delta.cross_socket_handoffs =
+      ClampedDelta(cross_socket_handoffs, earlier.cross_socket_handoffs);
+  delta.dropped_samples = ClampedDelta(dropped_samples, earlier.dropped_samples);
+  delta.budget_overruns = ClampedDelta(budget_overruns, earlier.budget_overruns);
+  delta.quarantines = ClampedDelta(quarantines, earlier.quarantines);
+  delta.wait_ns = wait_ns.DeltaSince(earlier.wait_ns);
+  delta.hold_ns = hold_ns.DeltaSince(earlier.hold_ns);
+  return delta;
 }
 
 void ShardedLockProfileStats::Reset() {

@@ -22,12 +22,24 @@ namespace concord {
 
 class JsonWriter;
 
+// Per-virtual-socket acquisition slots tracked by the profiler. Virtual
+// sockets beyond this fold into the last slot (the default topology has 8).
+inline constexpr std::size_t kProfilerSocketSlots = 8;
+
+// Sentinel for "no previous owner socket observed yet".
+inline constexpr std::uint32_t kNoOwnerSocket = ~0u;
+
 // One shard of profiling state. Also usable standalone as a plain stats
 // block (tests, merged snapshots).
 struct LockProfileStats {
   std::atomic<std::uint64_t> acquisitions{0};
   std::atomic<std::uint64_t> contentions{0};
   std::atomic<std::uint64_t> releases{0};
+  // NUMA signal for the autotune control plane: which virtual sockets the
+  // acquiring threads sit on, and how often a *contended* grant moved the
+  // lock to a different socket than its previous owner's.
+  std::atomic<std::uint64_t> socket_acquisitions[kProfilerSocketSlots] = {};
+  std::atomic<std::uint64_t> cross_socket_handoffs{0};
   // Samples the profiler could NOT time: in-flight slot table exhausted by
   // >kMaxInFlight-deep lock nesting. Counted instead of silently dropped so
   // a suspicious wait/hold histogram can be cross-checked against how much
@@ -45,6 +57,10 @@ struct LockProfileStats {
     acquisitions.store(0, std::memory_order_relaxed);
     contentions.store(0, std::memory_order_relaxed);
     releases.store(0, std::memory_order_relaxed);
+    for (auto& slot : socket_acquisitions) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+    cross_socket_handoffs.store(0, std::memory_order_relaxed);
     dropped_samples.store(0, std::memory_order_relaxed);
     budget_overruns.store(0, std::memory_order_relaxed);
     quarantines.store(0, std::memory_order_relaxed);
@@ -70,6 +86,53 @@ struct LockProfileStats {
 
   // Machine-readable counters + histograms, appended as one JSON object.
   void AppendJson(JsonWriter& writer) const;
+};
+
+// A point-in-time copy of one lock's merged profiling state. The live
+// counters are cumulative since profiling was enabled; control planes that
+// need *windowed* behaviour (the autotune controller, trend tooling) take a
+// snapshot per tick and diff consecutive snapshots with DeltaSince.
+struct LockProfileSnapshot {
+  // ClockNowNs() when the snapshot (or, for a delta, its newer endpoint) was
+  // taken; window_start_ns is 0 for a cumulative snapshot and the older
+  // endpoint's taken_at_ns for a delta.
+  std::uint64_t taken_at_ns = 0;
+  std::uint64_t window_start_ns = 0;
+
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contentions = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t socket_acquisitions[kProfilerSocketSlots] = {};
+  std::uint64_t cross_socket_handoffs = 0;
+  std::uint64_t dropped_samples = 0;
+  std::uint64_t budget_overruns = 0;
+  std::uint64_t quarantines = 0;
+  Log2Histogram wait_ns;
+  Log2Histogram hold_ns;
+
+  double ContentionRate() const {
+    return acquisitions == 0 ? 0.0
+                             : static_cast<double>(contentions) /
+                                   static_cast<double>(acquisitions);
+  }
+
+  // Acquisition rate over the window, in ops/sec (0 for cumulative
+  // snapshots, which have no window).
+  double AcquisitionsPerSec() const {
+    if (window_start_ns == 0 || taken_at_ns <= window_start_ns) {
+      return 0.0;
+    }
+    return static_cast<double>(acquisitions) * 1e9 /
+           static_cast<double>(taken_at_ns - window_start_ns);
+  }
+
+  // Number of sockets contributing at least `min_share` of the window's
+  // acquisitions (NUMA-spread signal; 0 when the window saw no traffic).
+  std::uint32_t ActiveSockets(double min_share = 0.10) const;
+
+  // The samples recorded between `earlier` and this snapshot. Both must come
+  // from the same lock, `earlier` first; counter deltas clamp at 0.
+  LockProfileSnapshot DeltaSince(const LockProfileSnapshot& earlier) const;
 };
 
 // The per-lock profiling unit the registry owns: kShards cache-aligned
@@ -108,6 +171,19 @@ class ShardedLockProfileStats {
     return Sum(&LockProfileStats::budget_overruns);
   }
   std::uint64_t Quarantines() const { return Sum(&LockProfileStats::quarantines); }
+  std::uint64_t CrossSocketHandoffs() const {
+    return Sum(&LockProfileStats::cross_socket_handoffs);
+  }
+  std::uint64_t SocketAcquisitions(std::size_t socket_slot) const;
+
+  // Cross-shard merged copy of everything, stamped with ClockNowNs().
+  LockProfileSnapshot Snapshot() const;
+
+  // Last socket a contended grant landed on (cross-socket handoff tracking;
+  // written by ProfilerTaps::OnAcquired). Returns the previous value.
+  std::uint32_t ExchangeOwnerSocket(std::uint32_t socket) {
+    return last_owner_socket_.exchange(socket, std::memory_order_relaxed);
+  }
 
   double ContentionRate() const {
     const std::uint64_t acq = Acquisitions();
@@ -143,6 +219,7 @@ class ShardedLockProfileStats {
   }
 
   AlignedStats shards_[kShards];
+  std::atomic<std::uint32_t> last_owner_socket_{kNoOwnerSocket};
 };
 
 // Native profiling taps. These functions are installed into ShflHooks/

@@ -309,5 +309,77 @@ TEST(ShardedStatsTest, ConcurrentWritersLandOnTheirOwnShards) {
             static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(SnapshotTest, SnapshotMergesShardsAndStampsClock) {
+  ScopedFakeClock clock(/*start_ns=*/1'000);
+  ShardedLockProfileStats stats;
+  stats.ControlShard().acquisitions.fetch_add(10);
+  stats.ControlShard().contentions.fetch_add(4);
+  stats.ControlShard().socket_acquisitions[1].fetch_add(10);
+  stats.ControlShard().cross_socket_handoffs.fetch_add(2);
+  stats.ControlShard().wait_ns.Record(5'000);
+
+  const LockProfileSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.taken_at_ns, 1'000u);
+  EXPECT_EQ(snapshot.window_start_ns, 0u);  // cumulative, no window
+  EXPECT_EQ(snapshot.acquisitions, 10u);
+  EXPECT_EQ(snapshot.contentions, 4u);
+  EXPECT_EQ(snapshot.socket_acquisitions[1], 10u);
+  EXPECT_EQ(snapshot.cross_socket_handoffs, 2u);
+  EXPECT_EQ(snapshot.wait_ns.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.ContentionRate(), 0.4);
+  EXPECT_DOUBLE_EQ(snapshot.AcquisitionsPerSec(), 0.0);  // cumulative
+}
+
+TEST(SnapshotTest, DeltaSinceIsolatesTheWindow) {
+  ScopedFakeClock clock(/*start_ns=*/1'000);
+  ShardedLockProfileStats stats;
+  stats.ControlShard().acquisitions.fetch_add(100);
+  stats.ControlShard().contentions.fetch_add(10);
+  stats.ControlShard().wait_ns.Record(1'000);
+  const LockProfileSnapshot before = stats.Snapshot();
+
+  clock.clock().AdvanceMs(500);
+  stats.ControlShard().acquisitions.fetch_add(50);
+  stats.ControlShard().contentions.fetch_add(40);
+  stats.ControlShard().cross_socket_handoffs.fetch_add(8);
+  stats.ControlShard().wait_ns.Record(64'000);
+  const LockProfileSnapshot after = stats.Snapshot();
+
+  const LockProfileSnapshot window = after.DeltaSince(before);
+  // Window boundaries come from the two snapshots' timestamps.
+  EXPECT_EQ(window.window_start_ns, before.taken_at_ns);
+  EXPECT_EQ(window.taken_at_ns, after.taken_at_ns);
+  // Only the second burst remains.
+  EXPECT_EQ(window.acquisitions, 50u);
+  EXPECT_EQ(window.contentions, 40u);
+  EXPECT_EQ(window.cross_socket_handoffs, 8u);
+  EXPECT_EQ(window.wait_ns.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(window.ContentionRate(), 0.8);
+  // 50 acquisitions over the 500ms window.
+  EXPECT_DOUBLE_EQ(window.AcquisitionsPerSec(), 100.0);
+}
+
+TEST(SnapshotTest, DeltaClampsWhenCountersReset) {
+  ShardedLockProfileStats stats;
+  stats.ControlShard().acquisitions.fetch_add(100);
+  const LockProfileSnapshot before = stats.Snapshot();
+  stats.Reset();
+  stats.ControlShard().acquisitions.fetch_add(5);
+  const LockProfileSnapshot after = stats.Snapshot();
+  // A reset between snapshots must not produce underflowed garbage.
+  EXPECT_EQ(after.DeltaSince(before).acquisitions, 0u);
+}
+
+TEST(SnapshotTest, ActiveSocketsIgnoresTraceTraffic) {
+  ShardedLockProfileStats stats;
+  stats.ControlShard().acquisitions.fetch_add(100);
+  stats.ControlShard().socket_acquisitions[0].fetch_add(60);
+  stats.ControlShard().socket_acquisitions[1].fetch_add(35);
+  stats.ControlShard().socket_acquisitions[2].fetch_add(5);  // below 10%
+  const LockProfileSnapshot snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.ActiveSockets(), 2u);
+  EXPECT_EQ(snapshot.ActiveSockets(/*min_share=*/0.01), 3u);
+}
+
 }  // namespace
 }  // namespace concord

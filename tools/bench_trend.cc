@@ -1,0 +1,222 @@
+// bench_trend: compares two sets of BENCH_*.json artifacts (bench_report.h
+// schema v1) and reports per-metric deltas, so CI can catch performance
+// drift between a baseline run and the current run.
+//
+// usage: bench_trend --baseline DIR --current DIR [--threshold PCT] [--strict]
+//
+// Metrics are matched by (bench, name, unit, labels). Direction comes from
+// the unit: rates ("*_per_msec", "*_per_sec") are higher-is-better,
+// durations ("ns", "us", "ms") and "percent" are lower-is-better; counts,
+// booleans and grant positions are informational only.
+//
+// Exit code: 1 when any tail-latency metric (name or a label containing
+// "p99") regresses by more than the threshold (default 10%); with --strict,
+// any directional metric regressing past the threshold fails. Everything
+// else is printed but advisory — CI wires this as a continue-on-error step.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+
+namespace concord {
+namespace {
+
+enum class Direction { kHigherBetter, kLowerBetter, kInfoOnly };
+
+Direction DirectionForUnit(const std::string& unit) {
+  if (unit.find("per_msec") != std::string::npos ||
+      unit.find("per_sec") != std::string::npos) {
+    return Direction::kHigherBetter;
+  }
+  if (unit == "ns" || unit == "us" || unit == "ms" || unit == "percent") {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kInfoOnly;
+}
+
+struct MetricKey {
+  std::string bench;
+  std::string name;
+  std::string unit;
+  std::string labels;  // canonical "k=v,k=v" form (std::map order)
+
+  bool operator<(const MetricKey& other) const {
+    if (bench != other.bench) return bench < other.bench;
+    if (name != other.name) return name < other.name;
+    if (unit != other.unit) return unit < other.unit;
+    return labels < other.labels;
+  }
+
+  std::string ToString() const {
+    std::string out = bench + ":" + name;
+    if (!labels.empty()) {
+      out += "{" + labels + "}";
+    }
+    return out + " (" + unit + ")";
+  }
+
+  bool IsTailLatency() const {
+    return name.find("p99") != std::string::npos ||
+           labels.find("p99") != std::string::npos;
+  }
+};
+
+bool LoadSet(const std::string& dir, std::map<MetricKey, double>& out) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "bench_trend: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  bool any = false;
+  for (const auto& entry : it) {
+    const std::string filename = entry.path().filename().string();
+    if (!entry.is_regular_file() || filename.rfind("BENCH_", 0) != 0 ||
+        entry.path().extension() != ".json") {
+      continue;
+    }
+    std::ifstream file(entry.path());
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const auto parsed = ParseJson(buffer.str());
+    if (!parsed.ok() || !parsed->IsObject()) {
+      std::fprintf(stderr, "bench_trend: skipping unparseable %s\n",
+                   filename.c_str());
+      continue;
+    }
+    const JsonValue* bench = parsed->Find("bench");
+    const JsonValue* metrics = parsed->Find("metrics");
+    if (bench == nullptr || !bench->IsString() || metrics == nullptr ||
+        !metrics->IsArray()) {
+      continue;
+    }
+    for (const JsonValue& metric : metrics->array) {
+      if (!metric.IsObject()) {
+        continue;
+      }
+      const JsonValue* name = metric.Find("name");
+      const JsonValue* unit = metric.Find("unit");
+      const JsonValue* value = metric.Find("value");
+      if (name == nullptr || !name->IsString() || unit == nullptr ||
+          !unit->IsString() || value == nullptr || !value->IsNumber()) {
+        continue;
+      }
+      std::string labels;
+      const JsonValue* label_obj = metric.Find("labels");
+      if (label_obj != nullptr && label_obj->IsObject()) {
+        for (const auto& [key, label] : label_obj->object) {
+          if (!labels.empty()) {
+            labels += ",";
+          }
+          labels += key + "=" +
+                    (label.IsString() ? label.string_value : "?");
+        }
+      }
+      out[{bench->string_value, name->string_value, unit->string_value,
+           labels}] = value->number_value;
+      any = true;
+    }
+  }
+  return any;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_trend --baseline DIR --current DIR "
+               "[--threshold PCT] [--strict]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main(int argc, char** argv) {
+  using concord::Direction;
+  std::string baseline_dir;
+  std::string current_dir;
+  double threshold_pct = 10.0;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--baseline" && has_value) {
+      baseline_dir = argv[++i];
+    } else if (arg == "--current" && has_value) {
+      current_dir = argv[++i];
+    } else if (arg == "--threshold" && has_value) {
+      threshold_pct = std::atof(argv[++i]);
+    } else if (arg == "--strict") {
+      strict = true;
+    } else {
+      return concord::Usage();
+    }
+  }
+  if (baseline_dir.empty() || current_dir.empty() || threshold_pct <= 0.0) {
+    return concord::Usage();
+  }
+
+  std::map<concord::MetricKey, double> baseline;
+  std::map<concord::MetricKey, double> current;
+  if (!concord::LoadSet(baseline_dir, baseline)) {
+    // A missing baseline is normal on the first run of a new branch; report
+    // success so an advisory CI step stays green and seeds the cache.
+    std::fprintf(stderr,
+                 "bench_trend: no baseline metrics in %s, nothing to "
+                 "compare\n",
+                 baseline_dir.c_str());
+    return 0;
+  }
+  if (!concord::LoadSet(current_dir, current)) {
+    std::fprintf(stderr, "bench_trend: no current metrics in %s\n",
+                 current_dir.c_str());
+    return 2;
+  }
+
+  int compared = 0;
+  int regressions = 0;
+  int failures = 0;
+  std::printf("%-70s %14s %14s %9s\n", "metric", "baseline", "current",
+              "delta");
+  for (const auto& [key, now] : current) {
+    const auto base_it = baseline.find(key);
+    if (base_it == baseline.end()) {
+      continue;
+    }
+    const Direction direction = concord::DirectionForUnit(key.unit);
+    if (direction == Direction::kInfoOnly) {
+      continue;
+    }
+    const double base = base_it->second;
+    if (!std::isfinite(base) || !std::isfinite(now) || base == 0.0) {
+      continue;
+    }
+    ++compared;
+    const double delta_pct = (now - base) / std::fabs(base) * 100.0;
+    const double regression_pct =
+        direction == Direction::kHigherBetter ? -delta_pct : delta_pct;
+    const bool regressed = regression_pct > threshold_pct;
+    std::printf("%-70s %14.2f %14.2f %+8.1f%%%s\n", key.ToString().c_str(),
+                base, now, delta_pct, regressed ? "  << REGRESSION" : "");
+    if (regressed) {
+      ++regressions;
+      if (strict || key.IsTailLatency()) {
+        ++failures;
+      }
+    }
+  }
+  std::printf(
+      "\nbench_trend: %d metrics compared, %d regressions beyond %.1f%%, "
+      "%d failing (%s)\n",
+      compared, regressions, threshold_pct, failures,
+      strict ? "strict" : "p99 gate only");
+  return failures > 0 ? 1 : 0;
+}

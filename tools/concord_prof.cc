@@ -12,6 +12,11 @@
 //       chrome://tracing); defaults to concord_trace.json
 //   concord_prof stats  [--locks N] [--threads N] [--ms N]
 //       per-lock stats JSON (Concord::StatsJson) on stdout
+//   concord_prof autotune [--locks N] [--threads N] [--ms N]
+//       run the workload under the adaptive policy controller (threads
+//       spread over virtual sockets so the hot lock shows NUMA skew) and
+//       print AutotuneStatusJson: per-lock regime, incumbent policy and the
+//       controller's event log
 
 #include <atomic>
 #include <cstdio>
@@ -22,9 +27,12 @@
 #include <vector>
 
 #include "src/base/time.h"
+#include "src/concord/autotune/controller.h"
 #include "src/concord/concord.h"
 #include "src/concord/trace_export.h"
 #include "src/sync/shfllock.h"
+#include "src/topology/thread_context.h"
+#include "src/topology/topology.h"
 
 namespace concord {
 namespace {
@@ -39,7 +47,7 @@ struct Options {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <top|trace|stats> [--locks N] [--threads N] "
+               "usage: %s <top|trace|stats|autotune> [--locks N] [--threads N] "
                "[--ms N] [--out FILE]\n",
                argv0);
   return 2;
@@ -50,7 +58,8 @@ bool ParseOptions(int argc, char** argv, Options& opts) {
     return false;
   }
   opts.mode = argv[1];
-  if (opts.mode != "top" && opts.mode != "trace" && opts.mode != "stats") {
+  if (opts.mode != "top" && opts.mode != "trace" && opts.mode != "stats" &&
+      opts.mode != "autotune") {
     return false;
   }
   for (int i = 2; i < argc; ++i) {
@@ -82,8 +91,18 @@ bool ParseOptions(int argc, char** argv, Options& opts) {
 void RunWorkload(std::vector<ShflLock>& locks, const Options& opts) {
   std::atomic<bool> stop{false};
   std::vector<std::thread> workers;
+  const std::uint32_t cores_per_socket =
+      MachineTopology::Global().config().cores_per_socket;
   for (int t = 0; t < opts.threads; ++t) {
     workers.emplace_back([&, t] {
+      if (opts.mode == "autotune") {
+        // Alternate threads between two virtual sockets so the hot lock's
+        // contended handoffs cross sockets — the NUMA-skew signal.
+        const std::uint32_t vcpu =
+            static_cast<std::uint32_t>(t % 2) * cores_per_socket +
+            static_cast<std::uint32_t>(t / 2) % cores_per_socket;
+        ThreadRegistry::Global().RegisterCurrent(vcpu);
+      }
       std::uint64_t n = static_cast<std::uint64_t>(t);
       while (!stop.load(std::memory_order_relaxed)) {
         // 2-in-3 iterations hit lock 0; the rest spread over the others.
@@ -123,11 +142,26 @@ int Run(const Options& opts) {
       return 1;
     }
     const Status traced = concord.EnableTracing(id);
-    if (!traced.ok() && opts.mode != "stats") {
+    if (!traced.ok() && opts.mode != "stats" && opts.mode != "autotune") {
       std::fprintf(stderr, "EnableTracing: %s\n", traced.ToString().c_str());
       return 1;
     }
     ids.push_back(id);
+  }
+
+  if (opts.mode == "autotune") {
+    AutotuneConfig config;
+    // Sized so a short demo run still sees several decision windows.
+    config.window_ns = static_cast<std::uint64_t>(opts.ms) * 1'000'000ull / 20;
+    if (config.window_ns < 1'000'000ull) {
+      config.window_ns = 1'000'000ull;
+    }
+    config.min_window_acquisitions = 16;
+    const Status enabled = concord.EnableAutotune("class:demo", config);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "EnableAutotune: %s\n", enabled.ToString().c_str());
+      return 1;
+    }
   }
 
   RunWorkload(locks, opts);
@@ -173,6 +207,9 @@ int Run(const Options& opts) {
     if (file != nullptr) {
       std::fclose(file);
     }
+  } else if (opts.mode == "autotune") {
+    (void)concord.DisableAutotune();
+    std::printf("%s\n", concord.AutotuneStatusJson().c_str());
   } else {  // stats
     std::printf("%s\n", concord.StatsJson("*").c_str());
   }
