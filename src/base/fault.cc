@@ -10,6 +10,25 @@ namespace {
 
 thread_local std::uint64_t tls_fires = 0;
 
+// Every fault site compiled into the binary. Keep in sync with the header
+// comment and the CONCORD_FAULT_POINT / CONCORD_FAULT_DELAY_NS call sites —
+// this table is what operators discover through ListPoints() instead of
+// grepping the source.
+constexpr struct {
+  const char* name;
+  const char* description;
+} kKnownPoints[] = {
+    {"bpf.map_lookup", "map_lookup_elem helper returns null"},
+    {"bpf.helper", "map_update/map_delete helpers return -1"},
+    {"jit.compile", "Jit::Compile fails; program falls back to interpreter"},
+    {"park.delayed_wake", "UnparkOne/UnparkAll delayed by @delay_ns"},
+    {"autotune.decide", "autotune controller skips the lock's decision step"},
+    {"rpc.accept", "accepted control-plane connection dropped immediately"},
+    {"rpc.read", "control-plane request read fails mid-connection"},
+    {"rpc.write", "control-plane response write fails (client vanishes)"},
+    {"rpc.handler", "RPC verb handler aborts with an internal error"},
+};
+
 // SplitMix64 — tiny, seedable, and good enough to spread 1/n firing evenly.
 std::uint64_t SplitMix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -30,6 +49,13 @@ FaultRegistry::FaultRegistry() { LoadFromEnv(); }
 void FaultRegistry::LoadFromEnv() {
   const char* env = std::getenv("CONCORD_FAULTS");
   if (env == nullptr || env[0] == '\0') {
+    return;
+  }
+  if (std::string(env) == "list") {
+    std::fprintf(stderr, "CONCORD_FAULTS: known fault points:\n");
+    for (const auto& point : kKnownPoints) {
+      std::fprintf(stderr, "  %-18s %s\n", point.name, point.description);
+    }
     return;
   }
   std::string directives(env);
@@ -221,6 +247,65 @@ std::uint64_t FaultRegistry::Fires(const std::string& point) const {
     }
   }
   return 0;
+}
+
+namespace {
+
+std::string RenderSpec(const FaultRegistry::Spec& spec) {
+  std::string out;
+  switch (spec.mode) {
+    case FaultRegistry::Mode::kAlways:
+      out = "always";
+      break;
+    case FaultRegistry::Mode::kOneIn:
+      out = "1in" + std::to_string(spec.n);
+      if (spec.seed != 0) {
+        out += ":" + std::to_string(spec.seed);
+      }
+      break;
+    case FaultRegistry::Mode::kNth:
+      out = "nth" + std::to_string(spec.n);
+      break;
+    case FaultRegistry::Mode::kFirstN:
+      out = "first" + std::to_string(spec.n);
+      break;
+  }
+  if (spec.delay_ns != 0) {
+    out += "@" + std::to_string(spec.delay_ns);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FaultRegistry::PointInfo> FaultRegistry::ListPoints() const {
+  std::vector<PointInfo> out;
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& known : kKnownPoints) {
+    PointInfo info;
+    info.name = known.name;
+    info.description = known.description;
+    out.push_back(std::move(info));
+  }
+  for (const auto& armed : points_) {
+    PointInfo* row = nullptr;
+    for (PointInfo& existing : out) {
+      if (existing.name == armed->name) {
+        row = &existing;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      out.emplace_back();
+      row = &out.back();
+      row->name = armed->name;
+    }
+    row->armed = true;
+    row->directive = RenderSpec(armed->spec);
+    row->evaluations = armed->evaluations;
+    row->fires = armed->fires;
+  }
+  return out;
 }
 
 std::uint64_t FaultRegistry::ThreadFires() { return tls_fires; }

@@ -15,12 +15,17 @@
 // compiled in but nothing is armed, the cost per site is one relaxed atomic
 // load.
 //
-// Registered sites:
+// Registered sites (discoverable at runtime via FaultRegistry::ListPoints(),
+// the `faults.list` RPC verb, or a `CONCORD_FAULTS=list` startup dump):
 //   bpf.map_lookup     map_lookup_elem helper returns null      (helpers.cc)
 //   bpf.helper         map_update/map_delete helpers return -1  (helpers.cc)
 //   jit.compile        Jit::Compile fails -> interpreter tier   (jit/jit.cc)
 //   park.delayed_wake  UnparkOne/UnparkAll delayed by delay_ns  (parking_lot.cc)
 //   autotune.decide    autotune controller decision step aborts (autotune/controller.cc)
+//   rpc.accept         accepted control-plane connection dropped (rpc/server.cc)
+//   rpc.read           request read fails mid-connection         (rpc/server.cc)
+//   rpc.write          response write fails / client vanishes    (rpc/server.cc)
+//   rpc.handler        verb handler aborts with internal error   (rpc/dispatch.cc)
 
 #ifndef SRC_BASE_FAULT_H_
 #define SRC_BASE_FAULT_H_
@@ -82,6 +87,20 @@ class FaultRegistry {
   // Introspection for tests and the chaos harness.
   std::uint64_t Evaluations(const std::string& point) const;
   std::uint64_t Fires(const std::string& point) const;
+
+  // One row per discoverable fault point: every site compiled into the
+  // binary (the table in fault.cc) plus anything armed ad hoc (tests may arm
+  // names with no compiled site). Operators reach this through the
+  // `faults.list` RPC verb or CONCORD_FAULTS=list instead of grepping.
+  struct PointInfo {
+    std::string name;
+    std::string description;  // "" for ad-hoc points with no compiled site
+    bool armed = false;
+    std::string directive;  // armed spec as a modespec[@delay] string
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+  };
+  std::vector<PointInfo> ListPoints() const;
 
   // Total fires observed on the calling thread, ever. Dispatch-path code
   // samples this around a policy run to attribute injected faults to the

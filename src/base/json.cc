@@ -14,32 +14,87 @@ namespace concord {
 
 void JsonWriter::AppendEscaped(std::string& out, std::string_view text) {
   out.push_back('"');
-  for (char c : text) {
+  const std::size_t size = text.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
     switch (c) {
       case '"':
         out += "\\\"";
-        break;
+        continue;
       case '\\':
         out += "\\\\";
-        break;
+        continue;
+      case '\b':
+        out += "\\b";
+        continue;
+      case '\f':
+        out += "\\f";
+        continue;
       case '\n':
         out += "\\n";
-        break;
+        continue;
       case '\r':
         out += "\\r";
-        break;
+        continue;
       case '\t':
         out += "\\t";
-        break;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+        break;
     }
+    if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+      continue;
+    }
+    if (c < 0x80) {
+      out.push_back(static_cast<char>(c));
+      continue;
+    }
+    // Non-ASCII: pass through only complete, well-formed UTF-8 sequences.
+    // Lock and policy names are caller-supplied and reach these emitters over
+    // the control-plane RPC socket — one raw invalid byte would make the
+    // whole response undecodable for a strict client, so invalid or
+    // truncated sequences become U+FFFD and emission resynchronizes on the
+    // next byte.
+    std::size_t len = 0;
+    std::uint32_t code = 0;
+    if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      code = c & 0x1Fu;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      code = c & 0x0Fu;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      code = c & 0x07u;
+    }
+    bool valid = len != 0 && i + len <= size;
+    if (valid) {
+      for (std::size_t k = 1; k < len; ++k) {
+        const unsigned char cont = static_cast<unsigned char>(text[i + k]);
+        if ((cont & 0xC0) != 0x80) {
+          valid = false;
+          break;
+        }
+        code = (code << 6) | (cont & 0x3Fu);
+      }
+    }
+    if (valid) {
+      static constexpr std::uint32_t kMinForLen[5] = {0, 0, 0x80, 0x800,
+                                                      0x10000};
+      if (code < kMinForLen[len] || code > 0x10FFFF ||
+          (code >= 0xD800 && code <= 0xDFFF)) {
+        valid = false;  // overlong encoding, surrogate, or out of range
+      }
+    }
+    if (!valid) {
+      out += "\\ufffd";
+      continue;
+    }
+    out.append(text.data() + i, len);
+    i += len - 1;
   }
   out.push_back('"');
 }

@@ -141,7 +141,7 @@ int PolicyCandidateRegistry::SeedFromPolicyDir(const std::string& dir) {
     std::stringstream buffer;
     buffer << file.rdbuf();
     const std::string source = buffer.str();
-    HookKind hook;
+    HookKind hook = HookKind::kCmpNode;
     ContentionRegime regime;
     const std::string stem = entry.path().stem().string();
     if (!ParseHookAnnotation(source, &hook) ||

@@ -76,6 +76,17 @@ const char* HookKindName(HookKind kind) {
   return "unknown";
 }
 
+bool ParseHookKindName(const std::string& name, HookKind* out) {
+  for (int i = 0; i < kNumHookKinds; ++i) {
+    const auto kind = static_cast<HookKind>(i);
+    if (name == HookKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 const ContextDescriptor& DescriptorFor(HookKind kind) {
   static const ContextDescriptor cmp_node = MakeCmpNodeDescriptor();
   static const ContextDescriptor skip_shuffle = MakeSkipShuffleDescriptor();

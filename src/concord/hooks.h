@@ -39,6 +39,9 @@ inline constexpr int kNumHookKinds = 8;
 
 const char* HookKindName(HookKind kind);
 
+// Reverse of HookKindName; false when `name` matches no hook.
+bool ParseHookKindName(const std::string& name, HookKind* out);
+
 // --- context structs ---------------------------------------------------------
 // Plain-old-data; the BPF program sees them through the descriptors below.
 

@@ -1,0 +1,222 @@
+#include "src/concord/rpc/client.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "src/base/time.h"
+
+namespace concord {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void SleepMs(std::uint64_t ms) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1'000'000);
+  nanosleep(&ts, nullptr);
+}
+
+// RAII fd so every early return path closes the socket.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+};
+
+Status DeadlineError(const std::string& stage) {
+  return FailedPreconditionError("deadline exceeded during " + stage);
+}
+
+}  // namespace
+
+RpcClient::RpcClient(RpcClientOptions options) : options_(std::move(options)) {
+  if (options_.max_attempts == 0) {
+    options_.max_attempts = 1;
+  }
+  rng_state_ = options_.jitter_seed != 0
+                   ? options_.jitter_seed
+                   : static_cast<std::uint64_t>(getpid()) * 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t RpcClient::NextJitteredBackoffMs(std::uint32_t attempt) {
+  std::uint64_t base = options_.backoff_initial_ms;
+  for (std::uint32_t i = 0; i < attempt && base < options_.backoff_max_ms; ++i) {
+    base *= 2;
+  }
+  if (base > options_.backoff_max_ms) {
+    base = options_.backoff_max_ms;
+  }
+  if (base == 0) {
+    return 0;
+  }
+  // +-50% jitter: [base/2, base*3/2].
+  rng_state_ = SplitMix64(rng_state_);
+  return base / 2 + rng_state_ % (base + 1);
+}
+
+StatusOr<RpcResponse> RpcClient::CallOnce(const std::string& method,
+                                          const std::string& params_json) {
+  const std::uint64_t deadline_ns =
+      MonotonicNowNs() + options_.timeout_ms * 1'000'000ull;
+  auto remaining_ms = [&]() -> std::int64_t {
+    const std::uint64_t now = MonotonicNowNs();
+    if (now >= deadline_ns) {
+      return 0;
+    }
+    return static_cast<std::int64_t>((deadline_ns - now) / 1'000'000ull);
+  };
+
+  sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("bad socket path '" + options_.socket_path +
+                                "'");
+  }
+  memcpy(addr.sun_path, options_.socket_path.c_str(),
+         options_.socket_path.size() + 1);
+
+  Fd sock;
+  sock.fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (sock.fd < 0) {
+    return InternalError(std::string("socket: ") + strerror(errno));
+  }
+
+  // Non-blocking connect + poll gives the connect step its own share of the
+  // request deadline.
+  if (connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      return NotFoundError("connect(" + options_.socket_path +
+                           "): " + strerror(errno));
+    }
+    pollfd pfd;
+    pfd.fd = sock.fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, static_cast<int>(remaining_ms()));
+    if (ready <= 0) {
+      return DeadlineError("connect");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(sock.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return NotFoundError("connect(" + options_.socket_path +
+                           "): " + strerror(err != 0 ? err : errno));
+    }
+  }
+
+  std::string frame = "{\"id\":" + std::to_string(next_id_++) +
+                      ",\"method\":";
+  {
+    std::string escaped;
+    JsonWriter::AppendEscaped(escaped, method);
+    frame += escaped;
+  }
+  if (!params_json.empty()) {
+    frame += ",\"params\":";
+    frame += params_json;
+  }
+  frame += "}\n";
+
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t wrote = send(sock.fd, frame.data() + sent,
+                               frame.size() - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd;
+      pfd.fd = sock.fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      if (poll(&pfd, 1, static_cast<int>(remaining_ms())) <= 0) {
+        return DeadlineError("send");
+      }
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) {
+      continue;
+    }
+    return InternalError(std::string("send: ") + strerror(errno));
+  }
+
+  std::string reply;
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = reply.find('\n');
+    if (newline != std::string::npos) {
+      reply.resize(newline);
+      break;
+    }
+    if (reply.size() > kRpcMaxRequestBytes * 64) {
+      return InternalError("response exceeds sanity limit without newline");
+    }
+    pollfd pfd;
+    pfd.fd = sock.fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (poll(&pfd, 1, static_cast<int>(remaining_ms())) <= 0) {
+      return DeadlineError("receive");
+    }
+    const ssize_t got = recv(sock.fd, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      reply.append(chunk, static_cast<std::size_t>(got));
+    } else if (got == 0) {
+      return InternalError("connection closed before a complete response");
+    } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return InternalError(std::string("recv: ") + strerror(errno));
+    }
+  }
+
+  auto response = ParseRpcResponse(reply);
+  if (!response.ok()) {
+    return InternalError("malformed response: " + response.status().message());
+  }
+  return *response;
+}
+
+StatusOr<RpcResponse> RpcClient::Call(const std::string& method,
+                                      const std::string& params_json,
+                                      bool idempotent) {
+  const std::uint32_t attempts = idempotent ? options_.max_attempts : 1;
+  Status last_error = InternalError("no attempts made");
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      SleepMs(NextJitteredBackoffMs(attempt - 1));
+    }
+    auto result = CallOnce(method, params_json);
+    if (!result.ok()) {
+      last_error = result.status();
+      continue;  // transport failure: retry (idempotent only)
+    }
+    if (!result->ok && result->retryable && attempt + 1 < attempts) {
+      last_error = FailedPreconditionError("server " + result->error_code +
+                                           ": " + result->error_message);
+      continue;  // busy/unavailable load shed: back off and retry
+    }
+    return result;
+  }
+  return last_error;
+}
+
+}  // namespace concord

@@ -1,0 +1,75 @@
+// Control-plane RPC client: one request/response exchange over the local
+// socket, with per-request deadlines and an optional bounded-backoff retry
+// loop.
+//
+// Retry policy (the robustness contract concordctl builds on):
+//   - A retry is attempted only when the caller marks the request
+//     idempotent. Read-only verbs (status, *.status, faults.list,
+//     trace.dump) qualify; mutating verbs never do — a mutating request
+//     whose response was lost may already have been applied, and resending
+//     it is not the client's call to make.
+//   - Retried failures: transport errors (connect refused, deadline
+//     exceeded, short/garbled reply) and server responses explicitly marked
+//     retryable (`busy` load shed, `unavailable` drain).
+//   - Backoff is exponential with jitter, bounded by backoff_max_ms, and the
+//     attempt count is bounded by max_attempts — the client always
+//     terminates, it never camps on a dead socket.
+
+#ifndef SRC_CONCORD_RPC_CLIENT_H_
+#define SRC_CONCORD_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/concord/rpc/protocol.h"
+
+namespace concord {
+
+struct RpcClientOptions {
+  std::string socket_path;
+
+  // Per-attempt deadline covering connect + send + receive.
+  std::uint64_t timeout_ms = 2'000;
+
+  // Total tries for idempotent requests (1 = no retry). Non-idempotent
+  // requests always get exactly one attempt.
+  std::uint32_t max_attempts = 4;
+
+  // Exponential backoff between attempts: delay doubles from initial,
+  // capped at max, each with +-50% deterministic jitter.
+  std::uint64_t backoff_initial_ms = 25;
+  std::uint64_t backoff_max_ms = 1'000;
+  // 0 seeds from the pid so concurrent clients don't thunder in phase.
+  std::uint64_t jitter_seed = 0;
+};
+
+class RpcClient {
+ public:
+  explicit RpcClient(RpcClientOptions options);
+
+  // Single attempt, no retry. `params_json` must be a JSON object or empty
+  // (treated as no params). Transport-level failures (connect, deadline,
+  // malformed reply) are a non-OK status; a server-side error is an OK
+  // return with response.ok == false.
+  StatusOr<RpcResponse> CallOnce(const std::string& method,
+                                 const std::string& params_json);
+
+  // Retries per the policy above when `idempotent`; single attempt
+  // otherwise.
+  StatusOr<RpcResponse> Call(const std::string& method,
+                             const std::string& params_json, bool idempotent);
+
+  const RpcClientOptions& options() const { return options_; }
+
+ private:
+  std::uint64_t NextJitteredBackoffMs(std::uint32_t attempt);
+
+  RpcClientOptions options_;
+  std::uint64_t rng_state_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_RPC_CLIENT_H_

@@ -1,0 +1,413 @@
+#include "src/concord/rpc/dispatch.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include <unistd.h>
+
+#include "src/base/fault.h"
+#include "src/base/time.h"
+#include "src/bpf/assembler.h"
+#include "src/bpf/maps.h"
+#include "src/concord/autotune/controller.h"
+#include "src/concord/concord.h"
+#include "src/concord/containment.h"
+#include "src/concord/hooks.h"
+#include "src/concord/policy.h"
+#include "src/concord/policy_lint.h"
+
+namespace concord {
+namespace {
+
+// --- param helpers -----------------------------------------------------------
+
+std::string StringParam(const JsonValue& params, const std::string& key,
+                        const std::string& fallback) {
+  const JsonValue* value = params.Find(key);
+  if (value == nullptr || !value->IsString()) {
+    return fallback;
+  }
+  return value->string_value;
+}
+
+StatusOr<std::string> RequiredStringParam(const JsonValue& params,
+                                          const std::string& key) {
+  const JsonValue* value = params.IsObject() ? params.Find(key) : nullptr;
+  if (value == nullptr || !value->IsString() || value->string_value.empty()) {
+    return InvalidArgumentError("missing required string param '" + key + "'");
+  }
+  return value->string_value;
+}
+
+// --- verb bodies -------------------------------------------------------------
+
+StatusOr<std::string> HandleStatus(
+    const JsonValue& params,
+    const std::function<void(JsonWriter&)>& extra_status) {
+  const std::string selector = StringParam(params, "selector", "*");
+  const auto locks = Concord::Global().ListLocks(selector);
+  JsonWriter json;
+  json.BeginObject();
+  json.NumberField("pid", static_cast<std::int64_t>(getpid()));
+  json.NumberField("now_ns", MonotonicNowNs());
+  json.Key("autotune_running").Bool(AutotuneController::Global().running());
+  json.Key("locks").BeginArray();
+  for (const auto& lock : locks) {
+    json.BeginObject();
+    json.NumberField("lock_id", lock.lock_id);
+    json.Field("name", lock.name);
+    json.Field("class", lock.lock_class);
+    json.Key("is_rw").Bool(lock.is_rw);
+    json.Key("has_policy").Bool(lock.has_policy);
+    json.Field("policy", lock.policy_name);
+    json.Key("profiling").Bool(lock.profiling);
+    json.Key("tracing").Bool(lock.tracing);
+    json.EndObject();
+  }
+  json.EndArray();
+  if (extra_status) {
+    extra_status(json);
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+StatusOr<std::string> HandleAutotuneEnable(const JsonValue& params) {
+  const std::string selector = StringParam(params, "selector", "*");
+  CONCORD_RETURN_IF_ERROR(Concord::Global().EnableAutotune(selector));
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("enabled").Bool(true);
+  json.Field("selector", selector);
+  json.EndObject();
+  return json.TakeString();
+}
+
+StatusOr<std::string> HandleAutotuneDisable(const JsonValue&) {
+  CONCORD_RETURN_IF_ERROR(Concord::Global().DisableAutotune());
+  return std::string("{\"disabled\":true}");
+}
+
+StatusOr<std::string> HandleTraceEnable(const JsonValue& params) {
+  const std::string selector = StringParam(params, "selector", "*");
+  CONCORD_RETURN_IF_ERROR(
+      Concord::Global().EnableTracingBySelector(selector));
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("tracing").Bool(true);
+  json.Field("selector", selector);
+  json.EndObject();
+  return json.TakeString();
+}
+
+StatusOr<std::string> HandleTraceDisable(const JsonValue& params) {
+  const std::string selector = StringParam(params, "selector", "*");
+  Concord& concord = Concord::Global();
+  const auto ids = concord.Select(selector);
+  if (ids.empty()) {
+    return NotFoundError("selector '" + selector + "' matches no locks");
+  }
+  std::uint64_t disabled = 0;
+  for (const std::uint64_t id : ids) {
+    if (concord.DisableTracing(id).ok()) {
+      ++disabled;
+    }
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.NumberField("disabled", disabled);
+  json.EndObject();
+  return json.TakeString();
+}
+
+StatusOr<std::string> HandleTraceDump(const JsonValue&) {
+  // Already one complete JSON value (Chrome trace-event format).
+  return Concord::Global().TraceChromeJson();
+}
+
+StatusOr<std::string> HandleContainmentStatus(const JsonValue& params) {
+  const std::string selector = StringParam(params, "selector", "*");
+  const auto locks = Concord::Global().ListLocks(selector);
+  ContainmentRegistry& registry = ContainmentRegistry::Global();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("locks").BeginArray();
+  for (const auto& lock : locks) {
+    json.BeginObject();
+    json.NumberField("lock_id", lock.lock_id);
+    json.Field("name", lock.name);
+    const auto status = registry.StatusOf(lock.lock_id);
+    if (status.has_value()) {
+      json.Field("health", PolicyHealthName(status->health));
+      json.Field("policy", status->policy_name);
+      json.NumberField("fault_count", status->fault_count);
+      json.NumberField("quarantine_count", status->quarantine_count);
+      json.NumberField("backoff_ns", status->backoff_ns);
+    } else {
+      json.Field("health", PolicyHealthName(PolicyHealth::kActive));
+      json.Field("policy", "");
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  // Newest events last, bounded so a long-lived process cannot grow the
+  // response without limit.
+  constexpr std::size_t kMaxEvents = 64;
+  const auto events = registry.events();
+  const std::size_t start =
+      events.size() > kMaxEvents ? events.size() - kMaxEvents : 0;
+  json.Key("events").BeginArray();
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const ContainmentEvent& event = events[i];
+    json.BeginObject();
+    json.NumberField("time_ns", event.time_ns);
+    json.NumberField("lock_id", event.lock_id);
+    json.Field("policy", event.policy_name);
+    json.Field("fault", ContainmentFaultName(event.fault));
+    json.Field("action", ContainmentActionName(event.action));
+    json.Field("detail", event.detail);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+StatusOr<std::string> HandleFaultsArm(const JsonValue& params) {
+#if CONCORD_FAULT_INJECTION
+  auto directive = RequiredStringParam(params, "directive");
+  CONCORD_RETURN_IF_ERROR(directive.status());
+  if (!FaultRegistry::Global().ArmFromDirective(*directive)) {
+    return InvalidArgumentError("malformed fault directive '" + *directive +
+                                "' (want point=always|1inN[:seed]|nthN|firstN"
+                                "[@delay_ns])");
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("armed", *directive);
+  json.EndObject();
+  return json.TakeString();
+#else
+  (void)params;
+  return FailedPreconditionError(
+      "fault injection is compiled out of this build "
+      "(-DCONCORD_ENABLE_FAULT_INJECTION=ON to enable)");
+#endif
+}
+
+StatusOr<std::string> HandleFaultsList(const JsonValue&) {
+  JsonWriter json;
+  json.BeginObject();
+#if CONCORD_FAULT_INJECTION
+  json.Key("compiled_in").Bool(true);
+  json.Key("points").BeginArray();
+  for (const auto& point : FaultRegistry::Global().ListPoints()) {
+    json.BeginObject();
+    json.Field("name", point.name);
+    json.Field("description", point.description);
+    json.Key("armed").Bool(point.armed);
+    if (point.armed) {
+      json.Field("directive", point.directive);
+      json.NumberField("evaluations", point.evaluations);
+      json.NumberField("fires", point.fires);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+#else
+  json.Key("compiled_in").Bool(false);
+  json.Key("points").BeginArray().EndArray();
+#endif
+  json.EndObject();
+  return json.TakeString();
+}
+
+// The "; hook: <name>" annotation shipped policies carry (same contract as
+// concord_check and the autotune candidate loader).
+bool ParseHookAnnotation(const std::string& source, HookKind* out) {
+  std::istringstream lines(source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t pos = line.find("; hook:");
+    if (pos == std::string::npos) {
+      continue;
+    }
+    std::string name = line.substr(pos + 7);
+    const std::size_t begin = name.find_first_not_of(" \t");
+    if (begin == std::string::npos) {
+      return false;
+    }
+    const std::size_t end = name.find_last_not_of(" \t\r");
+    return ParseHookKindName(name.substr(begin, end - begin + 1), out);
+  }
+  return false;
+}
+
+StatusOr<std::string> HandlePolicyAttach(const JsonValue& params) {
+  auto selector = RequiredStringParam(params, "selector");
+  CONCORD_RETURN_IF_ERROR(selector.status());
+
+  std::string source = StringParam(params, "source", "");
+  std::string name = StringParam(params, "name", "");
+  const std::string file = StringParam(params, "file", "");
+  if (source.empty() == file.empty()) {
+    return InvalidArgumentError(
+        "exactly one of 'file' (server-side .casm path) or 'source' (inline "
+        "assembly) is required");
+  }
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      return NotFoundError("cannot open policy file '" + file + "'");
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+    if (name.empty()) {
+      const std::size_t slash = file.find_last_of('/');
+      name = slash == std::string::npos ? file : file.substr(slash + 1);
+      const std::size_t dot = name.rfind(".casm");
+      if (dot != std::string::npos) {
+        name = name.substr(0, dot);
+      }
+    }
+  }
+  if (name.empty()) {
+    name = "rpc_policy";
+  }
+
+  HookKind hook;
+  const std::string hook_param = StringParam(params, "hook", "");
+  if (!hook_param.empty()) {
+    if (!ParseHookKindName(hook_param, &hook)) {
+      return InvalidArgumentError("unknown hook '" + hook_param + "'");
+    }
+  } else if (!ParseHookAnnotation(source, &hook)) {
+    return InvalidArgumentError(
+        "policy has no '; hook: <name>' annotation and no 'hook' param");
+  }
+
+  // The full static-analysis gate: assemble, verify under the hook's
+  // capability mask, lint the lock invariants. Only then does the spec reach
+  // Concord::Attach (which re-verifies — belt and braces, same as every
+  // other attach path).
+  auto scratch = std::make_shared<ArrayMap>("scratch", 8, 8);
+  auto program = AssembleProgram(name, source, &DescriptorFor(hook),
+                                 {scratch.get()});
+  CONCORD_RETURN_IF_ERROR(program.status());
+  LintReport lint;
+  CONCORD_RETURN_IF_ERROR(CheckPolicyProgram(hook, *program, &lint));
+
+  PolicySpec spec;
+  spec.name = name;
+  CONCORD_RETURN_IF_ERROR(spec.AddProgram(hook, std::move(*program)));
+  spec.maps.push_back(std::move(scratch));
+  CONCORD_RETURN_IF_ERROR(
+      Concord::Global().AttachBySelector(*selector, spec));
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("attached", name);
+  json.Field("hook", HookKindName(hook));
+  json.Field("selector", *selector);
+  json.NumberField(
+      "locks",
+      static_cast<std::uint64_t>(Concord::Global().Select(*selector).size()));
+  json.EndObject();
+  return json.TakeString();
+}
+
+StatusOr<std::string> HandlePolicyDetach(const JsonValue& params) {
+  auto selector = RequiredStringParam(params, "selector");
+  CONCORD_RETURN_IF_ERROR(selector.status());
+  Concord& concord = Concord::Global();
+  const auto locks = concord.ListLocks(*selector);
+  if (locks.empty()) {
+    return NotFoundError("selector '" + *selector + "' matches no locks");
+  }
+  std::uint64_t detached = 0;
+  for (const auto& lock : locks) {
+    if (lock.has_policy && concord.Detach(lock.lock_id).ok()) {
+      ++detached;
+    }
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.NumberField("detached", detached);
+  json.NumberField("matched", static_cast<std::uint64_t>(locks.size()));
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace
+
+RpcDispatcher::RpcDispatcher() {
+  auto add = [this](std::string name, bool read_only,
+                    std::function<StatusOr<std::string>(const JsonValue&)> fn) {
+    verbs_.push_back({std::move(name), read_only, std::move(fn)});
+  };
+  add("status", true,
+      [this](const JsonValue& params) {
+        return HandleStatus(params, extra_status_);
+      });
+  add("autotune.enable", false, HandleAutotuneEnable);
+  add("autotune.disable", false, HandleAutotuneDisable);
+  add("autotune.status", true, [](const JsonValue&) -> StatusOr<std::string> {
+    return Concord::Global().AutotuneStatusJson();
+  });
+  add("trace.enable", false, HandleTraceEnable);
+  add("trace.disable", false, HandleTraceDisable);
+  add("trace.dump", true, HandleTraceDump);
+  add("containment.status", true, HandleContainmentStatus);
+  add("faults.arm", false, HandleFaultsArm);
+  add("faults.list", true, HandleFaultsList);
+  add("policy.attach", false, HandlePolicyAttach);
+  add("policy.detach", false, HandlePolicyDetach);
+}
+
+const RpcDispatcher::Verb* RpcDispatcher::Find(const std::string& method) const {
+  for (const Verb& verb : verbs_) {
+    if (verb.name == method) {
+      return &verb;
+    }
+  }
+  return nullptr;
+}
+
+bool RpcDispatcher::Has(const std::string& method) const {
+  return Find(method) != nullptr;
+}
+
+bool RpcDispatcher::IsReadOnly(const std::string& method) const {
+  const Verb* verb = Find(method);
+  return verb != nullptr && verb->read_only;
+}
+
+std::vector<std::string> RpcDispatcher::Methods() const {
+  std::vector<std::string> names;
+  names.reserve(verbs_.size());
+  for (const Verb& verb : verbs_) {
+    names.push_back(verb.name);
+  }
+  return names;
+}
+
+StatusOr<std::string> RpcDispatcher::Dispatch(const std::string& method,
+                                              const JsonValue& params) const {
+  const Verb* verb = Find(method);
+  if (verb == nullptr) {
+    return NotFoundError("unknown method '" + method + "'");
+  }
+  if (CONCORD_FAULT_POINT("rpc.handler")) {
+    return InternalError("injected rpc.handler fault");
+  }
+  return verb->handler(params);
+}
+
+void RpcDispatcher::SetExtraStatus(std::function<void(JsonWriter&)> extra) {
+  extra_status_ = std::move(extra);
+}
+
+}  // namespace concord

@@ -1,0 +1,234 @@
+#include "src/concord/rpc/protocol.h"
+
+namespace concord {
+
+const char* RpcErrorCodeName(RpcErrorCode code) {
+  switch (code) {
+    case RpcErrorCode::kParseError:
+      return "parse_error";
+    case RpcErrorCode::kInvalidRequest:
+      return "invalid_request";
+    case RpcErrorCode::kUnknownMethod:
+      return "unknown_method";
+    case RpcErrorCode::kInvalidParams:
+      return "invalid_params";
+    case RpcErrorCode::kNotFound:
+      return "not_found";
+    case RpcErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case RpcErrorCode::kPermissionDenied:
+      return "permission_denied";
+    case RpcErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case RpcErrorCode::kBusy:
+      return "busy";
+    case RpcErrorCode::kUnavailable:
+      return "unavailable";
+    case RpcErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case RpcErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+RpcErrorCode RpcErrorCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return RpcErrorCode::kInternal;  // callers never map an OK status
+    case StatusCode::kInvalidArgument:
+      return RpcErrorCode::kInvalidParams;
+    case StatusCode::kFailedPrecondition:
+      return RpcErrorCode::kFailedPrecondition;
+    case StatusCode::kNotFound:
+      return RpcErrorCode::kNotFound;
+    case StatusCode::kPermissionDenied:
+      return RpcErrorCode::kPermissionDenied;
+    case StatusCode::kResourceExhausted:
+      return RpcErrorCode::kResourceExhausted;
+    case StatusCode::kInternal:
+      return RpcErrorCode::kInternal;
+  }
+  return RpcErrorCode::kInternal;
+}
+
+namespace {
+
+Status RequestError(RpcErrorCode code, const std::string& what) {
+  return InvalidArgumentError(std::string(RpcErrorCodeName(code)) + ": " + what);
+}
+
+// Serializes an id value (validated to be number or string) into `out`.
+void AppendId(std::string& out, const JsonValue& id) {
+  if (id.IsString()) {
+    JsonWriter::AppendEscaped(out, id.string_value);
+    return;
+  }
+  JsonWriter writer;
+  writer.Number(id.number_value);
+  out += writer.str();
+}
+
+}  // namespace
+
+StatusOr<RpcRequest> ParseRpcRequest(std::string_view line) {
+  if (line.size() > kRpcMaxRequestBytes) {
+    return RequestError(RpcErrorCode::kInvalidRequest,
+                        "request exceeds " +
+                            std::to_string(kRpcMaxRequestBytes) + " bytes");
+  }
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    return RequestError(RpcErrorCode::kParseError, parsed.status().message());
+  }
+  if (!parsed->IsObject()) {
+    return RequestError(RpcErrorCode::kInvalidRequest,
+                        "request must be a JSON object");
+  }
+
+  RpcRequest request;
+  for (const auto& [key, value] : parsed->object) {
+    if (key == "method") {
+      if (!value.IsString() || value.string_value.empty()) {
+        return RequestError(RpcErrorCode::kInvalidRequest,
+                            "'method' must be a non-empty string");
+      }
+      request.method = value.string_value;
+    } else if (key == "params") {
+      if (!value.IsObject() && !value.IsNull()) {
+        return RequestError(RpcErrorCode::kInvalidRequest,
+                            "'params' must be an object");
+      }
+      request.params = value;
+    } else if (key == "id") {
+      if (!value.IsNumber() && !value.IsString()) {
+        return RequestError(RpcErrorCode::kInvalidRequest,
+                            "'id' must be a number or string");
+      }
+      request.id = value;
+      request.has_id = true;
+    } else {
+      return RequestError(RpcErrorCode::kInvalidRequest,
+                          "unknown request field '" + key + "'");
+    }
+  }
+  if (request.method.empty()) {
+    return RequestError(RpcErrorCode::kInvalidRequest, "missing 'method'");
+  }
+  return request;
+}
+
+std::string BuildRpcOk(const RpcRequest& request, std::string_view result_json) {
+  std::string out = "{\"id\":";
+  if (request.has_id) {
+    AppendId(out, request.id);
+  } else {
+    out += "null";
+  }
+  out += ",\"ok\":true,\"result\":";
+  out += result_json;
+  out += "}\n";
+  return out;
+}
+
+std::string BuildRpcError(const JsonValue* id, RpcErrorCode code,
+                          std::string_view message, bool retryable) {
+  std::string out = "{\"id\":";
+  if (id != nullptr && (id->IsNumber() || id->IsString())) {
+    AppendId(out, *id);
+  } else {
+    out += "null";
+  }
+  out += ",\"ok\":false,\"error\":{\"code\":";
+  JsonWriter::AppendEscaped(out, RpcErrorCodeName(code));
+  out += ",\"message\":";
+  JsonWriter::AppendEscaped(out, message);
+  out += "},\"retryable\":";
+  out += retryable ? "true" : "false";
+  out += "}\n";
+  return out;
+}
+
+StatusOr<RpcResponse> ParseRpcResponse(std::string_view line) {
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    return InvalidArgumentError("response is not valid JSON: " +
+                                parsed.status().message());
+  }
+  if (!parsed->IsObject()) {
+    return InvalidArgumentError("response must be a JSON object");
+  }
+  const JsonValue* ok = parsed->Find("ok");
+  if (ok == nullptr || !ok->IsBool()) {
+    return InvalidArgumentError("response missing boolean 'ok'");
+  }
+
+  RpcResponse response;
+  response.ok = ok->bool_value;
+  if (response.ok) {
+    const JsonValue* result = parsed->Find("result");
+    if (result == nullptr) {
+      return InvalidArgumentError("ok response missing 'result'");
+    }
+    // Re-serialize the result so callers get one canonical JSON value. A
+    // structural re-emit (rather than slicing the original text) keeps this
+    // robust against whitespace and escaping variation.
+    JsonWriter writer;
+    struct Emit {
+      static void Value(JsonWriter& w, const JsonValue& v) {
+        switch (v.type) {
+          case JsonValue::Type::kNull:
+            w.Null();
+            break;
+          case JsonValue::Type::kBool:
+            w.Bool(v.bool_value);
+            break;
+          case JsonValue::Type::kNumber:
+            w.Number(v.number_value);
+            break;
+          case JsonValue::Type::kString:
+            w.String(v.string_value);
+            break;
+          case JsonValue::Type::kArray:
+            w.BeginArray();
+            for (const JsonValue& item : v.array) {
+              Value(w, item);
+            }
+            w.EndArray();
+            break;
+          case JsonValue::Type::kObject:
+            w.BeginObject();
+            for (const auto& [key, item] : v.object) {
+              w.Key(key);
+              Value(w, item);
+            }
+            w.EndObject();
+            break;
+        }
+      }
+    };
+    Emit::Value(writer, *result);
+    response.result = writer.TakeString();
+    return response;
+  }
+
+  const JsonValue* error = parsed->Find("error");
+  if (error == nullptr || !error->IsObject()) {
+    return InvalidArgumentError("error response missing 'error' object");
+  }
+  const JsonValue* code = error->Find("code");
+  const JsonValue* message = error->Find("message");
+  if (code == nullptr || !code->IsString()) {
+    return InvalidArgumentError("error response missing string 'code'");
+  }
+  response.error_code = code->string_value;
+  if (message != nullptr && message->IsString()) {
+    response.error_message = message->string_value;
+  }
+  const JsonValue* retryable = parsed->Find("retryable");
+  response.retryable =
+      retryable != nullptr && retryable->IsBool() && retryable->bool_value;
+  return response;
+}
+
+}  // namespace concord

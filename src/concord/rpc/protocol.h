@@ -1,0 +1,104 @@
+// Control-plane RPC wire protocol (docs/OPERATIONS.md).
+//
+// The transport is a local unix-domain stream socket carrying newline-
+// delimited JSON frames — one request per line, one response per line, in
+// order. This header is the pure framing/parsing layer: no sockets, no
+// handler logic, so the request parser can be fuzzed and unit-tested as a
+// plain function (tests/concord/rpc_protocol_test.cc feeds it truncated,
+// oversized and mutated frames).
+//
+// Request:  {"id": 1, "method": "status", "params": {...}}
+//   id      optional; number or string, echoed verbatim in the response so a
+//           client can match pipelined replies. Anything else is rejected.
+//   method  required non-empty string.
+//   params  optional; must be an object when present.
+//
+// Response: {"id": 1, "ok": true,  "result": <value>}
+//           {"id": 1, "ok": false, "error": {"code": "...", "message":
+//            "..."}, "retryable": <bool>}
+//
+// `retryable` is the server's verdict that resending the identical request
+// is safe and might succeed (load shed, shutting down). Clients combine it
+// with their own verb table: concordctl retries read-only verbs only, no
+// matter what the server claims — a mutating request whose response was lost
+// may have been applied.
+
+#ifndef SRC_CONCORD_RPC_PROTOCOL_H_
+#define SRC_CONCORD_RPC_PROTOCOL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/base/json.h"
+#include "src/base/status.h"
+
+namespace concord {
+
+// Hard cap on one request frame (including the newline). The server sheds
+// anything longer without parsing it; the parser enforces it again so no
+// caller can feed an unbounded line through this layer.
+inline constexpr std::size_t kRpcMaxRequestBytes = 64 * 1024;
+
+// Stable wire error codes. The enum order is meaningless; the names are the
+// contract (failure-mode table in docs/OPERATIONS.md).
+enum class RpcErrorCode : std::uint8_t {
+  kParseError,          // frame is not valid JSON
+  kInvalidRequest,      // valid JSON, malformed envelope (bad id/method/params)
+  kUnknownMethod,       // no such verb
+  kInvalidParams,       // verb rejected its params
+  kNotFound,            // named entity (lock, fault point, file) missing
+  kFailedPrecondition,  // legal request, wrong state (e.g. autotune running)
+  kPermissionDenied,    // policy failed the verifier or lint gate
+  kResourceExhausted,   // capacity limit inside the facade
+  kBusy,                // load shed: accept/work queue full — retry later
+  kUnavailable,         // server draining/shutting down
+  kDeadlineExceeded,    // connection read/write timed out
+  kInternal,            // handler bug or injected rpc.handler fault
+};
+
+const char* RpcErrorCodeName(RpcErrorCode code);
+
+// Facade Status -> wire code, for handler errors bubbled out of Concord.
+RpcErrorCode RpcErrorCodeForStatus(const Status& status);
+
+struct RpcRequest {
+  std::string method;
+  JsonValue params;  // kObject when given, kNull otherwise
+  JsonValue id;      // kNumber or kString when given, kNull otherwise
+  bool has_id = false;
+};
+
+// Parses one frame (the line without its trailing newline). Returns
+// InvalidArgumentError whose message starts with the wire error code name
+// ("parse_error: ..." / "invalid_request: ...") so the server can classify
+// without re-parsing.
+StatusOr<RpcRequest> ParseRpcRequest(std::string_view line);
+
+// --- response envelopes ------------------------------------------------------
+
+// `result_json` must be one complete JSON value (handlers build theirs with
+// JsonWriter). The returned frame includes the trailing newline.
+std::string BuildRpcOk(const RpcRequest& request, std::string_view result_json);
+
+// `id` may be null (unparseable request — nothing to echo).
+std::string BuildRpcError(const JsonValue* id, RpcErrorCode code,
+                          std::string_view message, bool retryable);
+
+// --- client side -------------------------------------------------------------
+
+struct RpcResponse {
+  bool ok = false;
+  std::string result;  // raw JSON value when ok
+  std::string error_code;
+  std::string error_message;
+  bool retryable = false;
+};
+
+// Parses a response frame. Malformed frames are an error (a broken server is
+// a transport failure, not a protocol answer).
+StatusOr<RpcResponse> ParseRpcResponse(std::string_view line);
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_RPC_PROTOCOL_H_

@@ -1,0 +1,332 @@
+#include "src/concord/rpc/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "src/base/fault.h"
+#include "src/base/json.h"
+
+namespace concord {
+namespace {
+
+// Applies a SO_RCVTIMEO/SO_SNDTIMEO pair so a hung peer unblocks recv/send
+// with EAGAIN instead of pinning a worker.
+void SetSocketTimeouts(int fd, std::uint64_t read_ms, std::uint64_t write_ms) {
+  timeval rcv;
+  rcv.tv_sec = static_cast<time_t>(read_ms / 1000);
+  rcv.tv_usec = static_cast<suseconds_t>((read_ms % 1000) * 1000);
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof(rcv));
+  timeval snd;
+  snd.tv_sec = static_cast<time_t>(write_ms / 1000);
+  snd.tv_usec = static_cast<suseconds_t>((write_ms % 1000) * 1000);
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
+}
+
+}  // namespace
+
+RpcServer::RpcServer(RpcServerOptions options) : options_(std::move(options)) {
+  if (options_.workers == 0) {
+    options_.workers = 1;
+  }
+  if (options_.max_request_bytes > kRpcMaxRequestBytes) {
+    options_.max_request_bytes = kRpcMaxRequestBytes;
+  }
+  dispatcher_.SetExtraStatus([this](JsonWriter& json) {
+    const RpcServerStats stats = this->stats();
+    json.Key("rpc").BeginObject();
+    json.Field("socket", options_.socket_path);
+    json.NumberField("accepted", stats.accepted);
+    json.NumberField("shed", stats.shed);
+    json.NumberField("requests", stats.requests);
+    json.NumberField("errors", stats.errors);
+    json.NumberField("oversized", stats.oversized);
+    json.NumberField("read_timeouts", stats.read_timeouts);
+    json.NumberField("write_failures", stats.write_failures);
+    json.NumberField("faults_injected", stats.faults_injected);
+    json.EndObject();
+  });
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("RPC server already running");
+  }
+  sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path empty or longer than " +
+                                std::to_string(sizeof(addr.sun_path) - 1) +
+                                " bytes");
+  }
+  memcpy(addr.sun_path, options_.socket_path.c_str(),
+         options_.socket_path.size() + 1);
+
+  const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + strerror(errno));
+  }
+  // A stale socket file from a crashed predecessor would fail bind; the
+  // path is ours by contract, so replace it.
+  (void)unlink(options_.socket_path.c_str());
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close(fd);
+    return InternalError("bind(" + options_.socket_path +
+                         "): " + strerror(err));
+  }
+  if (listen(fd, options_.listen_backlog) != 0) {
+    const int err = errno;
+    close(fd);
+    (void)unlink(options_.socket_path.c_str());
+    return InternalError(std::string("listen: ") + strerror(err));
+  }
+
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void RpcServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  (void)unlink(options_.socket_path.c_str());
+  running_.store(false, std::memory_order_release);
+}
+
+RpcServerStats RpcServer::stats() const {
+  RpcServerStats out;
+  out.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  out.shed = counters_.shed.load(std::memory_order_relaxed);
+  out.requests = counters_.requests.load(std::memory_order_relaxed);
+  out.errors = counters_.errors.load(std::memory_order_relaxed);
+  out.oversized = counters_.oversized.load(std::memory_order_relaxed);
+  out.read_timeouts = counters_.read_timeouts.load(std::memory_order_relaxed);
+  out.write_failures =
+      counters_.write_failures.load(std::memory_order_relaxed);
+  out.faults_injected =
+      counters_.faults_injected.load(std::memory_order_relaxed);
+  return out;
+}
+
+void RpcServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, 100);
+    if (ready <= 0) {
+      continue;  // timeout tick (re-check stopping_) or EINTR
+    }
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    SetSocketTimeouts(client, options_.read_timeout_ms,
+                      options_.write_timeout_ms);
+    if (CONCORD_FAULT_POINT("rpc.accept")) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      close(client);
+      continue;
+    }
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> guard(queue_mu_);
+      if (pending_.size() >= options_.max_pending) {
+        shed = true;
+      } else {
+        pending_.push_back(client);
+      }
+    }
+    if (shed) {
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      SendErrorAndClose(client, RpcErrorCode::kBusy,
+                        "work queue full, retry later", /*retryable=*/true);
+    } else {
+      counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void RpcServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else {
+        return;  // stopping and nothing queued
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Graceful drain: connections that never reached a worker get a
+      // structured answer instead of a silent close.
+      SendErrorAndClose(fd, RpcErrorCode::kUnavailable,
+                        "server shutting down", /*retryable=*/true);
+      continue;
+    }
+    ServeConnection(fd);
+  }
+}
+
+void RpcServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool client_open = true;
+  while (client_open) {
+    // Drain complete frames already buffered before reading more.
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;
+      }
+      counters_.requests.fetch_add(1, std::memory_order_relaxed);
+
+      auto request = ParseRpcRequest(line);
+      std::string response;
+      if (!request.ok()) {
+        const std::string& message = request.status().message();
+        const RpcErrorCode code =
+            message.rfind("parse_error", 0) == 0 ? RpcErrorCode::kParseError
+                                                 : RpcErrorCode::kInvalidRequest;
+        counters_.errors.fetch_add(1, std::memory_order_relaxed);
+        response = BuildRpcError(nullptr, code, message, /*retryable=*/false);
+      } else if (!dispatcher_.Has(request->method)) {
+        counters_.errors.fetch_add(1, std::memory_order_relaxed);
+        response = BuildRpcError(&request->id, RpcErrorCode::kUnknownMethod,
+                                 "unknown method '" + request->method + "'",
+                                 /*retryable=*/false);
+      } else {
+        auto result = dispatcher_.Dispatch(request->method, request->params);
+        if (result.ok()) {
+          response = BuildRpcOk(*request, *result);
+        } else {
+          counters_.errors.fetch_add(1, std::memory_order_relaxed);
+          response = BuildRpcError(&request->id,
+                                   RpcErrorCodeForStatus(result.status()),
+                                   result.status().message(),
+                                   /*retryable=*/false);
+        }
+      }
+
+      if (CONCORD_FAULT_POINT("rpc.write")) {
+        counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+        close(fd);
+        return;
+      }
+      if (!WriteFrame(fd, response)) {
+        counters_.write_failures.fetch_add(1, std::memory_order_relaxed);
+        close(fd);
+        return;
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;  // in-flight frames answered; stop taking new ones
+    }
+
+    // A frame that outgrows the limit can never complete: reject without
+    // parsing and drop the connection (the rest of the oversized line would
+    // otherwise be misread as new frames).
+    if (buffer.size() > options_.max_request_bytes) {
+      counters_.oversized.fetch_add(1, std::memory_order_relaxed);
+      SendErrorAndClose(fd, RpcErrorCode::kInvalidRequest,
+                        "request exceeds " +
+                            std::to_string(options_.max_request_bytes) +
+                            " bytes",
+                        /*retryable=*/false);
+      return;
+    }
+
+    if (CONCORD_FAULT_POINT("rpc.read")) {
+      counters_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      close(fd);
+      return;
+    }
+    const ssize_t got = recv(fd, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(got));
+    } else if (got == 0) {
+      client_open = false;  // clean EOF
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        counters_.read_timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+      client_open = false;
+    }
+  }
+  close(fd);
+}
+
+void RpcServer::SendErrorAndClose(int fd, RpcErrorCode code,
+                                  const std::string& message, bool retryable) {
+  const std::string frame = BuildRpcError(nullptr, code, message, retryable);
+  counters_.errors.fetch_add(1, std::memory_order_relaxed);
+  if (!WriteFrame(fd, frame)) {
+    counters_.write_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  close(fd);
+}
+
+bool RpcServer::WriteFrame(int fd, const std::string& frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t wrote =
+        send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // timeout (EAGAIN via SO_SNDTIMEO), EPIPE, or other error
+  }
+  return true;
+}
+
+}  // namespace concord

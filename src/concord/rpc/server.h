@@ -1,0 +1,140 @@
+// Local control-plane RPC server (docs/OPERATIONS.md).
+//
+// A unix-domain stream socket speaking the newline-delimited JSON protocol
+// in src/concord/rpc/protocol.h, dispatching verbs through RpcDispatcher.
+// Robustness is the design center — every failure mode of the socket must be
+// invisible to the lock hot path (bench/a12_rpc measures exactly that):
+//
+//   isolation      the accept loop and workers are dedicated threads that
+//                  only ever call control-plane facade functions; they take
+//                  the same mutexes AutotuneStatusJson takes and nothing
+//                  else. No lock/waiter/queue state is touched.
+//   bounded queue  accepted connections wait in a bounded work queue; when
+//                  it is full the connection gets a `busy` (503-style) error
+//                  reply and is closed — the queue never grows without
+//                  bound, no matter how fast clients connect.
+//   timeouts       per-connection read and write timeouts: a client that
+//                  connects and hangs, or stops draining its receive buffer,
+//                  is disconnected; it cannot pin a worker forever.
+//   input limits   frames above max_request_bytes are rejected without being
+//                  parsed; malformed frames get a structured error reply.
+//   graceful stop  Stop() closes the listener, finishes the request each
+//                  worker is serving, answers queued-but-unserved
+//                  connections with `unavailable`, then joins every thread.
+//
+// Fault points (src/base/fault.h): rpc.accept drops a freshly accepted
+// connection, rpc.read fails a request read, rpc.write suppresses a response
+// write, rpc.handler (in the dispatcher) aborts a verb. The RpcChaos suite
+// arms each and proves clients see clean errors while the data path stays
+// unaffected.
+
+#ifndef SRC_CONCORD_RPC_SERVER_H_
+#define SRC_CONCORD_RPC_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/concord/rpc/dispatch.h"
+#include "src/concord/rpc/protocol.h"
+
+namespace concord {
+
+struct RpcServerOptions {
+  std::string socket_path;
+
+  // Accepted connections waiting for a worker. Anything beyond this is shed
+  // with a `busy` reply.
+  std::size_t max_pending = 16;
+  // Worker threads serving connections (each drains one connection fully —
+  // clients may pipeline many requests per connection).
+  std::size_t workers = 2;
+
+  std::uint64_t read_timeout_ms = 2'000;
+  std::uint64_t write_timeout_ms = 2'000;
+  std::size_t max_request_bytes = kRpcMaxRequestBytes;
+  int listen_backlog = 16;
+};
+
+// Monotonic counters, all relaxed: a statistical view for `status` replies
+// and tests, not a synchronization mechanism.
+struct RpcServerStats {
+  std::uint64_t accepted = 0;        // connections handed to the queue
+  std::uint64_t shed = 0;            // connections refused with `busy`
+  std::uint64_t requests = 0;        // frames parsed and dispatched
+  std::uint64_t errors = 0;          // error envelopes sent (any code)
+  std::uint64_t oversized = 0;       // frames shed for size
+  std::uint64_t read_timeouts = 0;   // connections dropped for idleness
+  std::uint64_t write_failures = 0;  // responses that could not be written
+  std::uint64_t faults_injected = 0; // rpc.accept/read/write fires observed
+};
+
+class RpcServer {
+ public:
+  explicit RpcServer(RpcServerOptions options);
+  ~RpcServer();  // calls Stop()
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  // Binds the socket (replacing any stale file at the path), then starts the
+  // accept thread and workers. Fails if already running or the path does not
+  // fit sockaddr_un.
+  Status Start();
+
+  // Graceful shutdown: stop accepting, drain in-flight requests, answer
+  // queued connections with `unavailable`, join all threads, unlink the
+  // socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  RpcDispatcher& dispatcher() { return dispatcher_; }
+  RpcServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  // Best-effort single-frame reply used for shed/drain paths.
+  void SendErrorAndClose(int fd, RpcErrorCode code, const std::string& message,
+                         bool retryable);
+  bool WriteFrame(int fd, const std::string& frame);
+
+  RpcServerOptions options_;
+  RpcDispatcher dispatcher_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  // Relaxed counters; see RpcServerStats.
+  struct {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> oversized{0};
+    std::atomic<std::uint64_t> read_timeouts{0};
+    std::atomic<std::uint64_t> write_failures{0};
+    std::atomic<std::uint64_t> faults_injected{0};
+  } counters_;
+};
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_RPC_SERVER_H_

@@ -120,6 +120,49 @@ TEST_F(FaultTest, ThreadFiresCountsThisThreadsFires) {
   EXPECT_EQ(FaultRegistry::ThreadFires(), before + 2);
 }
 
+TEST_F(FaultTest, ListPointsCoversKnownSitesAndArmedState) {
+  const auto find = [](const std::vector<FaultRegistry::PointInfo>& points,
+                       const std::string& name)
+      -> const FaultRegistry::PointInfo* {
+    for (const auto& point : points) {
+      if (point.name == name) {
+        return &point;
+      }
+    }
+    return nullptr;
+  };
+
+  // Every compiled-in site is listed with a description even when unarmed.
+  auto points = FaultRegistry::Global().ListPoints();
+  for (const char* known :
+       {"bpf.map_lookup", "bpf.helper", "jit.compile", "park.delayed_wake",
+        "autotune.decide", "rpc.accept", "rpc.read", "rpc.write",
+        "rpc.handler"}) {
+    const auto* info = find(points, known);
+    ASSERT_NE(info, nullptr) << known;
+    EXPECT_FALSE(info->armed) << known;
+    EXPECT_FALSE(info->description.empty()) << known;
+  }
+
+  // Arming shows up with a directive that round-trips through the parser,
+  // and ad-hoc (unknown) points appear too.
+  ASSERT_TRUE(FaultRegistry::Global().ArmFromDirective("rpc.read=1in8:42"));
+  ASSERT_TRUE(FaultRegistry::Global().ArmFromDirective("fault_test.adhoc=nth3"));
+  CONCORD_FAULT_POINT("rpc.read");
+  points = FaultRegistry::Global().ListPoints();
+
+  const auto* read = find(points, "rpc.read");
+  ASSERT_NE(read, nullptr);
+  EXPECT_TRUE(read->armed);
+  EXPECT_EQ(read->directive, "1in8:42");
+  EXPECT_EQ(read->evaluations, 1u);
+
+  const auto* adhoc = find(points, "fault_test.adhoc");
+  ASSERT_NE(adhoc, nullptr);
+  EXPECT_TRUE(adhoc->armed);
+  EXPECT_EQ(adhoc->directive, "nth3");
+}
+
 #else  // !CONCORD_FAULT_INJECTION
 
 TEST(FaultTest, MacrosCompileOutToConstants) {

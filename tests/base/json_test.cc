@@ -129,6 +129,63 @@ TEST(JsonParserTest, RejectsRunawayNesting) {
   EXPECT_FALSE(ParseJson(deep).ok());
 }
 
+// Regression: control characters, quotes and non-ASCII bytes must all escape
+// to output the parser accepts — names fed to the writer come from operator
+// input (lock names, policy files, RPC params), not a trusted vocabulary.
+TEST(JsonWriterTest, EscapesAllControlCharacters) {
+  for (int c = 0; c < 0x20; ++c) {
+    JsonWriter w;
+    w.String(std::string(1, static_cast<char>(c)));
+    auto parsed = ParseJson(w.str());
+    ASSERT_TRUE(parsed.ok()) << "control char " << c << " -> " << w.str();
+    EXPECT_EQ(parsed->string_value, std::string(1, static_cast<char>(c)))
+        << "control char " << c;
+    // \u00XX escapes (or the short forms) only — never a raw control byte.
+    for (char raw : w.str()) {
+      EXPECT_GE(static_cast<unsigned char>(raw), 0x20u);
+    }
+  }
+}
+
+TEST(JsonWriterTest, EscapesBackspaceAndFormFeedShortForms) {
+  JsonWriter w;
+  w.String("\b\f");
+  EXPECT_EQ(w.str(), "\"\\b\\f\"");
+}
+
+TEST(JsonWriterTest, PassesThroughValidUtf8) {
+  // 2-, 3- and 4-byte sequences survive verbatim and round-trip.
+  const std::string text = "caf\xc3\xa9 \xe6\xbc\xa2 \xf0\x9f\x94\x92";
+  JsonWriter w;
+  w.String(text);
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << w.str();
+  EXPECT_EQ(parsed->string_value, text);
+}
+
+TEST(JsonWriterTest, ReplacesInvalidUtf8WithReplacementChar) {
+  // Lone continuation byte, truncated lead, overlong encoding of '/', UTF-16
+  // surrogate half, codepoint past U+10FFFF: each must become � (never
+  // raw bytes that would make the emitted document unparseable).
+  const char* cases[] = {
+      "\x80",              // bare continuation
+      "\xc3",              // truncated 2-byte lead at end of string
+      "\xc0\xaf",          // overlong '/'
+      "\xed\xa0\x80",      // UTF-16 high surrogate D800
+      "\xf4\x90\x80\x80",  // U+110000, out of range
+  };
+  for (const char* bad : cases) {
+    JsonWriter w;
+    w.String(std::string("x") + bad + "y");
+    auto parsed = ParseJson(w.str());
+    ASSERT_TRUE(parsed.ok()) << "input escaped to unparseable: " << w.str();
+    EXPECT_NE(w.str().find("\\ufffd"), std::string::npos) << w.str();
+    // The good neighbours survive.
+    EXPECT_EQ(parsed->string_value.front(), 'x');
+    EXPECT_EQ(parsed->string_value.back(), 'y');
+  }
+}
+
 TEST(JsonRoundTripTest, WriterOutputParses) {
   JsonWriter w;
   w.BeginObject();

@@ -1,0 +1,402 @@
+// End-to-end tests for the control-plane RPC server over a real unix socket:
+// verb round-trips through RpcClient, the policy.attach static-analysis
+// gate, and the robustness machinery — malformed input, oversized frames,
+// pipelining, load shedding, idle-client timeouts and graceful shutdown.
+
+#include "src/concord/rpc/server.h"
+
+#include <gtest/gtest.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/fault.h"
+#include "src/base/json.h"
+#include "src/concord/concord.h"
+#include "src/concord/rpc/client.h"
+#include "src/sync/shfllock.h"
+
+namespace concord {
+namespace {
+
+void SleepMs(std::uint64_t ms) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1'000'000);
+  nanosleep(&ts, nullptr);
+}
+
+// The flagship NUMA policy, inline so the test has no file dependencies.
+constexpr char kGoodPolicy[] =
+    "; hook: cmp_node\n"
+    "  ldxw r2, [r1+16]\n"
+    "  ldxw r3, [r1+56]\n"
+    "  jeq  r2, r3, same\n"
+    "  mov  r0, 0\n"
+    "  exit\n"
+    "same:\n"
+    "  mov  r0, 1\n"
+    "  exit\n";
+
+// Assembles fine but returns 2 — the cmp_node lint contract (return 0 or 1)
+// must reject it before it ever reaches a lock.
+constexpr char kBadPolicy[] =
+    "; hook: cmp_node\n"
+    "  mov r0, 2\n"
+    "  exit\n";
+
+class RpcServerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+    }
+    Concord::Global().ResetForTest();
+#if CONCORD_FAULT_INJECTION
+    FaultRegistry::Global().DisarmAll();
+#endif
+  }
+
+  std::string SocketPath() const {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return "/tmp/concord_rpc_" + std::to_string(getpid()) + "_" + info->name() +
+           ".sock";
+  }
+
+  void StartServer(RpcServerOptions options) {
+    options.socket_path = SocketPath();
+    server_ = std::make_unique<RpcServer>(std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  RpcClient MakeClient() {
+    RpcClientOptions options;
+    options.socket_path = SocketPath();
+    options.timeout_ms = 5'000;
+    return RpcClient(options);
+  }
+
+  // Raw-socket helpers for the malformed-input tests (RpcClient only ever
+  // sends valid frames).
+  int RawConnect() {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    const std::string path = SocketPath();
+    memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << strerror(errno);
+    return fd;
+  }
+
+  static void RawSend(int fd, const std::string& bytes) {
+    ASSERT_EQ(send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  // Reads one newline-terminated frame, or "" on EOF/timeout.
+  static std::string RawReadLine(int fd, int timeout_ms = 5'000) {
+    std::string line;
+    char c;
+    while (true) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (poll(&pfd, 1, timeout_ms) <= 0) {
+        return "";
+      }
+      const ssize_t got = recv(fd, &c, 1, 0);
+      if (got <= 0) {
+        return "";
+      }
+      if (c == '\n') {
+        return line;
+      }
+      line.push_back(c);
+    }
+  }
+
+  std::unique_ptr<RpcServer> server_;
+  ShflLock lock_;
+};
+
+TEST_F(RpcServerTest, StatusRoundTripsWithServerCounters) {
+  const std::uint64_t id =
+      Concord::Global().RegisterShflLock(lock_, "hot", "demo");
+  StartServer({});
+  RpcClient client = MakeClient();
+
+  auto response = client.Call("status", "", /*idempotent=*/true);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok) << response->error_message;
+
+  auto parsed = ParseJson(response->result);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->Find("pid")->number_value,
+                   static_cast<double>(getpid()));
+  const JsonValue* locks = parsed->Find("locks");
+  ASSERT_NE(locks, nullptr);
+  ASSERT_EQ(locks->array.size(), 1u);
+  EXPECT_EQ(locks->array[0].Find("name")->string_value, "hot");
+  const JsonValue* rpc = parsed->Find("rpc");
+  ASSERT_NE(rpc, nullptr) << "server must inject its counters into status";
+  EXPECT_EQ(rpc->Find("socket")->string_value, SocketPath());
+  EXPECT_GE(rpc->Find("accepted")->number_value, 1.0);
+  EXPECT_DOUBLE_EQ(rpc->Find("shed")->number_value, 0.0);
+
+  (void)Concord::Global().Unregister(id);
+}
+
+TEST_F(RpcServerTest, AutotuneLifecycleOverSocket) {
+  const std::uint64_t id =
+      Concord::Global().RegisterShflLock(lock_, "hot", "demo");
+  StartServer({});
+  RpcClient client = MakeClient();
+
+  auto enabled = client.Call("autotune.enable", R"({"selector":"class:demo"})",
+                             /*idempotent=*/false);
+  ASSERT_TRUE(enabled.ok());
+  ASSERT_TRUE(enabled->ok) << enabled->error_message;
+
+  auto status = client.Call("autotune.status", "", /*idempotent=*/true);
+  ASSERT_TRUE(status.ok());
+  ASSERT_TRUE(status->ok);
+  auto parsed = ParseJson(status->result);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("running")->bool_value);
+
+  auto disabled = client.Call("autotune.disable", "", /*idempotent=*/false);
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_TRUE(disabled->ok) << disabled->error_message;
+
+  (void)Concord::Global().Unregister(id);
+}
+
+TEST_F(RpcServerTest, PolicyAttachRunsTheStaticAnalysisGate) {
+  const std::uint64_t id =
+      Concord::Global().RegisterShflLock(lock_, "hot", "demo");
+  StartServer({});
+  RpcClient client = MakeClient();
+
+  // The lint gate kills a policy that returns an illegal value; the error is
+  // structured, not a dropped connection.
+  JsonWriter bad;
+  bad.BeginObject();
+  bad.Field("selector", "hot");
+  bad.Field("source", kBadPolicy);
+  bad.Field("name", "bad_policy");
+  bad.EndObject();
+  auto rejected =
+      client.Call("policy.attach", bad.str(), /*idempotent=*/false);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  ASSERT_FALSE(rejected->ok);
+  EXPECT_TRUE(rejected->error_code == "permission_denied" ||
+              rejected->error_code == "invalid_params")
+      << rejected->error_code << ": " << rejected->error_message;
+
+  JsonWriter good;
+  good.BeginObject();
+  good.Field("selector", "hot");
+  good.Field("source", kGoodPolicy);
+  good.Field("name", "numa_rpc");
+  good.EndObject();
+  auto attached =
+      client.Call("policy.attach", good.str(), /*idempotent=*/false);
+  ASSERT_TRUE(attached.ok());
+  ASSERT_TRUE(attached->ok) << attached->error_code << ": "
+                            << attached->error_message;
+  auto result = ParseJson(attached->result);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("attached")->string_value, "numa_rpc");
+  EXPECT_EQ(result->Find("hook")->string_value, "cmp_node");
+
+  // Visible through status, and detachable.
+  auto status = client.Call("status", R"({"selector":"hot"})",
+                            /*idempotent=*/true);
+  ASSERT_TRUE(status.ok() && status->ok);
+  auto snapshot = ParseJson(status->result);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE(snapshot->Find("locks")->array[0].Find("has_policy")->bool_value);
+
+  auto detached = client.Call("policy.detach", R"({"selector":"hot"})",
+                              /*idempotent=*/false);
+  ASSERT_TRUE(detached.ok());
+  ASSERT_TRUE(detached->ok);
+  auto count = ParseJson(detached->result);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->Find("detached")->number_value, 1.0);
+
+  (void)Concord::Global().Unregister(id);
+}
+
+TEST_F(RpcServerTest, MalformedFramesGetStructuredErrorsAndConnectionSurvives) {
+  StartServer({});
+  const int fd = RawConnect();
+
+  RawSend(fd, "this is not json\n");
+  auto reply = ParseRpcResponse(RawReadLine(fd));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->error_code, "parse_error");
+
+  RawSend(fd, "{\"method\":\"\"}\n");
+  reply = ParseRpcResponse(RawReadLine(fd));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->error_code, "invalid_request");
+
+  RawSend(fd, "{\"method\":\"no.such.verb\",\"id\":3}\n");
+  reply = ParseRpcResponse(RawReadLine(fd));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->error_code, "unknown_method");
+
+  // The connection is still good for a valid request afterwards.
+  RawSend(fd, "{\"method\":\"status\",\"id\":4}\n");
+  reply = ParseRpcResponse(RawReadLine(fd));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->ok);
+  close(fd);
+}
+
+TEST_F(RpcServerTest, OversizedFrameIsShedWithoutParsing) {
+  RpcServerOptions options;
+  options.max_request_bytes = 1'024;
+  StartServer(options);
+  const int fd = RawConnect();
+
+  // No newline: the frame can never complete, so the server must reject it
+  // as soon as the buffer outgrows the limit, then drop the connection.
+  RawSend(fd, std::string(5'000, 'x'));
+  auto reply = ParseRpcResponse(RawReadLine(fd));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->error_code, "invalid_request");
+  EXPECT_EQ(RawReadLine(fd, 1'000), "");  // closed
+  close(fd);
+
+  EXPECT_GE(server_->stats().oversized, 1u);
+}
+
+TEST_F(RpcServerTest, PipelinedFramesAnswerInOrder) {
+  StartServer({});
+  const int fd = RawConnect();
+
+  RawSend(fd,
+          "{\"id\":1,\"method\":\"status\"}\n"
+          "{\"id\":2,\"method\":\"faults.list\"}\n"
+          "{\"id\":3,\"method\":\"containment.status\"}\n");
+  for (int expected = 1; expected <= 3; ++expected) {
+    const std::string line = RawReadLine(fd);
+    ASSERT_FALSE(line.empty()) << "no reply for id " << expected;
+    auto parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed->Find("id")->number_value,
+                     static_cast<double>(expected));
+    EXPECT_TRUE(parsed->Find("ok")->bool_value);
+  }
+  close(fd);
+}
+
+TEST_F(RpcServerTest, FullQueueShedsWithBusyReply) {
+  RpcServerOptions options;
+  options.workers = 1;
+  options.max_pending = 1;
+  StartServer(options);
+
+  // Occupy the single worker: a served request leaves the worker blocked in
+  // recv on this connection until we close it.
+  const int busy_fd = RawConnect();
+  RawSend(busy_fd, "{\"method\":\"status\"}\n");
+  ASSERT_FALSE(RawReadLine(busy_fd).empty());
+
+  // Fills the one queue slot.
+  const int queued_fd = RawConnect();
+  SleepMs(200);  // let the accept loop enqueue it
+
+  // Over capacity: 503-style structured shed, marked retryable.
+  const int shed_fd = RawConnect();
+  auto reply = ParseRpcResponse(RawReadLine(shed_fd));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->error_code, "busy");
+  EXPECT_TRUE(reply->retryable);
+  close(shed_fd);
+
+  // Freeing the worker lets the queued connection get real service.
+  close(busy_fd);
+  RawSend(queued_fd, "{\"method\":\"status\"}\n");
+  auto served = ParseRpcResponse(RawReadLine(queued_fd));
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served->ok);
+  close(queued_fd);
+
+  EXPECT_GE(server_->stats().shed, 1u);
+}
+
+TEST_F(RpcServerTest, IdleClientIsDisconnectedByReadTimeout) {
+  RpcServerOptions options;
+  options.read_timeout_ms = 100;
+  StartServer(options);
+
+  const int fd = RawConnect();
+  // Send nothing: the worker's recv must time out and drop us, not pin the
+  // worker forever.
+  EXPECT_EQ(RawReadLine(fd, 2'000), "");
+  close(fd);
+  EXPECT_GE(server_->stats().read_timeouts, 1u);
+}
+
+TEST_F(RpcServerTest, GracefulShutdownAnswersQueuedConnections) {
+  RpcServerOptions options;
+  options.workers = 1;
+  options.max_pending = 4;
+  options.read_timeout_ms = 200;  // bounds how long Stop() waits on the worker
+  StartServer(options);
+
+  // Worker pinned on this connection until its read times out.
+  const int busy_fd = RawConnect();
+  RawSend(busy_fd, "{\"method\":\"status\"}\n");
+  ASSERT_FALSE(RawReadLine(busy_fd).empty());
+
+  const int queued_fd = RawConnect();
+  SleepMs(100);  // ensure it is queued before the drain starts
+
+  server_->Stop();
+
+  // The queued-but-unserved connection got a structured drain reply.
+  auto reply = ParseRpcResponse(RawReadLine(queued_fd, 1'000));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->error_code, "unavailable");
+  EXPECT_TRUE(reply->retryable);
+  close(queued_fd);
+  close(busy_fd);
+
+  // The socket file is gone and Stop is idempotent.
+  EXPECT_NE(access(SocketPath().c_str(), F_OK), 0);
+  server_->Stop();
+}
+
+TEST_F(RpcServerTest, ClientRetriesAreBoundedOnDeadSocket) {
+  // No server at all: an idempotent call must fail after max_attempts, not
+  // camp forever.
+  RpcClientOptions options;
+  options.socket_path = SocketPath();
+  options.max_attempts = 3;
+  options.backoff_initial_ms = 1;
+  options.backoff_max_ms = 4;
+  RpcClient client(options);
+  auto response = client.Call("status", "", /*idempotent=*/true);
+  EXPECT_FALSE(response.ok());
+}
+
+}  // namespace
+}  // namespace concord

@@ -17,6 +17,15 @@
 //       spread over virtual sockets so the hot lock shows NUMA skew) and
 //       print AutotuneStatusJson: per-lock regime, incumbent policy and the
 //       controller's event log
+//   concord_prof status --socket PATH
+//       fetch the `status` verb from a running control-plane RPC server
+//       (docs/OPERATIONS.md) and print the result; exits nonzero with a
+//       clear stderr message on connect or parse failure
+//
+// Any workload mode additionally accepts --serve PATH to expose the
+// control-plane RPC server on that unix socket for the duration of the run,
+// so an operator (or the CI smoke job) can drive concordctl against a live
+// workload.
 
 #include <atomic>
 #include <cstdio>
@@ -29,6 +38,8 @@
 #include "src/base/time.h"
 #include "src/concord/autotune/controller.h"
 #include "src/concord/concord.h"
+#include "src/concord/rpc/client.h"
+#include "src/concord/rpc/server.h"
 #include "src/concord/trace_export.h"
 #include "src/sync/shfllock.h"
 #include "src/topology/thread_context.h"
@@ -43,13 +54,16 @@ struct Options {
   int threads = 4;
   int ms = 200;
   std::string out = "concord_trace.json";
+  std::string socket;  // status mode: RPC socket to query
+  std::string serve;   // workload modes: expose the RPC server here
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <top|trace|stats|autotune> [--locks N] [--threads N] "
-               "[--ms N] [--out FILE]\n",
-               argv0);
+               "[--ms N] [--out FILE] [--serve SOCKET]\n"
+               "       %s status --socket SOCKET\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -59,7 +73,7 @@ bool ParseOptions(int argc, char** argv, Options& opts) {
   }
   opts.mode = argv[1];
   if (opts.mode != "top" && opts.mode != "trace" && opts.mode != "stats" &&
-      opts.mode != "autotune") {
+      opts.mode != "autotune" && opts.mode != "status") {
     return false;
   }
   for (int i = 2; i < argc; ++i) {
@@ -73,10 +87,21 @@ bool ParseOptions(int argc, char** argv, Options& opts) {
       opts.ms = std::atoi(argv[++i]);
     } else if (arg == "--out" && has_value) {
       opts.out = argv[++i];
+    } else if (arg == "--socket" && has_value) {
+      opts.socket = argv[++i];
+    } else if (arg == "--serve" && has_value) {
+      opts.serve = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (opts.mode == "status") {
+    if (opts.socket.empty()) {
+      std::fprintf(stderr, "status mode requires --socket PATH\n");
+      return false;
+    }
+    return true;
   }
   if (opts.locks < 1 || opts.locks > 64 || opts.threads < 1 ||
       opts.threads > 256 || opts.ms < 1) {
@@ -84,6 +109,29 @@ bool ParseOptions(int argc, char** argv, Options& opts) {
     return false;
   }
   return true;
+}
+
+// status mode: one read-only RPC against a live server. Every failure mode —
+// no socket, connect refused, deadline, garbled reply — exits nonzero with a
+// message naming the stage, never 0 with partial output.
+int RunStatusClient(const Options& opts) {
+  RpcClientOptions client_options;
+  client_options.socket_path = opts.socket;
+  RpcClient client(client_options);
+  auto response = client.Call("status", "", /*idempotent=*/true);
+  if (!response.ok()) {
+    std::fprintf(stderr, "concord_prof: status query failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->ok) {
+    std::fprintf(stderr, "concord_prof: server error: %s: %s\n",
+                 response->error_code.c_str(),
+                 response->error_message.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->result.c_str());
+  return 0;
 }
 
 // Runs the demo workload: every thread loops over the locks with a skew that
@@ -128,7 +176,24 @@ void RunWorkload(std::vector<ShflLock>& locks, const Options& opts) {
 }
 
 int Run(const Options& opts) {
+  if (opts.mode == "status") {
+    return RunStatusClient(opts);
+  }
+
   Concord& concord = Concord::Global();
+
+  RpcServerOptions server_options;
+  server_options.socket_path = opts.serve;
+  RpcServer rpc_server(server_options);
+  if (!opts.serve.empty()) {
+    const Status started = rpc_server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "concord_prof: cannot serve RPC on %s: %s\n",
+                   opts.serve.c_str(), started.ToString().c_str());
+      return 1;
+    }
+  }
+
   std::vector<ShflLock> locks(static_cast<std::size_t>(opts.locks));
   std::vector<std::uint64_t> ids;
   for (int i = 0; i < opts.locks; ++i) {

@@ -1,0 +1,132 @@
+// concordctl — operator CLI for the Concord control-plane RPC socket
+// (docs/OPERATIONS.md).
+//
+//   concordctl --socket PATH [--timeout-ms N] [--attempts N]
+//              [--backoff-ms N] <method> [key=value ...]
+//
+// Examples:
+//   concordctl --socket /tmp/concord.sock status
+//   concordctl --socket /tmp/concord.sock autotune.enable selector=class:demo
+//   concordctl --socket /tmp/concord.sock policy.attach selector=hot
+//       file=examples/policies/numa_cmp_node.casm
+//   concordctl --socket /tmp/concord.sock faults.arm directive=rpc.read=1in3
+//
+// key=value pairs become string params (split at the first '=', so values
+// may themselves contain '='). Read-only verbs are retried with bounded
+// exponential backoff + jitter on transport failures and `busy` sheds;
+// mutating verbs get exactly one attempt — a lost response may mean the
+// mutation was applied, and resending is not safe.
+//
+// Exit codes: 0 success; 1 RPC or transport error; 2 usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/concord/rpc/client.h"
+#include "src/concord/rpc/dispatch.h"
+
+namespace concord {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [--timeout-ms N] [--attempts N]\n"
+      "       [--backoff-ms N] <method> [key=value ...]\n\nverbs:\n",
+      argv0);
+  RpcDispatcher dispatcher;
+  for (const std::string& method : dispatcher.Methods()) {
+    std::fprintf(stderr, "  %-20s %s\n", method.c_str(),
+                 dispatcher.IsReadOnly(method) ? "(read-only, retried)"
+                                               : "(mutating, no retry)");
+  }
+  return 2;
+}
+
+bool ParseU64(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  RpcClientOptions options;
+  std::string method;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    std::uint64_t value = 0;
+    if (arg == "--socket" && has_value) {
+      options.socket_path = argv[++i];
+    } else if (arg == "--timeout-ms" && has_value && ParseU64(argv[++i], &value)) {
+      options.timeout_ms = value;
+    } else if (arg == "--attempts" && has_value && ParseU64(argv[++i], &value)) {
+      options.max_attempts = static_cast<std::uint32_t>(value);
+    } else if (arg == "--backoff-ms" && has_value && ParseU64(argv[++i], &value)) {
+      options.backoff_initial_ms = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "concordctl: bad or incomplete flag '%s'\n",
+                   arg.c_str());
+      return Usage(argv[0]);
+    } else if (method.empty()) {
+      method = arg;
+    } else {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "concordctl: param '%s' is not key=value\n",
+                     arg.c_str());
+        return Usage(argv[0]);
+      }
+      params.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+  if (method.empty() || options.socket_path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  std::string params_json;
+  if (!params.empty()) {
+    JsonWriter writer;
+    writer.BeginObject();
+    for (const auto& [key, value] : params) {
+      writer.Field(key, value);
+    }
+    writer.EndObject();
+    params_json = writer.TakeString();
+  }
+
+  // The verb table is the single source of truth for retry safety. Verbs
+  // this build doesn't know (an older ctl against a newer server) are
+  // conservatively treated as mutating.
+  RpcDispatcher dispatcher;
+  const bool idempotent = dispatcher.IsReadOnly(method);
+
+  RpcClient client(options);
+  auto response = client.Call(method, params_json, idempotent);
+  if (!response.ok()) {
+    std::fprintf(stderr, "concordctl: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->ok) {
+    std::fprintf(stderr, "concordctl: %s: %s\n", response->error_code.c_str(),
+                 response->error_message.c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->result.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main(int argc, char** argv) { return concord::Run(argc, argv); }
