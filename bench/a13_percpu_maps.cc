@@ -1,0 +1,239 @@
+// A13: per-CPU policy maps under contention.
+//
+// Two identical counter policies tap kLockAcquired and count acquisitions
+// keyed by the holder's task class. The tap fires *while the lock is held*,
+// so the counter update is part of the serialized handoff path. One policy
+// counts into a *shared* hash map — each acquisition xadds a value cache
+// line the previous holder (usually another CPU) just wrote, so every
+// critical section eats a cross-CPU cache miss — the other counts into a
+// per-CPU hash map where the holder increments its own CPU's lane. The
+// table reports throughput and p99 lock wait per flavour; both census
+// totals are cross-checked against the profiler's acquisition count so the
+// cheap flavour is provably counting the same events.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/bpf/assembler.h"
+#include "src/bpf/maps.h"
+#include "src/concord/concord.h"
+#include "src/concord/policies.h"
+#include "src/topology/thread_context.h"
+#include "src/topology/topology.h"
+
+namespace concord {
+namespace {
+
+// Same program shape MakeLockCensusPolicy uses: count acquisitions keyed by
+// task class. Against a plain hash map every xadd contends on the shared
+// value; against a per-CPU hash map each CPU increments its own slot.
+constexpr char kCensusSource[] = R"(
+  call get_task_class
+  stxdw [r10-8], r0     ; key = task_class
+  mov r1, 0
+  mov r2, r10
+  add r2, -8
+  call map_lookup_elem
+  jeq r0, 0, miss
+  mov r2, 1
+  xadddw [r0+0], r2
+  mov r0, 0
+  exit
+miss:
+  stdw [r10-16], 1
+  mov r1, 0
+  mov r2, r10
+  add r2, -8
+  mov r3, r10
+  add r3, -16
+  call map_update_elem
+  mov r0, 0
+  exit
+)";
+
+// Binds the census program to `census` (a HashMap or PerCpuHashMap) on the
+// lock_acquired tap, so the count happens inside the hold window.
+PolicySpec MakeCensusSpec(const char* flavor,
+                          std::shared_ptr<BpfMap> census) {
+  auto program =
+      AssembleProgram(std::string("census_acquired_") + flavor, kCensusSource,
+                      &DescriptorFor(HookKind::kLockAcquired), {census.get()});
+  CONCORD_CHECK(program.ok());
+  PolicySpec spec;
+  spec.name = std::string("lock_census_") + flavor;
+  spec.maps.push_back(std::move(census));
+  CONCORD_CHECK(
+      spec.AddProgram(HookKind::kLockAcquired, std::move(*program)).ok());
+  return spec;
+}
+
+struct FlavorResult {
+  double ops_per_msec = 0.0;
+  double p99_wait_ns = 0.0;
+  std::uint64_t census_total = 0;  // cross-CPU sum over all classes
+  std::uint64_t acquisitions = 0;  // profiler ground truth
+};
+
+FlavorResult RunFlavor(PolicySpec spec, std::uint32_t threads,
+                       const std::function<std::uint64_t()>& census_total) {
+  static ShflLock lock;
+  // Pure spinning: the host has plenty of CPUs for ≤ 16 workers, and parked
+  // waiters' wake latency (≈ 1 ms) would drown the handoff-path difference
+  // this bench exists to measure.
+  lock.SetBlocking(false);
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "a13", "bench");
+  CONCORD_CHECK(concord.EnableProfiling(id).ok());
+  CONCORD_CHECK(concord.Attach(id, std::move(spec)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  const std::uint32_t cpus = MachineTopology::Global().total_cpus();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadContext& ctx = ThreadRegistry::Global().RegisterCurrent(t % cpus);
+      // Spread threads over all four task classes so the census has several
+      // keys (several contended cache lines in the shared flavour).
+      ctx.task_class.store(static_cast<std::uint8_t>(t % 4),
+                           std::memory_order_relaxed);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 16; ++i) {
+          ShflGuard guard(lock);
+        }
+      }
+    });
+  }
+  CONCORD_CHECK(bench::AwaitCondition([&] { return ready.load() == threads; }));
+
+  constexpr std::uint64_t kRunMs = 300;
+  go.store(true, std::memory_order_release);
+  bench::SleepMs(kRunMs);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  FlavorResult result;
+  const auto* stats = concord.Stats(id);
+  CONCORD_CHECK(stats != nullptr);
+  const LockProfileSnapshot snapshot = stats->Snapshot();
+  result.acquisitions = snapshot.acquisitions;
+  result.ops_per_msec =
+      static_cast<double>(snapshot.acquisitions) / static_cast<double>(kRunMs);
+  result.p99_wait_ns = static_cast<double>(snapshot.wait_ns.Percentile(99));
+  result.census_total = census_total();
+  CONCORD_CHECK(concord.Unregister(id).ok());
+  return result;
+}
+
+// One 300 ms sample is noisy on a busy host; take the median of
+// `kRepetitions` runs per flavour (fresh spec each run — Attach consumes it).
+constexpr int kRepetitions = 3;
+
+FlavorResult RunFlavorMedian(const std::function<PolicySpec()>& make_spec,
+                             std::uint32_t threads,
+                             const std::function<std::uint64_t()>& total,
+                             const std::function<void()>& reset_census) {
+  std::vector<FlavorResult> runs;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    reset_census();
+    runs.push_back(RunFlavor(make_spec(), threads, total));
+    // Every rep must have counted exactly what the profiler saw — the
+    // per-CPU flavour is not allowed to be fast by dropping counts.
+    CONCORD_CHECK(runs.back().census_total == runs.back().acquisitions);
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const FlavorResult& a, const FlavorResult& b) {
+              return a.p99_wait_ns < b.p99_wait_ns;
+            });
+  FlavorResult median = runs[runs.size() / 2];
+  // Throughput medians independently of p99 — they need not co-rank.
+  std::vector<double> ops;
+  for (const FlavorResult& run : runs) {
+    ops.push_back(run.ops_per_msec);
+  }
+  std::sort(ops.begin(), ops.end());
+  median.ops_per_msec = ops[ops.size() / 2];
+  return median;
+}
+
+void RunSweep() {
+  const std::uint32_t cpus = MachineTopology::Global().total_cpus();
+  bench::PrintHeader("A13: census counter policy, shared vs per-CPU map",
+                     {"shared ops/ms", "percpu ops/ms", "shared p99ns",
+                      "percpu p99ns"},
+                     "mixed");
+  for (std::uint32_t threads : {2u, 4u, 8u, 16u}) {
+    auto shared_census = std::make_shared<HashMap>(
+        "class_census", sizeof(std::uint64_t), sizeof(std::uint64_t), 64);
+    auto percpu_census = std::make_shared<PerCpuHashMap>(
+        "class_census", sizeof(std::uint64_t), sizeof(std::uint64_t), 64,
+        cpus);
+    // Pre-seeding the four class keys (and re-zeroing between reps) keeps
+    // every worker off the racy first-insert miss path: every count is then
+    // an exact atomic add.
+    const auto reset_shared = [&] {
+      for (std::uint64_t cls = 0; cls < 4; ++cls) {
+        CONCORD_CHECK(shared_census->UpdateTyped(cls, std::uint64_t{0}).ok());
+      }
+    };
+    const auto reset_percpu = [&] {
+      for (std::uint64_t cls = 0; cls < 4; ++cls) {
+        CONCORD_CHECK(percpu_census->UpdateTyped(cls, std::uint64_t{0}).ok());
+      }
+    };
+
+    FlavorResult shared = RunFlavorMedian(
+        [&] { return MakeCensusSpec("shared", shared_census); }, threads,
+        [&] {
+          std::uint64_t total = 0;
+          shared_census->ForEach([&](const void*, const void* value) {
+            total += __atomic_load_n(
+                reinterpret_cast<const std::uint64_t*>(value),
+                __ATOMIC_RELAXED);
+          });
+          return total;
+        },
+        reset_shared);
+
+    FlavorResult percpu = RunFlavorMedian(
+        [&] { return MakeCensusSpec("percpu", percpu_census); }, threads,
+        [&] {
+          std::uint64_t total = 0;
+          for (std::uint64_t cls = 0; cls < 4; ++cls) {
+            total += percpu_census->AggregateU64(&cls);
+          }
+          return total;
+        },
+        reset_percpu);
+
+    bench::PrintRow(threads, {shared.ops_per_msec, percpu.ops_per_msec,
+                              shared.p99_wait_ns, percpu.p99_wait_ns});
+    const std::map<std::string, std::string> labels = {
+        {"threads", std::to_string(threads)}};
+    bench::ReportMetric("a13_shared_p99_wait", "ns", shared.p99_wait_ns, labels);
+    bench::ReportMetric("a13_percpu_p99_wait", "ns", percpu.p99_wait_ns, labels);
+  }
+  std::printf("(host: %u cpus; per-CPU census keeps one value lane per CPU)\n",
+              cpus);
+}
+
+}  // namespace
+}  // namespace concord
+
+int main() {
+  concord::bench::ReportInit("a13_percpu_maps");
+  concord::bench::ReportConfig("run_ms", 300.0);
+  concord::RunSweep();
+  concord::bench::ReportWrite();
+  return 0;
+}

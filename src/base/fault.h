@@ -107,6 +107,11 @@ class FaultRegistry {
   // policy that hit them (see src/concord/concord.cc).
   static std::uint64_t ThreadFires();
 
+  // Address of the armed-point count, for code that wants to branch around
+  // an inlined fast path while any fault is armed (the JIT emits a
+  // `cmp [armed],0; jne slow_path` against this). Zero iff nothing is armed.
+  const std::atomic<int>* armed_flag() const { return &armed_; }
+
  private:
   struct Point {
     std::string name;

@@ -4,9 +4,11 @@
 #include <cstdlib>
 #include <map>
 #include <optional>
+#include <sstream>
 
 #include "src/bpf/helpers.h"
 #include "src/bpf/insn.h"
+#include "src/topology/topology.h"
 
 namespace concord {
 namespace {
@@ -121,8 +123,12 @@ struct PendingJump {
 class Assembler {
  public:
   Assembler(const std::string& name, const ContextDescriptor* ctx_desc,
-            std::vector<BpfMap*> maps)
-      : name_(name), ctx_desc_(ctx_desc), maps_(std::move(maps)) {}
+            std::vector<BpfMap*> maps,
+            std::vector<std::shared_ptr<BpfMap>>* declared_maps)
+      : name_(name),
+        ctx_desc_(ctx_desc),
+        maps_(std::move(maps)),
+        declared_maps_(declared_maps) {}
 
   StatusOr<Program> Assemble(const std::string& source) {
     std::size_t pos = 0;
@@ -190,6 +196,10 @@ class Assembler {
 
   Status HandleInsn(const std::vector<std::string>& t, int line_no) {
     const std::string& mnemonic = t[0];
+
+    if (mnemonic == ".map") {
+      return HandleMapDirective(t, line_no);
+    }
 
     if (mnemonic == "exit") {
       insns_.push_back(Exit());
@@ -353,6 +363,56 @@ class Assembler {
     return Err(line_no, "unknown mnemonic '" + mnemonic + "'");
   }
 
+  // `.map name, type, [key_size,] value_size, max_entries` — see the header
+  // comment. Hash kinds take key_size; array kinds have a fixed u32 key.
+  Status HandleMapDirective(const std::vector<std::string>& t, int line_no) {
+    if (declared_maps_ == nullptr) {
+      return Err(line_no,
+                 ".map declarations are not accepted in this context");
+    }
+    if (t.size() < 3) {
+      return Err(line_no, ".map takes: name, type, sizes...");
+    }
+    const std::string& map_name = t[1];
+    MapType type;
+    if (!MapTypeFromName(t[2], &type)) {
+      return Err(line_no, "unknown map type '" + t[2] + "'");
+    }
+    const bool is_hash =
+        type == MapType::kHash || type == MapType::kPerCpuHash;
+    const std::size_t expected_tokens = is_hash ? 6 : 5;
+    if (t.size() != expected_tokens) {
+      return Err(line_no, is_hash ? ".map " + t[2] +
+                                        " takes: name, type, key_size, "
+                                        "value_size, max_entries"
+                                  : ".map " + t[2] +
+                                        " takes: name, type, value_size, "
+                                        "max_entries");
+    }
+    std::uint32_t dims[3] = {sizeof(std::uint32_t), 0, 0};  // key, value, max
+    for (std::size_t i = 3; i < t.size(); ++i) {
+      std::int64_t v;
+      if (!ParseImm(t[i], &v) || v <= 0 || v > UINT32_MAX) {
+        return Err(line_no, "bad map dimension '" + t[i] + "'");
+      }
+      dims[i - (is_hash ? 3 : 2)] = static_cast<std::uint32_t>(v);
+    }
+    for (BpfMap* existing : maps_) {
+      if (existing->name() == map_name) {
+        return Err(line_no, "duplicate map name '" + map_name + "'");
+      }
+    }
+    auto map = CreateMap(type, map_name, dims[0], dims[1], dims[2],
+                         MachineTopology::Global().total_cpus());
+    if (!map.ok()) {
+      return Err(line_no, map.status().message());
+    }
+    std::shared_ptr<BpfMap> owned = std::move(map.value());
+    maps_.push_back(owned.get());
+    declared_maps_->push_back(std::move(owned));
+    return Status::Ok();
+  }
+
   // Parses `reg+off` or `reg-off` or bare `reg` inside brackets.
   Status ParseBasePlusOff(const std::string& token, int line_no, std::uint8_t* base,
                           std::int16_t* off) {
@@ -421,6 +481,7 @@ class Assembler {
   std::string name_;
   const ContextDescriptor* ctx_desc_;
   std::vector<BpfMap*> maps_;
+  std::vector<std::shared_ptr<BpfMap>>* declared_maps_;
   std::vector<Insn> insns_;
   std::map<std::string, std::size_t> labels_;
   std::vector<PendingJump> pending_jumps_;
@@ -428,12 +489,24 @@ class Assembler {
 
 }  // namespace
 
-StatusOr<Program> AssembleProgram(const std::string& name,
-                                  const std::string& source,
-                                  const ContextDescriptor* ctx_desc,
-                                  std::vector<BpfMap*> maps) {
-  Assembler assembler(name, ctx_desc, std::move(maps));
+StatusOr<Program> AssembleProgram(
+    const std::string& name, const std::string& source,
+    const ContextDescriptor* ctx_desc, std::vector<BpfMap*> maps,
+    std::vector<std::shared_ptr<BpfMap>>* declared_maps) {
+  Assembler assembler(name, ctx_desc, std::move(maps), declared_maps);
   return assembler.Assemble(source);
+}
+
+bool SourceDeclaresMaps(const std::string& source) {
+  std::istringstream lines(source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t pos = line.find_first_not_of(" \t");
+    if (pos != std::string::npos && line.compare(pos, 4, ".map") == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace concord

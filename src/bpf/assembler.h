@@ -21,6 +21,19 @@
 //   target    := label name
 //   reg       := 'r0' .. 'r10'
 //
+// Map declarations (`.map` directives) let a policy source carry its own
+// state instead of relying on maps the host passes in:
+//
+//   .map name, array,        value_size, max_entries
+//   .map name, percpu_array, value_size, max_entries
+//   .map name, hash,         key_size, value_size, max_entries
+//   .map name, percpu_hash,  key_size, value_size, max_entries
+//
+// Declared maps are appended to the program's map table after any maps the
+// caller passed, in declaration order; per-CPU kinds size themselves to the
+// machine topology. Ownership lands in the caller's `declared_maps` sink —
+// sources using `.map` are rejected when the caller passes none.
+//
 // Example — a NUMA-grouping cmp_node policy:
 //
 //     ldxw r2, [r1+0]      ; shuffler socket
@@ -35,6 +48,7 @@
 #ifndef SRC_BPF_ASSEMBLER_H_
 #define SRC_BPF_ASSEMBLER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,12 +58,21 @@
 namespace concord {
 
 // Assembles `source` into a program named `name` against `ctx_desc`.
-// `maps` become the program's declared map table (referenced by index from
-// helper calls). The result is NOT verified; run Verifier::Verify next.
-StatusOr<Program> AssembleProgram(const std::string& name,
-                                  const std::string& source,
-                                  const ContextDescriptor* ctx_desc,
-                                  std::vector<BpfMap*> maps = {});
+// `maps` become the head of the program's map table (referenced by index
+// from helper calls); maps created by `.map` directives follow them and
+// their ownership is appended to `*declared_maps` (the caller must keep
+// them alive as long as the program — PolicySpec::maps is the usual home).
+// The result is NOT verified; run Verifier::Verify next.
+StatusOr<Program> AssembleProgram(
+    const std::string& name, const std::string& source,
+    const ContextDescriptor* ctx_desc, std::vector<BpfMap*> maps = {},
+    std::vector<std::shared_ptr<BpfMap>>* declared_maps = nullptr);
+
+// True when `source` carries `.map` directives. Hosts that inject a default
+// map for legacy sources (the RPC attach path, the CLIs) must skip the
+// injection for such sources — the author laid out the map table themselves,
+// and their indices start at 0.
+bool SourceDeclaresMaps(const std::string& source);
 
 }  // namespace concord
 

@@ -113,8 +113,10 @@ std::uint64_t HelperMapUpdateElem(std::uint64_t map_index, std::uint64_t key_ptr
   if (map == nullptr) {
     return static_cast<std::uint64_t>(-1);
   }
-  Status status = map->Update(reinterpret_cast<const void*>(key_ptr),
-                              reinterpret_cast<const void*>(value_ptr));
+  // Program-side update: per-CPU maps write only the calling CPU's slot
+  // (kernel BPF contract); single-instance maps fall through to Update.
+  Status status = map->UpdateThisCpu(reinterpret_cast<const void*>(key_ptr),
+                                     reinterpret_cast<const void*>(value_ptr));
   return status.ok() ? 0 : static_cast<std::uint64_t>(-1);
 }
 

@@ -47,6 +47,9 @@ enum class HelperRetKind : std::uint8_t {
 struct VmEnv {
   const Program* program = nullptr;  // for map table access
   void* hook_data = nullptr;         // attach-point-specific side channel
+  std::uint32_t cpu = 0;             // calling vCPU, set once per invocation;
+                                     // read by the JIT's inline per-CPU
+                                     // map-lookup fast path
 };
 
 using HelperFn = std::uint64_t (*)(std::uint64_t a1, std::uint64_t a2,

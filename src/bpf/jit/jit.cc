@@ -30,6 +30,7 @@
 #include "src/bpf/jit/jit.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,7 +148,7 @@ class Compiler {
           if (op == kBpfExit) {
             JmpRel32(count);
           } else if (op == kBpfCall) {
-            CONCORD_RETURN_IF_ERROR(EmitCall(insn));
+            CONCORD_RETURN_IF_ERROR(EmitCall(pc, insn));
           } else {
             CONCORD_RETURN_IF_ERROR(EmitJmp(insn, pc, count));
           }
@@ -437,6 +438,20 @@ class Compiler {
     buf_.U8(0);
     return buf_.size() - 1;
   }
+  // Generic short jcc; `cc8` is the one-byte condition opcode (0x72 jb,
+  // 0x73 jae, 0x75 jne, ...).
+  std::size_t JccShort(std::uint8_t cc8) {
+    buf_.U8(cc8);
+    buf_.U8(0);
+    return buf_.size() - 1;
+  }
+  // cmp dword [base + disp], imm8 (0x83 /7) — the inline-lookup guards.
+  void CmpMem32Imm8(std::uint8_t base, std::int32_t disp, std::int8_t imm) {
+    Rex(false, 0, base);
+    buf_.U8(0x83);
+    MemOp(7, base, disp);
+    buf_.U8(static_cast<std::uint8_t>(imm));
+  }
   std::size_t JmpShort() {
     buf_.U8(0xeb);
     buf_.U8(0);
@@ -705,11 +720,15 @@ class Compiler {
     return Status::Ok();
   }
 
-  Status EmitCall(const Insn& insn) {
+  Status EmitCall(std::size_t pc, const Insn& insn) {
     const HelperDef* helper = HelperRegistry::Global().Find(
         static_cast<std::uint32_t>(insn.imm));
     if (helper == nullptr || helper->fn == nullptr) {
       return InvalidArgumentError("jit: call to unregistered helper");
+    }
+    if (static_cast<std::uint32_t>(insn.imm) == kHelperMapLookupElem &&
+        EmitInlinePerCpuLookup(pc, helper)) {
+      return Status::Ok();
     }
     // BPF r1..r5 already sit in the SysV argument registers (see abi.h), so
     // the call shim is just: arg 6 = VmEnv*, target, call.
@@ -723,6 +742,84 @@ class Compiler {
     XorZero(kRcx);
     XorZero(kR8);
     return Status::Ok();
+  }
+
+  // Per-CPU array lookups with a verifier-proven constant map index compile
+  // to a direct slot-address computation — no helper call, no map lock:
+  //
+  //     eax  = *(u32*)r2                 ; the key the program built on stack
+  //     if (eax >= max_entries) r0 = 0   ; the helper's miss result
+  //     r11d = env->cpu                  ; set once per invocation (jit.h)
+  //     if (r11d >= num_cpus) goto slow  ; helper's modulo path, rare
+  //     r0   = base + (r11*max + eax)*stride
+  //
+  // The slow label is the ordinary helper call, also taken (in fault-
+  // injection builds) while ANY fault point is armed so bpf.map_lookup
+  // keeps firing deterministically. Returns true when inlined; false means
+  // the site is polymorphic / not a per-CPU array and the caller emits the
+  // regular call.
+  bool EmitInlinePerCpuLookup(std::size_t pc, const HelperDef* helper) {
+    if (pc >= program_.map_lookup_sites.size()) {
+      return false;
+    }
+    const std::int32_t site = program_.map_lookup_sites[pc];
+    if (site < 0 ||
+        static_cast<std::size_t>(site) >= program_.maps.size()) {
+      return false;
+    }
+    BpfMap* map = program_.maps[static_cast<std::size_t>(site)];
+    if (map->type() != MapType::kPerCpuArray) {
+      return false;
+    }
+    auto* percpu = static_cast<PerCpuArrayMap*>(map);
+    const auto max_entries = static_cast<std::int32_t>(percpu->max_entries());
+    const auto num_cpus = static_cast<std::int32_t>(percpu->num_cpus());
+    const auto stride = static_cast<std::int32_t>(percpu->stride());
+
+    std::vector<std::size_t> to_slow;
+    std::vector<std::size_t> to_done;
+#if CONCORD_FAULT_INJECTION
+    MovImm64(kR11, reinterpret_cast<std::uint64_t>(
+                       FaultRegistry::Global().armed_flag()));
+    CmpMem32Imm8(kR11, 0, 0);
+    to_slow.push_back(JccShort(0x75));  // jne: a fault is armed
+#endif
+    EmitLoad(kBpfSizeW, kRax, kRsi, 0);  // eax = u32 key (r2 = key ptr)
+    AluImm(7, false, kRax, max_entries);
+    const std::size_t to_miss = JccShort(0x73);  // jae: index out of range
+    LoadRsp(kR11, kEnvSlotOffset);
+    EmitLoad(kBpfSizeW, kR11, kR11,
+             static_cast<std::int32_t>(offsetof(VmEnv, cpu)));
+    AluImm(7, false, kR11, num_cpus);
+    to_slow.push_back(JccShort(0x73));  // jae: let the helper take cpu % n
+    ImulImm(true, kR11, max_entries);
+    AluRR(0x01, true, kRax, kR11);  // r11 = cpu * max_entries + index
+    ImulImm(true, kR11, stride);
+    MovImm64(kRax, reinterpret_cast<std::uint64_t>(percpu->slot_base()));
+    AluRR(0x01, true, kR11, kRax);  // rax = slot address
+    to_done.push_back(JmpShort());
+
+    BindShort(to_miss);
+    XorZero(kRax);  // miss: r0 = NULL, as the helper returns
+    to_done.push_back(JmpShort());
+
+    for (std::size_t pos : to_slow) {
+      BindShort(pos);
+    }
+    LoadRsp(kR9, kEnvSlotOffset);
+    MovImm64(kRax, reinterpret_cast<std::uint64_t>(helper->fn));
+    CallRax();
+
+    for (std::size_t pos : to_done) {
+      BindShort(pos);
+    }
+    // Interpreter parity: calls clobber r1-r5 to zero (all paths).
+    XorZero(kRdi);
+    XorZero(kRsi);
+    XorZero(kRdx);
+    XorZero(kRcx);
+    XorZero(kR8);
+    return true;
   }
 
   void EmitPrologue() {

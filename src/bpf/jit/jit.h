@@ -35,6 +35,7 @@
 #include "src/bpf/jit/code_cache.h"
 #include "src/bpf/program.h"
 #include "src/bpf/vm.h"
+#include "src/topology/thread_context.h"
 
 namespace concord {
 
@@ -57,6 +58,7 @@ class JitProgram {
     VmEnv env;
     env.program = &program;
     env.hook_data = hook_data;
+    env.cpu = Self().vcpu;
     return entry_(ctx, &env);
   }
 

@@ -17,9 +17,73 @@ const char* MapTypeName(MapType type) {
       return "hash";
     case MapType::kPerCpuArray:
       return "percpu_array";
+    case MapType::kPerCpuHash:
+      return "percpu_hash";
   }
   return "unknown";
 }
+
+bool MapTypeFromName(const std::string& name, MapType* out) {
+  if (name == "array") {
+    *out = MapType::kArray;
+  } else if (name == "hash") {
+    *out = MapType::kHash;
+  } else if (name == "percpu_array") {
+    *out = MapType::kPerCpuArray;
+  } else if (name == "percpu_hash") {
+    *out = MapType::kPerCpuHash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::uint32_t RoundUpToCacheLine(std::uint32_t n) {
+  return static_cast<std::uint32_t>((n + kCacheLineSize - 1) / kCacheLineSize *
+                                    kCacheLineSize);
+}
+
+std::uint32_t RoundUpTo8(std::uint32_t n) { return (n + 7u) & ~7u; }
+
+// Copies `size` bytes into an 8-aligned map value slot. Whole u64 lanes go
+// through relaxed atomic stores so concurrent aggregating readers (and TSan)
+// never see a torn lane; a non-multiple-of-8 tail is plain bytes — such
+// values are not u64 counters and are never aggregated.
+void AtomicSlotStore(void* dst, const void* src, std::uint32_t size) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* s = static_cast<const std::uint8_t*>(src);
+  std::uint32_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, s + i, sizeof(lane));
+    __atomic_store_n(reinterpret_cast<std::uint64_t*>(d + i), lane,
+                     __ATOMIC_RELAXED);
+  }
+  if (i < size) {
+    std::memcpy(d + i, s + i, size - i);
+  }
+}
+
+void AtomicSlotZero(void* dst, std::uint32_t size) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  std::uint32_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    __atomic_store_n(reinterpret_cast<std::uint64_t*>(d + i), std::uint64_t{0},
+                     __ATOMIC_RELAXED);
+  }
+  if (i < size) {
+    std::memset(d + i, 0, size - i);
+  }
+}
+
+std::uint64_t AtomicLoadU64(const void* p) {
+  return __atomic_load_n(reinterpret_cast<const std::uint64_t*>(p),
+                         __ATOMIC_RELAXED);
+}
+
+}  // namespace
 
 // --- ArrayMap ----------------------------------------------------------------
 
@@ -69,15 +133,6 @@ void* ArrayMap::SlotAt(std::uint32_t index) {
 
 // --- PerCpuArrayMap ------------------------------------------------------------
 
-namespace {
-
-std::uint32_t RoundUpToCacheLine(std::uint32_t n) {
-  return static_cast<std::uint32_t>((n + kCacheLineSize - 1) / kCacheLineSize *
-                                    kCacheLineSize);
-}
-
-}  // namespace
-
 PerCpuArrayMap::PerCpuArrayMap(std::string name, std::uint32_t value_size,
                                std::uint32_t max_entries, std::uint32_t num_cpus)
     : BpfMap(MapType::kPerCpuArray, std::move(name), sizeof(std::uint32_t),
@@ -97,26 +152,44 @@ void* PerCpuArrayMap::Lookup(const void* key) {
 }
 
 Status PerCpuArrayMap::Update(const void* key, const void* value) {
+  std::uint32_t index;
+  std::memcpy(&index, key, sizeof(index));
+  if (index >= max_entries_) {
+    return InvalidArgumentError("percpu array map index out of range");
+  }
+  // Control-plane semantics: the value reaches every CPU's slot.
+  for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+    AtomicSlotStore(SlotAt(cpu, index), value, value_size_);
+  }
+  return Status::Ok();
+}
+
+Status PerCpuArrayMap::UpdateThisCpu(const void* key, const void* value) {
   void* slot = Lookup(key);
   if (slot == nullptr) {
     return InvalidArgumentError("percpu array map index out of range");
   }
-  std::memcpy(slot, value, value_size_);
+  AtomicSlotStore(slot, value, value_size_);
   return Status::Ok();
 }
 
 Status PerCpuArrayMap::Delete(const void* key) {
-  void* slot = Lookup(key);
-  if (slot == nullptr) {
+  std::uint32_t index;
+  std::memcpy(&index, key, sizeof(index));
+  if (index >= max_entries_) {
     return InvalidArgumentError("percpu array map index out of range");
   }
-  std::memset(slot, 0, value_size_);
+  for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+    AtomicSlotZero(SlotAt(cpu, index), value_size_);
+  }
   return Status::Ok();
 }
 
 void PerCpuArrayMap::ForEach(const EntryVisitor& visit) {
   for (std::uint32_t i = 0; i < max_entries_; ++i) {
-    visit(&i, SlotAt(0, i));
+    for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+      visit(&i, SlotAt(cpu, i));
+    }
   }
 }
 
@@ -128,18 +201,22 @@ void* PerCpuArrayMap::SlotAt(std::uint32_t cpu, std::uint32_t index) {
   return storage_.data() + offset;
 }
 
-std::uint64_t PerCpuArrayMap::SumU64(std::uint32_t index) {
+std::uint64_t PerCpuArrayMap::AggregateU64(std::uint32_t index) {
   CONCORD_CHECK(value_size_ >= sizeof(std::uint64_t));
   std::uint64_t total = 0;
   for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
-    std::uint64_t v;
-    std::memcpy(&v, SlotAt(cpu, index), sizeof(v));
-    total += v;
+    total += AtomicLoadU64(SlotAt(cpu, index));
   }
   return total;
 }
 
-// --- HashMap -------------------------------------------------------------------
+void PerCpuArrayMap::DumpAllCpus(std::uint32_t index, const CpuVisitor& visit) {
+  for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+    visit(cpu, SlotAt(cpu, index));
+  }
+}
+
+// --- HashMapBase -------------------------------------------------------------
 
 namespace {
 
@@ -153,13 +230,21 @@ std::uint32_t NextPowerOfTwo(std::uint32_t n) {
 
 }  // namespace
 
-HashMap::HashMap(std::string name, std::uint32_t key_size, std::uint32_t value_size,
-                 std::uint32_t max_entries)
-    : BpfMap(MapType::kHash, std::move(name), key_size, value_size, max_entries),
+HashMapBase::HashMapBase(MapType type, std::string name, std::uint32_t key_size,
+                         std::uint32_t value_size, std::uint32_t max_entries,
+                         std::uint32_t value_slots, std::uint32_t value_stride)
+    : BpfMap(type, std::move(name), key_size, value_size, max_entries),
+      value_offset_(RoundUpTo8(key_size)),
+      value_stride_(value_stride),
+      value_slots_(value_slots),
       num_buckets_(NextPowerOfTwo(max_entries < 8 ? 8 : max_entries)),
       buckets_(num_buckets_, nullptr) {
-  // Preallocate the whole entry pool: pointer stability requirement.
-  const std::size_t entry_bytes = sizeof(Entry) + key_size_ + value_size_;
+  // Preallocate the whole entry pool: pointer stability requirement. The
+  // key region is rounded up to 8 bytes (value_offset_) so every value slot
+  // stays u64-aligned no matter the key size.
+  const std::size_t entry_bytes =
+      sizeof(Entry) + value_offset_ +
+      static_cast<std::size_t>(value_slots_) * value_stride_;
   for (std::uint32_t i = 0; i < max_entries_; ++i) {
     void* raw = std::calloc(1, entry_bytes);
     CONCORD_CHECK(raw != nullptr);
@@ -170,13 +255,13 @@ HashMap::HashMap(std::string name, std::uint32_t key_size, std::uint32_t value_s
   }
 }
 
-HashMap::~HashMap() {
+HashMapBase::~HashMapBase() {
   for (void* raw : pool_allocations_) {
     std::free(raw);
   }
 }
 
-HashMap::Entry* HashMap::AllocEntry() {
+HashMapBase::Entry* HashMapBase::AllocEntry() {
   Entry* entry = free_list_;
   if (entry != nullptr) {
     free_list_ = entry->next;
@@ -185,12 +270,12 @@ HashMap::Entry* HashMap::AllocEntry() {
   return entry;
 }
 
-void HashMap::FreeEntry(Entry* entry) {
+void HashMapBase::FreeEntry(Entry* entry) {
   entry->next = free_list_;
   free_list_ = entry;
 }
 
-std::uint64_t HashMap::HashKey(const void* key) const {
+std::uint64_t HashMapBase::HashKey(const void* key) const {
   // FNV-1a over the key bytes; adequate distribution for policy-sized maps.
   const auto* bytes = static_cast<const std::uint8_t*>(key);
   std::uint64_t hash = 14695981039346656037ull;
@@ -201,52 +286,74 @@ std::uint64_t HashMap::HashKey(const void* key) const {
   return hash;
 }
 
-void HashMap::Lock() {
+void HashMapBase::Lock() {
   SpinWait spin;
   while (lock_.test_and_set(std::memory_order_acquire)) {
     spin.Once();
   }
 }
 
-void HashMap::Unlock() { lock_.clear(std::memory_order_release); }
+void HashMapBase::Unlock() { lock_.clear(std::memory_order_release); }
+
+HashMapBase::Entry* HashMapBase::FindLocked(const void* key,
+                                            std::uint64_t hash) {
+  Entry* entry = buckets_[hash & (num_buckets_ - 1)];
+  while (entry != nullptr) {
+    if (entry->hash == hash && std::memcmp(KeyOf(entry), key, key_size_) == 0) {
+      return entry;
+    }
+    entry = entry->next;
+  }
+  return nullptr;
+}
+
+HashMapBase::Entry* HashMapBase::InsertLocked(const void* key,
+                                              std::uint64_t hash) {
+  Entry* entry = AllocEntry();
+  if (entry == nullptr) {
+    return nullptr;
+  }
+  entry->hash = hash;
+  std::memcpy(KeyOf(entry), key, key_size_);
+  // Pooled entries are recycled: zero every value slot so a reused entry
+  // does not resurrect a prior key's per-CPU counts.
+  for (std::uint32_t slot = 0; slot < value_slots_; ++slot) {
+    AtomicSlotZero(ValueOf(entry, slot), value_size_);
+  }
+  Entry** bucket = &buckets_[hash & (num_buckets_ - 1)];
+  entry->next = *bucket;
+  *bucket = entry;
+  live_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
+}
+
+// --- HashMap -------------------------------------------------------------------
+
+HashMap::HashMap(std::string name, std::uint32_t key_size,
+                 std::uint32_t value_size, std::uint32_t max_entries)
+    : HashMapBase(MapType::kHash, std::move(name), key_size, value_size,
+                  max_entries, /*value_slots=*/1, /*value_stride=*/value_size) {}
 
 void* HashMap::Lookup(const void* key) {
   const std::uint64_t hash = HashKey(key);
   Lock();
-  Entry* entry = buckets_[hash & (num_buckets_ - 1)];
-  while (entry != nullptr) {
-    if (entry->hash == hash && std::memcmp(KeyOf(entry), key, key_size_) == 0) {
-      Unlock();
-      return ValueOf(entry);
-    }
-    entry = entry->next;
-  }
+  Entry* entry = FindLocked(key, hash);
   Unlock();
-  return nullptr;
+  return entry == nullptr ? nullptr : ValueOf(entry);
 }
 
 Status HashMap::Update(const void* key, const void* value) {
   const std::uint64_t hash = HashKey(key);
   Lock();
-  Entry** bucket = &buckets_[hash & (num_buckets_ - 1)];
-  for (Entry* entry = *bucket; entry != nullptr; entry = entry->next) {
-    if (entry->hash == hash && std::memcmp(KeyOf(entry), key, key_size_) == 0) {
-      std::memcpy(ValueOf(entry), value, value_size_);
-      Unlock();
-      return Status::Ok();
-    }
+  Entry* entry = FindLocked(key, hash);
+  if (entry == nullptr) {
+    entry = InsertLocked(key, hash);
   }
-  Entry* entry = AllocEntry();
   if (entry == nullptr) {
     Unlock();
     return ResourceExhaustedError("hash map '" + name_ + "' is full");
   }
-  entry->hash = hash;
-  std::memcpy(KeyOf(entry), key, key_size_);
-  std::memcpy(ValueOf(entry), value, value_size_);
-  entry->next = *bucket;
-  *bucket = entry;
-  live_.fetch_add(1, std::memory_order_relaxed);
+  AtomicSlotStore(ValueOf(entry), value, value_size_);
   Unlock();
   return Status::Ok();
 }
@@ -278,6 +385,124 @@ void HashMap::ForEach(const EntryVisitor& visit) {
     }
   }
   Unlock();
+}
+
+// --- PerCpuHashMap -----------------------------------------------------------
+
+PerCpuHashMap::PerCpuHashMap(std::string name, std::uint32_t key_size,
+                             std::uint32_t value_size, std::uint32_t max_entries,
+                             std::uint32_t num_cpus)
+    : HashMapBase(MapType::kPerCpuHash, std::move(name), key_size, value_size,
+                  max_entries, /*value_slots=*/num_cpus,
+                  // Cache-line stride keeps CPUs off each other's lines when
+                  // they count into the same key.
+                  /*value_stride=*/RoundUpToCacheLine(value_size)),
+      num_cpus_(num_cpus) {}
+
+std::uint32_t PerCpuHashMap::ThisCpu() const {
+  return Self().vcpu % num_cpus_;
+}
+
+void* PerCpuHashMap::Lookup(const void* key) {
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry* entry = FindLocked(key, hash);
+  Unlock();
+  return entry == nullptr ? nullptr : ValueOf(entry, ThisCpu());
+}
+
+Status PerCpuHashMap::Update(const void* key, const void* value) {
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry* entry = FindLocked(key, hash);
+  if (entry == nullptr) {
+    entry = InsertLocked(key, hash);
+  }
+  if (entry == nullptr) {
+    Unlock();
+    return ResourceExhaustedError("percpu hash map '" + name_ + "' is full");
+  }
+  // Control-plane semantics: the value reaches every CPU's slot.
+  for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+    AtomicSlotStore(ValueOf(entry, cpu), value, value_size_);
+  }
+  Unlock();
+  return Status::Ok();
+}
+
+Status PerCpuHashMap::UpdateThisCpu(const void* key, const void* value) {
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry* entry = FindLocked(key, hash);
+  if (entry == nullptr) {
+    entry = InsertLocked(key, hash);
+  }
+  if (entry == nullptr) {
+    Unlock();
+    return ResourceExhaustedError("percpu hash map '" + name_ + "' is full");
+  }
+  AtomicSlotStore(ValueOf(entry, ThisCpu()), value, value_size_);
+  Unlock();
+  return Status::Ok();
+}
+
+Status PerCpuHashMap::Delete(const void* key) {
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry** link = &buckets_[hash & (num_buckets_ - 1)];
+  while (*link != nullptr) {
+    Entry* entry = *link;
+    if (entry->hash == hash && std::memcmp(KeyOf(entry), key, key_size_) == 0) {
+      *link = entry->next;
+      FreeEntry(entry);
+      live_.fetch_sub(1, std::memory_order_relaxed);
+      Unlock();
+      return Status::Ok();
+    }
+    link = &entry->next;
+  }
+  Unlock();
+  return NotFoundError("key not present in percpu hash map '" + name_ + "'");
+}
+
+void PerCpuHashMap::ForEach(const EntryVisitor& visit) {
+  Lock();
+  for (Entry* bucket : buckets_) {
+    for (Entry* entry = bucket; entry != nullptr; entry = entry->next) {
+      for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+        visit(KeyOf(entry), ValueOf(entry, cpu));
+      }
+    }
+  }
+  Unlock();
+}
+
+std::uint64_t PerCpuHashMap::AggregateU64(const void* key) {
+  CONCORD_CHECK(value_size_ >= sizeof(std::uint64_t));
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry* entry = FindLocked(key, hash);
+  std::uint64_t total = 0;
+  if (entry != nullptr) {
+    for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+      total += AtomicLoadU64(ValueOf(entry, cpu));
+    }
+  }
+  Unlock();
+  return total;
+}
+
+bool PerCpuHashMap::DumpAllCpus(const void* key, const CpuVisitor& visit) {
+  const std::uint64_t hash = HashKey(key);
+  Lock();
+  Entry* entry = FindLocked(key, hash);
+  if (entry != nullptr) {
+    for (std::uint32_t cpu = 0; cpu < num_cpus_; ++cpu) {
+      visit(cpu, ValueOf(entry, cpu));
+    }
+  }
+  Unlock();
+  return entry != nullptr;
 }
 
 // --- factory ---------------------------------------------------------------------
@@ -315,6 +540,15 @@ StatusOr<std::unique_ptr<BpfMap>> CreateMap(MapType type, std::string name,
       }
       return std::unique_ptr<BpfMap>(
           new HashMap(std::move(name), key_size, value_size, max_entries));
+    case MapType::kPerCpuHash:
+      if (key_size == 0 || key_size > 512) {
+        return InvalidArgumentError("percpu hash map key size out of range");
+      }
+      if (num_cpus == 0) {
+        return InvalidArgumentError("percpu map needs num_cpus > 0");
+      }
+      return std::unique_ptr<BpfMap>(new PerCpuHashMap(
+          std::move(name), key_size, value_size, max_entries, num_cpus));
   }
   return InvalidArgumentError("unknown map type");
 }

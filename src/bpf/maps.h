@@ -3,18 +3,29 @@
 // Policies are stateless bytecode; anything they want to remember between
 // hook invocations (per-thread statistics, reader/writer vote counts,
 // configured thresholds pushed from userspace) lives in maps, exactly as with
-// kernel eBPF. Three map types cover every use case in the paper:
+// kernel eBPF. Four map types cover every use case in the paper:
 //
 //   kArray       fixed-size array indexed by u32 — config knobs, counters
 //   kHash        fixed-capacity hash table with arbitrary fixed-size keys
 //   kPerCpuArray array with one value slot per virtual CPU — contention-free
 //                counters for profiling policies
+//   kPerCpuHash  hash table whose values are per-CPU — contention-free
+//                keyed counters (per-task-class, per-socket, ...)
 //
 // Lifetime/pointer model mirrors the kernel: Lookup returns a pointer into
 // map-owned storage that remains valid memory for the map's lifetime (entry
 // slots are pooled and never freed individually), so a program may read a
 // value concurrently with a Delete without a use-after-free — it may simply
 // observe stale data, as in RCU-managed kernel maps.
+//
+// Per-CPU update contract (mirrors kernel BPF): a *program-side* update
+// (map_update_elem from bytecode, routed through UpdateThisCpu) writes only
+// the calling CPU's slot; a *userspace/control-plane* Update() writes the
+// value into every CPU's slot, so a config knob pushed over RPC is visible
+// no matter which vCPU the policy later runs on. Read-side aggregation
+// (AggregateU64 / DumpAllCpus) uses relaxed 64-bit atomic loads and the
+// write side uses matching atomic stores, so cross-CPU sums are never torn
+// even while policies are counting.
 
 #ifndef SRC_BPF_MAPS_H_
 #define SRC_BPF_MAPS_H_
@@ -36,9 +47,14 @@ enum class MapType {
   kArray,
   kHash,
   kPerCpuArray,
+  kPerCpuHash,
 };
 
 const char* MapTypeName(MapType type);
+
+// Reverse of MapTypeName (for `.map` directives in policy sources); false
+// when `name` matches no map type.
+bool MapTypeFromName(const std::string& name, MapType* out);
 
 class BpfMap {
  public:
@@ -60,21 +76,39 @@ class BpfMap {
   std::uint32_t value_size() const { return value_size_; }
   std::uint32_t max_entries() const { return max_entries_; }
 
-  // Returns a pointer to the value for `key`, or nullptr if absent.
-  // The pointed-to storage stays valid memory for the map's lifetime.
+  // True for the per-CPU map kinds (one value slot per vCPU).
+  bool is_per_cpu() const {
+    return type_ == MapType::kPerCpuArray || type_ == MapType::kPerCpuHash;
+  }
+  // Number of per-value CPU slots; 1 for single-instance maps.
+  virtual std::uint32_t num_cpus() const { return 1; }
+
+  // Returns a pointer to the value for `key`, or nullptr if absent. For
+  // per-CPU maps this is the calling thread's vCPU slot. The pointed-to
+  // storage stays valid memory for the map's lifetime.
   virtual void* Lookup(const void* key) = 0;
 
-  // Inserts or overwrites.
+  // Inserts or overwrites. Control-plane semantics: per-CPU maps write the
+  // value into every CPU's slot (kernel BPF userspace-update contract).
   virtual Status Update(const void* key, const void* value) = 0;
+
+  // Program-side insert/overwrite: per-CPU maps write only the calling
+  // CPU's slot. Single-instance maps behave exactly like Update. This is
+  // what the map_update_elem helper calls.
+  virtual Status UpdateThisCpu(const void* key, const void* value) {
+    return Update(key, value);
+  }
 
   virtual Status Delete(const void* key) = 0;
 
   // Approximate number of live entries (exact for array maps).
   virtual std::uint32_t Size() const = 0;
 
-  // Visits every live entry (key bytes, value bytes). Intended for userspace
-  // controller code (dumping a policy's state); takes the map's internal
-  // lock where one exists, so do not call from a policy hook.
+  // Visits every live entry (key bytes, value bytes). For per-CPU maps the
+  // visitor runs once per (key, cpu) pair — the same key appears num_cpus()
+  // times, in CPU order — so generic dump paths see every slot. Intended
+  // for userspace controller code (dumping a policy's state); takes the
+  // map's internal lock where one exists, so do not call from a policy hook.
   using EntryVisitor = std::function<void(const void* key, const void* value)>;
   virtual void ForEach(const EntryVisitor& visit) = 0;
 
@@ -131,19 +165,34 @@ class PerCpuArrayMap : public BpfMap {
                  std::uint32_t max_entries, std::uint32_t num_cpus);
 
   void* Lookup(const void* key) override;
-  Status Update(const void* key, const void* value) override;  // current CPU slot
-  Status Delete(const void* key) override;
+  Status Update(const void* key, const void* value) override;      // all CPUs
+  Status UpdateThisCpu(const void* key, const void* value) override;
+  Status Delete(const void* key) override;  // zeroes the slot on every CPU
   std::uint32_t Size() const override { return max_entries_; }
-  // Visits every (cpu-local) slot: key = index, value = this CPU 0's slot;
-  // use SlotAt for cross-CPU access. ForEach visits CPU 0's view.
+  // Visits every (key, cpu) pair: each index is visited num_cpus times.
   void ForEach(const EntryVisitor& visit) override;
 
   // Cross-CPU access for aggregation in userspace control code.
   void* SlotAt(std::uint32_t cpu, std::uint32_t index);
-  std::uint32_t num_cpus() const { return num_cpus_; }
+  std::uint32_t num_cpus() const override { return num_cpus_; }
 
-  // Sums slot `index` across CPUs, treating values as u64 (CHECKs size).
-  std::uint64_t SumU64(std::uint32_t index);
+  // Sums slot `index` across CPUs as u64 lanes (CHECKs value_size >= 8).
+  // Values wider than 8 bytes aggregate their first u64 lane. Loads are
+  // relaxed atomics, so the sum is never torn against policy writers.
+  std::uint64_t AggregateU64(std::uint32_t index);
+
+  // Back-compat spelling of AggregateU64 (pre-aggregation-API callers).
+  std::uint64_t SumU64(std::uint32_t index) { return AggregateU64(index); }
+
+  // Visits (cpu, value bytes) for slot `index` on every CPU.
+  using CpuVisitor = std::function<void(std::uint32_t cpu, const void* value)>;
+  void DumpAllCpus(std::uint32_t index, const CpuVisitor& visit);
+
+  // Layout accessors for the JIT's inline lookup fast path: the slot for
+  // (cpu, index) lives at slot_base() + (cpu * max_entries + index) * stride.
+  // The base pointer is stable for the map's lifetime.
+  const std::uint8_t* slot_base() const { return storage_.data(); }
+  std::uint32_t stride() const { return stride_; }
 
  private:
   const std::uint32_t num_cpus_;
@@ -151,29 +200,28 @@ class PerCpuArrayMap : public BpfMap {
   std::vector<std::uint8_t> storage_;
 };
 
-// Hash map: fixed-capacity, chained buckets, pooled entries, one TTAS
-// spinlock per map (policies execute on lock slow paths where a short
-// map-internal spin is negligible; contention on a policy map is itself a
-// policy bug the profiler would surface).
-class HashMap : public BpfMap {
+// Shared chained-bucket machinery for the two hash kinds: fixed capacity,
+// pooled entries (pointer stability), one TTAS spinlock per map (policies
+// execute on lock slow paths where a short map-internal spin is negligible;
+// contention on a single-instance policy map is itself a policy bug the
+// profiler would surface — which is exactly what kPerCpuHash is for).
+class HashMapBase : public BpfMap {
  public:
-  HashMap(std::string name, std::uint32_t key_size, std::uint32_t value_size,
-          std::uint32_t max_entries);
-  ~HashMap() override;
+  HashMapBase(MapType type, std::string name, std::uint32_t key_size,
+              std::uint32_t value_size, std::uint32_t max_entries,
+              std::uint32_t value_slots, std::uint32_t value_stride);
+  ~HashMapBase() override;
 
-  void* Lookup(const void* key) override;
-  Status Update(const void* key, const void* value) override;
-  Status Delete(const void* key) override;
   std::uint32_t Size() const override {
     return live_.load(std::memory_order_relaxed);
   }
-  void ForEach(const EntryVisitor& visit) override;
 
- private:
+ protected:
   struct Entry {
     Entry* next = nullptr;
     std::uint64_t hash = 0;
-    // key bytes followed by value bytes, allocated inline
+    // key bytes (rounded up to 8 so values stay u64-aligned), then
+    // value_slots value regions of value_stride bytes each
     std::uint8_t data[];  // NOLINT: flexible array member idiom
   };
 
@@ -181,17 +229,77 @@ class HashMap : public BpfMap {
   void FreeEntry(Entry* entry);
   std::uint64_t HashKey(const void* key) const;
   std::uint8_t* KeyOf(Entry* e) const { return e->data; }
-  std::uint8_t* ValueOf(Entry* e) const { return e->data + key_size_; }
+  // Value region for slot `slot` (slot 0 for single-instance maps).
+  std::uint8_t* ValueOf(Entry* e, std::uint32_t slot = 0) const {
+    return e->data + value_offset_ +
+           static_cast<std::size_t>(slot) * value_stride_;
+  }
+
+  // Finds the live entry for `key` under the lock; nullptr when absent.
+  Entry* FindLocked(const void* key, std::uint64_t hash);
+  // Inserts a zero-valued entry for `key`; nullptr when the pool is empty.
+  Entry* InsertLocked(const void* key, std::uint64_t hash);
 
   void Lock();
   void Unlock();
 
+  // Key region rounded up to 8 bytes so every value slot is u64-aligned
+  // regardless of key_size (direct value loads from JIT'd programs are
+  // UBSan-clean).
+  const std::uint32_t value_offset_;
+  const std::uint32_t value_stride_;
+  const std::uint32_t value_slots_;
   const std::uint32_t num_buckets_;
   std::vector<Entry*> buckets_;
   std::vector<void*> pool_allocations_;
   Entry* free_list_ = nullptr;
   std::atomic<std::uint32_t> live_{0};
   std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+};
+
+// Hash map: one value per key.
+class HashMap : public HashMapBase {
+ public:
+  HashMap(std::string name, std::uint32_t key_size, std::uint32_t value_size,
+          std::uint32_t max_entries);
+
+  void* Lookup(const void* key) override;
+  Status Update(const void* key, const void* value) override;
+  Status Delete(const void* key) override;
+  void ForEach(const EntryVisitor& visit) override;
+};
+
+// Per-CPU hash map: one value slot per vCPU per key. Lookup resolves to the
+// calling thread's vCPU slot; chain traversal still takes the map spinlock,
+// but counter mutation through the returned pointer is contention-free —
+// the hot-path pattern is lookup-once then xadd into the per-CPU slot.
+class PerCpuHashMap : public HashMapBase {
+ public:
+  PerCpuHashMap(std::string name, std::uint32_t key_size,
+                std::uint32_t value_size, std::uint32_t max_entries,
+                std::uint32_t num_cpus);
+
+  void* Lookup(const void* key) override;
+  Status Update(const void* key, const void* value) override;      // all CPUs
+  Status UpdateThisCpu(const void* key, const void* value) override;
+  Status Delete(const void* key) override;
+  // Visits every (key, cpu) pair, like PerCpuArrayMap::ForEach.
+  void ForEach(const EntryVisitor& visit) override;
+
+  std::uint32_t num_cpus() const override { return num_cpus_; }
+
+  // Sums `key`'s value across CPUs as u64 lanes (CHECKs value_size >= 8);
+  // 0 when the key is absent. Relaxed atomic loads — never torn.
+  std::uint64_t AggregateU64(const void* key);
+
+  // Visits (cpu, value bytes) for `key` on every CPU; false when absent.
+  using CpuVisitor = std::function<void(std::uint32_t cpu, const void* value)>;
+  bool DumpAllCpus(const void* key, const CpuVisitor& visit);
+
+ private:
+  std::uint32_t ThisCpu() const;
+
+  const std::uint32_t num_cpus_;
 };
 
 // Creates a map of the given type. `num_cpus` is only used by per-CPU maps.

@@ -38,6 +38,14 @@ struct Program {
   // Filled in by the verifier: capability union of all helpers called.
   std::uint32_t used_capabilities = 0;
 
+  // Filled in by the verifier: for each pc holding a map_lookup_elem call,
+  // the constant map index every verified path passes in R1, or
+  // kPolymorphicMapSite when different paths disagree. kNoMapSite
+  // everywhere else. The JIT uses this to inline per-CPU array lookups.
+  static constexpr std::int32_t kNoMapSite = -1;
+  static constexpr std::int32_t kPolymorphicMapSite = -2;
+  std::vector<std::int32_t> map_lookup_sites;
+
   // Native code for this program, set by PolicySpec::JitCompileAll after
   // verification when the JIT is enabled. Shared between copies of the
   // program so the executable mapping lives exactly as long as some attached

@@ -45,7 +45,10 @@ class VerifierImpl {
  public:
   VerifierImpl(Program& program, const Verifier::Options& options,
                Verifier::Analysis* analysis)
-      : program_(program), options_(options), analysis_(analysis) {}
+      : program_(program),
+        options_(options),
+        analysis_(analysis),
+        map_lookup_sites_(program.insns.size(), Program::kNoMapSite) {}
 
   Status Run() {
     CONCORD_RETURN_IF_ERROR(StructuralChecks());
@@ -68,6 +71,9 @@ class VerifierImpl {
   }
 
   std::uint32_t used_capabilities() const { return used_capabilities_; }
+  std::vector<std::int32_t> TakeMapLookupSites() {
+    return std::move(map_lookup_sites_);
+  }
 
  private:
   // ---- rejection messages carry the abstract path --------------------------
@@ -892,6 +898,21 @@ class VerifierImpl {
     }
 
     used_capabilities_ |= helper->capabilities;
+
+    // Record the constant map index each lookup site resolves to; the JIT
+    // inlines per-CPU array lookups only for sites where every verified path
+    // agrees on the map.
+    if (static_cast<std::uint32_t>(insn.imm) == kHelperMapLookupElem &&
+        have_map_index) {
+      std::int32_t& site = map_lookup_sites_[pc];
+      const std::int32_t index = static_cast<std::int32_t>(pending_map_index);
+      if (site == Program::kNoMapSite) {
+        site = index;
+      } else if (site != index) {
+        site = Program::kPolymorphicMapSite;
+      }
+    }
+
     if (analysis_ != nullptr) {
       if (std::find(analysis_->helpers_called.begin(),
                     analysis_->helpers_called.end(),
@@ -1042,6 +1063,7 @@ class VerifierImpl {
   Program& program_;
   const Verifier::Options& options_;
   Verifier::Analysis* analysis_;
+  std::vector<std::int32_t> map_lookup_sites_;
   std::vector<bool> imm64_second_;
   LoopAnalysis loops_;
   std::uint32_t used_capabilities_ = 0;
@@ -1060,9 +1082,11 @@ Status Verifier::Verify(Program& program, const Options& options,
                         Analysis* analysis) {
   program.verified = false;
   program.used_capabilities = 0;
+  program.map_lookup_sites.clear();
   VerifierImpl impl(program, options, analysis);
   CONCORD_RETURN_IF_ERROR(impl.Run());
   program.used_capabilities = impl.used_capabilities();
+  program.map_lookup_sites = impl.TakeMapLookupSites();
   program.verified = true;
   return Status::Ok();
 }

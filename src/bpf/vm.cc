@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/base/check.h"
+#include "src/topology/thread_context.h"
 
 namespace concord {
 namespace {
@@ -142,6 +143,7 @@ std::uint64_t BpfVm::Run(const Program& program, void* ctx, void* hook_data) {
   VmEnv env;
   env.program = &program;
   env.hook_data = hook_data;
+  env.cpu = Self().vcpu;
 
   const Insn* insns = program.insns.data();
   const std::size_t count = program.insns.size();

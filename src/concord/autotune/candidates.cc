@@ -151,7 +151,9 @@ int PolicyCandidateRegistry::SeedFromPolicyDir(const std::string& dir) {
     // Assemble once now to reject broken files at load time; the candidate
     // factory re-assembles per attach (programs are cheap to build and the
     // spec must be fresh each time).
-    auto probe = AssembleProgram(stem, source, &DescriptorFor(hook), {});
+    std::vector<std::shared_ptr<BpfMap>> probe_maps;
+    auto probe =
+        AssembleProgram(stem, source, &DescriptorFor(hook), {}, &probe_maps);
     if (!probe.ok()) {
       continue;
     }
@@ -160,11 +162,14 @@ int PolicyCandidateRegistry::SeedFromPolicyDir(const std::string& dir) {
     candidate.regime = regime;
     candidate.for_rw = hook == HookKind::kRwMode;
     candidate.make = [stem, source, hook]() -> StatusOr<PolicySpec> {
-      auto program = AssembleProgram(stem, source, &DescriptorFor(hook), {});
+      std::vector<std::shared_ptr<BpfMap>> declared_maps;
+      auto program = AssembleProgram(stem, source, &DescriptorFor(hook), {},
+                                     &declared_maps);
       CONCORD_RETURN_IF_ERROR(program.status());
       PolicySpec spec;
       spec.name = stem;
       CONCORD_RETURN_IF_ERROR(spec.AddProgram(hook, std::move(*program)));
+      spec.maps = std::move(declared_maps);
       return spec;
     };
     if (Register(std::move(candidate)).ok()) {

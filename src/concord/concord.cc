@@ -939,6 +939,49 @@ std::string Concord::StatsJson(const std::string& selector) const {
       writer.EndObject();
       writer.Key("stats");
       entry->stats->AppendJson(writer);
+      if (entry->spec != nullptr && !entry->spec->maps.empty()) {
+        writer.Key("policy_maps").BeginArray();
+        for (const auto& map : entry->spec->maps) {
+          AppendMapDumpJson(writer, *map);
+        }
+        writer.EndArray();
+      }
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+StatusOr<std::string> Concord::MapDumpJson(const std::string& selector,
+                                           const std::string& map_name) const {
+  const std::vector<std::uint64_t> ids = Select(selector);
+  if (ids.empty()) {
+    return NotFoundError("selector '" + selector + "' matches no locks");
+  }
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("locks").BeginArray();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (std::uint64_t id : ids) {
+      const Entry* entry = EntryFor(id);
+      if (entry == nullptr || entry->spec == nullptr) {
+        continue;
+      }
+      writer.BeginObject();
+      writer.NumberField("lock_id", id);
+      writer.Field("name", entry->name);
+      writer.Field("policy", entry->spec->name);
+      writer.Key("maps").BeginArray();
+      for (const auto& map : entry->spec->maps) {
+        if (!map_name.empty() && map->name() != map_name) {
+          continue;
+        }
+        AppendMapDumpJson(writer, *map);
+      }
+      writer.EndArray();
       writer.EndObject();
     }
   }

@@ -146,8 +146,18 @@ class Concord {
   std::string ProfileReport(const std::string& selector = "*") const;
 
   // Machine-readable profiling stats for every profiled lock matching
-  // `selector`: {"locks":[{"lock_id","name","class","stats":{...}}]}.
+  // `selector`: {"locks":[{"lock_id","name","class","stats":{...},
+  // "policy_maps":[...]}]}. policy_maps holds a dump of each map owned by
+  // the lock's attached policy spec (per-CPU maps aggregated per key — see
+  // AppendMapDumpJson in trace_export.h); omitted when no policy is attached.
   std::string StatsJson(const std::string& selector = "*") const;
+
+  // Dumps the maps of attached policies on locks matching `selector`:
+  // {"locks":[{"lock_id","name","policy","maps":[<map dump>...]}]}. When
+  // `map_name` is non-empty only maps with that name are included; errors
+  // when the selector matches nothing. Backs the `map.dump` RPC verb.
+  StatusOr<std::string> MapDumpJson(const std::string& selector,
+                                    const std::string& map_name = "") const;
 
   // --- flight recorder (src/base/trace.h) -------------------------------------
 

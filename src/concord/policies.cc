@@ -271,7 +271,58 @@ std::uint64_t BpfProfilerPolicy::Count(HookKind tap) const {
     default:
       return 0;
   }
-  return counters->SumU64(static_cast<std::uint32_t>(slot));
+  return counters->AggregateU64(static_cast<std::uint32_t>(slot));
+}
+
+StatusOr<LockCensusPolicy> MakeLockCensusPolicy(std::uint32_t max_classes) {
+  auto census = std::make_shared<PerCpuHashMap>(
+      "class_census", sizeof(std::uint64_t), sizeof(std::uint64_t), max_classes,
+      MachineTopology::Global().total_cpus());
+
+  // Count into the calling CPU's slot; first sight of a class inserts it via
+  // map_update_elem (program-side, so only this CPU's slot takes the 1 —
+  // other CPUs' slots start zeroed).
+  const char* source = R"(
+    call get_task_class
+    stxdw [r10-8], r0     ; key = task_class
+    mov r1, 0
+    mov r2, r10
+    add r2, -8
+    call map_lookup_elem
+    jeq r0, 0, miss
+    mov r2, 1
+    xadddw [r0+0], r2     ; per-CPU slot: no cross-CPU contention
+    mov r0, 0
+    exit
+  miss:
+    stdw [r10-16], 1
+    mov r1, 0
+    mov r2, r10
+    add r2, -8
+    mov r3, r10
+    add r3, -16
+    call map_update_elem
+    mov r0, 0
+    exit
+  )";
+  auto program = AssembleProgram("census_acquire", source,
+                                 &DescriptorFor(HookKind::kLockAcquire),
+                                 {census.get()});
+  if (!program.ok()) {
+    return program.status();
+  }
+
+  LockCensusPolicy policy;
+  policy.spec.name = "lock_census";
+  policy.census = census;
+  policy.spec.maps.push_back(census);
+  CONCORD_RETURN_IF_ERROR(
+      policy.spec.AddProgram(HookKind::kLockAcquire, std::move(*program)));
+  return policy;
+}
+
+std::uint64_t LockCensusPolicy::CountForClass(std::uint64_t task_class) const {
+  return census->AggregateU64(&task_class);
 }
 
 }  // namespace concord

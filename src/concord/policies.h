@@ -88,6 +88,19 @@ struct BpfProfilerPolicy {
 };
 StatusOr<BpfProfilerPolicy> MakeBpfProfilerPolicy();
 
+// Per-task-class acquisition census on a per-CPU hash map: the kLockAcquire
+// tap counts acquisitions keyed by the caller's task_class annotation, each
+// CPU into its own value slot — keyed telemetry with zero cross-CPU cache
+// traffic on the count itself. Read with CountForClass (cross-CPU sum) or by
+// walking `census` directly.
+struct LockCensusPolicy {
+  PolicySpec spec;
+  std::shared_ptr<PerCpuHashMap> census;
+
+  std::uint64_t CountForClass(std::uint64_t task_class) const;
+};
+StatusOr<LockCensusPolicy> MakeLockCensusPolicy(std::uint32_t max_classes = 64);
+
 }  // namespace concord
 
 #endif  // SRC_CONCORD_POLICIES_H_

@@ -127,6 +127,12 @@ StatusOr<std::string> HandleTraceDump(const JsonValue&) {
   return Concord::Global().TraceChromeJson();
 }
 
+StatusOr<std::string> HandleMapDump(const JsonValue& params) {
+  const std::string selector = StringParam(params, "selector", "*");
+  const std::string map_name = StringParam(params, "map", "");
+  return Concord::Global().MapDumpJson(selector, map_name);
+}
+
 StatusOr<std::string> HandleContainmentStatus(const JsonValue& params) {
   const std::string selector = StringParam(params, "selector", "*");
   const auto locks = Concord::Global().ListLocks(selector);
@@ -293,9 +299,20 @@ StatusOr<std::string> HandlePolicyAttach(const JsonValue& params) {
   // capability mask, lint the lock invariants. Only then does the spec reach
   // Concord::Attach (which re-verifies — belt and braces, same as every
   // other attach path).
-  auto scratch = std::make_shared<ArrayMap>("scratch", 8, 8);
+  //
+  // Policies that declare no maps of their own get the legacy 8-slot
+  // "scratch" knob array at map index 0. A source with `.map` directives
+  // owns the whole map table instead — its declarations index from 0, which
+  // is how the assembly in the policy was written.
+  std::shared_ptr<ArrayMap> scratch;
+  std::vector<BpfMap*> caller_maps;
+  if (!SourceDeclaresMaps(source)) {
+    scratch = std::make_shared<ArrayMap>("scratch", 8, 8);
+    caller_maps.push_back(scratch.get());
+  }
+  std::vector<std::shared_ptr<BpfMap>> declared_maps;
   auto program = AssembleProgram(name, source, &DescriptorFor(hook),
-                                 {scratch.get()});
+                                 std::move(caller_maps), &declared_maps);
   CONCORD_RETURN_IF_ERROR(program.status());
   LintReport lint;
   CONCORD_RETURN_IF_ERROR(CheckPolicyProgram(hook, *program, &lint));
@@ -303,7 +320,12 @@ StatusOr<std::string> HandlePolicyAttach(const JsonValue& params) {
   PolicySpec spec;
   spec.name = name;
   CONCORD_RETURN_IF_ERROR(spec.AddProgram(hook, std::move(*program)));
-  spec.maps.push_back(std::move(scratch));
+  if (scratch != nullptr) {
+    spec.maps.push_back(std::move(scratch));
+  }
+  for (auto& map : declared_maps) {
+    spec.maps.push_back(std::move(map));  // keep `.map`-declared maps alive
+  }
   CONCORD_RETURN_IF_ERROR(
       Concord::Global().AttachBySelector(*selector, spec));
 
@@ -360,6 +382,7 @@ RpcDispatcher::RpcDispatcher() {
   add("trace.enable", false, HandleTraceEnable);
   add("trace.disable", false, HandleTraceDisable);
   add("trace.dump", true, HandleTraceDump);
+  add("map.dump", true, HandleMapDump);
   add("containment.status", true, HandleContainmentStatus);
   add("faults.arm", false, HandleFaultsArm);
   add("faults.list", true, HandleFaultsList);

@@ -1,6 +1,7 @@
 #include "src/concord/trace_export.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "src/base/json.h"
@@ -215,6 +216,76 @@ std::string ChromeTraceJson(
   writer.EndArray();
   writer.EndObject();
   return writer.TakeString();
+}
+
+namespace {
+
+std::string HexBytes(const void* data, std::uint32_t size) {
+  static const char kDigits[] = "0123456789abcdef";
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::string out = "0x";
+  for (std::uint32_t i = 0; i < size; ++i) {
+    out += kDigits[bytes[i] >> 4];
+    out += kDigits[bytes[i] & 0xf];
+  }
+  return out;
+}
+
+}  // namespace
+
+void AppendMapDumpJson(JsonWriter& writer, BpfMap& map) {
+  writer.BeginObject();
+  writer.Field("name", map.name());
+  writer.Field("type", MapTypeName(map.type()));
+  writer.NumberField("key_size", map.key_size());
+  writer.NumberField("value_size", map.value_size());
+  writer.NumberField("max_entries", map.max_entries());
+  writer.NumberField("num_cpus", map.num_cpus());
+  writer.NumberField("live", map.Size());
+  writer.Key("entries").BeginArray();
+
+  const std::uint32_t key_size = map.key_size();
+  const bool u64_values = map.value_size() >= sizeof(std::uint64_t);
+  std::vector<std::uint8_t> cur_key;
+  bool open = false;
+  std::uint64_t sum = 0;
+  auto close = [&] {
+    if (!open) {
+      return;
+    }
+    writer.EndArray();  // values
+    if (u64_values) {
+      writer.NumberField("sum", sum);
+    }
+    writer.EndObject();
+    open = false;
+  };
+
+  map.ForEach([&](const void* key, const void* value) {
+    if (!open || std::memcmp(cur_key.data(), key, key_size) != 0) {
+      close();
+      const auto* kb = static_cast<const std::uint8_t*>(key);
+      cur_key.assign(kb, kb + key_size);
+      writer.BeginObject();
+      writer.Field("key", HexBytes(key, key_size));
+      writer.Key("values").BeginArray();
+      sum = 0;
+      open = true;
+    }
+    if (u64_values) {
+      // Relaxed atomic lane read: dumps race benignly with policy counters.
+      const std::uint64_t lane = __atomic_load_n(
+          reinterpret_cast<const std::uint64_t*>(value), __ATOMIC_RELAXED);
+      writer.Number(lane);
+      sum += lane;
+    } else {
+      writer.String(HexBytes(value, map.value_size()));
+    }
+  });
+  close();
+
+  writer.EndArray();
+  writer.EndObject();
 }
 
 }  // namespace concord

@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "src/base/json.h"
 #include "src/base/trace.h"
+#include "src/bpf/maps.h"
 
 namespace concord {
 
@@ -56,6 +58,14 @@ std::vector<TraceLockSummary> SummarizeTrace(
 std::string ChromeTraceJson(
     const std::vector<TraceEvent>& events,
     const std::map<std::uint64_t, std::string>& lock_names = {});
+
+// Generic policy-map dump, shared by Concord::StatsJson's `policy_maps`
+// roll-up, Concord::MapDumpJson and the `map.dump` RPC verb. Emits one
+// object per key with a `values` array holding one element per CPU slot
+// (one element for single-instance maps) — u64 values as numbers plus a
+// cross-CPU `sum`, anything else as hex strings. Relies on ForEach's
+// per-CPU contract (same key visited num_cpus times, in CPU order).
+void AppendMapDumpJson(JsonWriter& writer, BpfMap& map);
 
 }  // namespace concord
 

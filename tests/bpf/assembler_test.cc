@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "src/bpf/maps.h"
 #include "src/bpf/verifier.h"
 #include "src/bpf/vm.h"
 
@@ -228,6 +232,93 @@ TEST(AssemblerTest, NegativeOffsetsInBrackets) {
     exit
   )";
   EXPECT_EQ(AssembleVerifyRun(source, {}), 5u);
+}
+
+// ---------- .map directives -------------------------------------------------
+
+TEST(AssemblerTest, MapDirectiveDeclaresAllKinds) {
+  const char* source = R"(
+    .map knobs, array, 8, 4
+    .map counters, percpu_array, 8, 4
+    .map census, hash, 8, 8, 16
+    .map percensus, percpu_hash, 8, 8, 16
+    mov r0, 0
+    exit
+  )";
+  std::vector<std::shared_ptr<BpfMap>> declared;
+  auto program = AssembleProgram("t", source, &Desc(), {}, &declared);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(declared.size(), 4u);
+  EXPECT_EQ(declared[0]->type(), MapType::kArray);
+  EXPECT_EQ(declared[1]->type(), MapType::kPerCpuArray);
+  EXPECT_EQ(declared[2]->type(), MapType::kHash);
+  EXPECT_EQ(declared[3]->type(), MapType::kPerCpuHash);
+  EXPECT_EQ(declared[1]->name(), "counters");
+  EXPECT_TRUE(declared[1]->is_per_cpu());
+  EXPECT_TRUE(declared[3]->is_per_cpu());
+  EXPECT_GE(declared[1]->num_cpus(), 1u);
+  // Declared maps are addressable by index after any caller-passed maps.
+  ASSERT_EQ(program->maps.size(), 4u);
+  EXPECT_EQ(program->maps[2], declared[2].get());
+}
+
+TEST(AssemblerTest, MapDirectiveUsableFromProgram) {
+  const char* source = R"(
+    .map counters, percpu_array, 8, 4
+    stw [r10-4], 0
+    mov r1, 0
+    mov r2, r10
+    add r2, -4
+    call map_lookup_elem
+    jeq r0, 0, miss
+    ldxdw r0, [r0+0]
+    exit
+  miss:
+    mov r0, 0
+    exit
+  )";
+  std::vector<std::shared_ptr<BpfMap>> declared;
+  auto program = AssembleProgram("t", source, &Desc(), {}, &declared);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_TRUE(Verifier::Verify(*program).ok());
+  ACtx ctx{};
+  EXPECT_EQ(BpfVm::Run(*program, &ctx), 0u);
+}
+
+TEST(AssemblerTest, MapDirectiveRejectedWithoutSink) {
+  auto result =
+      AssembleProgram("t", ".map m, array, 8, 4\nexit\n", &Desc());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("not accepted"), std::string::npos);
+}
+
+TEST(AssemblerTest, MapDirectiveRejectsDuplicateName) {
+  const char* source = R"(
+    .map m, array, 8, 4
+    .map m, hash, 8, 8, 4
+    exit
+  )";
+  std::vector<std::shared_ptr<BpfMap>> declared;
+  auto result = AssembleProgram("t", source, &Desc(), {}, &declared);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate map"), std::string::npos);
+}
+
+TEST(AssemblerTest, MapDirectiveRejectsBadDimsAndType) {
+  std::vector<std::shared_ptr<BpfMap>> declared;
+  EXPECT_FALSE(
+      AssembleProgram("t", ".map m, bogus_kind, 8, 4\nexit\n", &Desc(), {},
+                      &declared)
+          .ok());
+  EXPECT_FALSE(
+      AssembleProgram("t", ".map m, array, 8\nexit\n", &Desc(), {}, &declared)
+          .ok());  // missing max_entries
+  EXPECT_FALSE(
+      AssembleProgram("t", ".map m, hash, 8, 8\nexit\n", &Desc(), {}, &declared)
+          .ok());  // hash needs key, value, max
+  EXPECT_FALSE(AssembleProgram("t", ".map m, array, 0, 4\nexit\n", &Desc(), {},
+                               &declared)
+                   .ok());  // zero value size
 }
 
 }  // namespace

@@ -342,6 +342,80 @@ TEST(JitDifferentialTest, RandomMapProgramsAgreeIncludingMapState) {
   }
 }
 
+TEST(JitDifferentialTest, PerCpuArrayProgramsAgreeIncludingMapState) {
+  if (!Jit::Supported()) GTEST_SKIP() << "no JIT backend";
+  // The per-CPU array lookup is the one helper the JIT inlines (constant
+  // index -> direct slot address). Twin per-CPU maps, random read-modify-
+  // write programs, keys both in and out of range: R0 and every (cpu, slot)
+  // lane must match the interpreter bit for bit.
+  Xoshiro256 rng(0x9e7cc0de);
+  constexpr std::uint8_t kValueOps[] = {kBpfAdd, kBpfSub, kBpfXor,
+                                        kBpfOr,  kBpfAnd, kBpfMul};
+  constexpr std::uint32_t kCpus = 4;
+  for (int round = 0; round < 300; ++round) {
+    PerCpuArrayMap map_interp("p_interp", 8, 4, kCpus);
+    PerCpuArrayMap map_jit("p_jit", 8, 4, kCpus);
+    for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      for (std::uint32_t slot = 0; slot < 4; ++slot) {
+        const std::uint64_t seed_value = rng.Next();
+        std::memcpy(map_interp.SlotAt(cpu, slot), &seed_value,
+                    sizeof(seed_value));
+        std::memcpy(map_jit.SlotAt(cpu, slot), &seed_value,
+                    sizeof(seed_value));
+      }
+    }
+
+    // Every 4th round uses an out-of-range key: both tiers must miss.
+    const std::int32_t key = static_cast<std::int32_t>(rng.NextBounded(6));
+    const std::uint8_t op = kValueOps[rng.NextBounded(std::size(kValueOps))];
+    const std::int32_t delta = static_cast<std::int32_t>(rng.Next());
+
+    Program interp_prog;
+    interp_prog.name = "jit_diff_percpu";
+    interp_prog.ctx_desc = &Desc();
+    interp_prog.maps = {&map_interp};
+    interp_prog.insns = {
+        StoreMemImm(kBpfSizeW, 10, -4, key),
+        MovImm(1, 0),  // map index
+        MovReg(2, 10),
+        AluImm(kBpfAdd, 2, -4),
+        Call(kHelperMapLookupElem),
+        JmpImm(kBpfJne, 0, 0, 2),
+        MovImm(0, 0),
+        Exit(),
+        LoadMem(kBpfSizeDw, 3, 0, 0),
+        AluImm(op, 3, delta),
+        StoreMemReg(kBpfSizeDw, 0, 3, 0),
+        MovReg(0, 3),
+        Exit(),
+    };
+    ASSERT_TRUE(Verifier::Verify(interp_prog).ok());
+    // The verifier must have resolved the lookup site for the JIT to inline.
+    ASSERT_EQ(interp_prog.map_lookup_sites[4], 0);
+
+    Program jit_prog = interp_prog;
+    jit_prog.maps = {&map_jit};
+    auto compiled = Jit::Compile(jit_prog);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+    DiffCtx ctx{0, 0};
+    const std::uint64_t want = BpfVm::Run(interp_prog, &ctx);
+    const std::uint64_t got = compiled.value()->Run(jit_prog, &ctx);
+    ASSERT_EQ(want, got) << "round " << round << " key " << key;
+    for (std::uint32_t cpu = 0; cpu < kCpus; ++cpu) {
+      for (std::uint32_t slot = 0; slot < 4; ++slot) {
+        std::uint64_t via_interp = 0;
+        std::uint64_t via_jit = 0;
+        std::memcpy(&via_interp, map_interp.SlotAt(cpu, slot),
+                    sizeof(via_interp));
+        std::memcpy(&via_jit, map_jit.SlotAt(cpu, slot), sizeof(via_jit));
+        ASSERT_EQ(via_interp, via_jit)
+            << "round " << round << " cpu " << cpu << " slot " << slot;
+      }
+    }
+  }
+}
+
 // Every policy program this repo ships must execute identically on both
 // tiers — this is the ISSUE's acceptance bar for the JIT.
 TEST(JitDifferentialTest, BoundedLoopProgramsAgree) {
@@ -402,6 +476,11 @@ TEST(JitDifferentialTest, ShippedPoliciesAgreeOnRandomContexts) {
     auto profiler = MakeBpfProfilerPolicy();
     ASSERT_TRUE(profiler.ok()) << profiler.status().ToString();
     specs.emplace_back("bpf_profiler", std::move(profiler.value().spec));
+  }
+  {
+    auto census = MakeLockCensusPolicy();
+    ASSERT_TRUE(census.ok()) << census.status().ToString();
+    specs.emplace_back("lock_census", std::move(census.value().spec));
   }
 
   int programs_checked = 0;

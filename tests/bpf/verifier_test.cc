@@ -431,6 +431,87 @@ TEST(VerifierTest, RejectsMapValueAccessBeyondValueSize) {
   EXPECT_FALSE(VerifyBuilt(b).ok());
 }
 
+TEST(VerifierTest, RecordsMapLookupSites) {
+  ProgramBuilder b("sites", &Desc());
+  ArrayMap m0("m0", 8, 1);
+  PerCpuArrayMap m1("m1", 8, 1, /*num_cpus=*/2);
+  b.DeclareMap(&m0);
+  const auto idx1 = b.DeclareMap(&m1);
+  auto miss = b.NewLabel();
+  b.StoreImm(kBpfSizeW, 10, -4, 0)
+      .Mov(1, static_cast<std::int32_t>(idx1))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")  // pc 4
+      .JmpIf(kBpfJeq, 0, 0, miss)
+      .Load(kBpfSizeDw, 0, 0, 0)
+      .Ret()
+      .Bind(miss)
+      .Return(0);
+  auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(Verifier::Verify(*result).ok());
+  ASSERT_EQ(result->map_lookup_sites.size(), result->insns.size());
+  EXPECT_EQ(result->map_lookup_sites[4], static_cast<std::int32_t>(idx1));
+  for (std::size_t pc = 0; pc < result->map_lookup_sites.size(); ++pc) {
+    if (pc != 4) {
+      EXPECT_EQ(result->map_lookup_sites[pc], Program::kNoMapSite) << pc;
+    }
+  }
+}
+
+TEST(VerifierTest, MarksPolymorphicMapLookupSites) {
+  // Two verified paths reach the same lookup with different map indexes;
+  // the site must degrade to kPolymorphicMapSite so the JIT never inlines a
+  // single map's address there.
+  ProgramBuilder b("poly", &Desc());
+  ArrayMap m0("m0", 8, 1);
+  ArrayMap m1("m1", 8, 1);
+  b.DeclareMap(&m0);
+  b.DeclareMap(&m1);
+  auto call = b.NewLabel();
+  auto miss = b.NewLabel();
+  b.Load(kBpfSizeDw, 3, 1, 0)  // r3 = ctx.in
+      .StoreImm(kBpfSizeW, 10, -4, 0)
+      .Mov(1, 0)
+      .JmpIf(kBpfJeq, 3, 0, call)
+      .Mov(1, 1)
+      .Bind(call)
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")  // pc 7, r1 is 0 or 1 here
+      .JmpIf(kBpfJeq, 0, 0, miss)
+      .Load(kBpfSizeDw, 0, 0, 0)
+      .Ret()
+      .Bind(miss)
+      .Return(0);
+  auto result = b.Build();
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(Verifier::Verify(*result).ok());
+  ASSERT_EQ(result->map_lookup_sites.size(), result->insns.size());
+  EXPECT_EQ(result->map_lookup_sites[7], Program::kPolymorphicMapSite);
+}
+
+TEST(VerifierTest, PerCpuMapValueBoundsUseValueSize) {
+  // A per-CPU lookup yields a pointer to one CPU's value instance: accesses
+  // stay bounded by value_size, not the map's full per-CPU footprint.
+  ProgramBuilder b("percpu_bounds", &Desc());
+  PerCpuArrayMap map("p", 8, 1, /*num_cpus=*/4);
+  const auto idx = b.DeclareMap(&map);
+  auto miss = b.NewLabel();
+  b.StoreImm(kBpfSizeW, 10, -4, 0)
+      .Mov(1, static_cast<std::int32_t>(idx))
+      .MovR(2, 10)
+      .Add(2, -4)
+      .CallByName("map_lookup_elem")
+      .JmpIf(kBpfJeq, 0, 0, miss)
+      .Load(kBpfSizeDw, 0, 0, 8)  // next CPU's lane — must be rejected
+      .Ret()
+      .Bind(miss)
+      .Return(0);
+  EXPECT_FALSE(VerifyBuilt(b).ok());
+}
+
 TEST(VerifierTest, RegistersClobberedAcrossCalls) {
   // Using r1 (clobbered by the call) afterwards must be rejected.
   ProgramBuilder b("clobbered", &Desc());

@@ -188,6 +188,42 @@ TEST(PoliciesTest, BpfProfilerCountsTaps) {
   EXPECT_EQ(policy->Count(HookKind::kLockContended), 0u);
 }
 
+TEST(PoliciesTest, LockCensusCountsPerTaskClass) {
+  auto policy = MakeLockCensusPolicy();
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  Status status = policy->spec.VerifyAll();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  Program& acquire =
+      policy->spec.ChainFor(HookKind::kLockAcquire).programs.front();
+  ProfileCtx ctx{1, 0, 0, 0};
+  ThreadContext& self = Self();
+  const std::uint8_t saved_class =
+      self.task_class.load(std::memory_order_relaxed);
+
+  self.task_class.store(static_cast<std::uint8_t>(TaskClass::kRealtime),
+                        std::memory_order_relaxed);
+  for (int i = 0; i < 3; ++i) {
+    BpfVm::Run(acquire, &ctx);
+  }
+  self.task_class.store(static_cast<std::uint8_t>(TaskClass::kBackground),
+                        std::memory_order_relaxed);
+  BpfVm::Run(acquire, &ctx);
+  self.task_class.store(saved_class, std::memory_order_relaxed);
+
+  EXPECT_EQ(policy->CountForClass(
+                static_cast<std::uint64_t>(TaskClass::kRealtime)),
+            3u);
+  EXPECT_EQ(policy->CountForClass(
+                static_cast<std::uint64_t>(TaskClass::kBackground)),
+            1u);
+  EXPECT_EQ(policy->CountForClass(
+                static_cast<std::uint64_t>(TaskClass::kLatencyCritical)),
+            0u);
+  // Keys are inserted lazily, one per observed class.
+  EXPECT_EQ(policy->census->Size(), 2u);
+}
+
 // Property sweep: every factory policy verifies cleanly under its hook's
 // capability mask (i.e. no ready-made policy depends on capabilities its
 // attach point would deny).

@@ -24,6 +24,7 @@
 #include "src/concord/concord.h"
 #include "src/concord/rpc/client.h"
 #include "src/sync/shfllock.h"
+#include "src/topology/topology.h"
 
 namespace concord {
 namespace {
@@ -234,6 +235,82 @@ TEST_F(RpcServerTest, PolicyAttachRunsTheStaticAnalysisGate) {
   auto count = ParseJson(detached->result);
   ASSERT_TRUE(count.ok());
   EXPECT_DOUBLE_EQ(count->Find("detached")->number_value, 1.0);
+
+  (void)Concord::Global().Unregister(id);
+}
+
+TEST_F(RpcServerTest, MapDumpRoundTripsDeclaredPerCpuMap) {
+  const std::uint64_t id =
+      Concord::Global().RegisterShflLock(lock_, "hot", "demo");
+  StartServer({});
+  RpcClient client = MakeClient();
+
+  // A counter policy whose per-CPU map is declared in the source itself —
+  // the whole loop (declare, attach, count, dump) over the socket.
+  constexpr char kCounterPolicy[] =
+      "; hook: lock_acquire\n"
+      ".map counters, percpu_array, 8, 1\n"
+      "  stw [r10-4], 0\n"
+      "  mov r1, 0\n"
+      "  mov r2, r10\n"
+      "  add r2, -4\n"
+      "  call map_lookup_elem\n"
+      "  jeq r0, 0, out\n"
+      "  mov r2, 1\n"
+      "  xadddw [r0+0], r2\n"
+      "out:\n"
+      "  mov r0, 0\n"
+      "  exit\n";
+  JsonWriter attach;
+  attach.BeginObject();
+  attach.Field("selector", "hot");
+  attach.Field("source", kCounterPolicy);
+  attach.Field("name", "percpu_counter");
+  attach.EndObject();
+  auto attached =
+      client.Call("policy.attach", attach.str(), /*idempotent=*/false);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  ASSERT_TRUE(attached->ok) << attached->error_code << ": "
+                            << attached->error_message;
+
+  constexpr int kAcquisitions = 5;
+  for (int i = 0; i < kAcquisitions; ++i) {
+    lock_.Lock();
+    lock_.Unlock();
+  }
+
+  auto dump = client.Call("map.dump", R"({"selector":"hot","map":"counters"})",
+                          /*idempotent=*/true);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  ASSERT_TRUE(dump->ok) << dump->error_code << ": " << dump->error_message;
+  auto parsed = ParseJson(dump->result);
+  ASSERT_TRUE(parsed.ok()) << dump->result;
+  const JsonValue* locks = parsed->Find("locks");
+  ASSERT_NE(locks, nullptr);
+  ASSERT_EQ(locks->array.size(), 1u);
+  EXPECT_EQ(locks->array[0].Find("policy")->string_value, "percpu_counter");
+  const JsonValue* maps = locks->array[0].Find("maps");
+  ASSERT_NE(maps, nullptr);
+  ASSERT_EQ(maps->array.size(), 1u);
+  const JsonValue& map = maps->array[0];
+  EXPECT_EQ(map.Find("name")->string_value, "counters");
+  EXPECT_EQ(map.Find("type")->string_value, "percpu_array");
+  const JsonValue* entries = map.Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->array.size(), 1u);
+  // Cross-CPU sum over the lanes equals the acquisitions we made.
+  EXPECT_DOUBLE_EQ(entries->array[0].Find("sum")->number_value,
+                   static_cast<double>(kAcquisitions));
+  EXPECT_EQ(entries->array[0].Find("values")->array.size(),
+            static_cast<std::size_t>(
+                MachineTopology::Global().total_cpus()));
+
+  // Unknown selectors are a structured not_found, not an empty dump.
+  auto missing = client.Call("map.dump", R"({"selector":"nope"})",
+                             /*idempotent=*/true);
+  ASSERT_TRUE(missing.ok());
+  ASSERT_FALSE(missing->ok);
+  EXPECT_EQ(missing->error_code, "not_found");
 
   (void)Concord::Global().Unregister(id);
 }

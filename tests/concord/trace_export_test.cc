@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "src/base/json.h"
 #include "src/base/trace.h"
 #include "src/concord/concord.h"
+#include "src/concord/policies.h"
 #include "src/sync/shfllock.h"
 
 namespace concord {
@@ -253,6 +255,91 @@ TEST_F(TraceExportE2ETest, ContendedRunProducesMatchedSpans) {
   EXPECT_EQ(waits, 5u);
   EXPECT_EQ(holds, 5u);
 #endif
+}
+
+TEST(MapDumpJsonTest, PerCpuArrayGroupsLanesPerKey) {
+  PerCpuArrayMap map("counters", sizeof(std::uint64_t), 2, /*num_cpus=*/3);
+  for (std::uint32_t cpu = 0; cpu < 3; ++cpu) {
+    const std::uint64_t v = cpu + 1;
+    std::memcpy(map.SlotAt(cpu, 0), &v, sizeof(v));
+  }
+  JsonWriter writer;
+  AppendMapDumpJson(writer, map);
+  auto parsed = ParseJson(writer.str());
+  ASSERT_TRUE(parsed.ok()) << writer.str();
+  EXPECT_EQ(parsed->Find("name")->string_value, "counters");
+  EXPECT_EQ(parsed->Find("type")->string_value, "percpu_array");
+  EXPECT_DOUBLE_EQ(parsed->Find("num_cpus")->number_value, 3.0);
+  const JsonValue* entries = parsed->Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->array.size(), 2u);  // one object per index
+  const JsonValue& first = entries->array[0];
+  ASSERT_EQ(first.Find("values")->array.size(), 3u);  // one lane per CPU
+  EXPECT_DOUBLE_EQ(first.Find("values")->array[0].number_value, 1.0);
+  EXPECT_DOUBLE_EQ(first.Find("values")->array[2].number_value, 3.0);
+  EXPECT_DOUBLE_EQ(first.Find("sum")->number_value, 6.0);
+  EXPECT_DOUBLE_EQ(entries->array[1].Find("sum")->number_value, 0.0);
+}
+
+TEST(MapDumpJsonTest, NarrowValuesDumpAsHex) {
+  HashMap map("small", sizeof(std::uint64_t), 4, 8);  // 4-byte values
+  ASSERT_TRUE(map.UpdateTyped(std::uint64_t{1}, std::uint32_t{0xabcd}).ok());
+  JsonWriter writer;
+  AppendMapDumpJson(writer, map);
+  auto parsed = ParseJson(writer.str());
+  ASSERT_TRUE(parsed.ok()) << writer.str();
+  const JsonValue* entries = parsed->Find("entries");
+  ASSERT_EQ(entries->array.size(), 1u);
+  const JsonValue& entry = entries->array[0];
+  // Sub-8-byte values can't be summed as u64 lanes: hex strings, no sum.
+  EXPECT_EQ(entry.Find("values")->array[0].string_value, "0xcdab0000");
+  EXPECT_EQ(entry.Find("sum"), nullptr);
+}
+
+TEST(MapDumpJsonTest, StatsJsonCarriesPolicyMaps) {
+  static ShflLock lock;
+  Concord& concord = Concord::Global();
+  const std::uint64_t id = concord.RegisterShflLock(lock, "dump_me", "export");
+  ASSERT_TRUE(concord.EnableProfiling(id).ok());
+  auto policy = MakeBpfProfilerPolicy();
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(concord.Attach(id, std::move(policy->spec)).ok());
+  for (int i = 0; i < 3; ++i) {
+    lock.Lock();
+    lock.Unlock();
+  }
+
+  auto parsed = ParseJson(concord.StatsJson("dump_me"));
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& entry = parsed->Find("locks")->array[0];
+  const JsonValue* maps = entry.Find("policy_maps");
+  ASSERT_NE(maps, nullptr) << "attached policy's maps must be dumped";
+  ASSERT_EQ(maps->array.size(), 1u);
+  EXPECT_EQ(maps->array[0].Find("name")->string_value, "tap_counters");
+  // Slot 0 counts kLockAcquire taps: summed across CPUs it equals the
+  // acquisitions made above.
+  EXPECT_DOUBLE_EQ(
+      maps->array[0].Find("entries")->array[0].Find("sum")->number_value, 3.0);
+
+  auto dump = concord.MapDumpJson("dump_me");
+  ASSERT_TRUE(dump.ok());
+  auto dump_parsed = ParseJson(*dump);
+  ASSERT_TRUE(dump_parsed.ok());
+  const JsonValue& dumped = dump_parsed->Find("locks")->array[0];
+  EXPECT_EQ(dumped.Find("policy")->string_value, "bpf_profiler");
+  ASSERT_EQ(dumped.Find("maps")->array.size(), 1u);
+
+  // Filtering by name, and the not-found contract.
+  auto filtered = concord.MapDumpJson("dump_me", "no_such_map");
+  ASSERT_TRUE(filtered.ok());
+  auto filtered_parsed = ParseJson(*filtered);
+  ASSERT_TRUE(filtered_parsed.ok());
+  EXPECT_EQ(
+      filtered_parsed->Find("locks")->array[0].Find("maps")->array.size(), 0u);
+  EXPECT_EQ(concord.MapDumpJson("no_such_lock").status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(concord.Unregister(id).ok());
 }
 
 }  // namespace

@@ -113,9 +113,17 @@ int Run(int argc, char** argv) {
   std::stringstream buffer;
   buffer << in.rdbuf();
 
+  // Sources with `.map` directives own the whole map table (their indices
+  // start at 0); legacy sources get the scratch knob array at index 0.
   ArrayMap scratch("scratch", 8, 8);
+  std::vector<BpfMap*> caller_maps;
+  if (!SourceDeclaresMaps(buffer.str())) {
+    caller_maps.push_back(&scratch);
+  }
+  std::vector<std::shared_ptr<BpfMap>> declared_maps;
   auto program = AssembleProgram(argv[arg + 1], buffer.str(),
-                                 &DescriptorFor(kind), {&scratch});
+                                 &DescriptorFor(kind), std::move(caller_maps),
+                                 &declared_maps);
   if (!program.ok()) {
     std::fprintf(stderr, "assembly failed: %s\n",
                  program.status().ToString().c_str());

@@ -114,8 +114,16 @@ FileResult CheckFile(const std::string& path, const std::string& hook_override) 
     return result;
   }
 
+  // Sources with `.map` directives own the whole map table (their indices
+  // start at 0); legacy sources get the scratch knob array at index 0.
   ArrayMap scratch("scratch", 8, 8);
-  auto program = AssembleProgram(path, source, &DescriptorFor(kind), {&scratch});
+  std::vector<BpfMap*> caller_maps;
+  if (!SourceDeclaresMaps(source)) {
+    caller_maps.push_back(&scratch);
+  }
+  std::vector<std::shared_ptr<BpfMap>> declared_maps;
+  auto program = AssembleProgram(path, source, &DescriptorFor(kind),
+                                 std::move(caller_maps), &declared_maps);
   if (!program.ok()) {
     result.stage = "assemble";
     result.error = program.status().ToString();
