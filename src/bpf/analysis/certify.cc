@@ -1,0 +1,60 @@
+#include "src/bpf/analysis/certify.h"
+
+#include <sstream>
+
+namespace concord {
+namespace {
+
+// The loop (if any) whose trip budget inflates `pc`'s execution count, for
+// the over-budget diagnostic. Picks the covering edge with the largest
+// max_trips — the dominant contributor to the multiplier.
+const Verifier::LoopReport* DominantLoop(const Verifier::Analysis& analysis,
+                                         std::size_t pc) {
+  const Verifier::LoopReport* best = nullptr;
+  for (const auto& loop : analysis.loops) {
+    if (loop.header_pc <= pc && pc <= loop.back_edge_pc &&
+        (best == nullptr || loop.max_trips > best->max_trips)) {
+      best = &loop;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Status CertifyProgram(const Program& program,
+                      const Verifier::Analysis& analysis,
+                      std::uint64_t budget_ns, CertificationReport* report) {
+  CertificationReport local;
+  CertificationReport& cert = report != nullptr ? *report : local;
+  cert.wcet = ComputeWcet(program, analysis);
+  cert.races = AnalyzeRaces(program, analysis);
+  cert.budget_ns = budget_ns;
+  cert.certified = false;
+
+  if (!cert.races.ok()) {
+    return PermissionDeniedError("shared-map race analysis rejected program '" +
+                                 program.name + "': " + cert.races.ToString());
+  }
+
+  if (budget_ns != 0 && cert.wcet.certified_ns > budget_ns) {
+    std::ostringstream msg;
+    msg << "certified worst case " << cert.wcet.certified_ns
+        << " ns exceeds hook budget " << budget_ns << " ns for program '"
+        << program.name << "'; dominated by insn " << cert.wcet.hottest_pc
+        << " (`" << DisassembleInsn(program.insns[cert.wcet.hottest_pc])
+        << "`) x " << cert.wcet.hottest_multiplier << " executions";
+    if (const Verifier::LoopReport* loop =
+            DominantLoop(analysis, cert.wcet.hottest_pc)) {
+      msg << " [loop: header " << loop->header_pc << " -> back edge "
+          << loop->back_edge_pc << ", <= " << loop->max_trips << " trips]";
+    }
+    msg << "; tighten the loop bound or raise budget_ns";
+    return PermissionDeniedError(msg.str());
+  }
+
+  cert.certified = true;
+  return Status::Ok();
+}
+
+}  // namespace concord

@@ -1,0 +1,51 @@
+// Attach-time certification: the gate that runs after Verifier v2 and before
+// any program reaches a hook.
+//
+// Certification composes the two analyses in this directory:
+//   1. WCET (wcet.h): the statically certified worst-case nanoseconds
+//      (max over execution tiers) must fit the hook budget when one is set.
+//   2. Races (race.h): plain stores into shared maps are rejected outright,
+//      budget or not.
+//
+// Everything here runs at attach time in the control plane; the lock hot
+// path gains zero instructions from certification — an admitted program runs
+// exactly as before, and a rejected one never runs at all.
+//
+// Rejection diagnostics name the offending instruction (disassembled), the
+// execution-count bound that drives it, and the loop whose trip budget
+// produced that bound, mirroring the verifier's path-carrying messages.
+
+#ifndef SRC_BPF_ANALYSIS_CERTIFY_H_
+#define SRC_BPF_ANALYSIS_CERTIFY_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/bpf/analysis/race.h"
+#include "src/bpf/analysis/wcet.h"
+#include "src/bpf/program.h"
+#include "src/bpf/verifier.h"
+
+namespace concord {
+
+struct CertificationReport {
+  WcetReport wcet;
+  RaceReport races;
+  std::uint64_t budget_ns = 0;  // the budget certified against (0 = none)
+  bool certified = false;
+};
+
+// Certifies `program` (which must have passed Verifier::Verify producing
+// `analysis`) against `budget_ns`. budget_ns == 0 means "no timing budget":
+// the WCET is still computed and reported but not gated on. The race gate
+// always applies. On rejection returns kPermissionDenied with the full
+// diagnostic; `report` (optional) is filled either way so callers can
+// surface the numbers.
+Status CertifyProgram(const Program& program,
+                      const Verifier::Analysis& analysis,
+                      std::uint64_t budget_ns,
+                      CertificationReport* report = nullptr);
+
+}  // namespace concord
+
+#endif  // SRC_BPF_ANALYSIS_CERTIFY_H_

@@ -1,0 +1,96 @@
+#include "src/bpf/analysis/cost_model.h"
+
+#include "src/bpf/helpers.h"
+
+namespace concord {
+namespace {
+
+// Baseline per-operation costs (ns). The interpreter figures include the
+// dispatch-loop overhead (fetch, class switch, bounds CHECKs); the JIT
+// figures are the native instruction sequences the backend emits.
+struct TierCosts {
+  std::uint64_t alu;
+  std::uint64_t mem;     // LDX / STX / ST through a verified pointer
+  std::uint64_t atomic;  // lock xadd — dominated by the cache-line RMW
+  std::uint64_t jmp;     // conditional or unconditional branch, exit
+  std::uint64_t call;    // helper call overhead (spill/dispatch), not the body
+  std::uint64_t lddw;    // two-slot immediate load, charged once
+};
+
+constexpr TierCosts kInterpCosts = {4, 7, 44, 5, 14, 5};
+constexpr TierCosts kJitCosts = {1, 3, 40, 2, 6, 1};
+
+// Helper bodies. Map costs split by kind: array lookups are an index check
+// plus an add; hash lookups hash the key and probe buckets under the bucket
+// spinlock; per-CPU variants add the CPU-slot indirection but avoid
+// cross-CPU traffic. Updates/deletes pay the write path. Unknown helpers
+// (Concord extensions registered at runtime) get a flat pessimistic charge.
+constexpr std::uint64_t kCostClockRead = 30;
+constexpr std::uint64_t kCostIdGetter = 10;
+constexpr std::uint64_t kCostTaskStat = 16;
+constexpr std::uint64_t kCostArrayLookup = 12;
+constexpr std::uint64_t kCostHashLookup = 90;
+constexpr std::uint64_t kCostArrayUpdate = 24;
+constexpr std::uint64_t kCostHashUpdate = 140;
+constexpr std::uint64_t kCostHashDelete = 120;
+constexpr std::uint64_t kCostTracePrintk = 400;
+constexpr std::uint64_t kCostUnknownHelper = 150;
+
+bool IsHashKind(const BpfMap* map) {
+  return map == nullptr || map->type() == MapType::kHash ||
+         map->type() == MapType::kPerCpuHash;
+}
+
+}  // namespace
+
+std::uint64_t InsnCostNs(const Insn& insn, ExecTier tier) {
+  const TierCosts& costs =
+      tier == ExecTier::kInterpreter ? kInterpCosts : kJitCosts;
+  switch (insn.Class()) {
+    case kBpfClassAlu64:
+    case kBpfClassAlu32:
+      return costs.alu;
+    case kBpfClassLdx:
+    case kBpfClassSt:
+      return costs.mem;
+    case kBpfClassStx:
+      return insn.Mode() == kBpfModeAtomic ? costs.atomic : costs.mem;
+    case kBpfClassLd:
+      return costs.lddw;
+    case kBpfClassJmp:
+    case kBpfClassJmp32:
+      return insn.JmpOp() == kBpfCall ? costs.call : costs.jmp;
+    default:
+      return costs.mem;  // unreachable for verified programs; stay pessimistic
+  }
+}
+
+std::uint64_t HelperCostNs(std::uint32_t helper_id, const BpfMap* map) {
+  switch (helper_id) {
+    case kHelperKtimeGetNs:
+      return kCostClockRead;
+    case kHelperGetSmpProcessorId:
+    case kHelperGetNumaNodeId:
+    case kHelperGetCurrentTaskId:
+    case kHelperGetTaskPriority:
+    case kHelperGetTaskClass:
+    case kHelperGetLocksHeld:
+      return kCostIdGetter;
+    case kHelperGetCsEwmaNs:
+    case kHelperGetTaskQuotaNs:
+    case kHelperGetTaskPreemptible:
+      return kCostTaskStat;
+    case kHelperMapLookupElem:
+      return IsHashKind(map) ? kCostHashLookup : kCostArrayLookup;
+    case kHelperMapUpdateElem:
+      return IsHashKind(map) ? kCostHashUpdate : kCostArrayUpdate;
+    case kHelperMapDeleteElem:
+      return kCostHashDelete;
+    case kHelperTracePrintk:
+      return kCostTracePrintk;
+    default:
+      return kCostUnknownHelper;
+  }
+}
+
+}  // namespace concord

@@ -1,0 +1,50 @@
+// Per-instruction cost model for policy programs.
+//
+// The certification pass (src/bpf/analysis/wcet.h) needs a worst-case cost
+// for every instruction a verified program can execute, on both execution
+// tiers: the interpreter (src/bpf/vm.h) pays a dispatch loop per
+// instruction; the x86-64 JIT (src/bpf/jit/jit.h) compiles most instructions
+// to one or two native ops. Costs are expressed in nanoseconds on a
+// deliberately pessimistic baseline — a 1 GHz-class core with unwarmed
+// caches — so the bound errs toward rejecting a borderline policy rather
+// than admitting one that trips its runtime budget.
+//
+// Helper bodies are costed separately (HelperCostNs): a map helper's cost
+// depends on the map kind it resolves to (array index vs hash probe under
+// the bucket lock), which the caller knows from Program::map_lookup_sites.
+//
+// The model intentionally excludes waiting time: a hash-map bucket lock can
+// be contended and an atomic add can bounce a cache line for longer than any
+// constant here. Those delays are bounded operationally by the runtime
+// budget machinery (HookBudgetState); the static bound certifies the
+// instruction path itself. docs/ANALYSIS.md spells out this contract.
+
+#ifndef SRC_BPF_ANALYSIS_COST_MODEL_H_
+#define SRC_BPF_ANALYSIS_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/bpf/insn.h"
+#include "src/bpf/maps.h"
+
+namespace concord {
+
+enum class ExecTier : std::uint8_t {
+  kInterpreter,  // BpfVm::Run — the fallback tier, always available
+  kJit,          // native code from Jit::Compile
+};
+
+// Worst-case nanoseconds to execute `insn` once on `tier`, excluding any
+// helper body (a kBpfCall insn is charged only its call/dispatch overhead
+// here). An lddw pair is charged once, on its first slot.
+std::uint64_t InsnCostNs(const Insn& insn, ExecTier tier);
+
+// Worst-case nanoseconds for one invocation of helper `helper_id`'s body
+// (tier-independent: both tiers call the same C++ helper). For map helpers,
+// `map` is the map the call site resolves to, or nullptr when the site is
+// polymorphic/unknown — the model then assumes the most expensive kind.
+std::uint64_t HelperCostNs(std::uint32_t helper_id, const BpfMap* map);
+
+}  // namespace concord
+
+#endif  // SRC_BPF_ANALYSIS_COST_MODEL_H_

@@ -1,0 +1,102 @@
+#include "src/bpf/analysis/race.h"
+
+#include <sstream>
+
+namespace concord {
+
+const char* MapAccessClassName(MapAccessClass access_class) {
+  switch (access_class) {
+    case MapAccessClass::kNone:
+      return "none";
+    case MapAccessClass::kReadOnly:
+      return "read-only";
+    case MapAccessClass::kAtomic:
+      return "atomic";
+    case MapAccessClass::kMutates:
+      return "mutates";
+  }
+  return "?";
+}
+
+RaceReport AnalyzeRaces(const Program& program,
+                        const Verifier::Analysis& analysis) {
+  RaceReport report;
+  report.map_classes.assign(program.maps.size(), MapAccessClass::kNone);
+
+  // First pass: per-map classification (a load never downgrades a map that
+  // also has stores; kMutates dominates kAtomic dominates kReadOnly).
+  for (const auto& site : analysis.map_access_sites) {
+    if (site.map_index >= report.map_classes.size()) {
+      continue;  // defensive: stale analysis against a different program
+    }
+    MapAccessClass& cls = report.map_classes[site.map_index];
+    switch (site.kind) {
+      case Verifier::MapAccessSite::Kind::kLoad:
+        if (cls == MapAccessClass::kNone) {
+          cls = MapAccessClass::kReadOnly;
+        }
+        break;
+      case Verifier::MapAccessSite::Kind::kAtomicAdd:
+        if (cls != MapAccessClass::kMutates) {
+          cls = MapAccessClass::kAtomic;
+        }
+        break;
+      case Verifier::MapAccessSite::Kind::kStore:
+        cls = MapAccessClass::kMutates;
+        break;
+    }
+  }
+
+  // Second pass: one finding per plain store into a shared map. The message
+  // distinguishes a read-modify-write (the map is also loaded, so this is a
+  // classic lost-update) from a blind store (last-writer-wins, still a race
+  // worth surfacing) and always carries the fix-it hint.
+  for (const auto& site : analysis.map_access_sites) {
+    if (site.kind != Verifier::MapAccessSite::Kind::kStore) {
+      continue;
+    }
+    if (site.map_index >= program.maps.size()) {
+      continue;
+    }
+    const BpfMap* map = program.maps[site.map_index];
+    if (map == nullptr || map->is_per_cpu()) {
+      continue;
+    }
+    bool also_loads = false;
+    for (const auto& other : analysis.map_access_sites) {
+      if (other.map_index == site.map_index &&
+          other.kind == Verifier::MapAccessSite::Kind::kLoad) {
+        also_loads = true;
+        break;
+      }
+    }
+    RaceFinding finding;
+    finding.rule = "shared-map-rmw";
+    finding.pc = site.pc;
+    finding.map_index = site.map_index;
+    std::ostringstream msg;
+    msg << "insn " << site.pc << " (`"
+        << DisassembleInsn(program.insns[site.pc]) << "`): non-atomic "
+        << (also_loads ? "read-modify-write of" : "store into") << " shared "
+        << MapTypeName(map->type()) << " map '" << map->name()
+        << "' races with concurrent hook invocations; use an atomic add "
+           "(xadddw/xaddw) or migrate the map to "
+        << (map->type() == MapType::kHash ? "percpu_hash" : "percpu_array");
+    finding.message = msg.str();
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+std::string RaceReport::ToString() const {
+  std::string out;
+  for (const auto& finding : findings) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += finding.message;
+  }
+  return out;
+}
+
+}  // namespace concord

@@ -1,0 +1,68 @@
+// Shared-map race analyzer for policy programs.
+//
+// Every hook a policy attaches to can fire concurrently on every CPU —
+// AttachBySelector deliberately shares one PolicySpec's maps across all
+// selected locks — so a non-atomic read-modify-write through a pointer into
+// a *shared* (non-per-CPU) map is a lost-update race: two CPUs load the same
+// counter, both add, one increment vanishes. The kernel verifier admits this
+// (it only proves memory safety); this pass closes the gap at attach time.
+//
+// Classification, per map, from the verifier's recorded access sites
+// (Verifier::Analysis::map_access_sites):
+//
+//   kReadOnly  only loads through map-value pointers
+//   kAtomic    stores happen, but every one is an atomic add (xadd)
+//   kMutates   at least one plain store through a map-value pointer
+//
+// The gate: kMutates on a shared map is rejected. Per-CPU maps may mutate
+// freely — each CPU owns its slot. Atomic adds are fine on any map kind.
+// Helper-mediated writes (map_update_elem / map_delete_elem) are serialized
+// by the map implementation itself and are out of scope here; they never
+// appear in map_access_sites.
+
+#ifndef SRC_BPF_ANALYSIS_RACE_H_
+#define SRC_BPF_ANALYSIS_RACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bpf/program.h"
+#include "src/bpf/verifier.h"
+
+namespace concord {
+
+enum class MapAccessClass : std::uint8_t {
+  kNone,      // no direct value-pointer accesses observed
+  kReadOnly,  // loads only
+  kAtomic,    // mutated, but only via atomic adds
+  kMutates,   // at least one plain store
+};
+
+const char* MapAccessClassName(MapAccessClass access_class);
+
+struct RaceFinding {
+  std::string rule;  // stable id, currently always "shared-map-rmw"
+  std::size_t pc = 0;
+  std::uint32_t map_index = 0;
+  std::string message;  // names the insn, the map, and the fix
+};
+
+struct RaceReport {
+  // Indexed like Program::maps.
+  std::vector<MapAccessClass> map_classes;
+  std::vector<RaceFinding> findings;
+
+  bool ok() const { return findings.empty(); }
+  // All finding messages, newline-joined (empty when ok).
+  std::string ToString() const;
+};
+
+// Classifies every map access site and flags plain stores into shared maps.
+// `analysis` must come from a successful Verifier::Verify of `program`.
+RaceReport AnalyzeRaces(const Program& program,
+                        const Verifier::Analysis& analysis);
+
+}  // namespace concord
+
+#endif  // SRC_BPF_ANALYSIS_RACE_H_

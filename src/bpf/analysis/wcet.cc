@@ -1,0 +1,88 @@
+#include "src/bpf/analysis/wcet.h"
+
+#include "src/bpf/helpers.h"
+
+namespace concord {
+namespace {
+
+// Execution-count bound for `pc`: initial arrival plus one per counted trip
+// of every back edge whose [header, back-edge] interval contains it. Trip
+// budgets are cumulative per path, so nested loops are handled by this sum.
+std::uint64_t Multiplier(const Verifier::Analysis& analysis, std::size_t pc) {
+  std::uint64_t mult = 1;
+  for (const auto& loop : analysis.loops) {
+    if (loop.header_pc <= pc && pc <= loop.back_edge_pc) {
+      mult += loop.max_trips;
+    }
+  }
+  return mult;
+}
+
+// The map a helper call site should be costed against. Lookup sites with a
+// constant map index (the common case — the verifier requires constant
+// indices) resolve exactly; anything else is charged the most expensive kind
+// among the program's declared maps, or the unknown-map worst case when a
+// hash map is present or no maps are declared.
+const BpfMap* ResolveMapForCall(const Program& program, std::size_t pc,
+                                std::uint32_t helper_id) {
+  if (helper_id == kHelperMapLookupElem &&
+      pc < program.map_lookup_sites.size() &&
+      program.map_lookup_sites[pc] >= 0) {
+    const auto site = static_cast<std::size_t>(program.map_lookup_sites[pc]);
+    if (site < program.maps.size()) {
+      return program.maps[site];
+    }
+  }
+  const BpfMap* worst = nullptr;
+  for (BpfMap* map : program.maps) {
+    if (map == nullptr || map->type() == MapType::kHash ||
+        map->type() == MapType::kPerCpuHash) {
+      return nullptr;  // hash kinds are the ceiling; nullptr means exactly that
+    }
+    worst = map;
+  }
+  return worst;  // all-array programs get array costs; empty -> nullptr
+}
+
+}  // namespace
+
+WcetReport ComputeWcet(const Program& program,
+                       const Verifier::Analysis& analysis) {
+  WcetReport report;
+  const std::size_t count = program.insns.size();
+  for (std::size_t pc = 0; pc < count; ++pc) {
+    const Insn& insn = program.insns[pc];
+    const std::uint64_t mult = Multiplier(analysis, pc);
+
+    std::uint64_t interp = InsnCostNs(insn, ExecTier::kInterpreter);
+    std::uint64_t jit = InsnCostNs(insn, ExecTier::kJit);
+    if (insn.Class() == kBpfClassJmp && insn.JmpOp() == kBpfCall) {
+      const auto helper_id = static_cast<std::uint32_t>(insn.imm);
+      const std::uint64_t body =
+          HelperCostNs(helper_id, ResolveMapForCall(program, pc, helper_id));
+      interp += body;
+      jit += body;
+    }
+
+    // Totals fit comfortably in u64: <= 4096 insns x (1 + edges * 2^13)
+    // trips x ~400 ns/insn stays below 2^48 even with every insn inside
+    // every loop.
+    report.max_insns += mult;
+    report.interp_ns += interp * mult;
+    report.jit_ns += jit * mult;
+    if (interp * mult > report.hottest_pc_ns) {
+      report.hottest_pc = pc;
+      report.hottest_pc_ns = interp * mult;
+      report.hottest_multiplier = mult;
+    }
+
+    if (insn.Class() == kBpfClassLd) {
+      ++pc;  // lddw second slot: charged once, on the first slot
+    }
+  }
+  report.certified_ns =
+      report.interp_ns > report.jit_ns ? report.interp_ns : report.jit_ns;
+  return report;
+}
+
+}  // namespace concord

@@ -1,0 +1,66 @@
+// Static worst-case execution time bounds for verified policy programs.
+//
+// Composes the per-instruction cost model (cost_model.h) with the loop trip
+// bounds the verifier proved (Verifier::Analysis::loops) into a certified
+// worst-case bound per program and tier. The composition rests on one
+// counting argument over the verifier's back edges:
+//
+//   executions(pc) <= 1 + sum over back edges e with
+//                         header_pc(e) <= pc <= back_edge_pc(e) of max_trips(e)
+//
+// Between two executions of `pc`, control must return from some pc' >= pc to
+// some pc'' <= pc; in this instruction set every backward control transfer
+// is a tracked back edge, and the first transfer that re-reaches pc departs
+// from >= pc (everything executed since pc was above it) and lands at <= pc
+// — i.e. its [header, back-edge] interval contains pc. Each such return is
+// one counted trip, and the verifier proved at most max_trips(e) trips of
+// edge e on any explored path (trip counts are cumulative per path, so
+// nested loops charge their inner edges across all outer iterations).
+// Concrete executions follow explored abstract paths, so summing
+// cost(insn) * multiplier(pc) over the program is a sound bound.
+//
+// The same multiplier bounds the executed instruction count, which the
+// interpreter-vs-JIT differential fuzz checks against measured runs
+// (BpfVm::Run's steps_out) — the empirical guard that keeps this model
+// honest.
+
+#ifndef SRC_BPF_ANALYSIS_WCET_H_
+#define SRC_BPF_ANALYSIS_WCET_H_
+
+#include <cstdint>
+
+#include "src/bpf/analysis/cost_model.h"
+#include "src/bpf/program.h"
+#include "src/bpf/verifier.h"
+
+namespace concord {
+
+struct WcetReport {
+  std::uint64_t interp_ns = 0;  // interpreter-tier bound
+  std::uint64_t jit_ns = 0;     // JIT-tier bound
+
+  // The bound certification gates on: max of the two tiers. The JIT is a
+  // pure acceleration that may fall back to the interpreter per program
+  // (PolicySpec::JitCompileAll), so the runtime tier is not guaranteed.
+  std::uint64_t certified_ns = 0;
+
+  // Bound on executed instructions (an lddw pair counts once, matching the
+  // interpreter's step counter).
+  std::uint64_t max_insns = 0;
+
+  // Dominant instruction by interpreter-tier contribution, for diagnostics:
+  // "dominated by insn 7 x 8192 executions".
+  std::size_t hottest_pc = 0;
+  std::uint64_t hottest_pc_ns = 0;       // total contribution of hottest_pc
+  std::uint64_t hottest_multiplier = 1;  // its execution-count bound
+};
+
+// Computes the bound for `program`. `analysis` must come from a successful
+// Verifier::Verify of this program (loop reports and map_lookup_sites are
+// consumed; map-kind-dependent helper costs read program.maps).
+WcetReport ComputeWcet(const Program& program,
+                       const Verifier::Analysis& analysis);
+
+}  // namespace concord
+
+#endif  // SRC_BPF_ANALYSIS_WCET_H_

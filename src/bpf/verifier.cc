@@ -712,6 +712,8 @@ class VerifierImpl {
           return PermissionDeniedError(
               At(pc, insn, "map value access out of bounds"));
         }
+        RecordMapAccess(pc, base.map_index,
+                        Verifier::MapAccessSite::Kind::kLoad);
         state.regs[insn.dst] = RegState::Scalar();
         return Status::Ok();
       }
@@ -809,6 +811,9 @@ class VerifierImpl {
           return PermissionDeniedError(
               At(pc, insn, "map value access out of bounds"));
         }
+        RecordMapAccess(pc, base.map_index,
+                        is_atomic ? Verifier::MapAccessSite::Kind::kAtomicAdd
+                                  : Verifier::MapAccessSite::Kind::kStore);
         return Status::Ok();
       }
       case RegType::kMapValueOrNull:
@@ -820,6 +825,19 @@ class VerifierImpl {
         return PermissionDeniedError(At(pc, insn, "store to non-pointer"));
     }
     return InternalError("unreachable");
+  }
+
+  void RecordMapAccess(std::size_t pc, std::uint32_t map_index,
+                       Verifier::MapAccessSite::Kind kind) {
+    if (analysis_ == nullptr) {
+      return;
+    }
+    for (const auto& site : analysis_->map_access_sites) {
+      if (site.pc == pc && site.map_index == map_index && site.kind == kind) {
+        return;
+      }
+    }
+    analysis_->map_access_sites.push_back({pc, map_index, kind});
   }
 
   Status StepCall(std::size_t pc, const Insn& insn, AbstractState& state) {

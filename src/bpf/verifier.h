@@ -76,6 +76,16 @@ class Verifier {
     std::size_t header_pc = 0;
     std::uint64_t max_trips = 0;  // worst trips on any explored path
   };
+  // A direct memory access through a null-checked map-value pointer. The
+  // shared-map race analyzer (src/bpf/analysis/race.h) classifies these;
+  // helper-mediated accesses (map_update_elem etc.) are synchronized by the
+  // map implementation and are not recorded here.
+  struct MapAccessSite {
+    enum class Kind : std::uint8_t { kLoad, kStore, kAtomicAdd };
+    std::size_t pc = 0;
+    std::uint32_t map_index = 0;
+    Kind kind = Kind::kLoad;
+  };
   struct Analysis {
     std::size_t states_processed = 0;
     std::vector<LoopReport> loops;
@@ -93,6 +103,11 @@ class Verifier {
     // pointer across the helper call — the lint layer's "retained waiter
     // pointer" signal.
     std::vector<std::size_t> ctx_ptr_across_call_pcs;
+
+    // Map-value memory accesses on any explored path, deduplicated by
+    // (pc, map_index, kind). One pc may carry several entries when different
+    // paths reach it with pointers into different maps.
+    std::vector<MapAccessSite> map_access_sites;
   };
 
   // On success marks program.verified = true, fills in

@@ -132,7 +132,8 @@ bool JmpTaken(std::uint8_t op, std::uint64_t dst, std::uint64_t src) {
 
 }  // namespace
 
-std::uint64_t BpfVm::Run(const Program& program, void* ctx, void* hook_data) {
+std::uint64_t BpfVm::Run(const Program& program, void* ctx, void* hook_data,
+                         std::uint64_t* steps_out) {
   CONCORD_CHECK(program.verified);
 
   std::uint64_t regs[kBpfNumRegs] = {};
@@ -247,6 +248,9 @@ std::uint64_t BpfVm::Run(const Program& program, void* ctx, void* hook_data) {
       case kBpfClassJmp: {
         const std::uint8_t op = insn.JmpOp();
         if (op == kBpfExit) {
+          if (steps_out != nullptr) {
+            *steps_out = steps;
+          }
           return regs[kBpfReg0];
         }
         if (op == kBpfCall) {

@@ -29,9 +29,14 @@ class BpfVm {
 
   // Runs `program` with R1 = `ctx` (size must equal the program's context
   // descriptor size). `hook_data` is an attach-point side channel passed to
-  // helpers. Returns R0 at exit.
+  // helpers. Returns R0 at exit. When `steps_out` is non-null it receives
+  // the number of instructions executed (lddw counts once) — written only at
+  // exit, so the null default costs the hot path nothing. The WCET
+  // differential tests compare this against the statically certified bound
+  // (src/bpf/analysis/wcet.h).
   static std::uint64_t Run(const Program& program, void* ctx,
-                           void* hook_data = nullptr);
+                           void* hook_data = nullptr,
+                           std::uint64_t* steps_out = nullptr);
 };
 
 }  // namespace concord

@@ -5,9 +5,12 @@
 #include <sstream>
 
 #include "src/base/check.h"
+#include "src/bpf/analysis/certify.h"
 #include "src/bpf/assembler.h"
 #include "src/concord/hooks.h"
 #include "src/concord/policies.h"
+#include "src/concord/policy_lint.h"
+#include "src/concord/policy_source.h"
 
 namespace concord {
 namespace {
@@ -18,38 +21,6 @@ PolicyCandidate PlainCandidate(ContentionRegime regime) {
   plain.regime = regime;
   plain.make = nullptr;
   return plain;
-}
-
-// Reverse of HookKindName, for the "; hook: <name>" header in .casm files.
-bool HookKindFromName(const std::string& name, HookKind* out) {
-  for (int i = 0; i < kNumHookKinds; ++i) {
-    const auto kind = static_cast<HookKind>(i);
-    if (name == HookKindName(kind)) {
-      *out = kind;
-      return true;
-    }
-  }
-  return false;
-}
-
-// The "; hook: cmp_node" annotation every shipped policy carries.
-bool ParseHookAnnotation(const std::string& source, HookKind* out) {
-  std::istringstream lines(source);
-  std::string line;
-  while (std::getline(lines, line)) {
-    const std::size_t pos = line.find("; hook:");
-    if (pos == std::string::npos) {
-      continue;
-    }
-    std::string name = line.substr(pos + 7);
-    const std::size_t begin = name.find_first_not_of(" \t");
-    if (begin == std::string::npos) {
-      return false;
-    }
-    const std::size_t end = name.find_last_not_of(" \t\r");
-    return HookKindFromName(name.substr(begin, end - begin + 1), out);
-  }
-  return false;
 }
 
 // Filename -> regime inference for examples/policies/. Conservative: only
@@ -141,33 +112,50 @@ int PolicyCandidateRegistry::SeedFromPolicyDir(const std::string& dir) {
     std::stringstream buffer;
     buffer << file.rdbuf();
     const std::string source = buffer.str();
-    HookKind hook = HookKind::kCmpNode;
     ContentionRegime regime;
     const std::string stem = entry.path().stem().string();
-    if (!ParseHookAnnotation(source, &hook) ||
-        !RegimeFromFilename(stem, &regime)) {
+    auto hook_kind = ResolveHookDirective(source);
+    if (!hook_kind.ok() || !RegimeFromFilename(stem, &regime)) {
       continue;
     }
-    // Assemble once now to reject broken files at load time; the candidate
-    // factory re-assembles per attach (programs are cheap to build and the
-    // spec must be fresh each time).
+    const HookKind hook = *hook_kind;
+    // An optional `; budget_ns: <N>` directive becomes the candidate spec's
+    // hook budget; a malformed one disqualifies the file.
+    std::uint64_t budget_ns = 0;
+    auto budget = ResolveBudgetDirective(source);
+    if (budget.ok()) {
+      budget_ns = *budget;
+    } else if (budget.status().code() != StatusCode::kNotFound) {
+      continue;
+    }
+    // Assemble and run the full admission pipeline (verify + lint + certify)
+    // once now, so an uncertifiable file never becomes a candidate the
+    // controller would repeatedly fail to attach. The candidate factory
+    // re-assembles per attach (programs are cheap to build and the spec must
+    // be fresh each time).
     std::vector<std::shared_ptr<BpfMap>> probe_maps;
     auto probe =
         AssembleProgram(stem, source, &DescriptorFor(hook), {}, &probe_maps);
     if (!probe.ok()) {
       continue;
     }
+    Verifier::Analysis analysis;
+    if (!CheckPolicyProgram(hook, *probe, nullptr, &analysis).ok() ||
+        !CertifyProgram(*probe, analysis, budget_ns).ok()) {
+      continue;
+    }
     PolicyCandidate candidate;
     candidate.name = stem;
     candidate.regime = regime;
     candidate.for_rw = hook == HookKind::kRwMode;
-    candidate.make = [stem, source, hook]() -> StatusOr<PolicySpec> {
+    candidate.make = [stem, source, hook, budget_ns]() -> StatusOr<PolicySpec> {
       std::vector<std::shared_ptr<BpfMap>> declared_maps;
       auto program = AssembleProgram(stem, source, &DescriptorFor(hook), {},
                                      &declared_maps);
       CONCORD_RETURN_IF_ERROR(program.status());
       PolicySpec spec;
       spec.name = stem;
+      spec.hook_budget_ns = budget_ns;
       CONCORD_RETURN_IF_ERROR(spec.AddProgram(hook, std::move(*program)));
       spec.maps = std::move(declared_maps);
       return spec;

@@ -121,7 +121,7 @@ class DispatchScope {
     }
 #endif
     const std::uint64_t elapsed_ns =
-        budget_->budget_ns != 0 ? ClockNowNs() - start_ns_ : 0;
+        budget_->budget_ns != 0 ? ElapsedSinceNs(start_ns_) : 0;
     budget_->AccountDispatch(kind_, elapsed_ns, stats_);
   }
 

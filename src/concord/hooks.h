@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/base/time.h"
 #include "src/bpf/context.h"
 #include "src/bpf/helpers.h"
 #include "src/concord/profiler.h"
@@ -93,6 +94,17 @@ static_assert(sizeof(RwModeCtx) == 8);
 //
 // Compiled out when CONCORD_HOOK_BUDGETS is 0 (the struct remains so the
 // registry layout is stable, but no trampoline touches it).
+
+// Elapsed nanoseconds since `start_ns`, clamped at zero. The clock contract
+// (src/base/time.h) is monotonic, but a test FakeClock can be stepped
+// backwards and a future CLOCK_MONOTONIC_RAW swap could regress across
+// cores; unclamped `now - start` would wrap to ~2^64 ns and instantly trip
+// any budget. Every elapsed computation that feeds AccountDispatch must go
+// through this.
+inline std::uint64_t ElapsedSinceNs(std::uint64_t start_ns) {
+  const std::uint64_t now = ClockNowNs();
+  return now > start_ns ? now - start_ns : 0;
+}
 
 struct HookBudgetState {
   // Configuration, fixed at attach time.

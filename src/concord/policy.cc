@@ -1,5 +1,6 @@
 #include "src/concord/policy.h"
 
+#include "src/bpf/analysis/certify.h"
 #include "src/bpf/jit/jit.h"
 #include "src/bpf/verifier.h"
 
@@ -24,10 +25,15 @@ Status PolicySpec::VerifyAll() {
     Verifier::Options options;
     options.allowed_capabilities = CapabilitiesFor(kind);
     for (Program& program : chains[k].programs) {
-      if (program.verified) {
-        continue;
+      // Certification needs the verifier's analysis facts (loop bounds, map
+      // access sites), so pre-verified programs are re-explored rather than
+      // skipped — attach is a control-plane operation where the extra
+      // milliseconds buy the WCET and race gates for every path in.
+      Verifier::Analysis analysis;
+      Status status = Verifier::Verify(program, options, &analysis);
+      if (status.ok()) {
+        status = CertifyProgram(program, analysis, hook_budget_ns);
       }
-      Status status = Verifier::Verify(program, options);
       if (!status.ok()) {
         return Status(status.code(), "policy '" + name + "', hook " +
                                          HookKindName(kind) + ", program '" +

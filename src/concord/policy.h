@@ -72,8 +72,11 @@ struct PolicySpec {
     return chains[static_cast<int>(kind)];
   }
 
-  // Verifies every program in every chain against its hook's rules.
-  // Idempotent; called by Concord at attach.
+  // Verifies every program in every chain against its hook's rules, then
+  // certifies it (src/bpf/analysis/certify.h): the statically bounded worst
+  // case must fit hook_budget_ns (when nonzero) and no program may do a
+  // non-atomic store into a shared map. Idempotent; called by Concord at
+  // attach, so no spec reaches a lock uncertified.
   Status VerifyAll();
 
   // Compiles every verified program to native code when the JIT is enabled

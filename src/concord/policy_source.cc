@@ -1,0 +1,122 @@
+#include "src/concord/policy_source.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace concord {
+namespace {
+
+// Shared scanner: first line whose comment part contains `key` wins. The
+// value is the whitespace-delimited token after the key (empty when the key
+// ends the line — malformed, but located).
+bool FindDirective(const std::string& source, const char* key,
+                   SourceDirective* out) {
+  std::istringstream lines(source);
+  std::string line;
+  int line_no = 0;
+  const std::size_t key_len = std::string(key).size();
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const std::size_t semi = line.find(';');
+    if (semi == std::string::npos) {
+      continue;
+    }
+    std::size_t pos = line.find(key, semi);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    pos += key_len;
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+           line[end] != '\r') {
+      ++end;
+    }
+    out->value = line.substr(pos, end - pos);
+    out->line = line_no;
+    return true;
+  }
+  return false;
+}
+
+std::string ValidHookNames() {
+  std::string names;
+  for (int i = 0; i < kNumHookKinds; ++i) {
+    if (!names.empty()) {
+      names += ' ';
+    }
+    names += HookKindName(static_cast<HookKind>(i));
+  }
+  return names;
+}
+
+}  // namespace
+
+bool FindHookDirective(const std::string& source, SourceDirective* out) {
+  return FindDirective(source, "hook:", out);
+}
+
+StatusOr<HookKind> ResolveHookDirective(const std::string& source, int* line) {
+  SourceDirective directive;
+  if (!FindHookDirective(source, &directive)) {
+    return NotFoundError("no `; hook: <name>` directive in source");
+  }
+  if (line != nullptr) {
+    *line = directive.line;
+  }
+  const std::string where = "line " + std::to_string(directive.line) + ": ";
+  if (directive.value.empty()) {
+    return InvalidArgumentError(where +
+                                "malformed `; hook:` directive (missing hook "
+                                "name); valid hooks: " +
+                                ValidHookNames());
+  }
+  HookKind kind;
+  if (!ParseHookKindName(directive.value, &kind)) {
+    return InvalidArgumentError(where + "unknown hook '" + directive.value +
+                                "'; valid hooks: " + ValidHookNames());
+  }
+  return kind;
+}
+
+bool FindBudgetDirective(const std::string& source, std::uint64_t* budget_ns,
+                         int* line) {
+  SourceDirective directive;
+  if (!FindDirective(source, "budget_ns:", &directive)) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  bool valid = !directive.value.empty();
+  for (char c : directive.value) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) ||
+        value > (~0ull - 9) / 10) {
+      valid = false;
+      break;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *budget_ns = valid ? value : 0;
+  if (line != nullptr) {
+    *line = valid ? directive.line : -directive.line;
+  }
+  return true;
+}
+
+StatusOr<std::uint64_t> ResolveBudgetDirective(const std::string& source) {
+  std::uint64_t budget_ns = 0;
+  int line = 0;
+  if (!FindBudgetDirective(source, &budget_ns, &line)) {
+    return NotFoundError("no `; budget_ns: <N>` directive in source");
+  }
+  if (line < 0) {
+    return InvalidArgumentError(
+        "line " + std::to_string(-line) +
+        ": malformed `; budget_ns:` directive (want a positive decimal "
+        "nanosecond count)");
+  }
+  return budget_ns;
+}
+
+}  // namespace concord

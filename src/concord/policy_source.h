@@ -1,0 +1,72 @@
+// Comment-directive parsing for .casm policy sources.
+//
+// Shipped policies carry their attach metadata in comment directives:
+//
+//   ; hook: lock_acquire        which hook the program targets
+//   ; budget_ns: 2000           per-dispatch runtime budget the author
+//                               certifies against (consumed by the WCET gate,
+//                               src/bpf/analysis/certify.h, and installed as
+//                               PolicySpec::hook_budget_ns)
+//
+// Three consumers used to carry their own ad-hoc `; hook:` scanners
+// (concord_check, the policy.attach RPC verb, the autotune candidate
+// loader), each with slightly different tolerance for malformed input —
+// and all of them silently skipped a typoed directive. This header is the
+// single parser: it reports *where* a directive was found (1-based line) so
+// callers can say "line 3: unknown hook 'lock_aquire'" instead of "no
+// directive".
+//
+// Grammar, per line: the directive may appear anywhere after a `;` comment
+// marker (conventionally the whole first line). The first line containing
+// the directive key wins; the value runs to the next whitespace. A line
+// where the key appears with no value is malformed, not absent.
+
+#ifndef SRC_CONCORD_POLICY_SOURCE_H_
+#define SRC_CONCORD_POLICY_SOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/concord/hooks.h"
+
+namespace concord {
+
+// A raw directive occurrence: the token after the key, and the 1-based
+// source line it was found on. An empty value means the key was present but
+// malformed (nothing parseable followed it).
+struct SourceDirective {
+  std::string value;
+  int line = 0;
+};
+
+// Scans for `; hook: <name>`. Returns false when no line carries the key;
+// true otherwise, with *out describing the first occurrence (possibly with
+// an empty value when malformed).
+bool FindHookDirective(const std::string& source, SourceDirective* out);
+
+// FindHookDirective + name resolution. Errors:
+//   kNotFound         no directive in the source (caller may have a
+//                     fallback, e.g. a --hook flag or RPC param)
+//   kInvalidArgument  directive present but malformed or naming an unknown
+//                     hook — message carries "line N:" context
+// When `line` is non-null it receives the directive's line whenever one was
+// found, including on error.
+StatusOr<HookKind> ResolveHookDirective(const std::string& source,
+                                        int* line = nullptr);
+
+// Scans for `; budget_ns: <N>` (decimal nanoseconds). Returns false when
+// absent; true with *budget_ns set when present and well-formed. A present
+// but malformed value also returns true, with *budget_ns = 0 and a negative
+// *line to let strict callers distinguish — ResolveBudgetDirective below is
+// the checked form.
+bool FindBudgetDirective(const std::string& source, std::uint64_t* budget_ns,
+                         int* line = nullptr);
+
+// FindBudgetDirective with errors: kNotFound when absent, kInvalidArgument
+// (with line context) when present but not a positive decimal number.
+StatusOr<std::uint64_t> ResolveBudgetDirective(const std::string& source);
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_POLICY_SOURCE_H_

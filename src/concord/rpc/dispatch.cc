@@ -9,6 +9,7 @@
 
 #include "src/base/fault.h"
 #include "src/base/time.h"
+#include "src/bpf/analysis/certify.h"
 #include "src/bpf/assembler.h"
 #include "src/bpf/maps.h"
 #include "src/concord/autotune/controller.h"
@@ -17,6 +18,7 @@
 #include "src/concord/hooks.h"
 #include "src/concord/policy.h"
 #include "src/concord/policy_lint.h"
+#include "src/concord/policy_source.h"
 
 namespace concord {
 namespace {
@@ -230,27 +232,6 @@ StatusOr<std::string> HandleFaultsList(const JsonValue&) {
   return json.TakeString();
 }
 
-// The "; hook: <name>" annotation shipped policies carry (same contract as
-// concord_check and the autotune candidate loader).
-bool ParseHookAnnotation(const std::string& source, HookKind* out) {
-  std::istringstream lines(source);
-  std::string line;
-  while (std::getline(lines, line)) {
-    const std::size_t pos = line.find("; hook:");
-    if (pos == std::string::npos) {
-      continue;
-    }
-    std::string name = line.substr(pos + 7);
-    const std::size_t begin = name.find_first_not_of(" \t");
-    if (begin == std::string::npos) {
-      return false;
-    }
-    const std::size_t end = name.find_last_not_of(" \t\r");
-    return ParseHookKindName(name.substr(begin, end - begin + 1), out);
-  }
-  return false;
-}
-
 StatusOr<std::string> HandlePolicyAttach(const JsonValue& params) {
   auto selector = RequiredStringParam(params, "selector");
   CONCORD_RETURN_IF_ERROR(selector.status());
@@ -290,9 +271,35 @@ StatusOr<std::string> HandlePolicyAttach(const JsonValue& params) {
     if (!ParseHookKindName(hook_param, &hook)) {
       return InvalidArgumentError("unknown hook '" + hook_param + "'");
     }
-  } else if (!ParseHookAnnotation(source, &hook)) {
-    return InvalidArgumentError(
-        "policy has no '; hook: <name>' annotation and no 'hook' param");
+  } else {
+    auto resolved = ResolveHookDirective(source);
+    if (!resolved.ok()) {
+      if (resolved.status().code() == StatusCode::kNotFound) {
+        return InvalidArgumentError(
+            "policy has no '; hook: <name>' directive and no 'hook' param");
+      }
+      return resolved.status();  // malformed/unknown, with line context
+    }
+    hook = *resolved;
+  }
+
+  // Runtime budget: an explicit 'budget_ns' param wins; otherwise a
+  // `; budget_ns: <N>` directive in the source applies. Whichever it is,
+  // the WCET gate below certifies the program against it before attach.
+  std::uint64_t budget_ns = 0;
+  const JsonValue* budget_param = params.Find("budget_ns");
+  if (budget_param != nullptr) {
+    if (!budget_param->IsNumber() || budget_param->number_value < 0) {
+      return InvalidArgumentError("'budget_ns' must be a non-negative number");
+    }
+    budget_ns = static_cast<std::uint64_t>(budget_param->number_value);
+  } else {
+    auto directive = ResolveBudgetDirective(source);
+    if (directive.ok()) {
+      budget_ns = *directive;
+    } else if (directive.status().code() != StatusCode::kNotFound) {
+      return directive.status();
+    }
   }
 
   // The full static-analysis gate: assemble, verify under the hook's
@@ -315,10 +322,17 @@ StatusOr<std::string> HandlePolicyAttach(const JsonValue& params) {
                                  std::move(caller_maps), &declared_maps);
   CONCORD_RETURN_IF_ERROR(program.status());
   LintReport lint;
-  CONCORD_RETURN_IF_ERROR(CheckPolicyProgram(hook, *program, &lint));
+  Verifier::Analysis analysis;
+  CONCORD_RETURN_IF_ERROR(CheckPolicyProgram(hook, *program, &lint, &analysis));
+  // Certification gate (WCET vs budget, shared-map races). VerifyAll re-runs
+  // it inside Attach — belt and braces — but certifying here hands the RPC
+  // caller the full diagnostic with the offending instruction and map site.
+  CertificationReport cert;
+  CONCORD_RETURN_IF_ERROR(CertifyProgram(*program, analysis, budget_ns, &cert));
 
   PolicySpec spec;
   spec.name = name;
+  spec.hook_budget_ns = budget_ns;
   CONCORD_RETURN_IF_ERROR(spec.AddProgram(hook, std::move(*program)));
   if (scratch != nullptr) {
     spec.maps.push_back(std::move(scratch));
@@ -334,6 +348,10 @@ StatusOr<std::string> HandlePolicyAttach(const JsonValue& params) {
   json.Field("attached", name);
   json.Field("hook", HookKindName(hook));
   json.Field("selector", *selector);
+  json.NumberField("certified_wcet_ns", cert.wcet.certified_ns);
+  if (budget_ns != 0) {
+    json.NumberField("budget_ns", budget_ns);
+  }
   json.NumberField(
       "locks",
       static_cast<std::uint64_t>(Concord::Global().Select(*selector).size()));

@@ -1,0 +1,213 @@
+// Shared-map race analyzer coverage: access classification per map, the
+// shared-vs-per-CPU rejection rule, and the certification gate that composes
+// races with the WCET budget.
+
+#include <gtest/gtest.h>
+
+#include "src/bpf/analysis/certify.h"
+#include "src/bpf/analysis/race.h"
+#include "src/bpf/builder.h"
+#include "src/bpf/helpers.h"
+#include "src/bpf/maps.h"
+#include "src/bpf/verifier.h"
+
+namespace concord {
+namespace {
+
+struct RCtx {
+  std::uint64_t in;
+};
+
+const ContextDescriptor& Desc() {
+  static const ContextDescriptor desc("rctx", sizeof(RCtx),
+                                      {{"in", 0, 8, false}});
+  return desc;
+}
+
+enum class Access { kLoad, kPlainStore, kAtomicAdd, kLoadThenStore };
+
+// lookup slot 0 of `map`, null-check, then perform `access` through the
+// map-value pointer in r0.
+StatusOr<Program> BuildMapProgram(BpfMap* map, Access access) {
+  ProgramBuilder b("map_access", &Desc());
+  const std::uint32_t idx = b.DeclareMap(map);
+  auto out = b.NewLabel();
+  b.StoreImm(kBpfSizeW, 10, -4, 0);
+  b.Mov(1, static_cast<std::int32_t>(idx));
+  b.MovR(2, 10).Add(2, -4);
+  b.CallHelper(kHelperMapLookupElem);
+  b.JmpIf(kBpfJeq, 0, 0, out);
+  switch (access) {
+    case Access::kLoad:
+      b.Load(kBpfSizeDw, 2, 0, 0);
+      break;
+    case Access::kPlainStore:
+      b.Mov(2, 1).Store(kBpfSizeDw, 0, 0, 2);
+      break;
+    case Access::kAtomicAdd:
+      b.Mov(2, 1).Emit(AtomicAdd(kBpfSizeDw, 0, 2, 0));
+      break;
+    case Access::kLoadThenStore:
+      b.Load(kBpfSizeDw, 2, 0, 0).Add(2, 1).Store(kBpfSizeDw, 0, 0, 2);
+      break;
+  }
+  b.Bind(out).Return(0);
+  return b.Build();
+}
+
+RaceReport AnalyzeBuilt(Program& program) {
+  Verifier::Analysis analysis;
+  Status verdict = Verifier::Verify(program, Verifier::Options{}, &analysis);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+  return AnalyzeRaces(program, analysis);
+}
+
+TEST(RaceTest, ReadOnlyAccessIsClean) {
+  ArrayMap map("stats", 8, 4);
+  auto program = BuildMapProgram(&map, Access::kLoad);
+  ASSERT_TRUE(program.ok());
+  const RaceReport report = AnalyzeBuilt(*program);
+  ASSERT_EQ(report.map_classes.size(), 1u);
+  EXPECT_EQ(report.map_classes[0], MapAccessClass::kReadOnly);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(RaceTest, AtomicAddOnSharedMapIsClean) {
+  ArrayMap map("counter", 8, 4);
+  auto program = BuildMapProgram(&map, Access::kAtomicAdd);
+  ASSERT_TRUE(program.ok());
+  const RaceReport report = AnalyzeBuilt(*program);
+  ASSERT_EQ(report.map_classes.size(), 1u);
+  EXPECT_EQ(report.map_classes[0], MapAccessClass::kAtomic);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(RaceTest, PlainStoreIntoSharedMapIsFlagged) {
+  ArrayMap map("counter", 8, 4);
+  auto program = BuildMapProgram(&map, Access::kLoadThenStore);
+  ASSERT_TRUE(program.ok());
+  const RaceReport report = AnalyzeBuilt(*program);
+  ASSERT_EQ(report.map_classes.size(), 1u);
+  EXPECT_EQ(report.map_classes[0], MapAccessClass::kMutates);
+  ASSERT_EQ(report.findings.size(), 1u);
+  const RaceFinding& finding = report.findings[0];
+  EXPECT_EQ(finding.rule, "shared-map-rmw");
+  EXPECT_EQ(finding.map_index, 0u);
+  // The diagnostic names the map site and carries the migration hint.
+  EXPECT_NE(finding.message.find("'counter'"), std::string::npos)
+      << finding.message;
+  EXPECT_NE(finding.message.find("read-modify-write"), std::string::npos)
+      << finding.message;
+  EXPECT_NE(finding.message.find("percpu_array"), std::string::npos)
+      << finding.message;
+  // The pc points at the store instruction.
+  EXPECT_EQ(program->insns[finding.pc].Class(), kBpfClassStx);
+}
+
+TEST(RaceTest, BlindStoreDistinguishedFromRmw) {
+  ArrayMap map("flag", 8, 4);
+  auto program = BuildMapProgram(&map, Access::kPlainStore);
+  ASSERT_TRUE(program.ok());
+  const RaceReport report = AnalyzeBuilt(*program);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("store into"), std::string::npos)
+      << report.findings[0].message;
+}
+
+TEST(RaceTest, PlainStoreIntoPerCpuMapIsAllowed) {
+  PerCpuArrayMap map("rounds", 8, 4, /*num_cpus=*/4);
+  auto program = BuildMapProgram(&map, Access::kLoadThenStore);
+  ASSERT_TRUE(program.ok());
+  const RaceReport report = AnalyzeBuilt(*program);
+  ASSERT_EQ(report.map_classes.size(), 1u);
+  // The classification still says "mutates" — the *rule* is what exempts
+  // per-CPU maps, not the bookkeeping.
+  EXPECT_EQ(report.map_classes[0], MapAccessClass::kMutates);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(RaceTest, HelperMediatedUpdateIsNotFlagged) {
+  // map_update_elem goes through the map's own synchronization; only direct
+  // value-pointer stores are the analyzer's business.
+  ArrayMap map("knobs", 8, 4);
+  ProgramBuilder b("helper_update", &Desc());
+  const std::uint32_t idx = b.DeclareMap(&map);
+  b.StoreImm(kBpfSizeW, 10, -4, 0);       // key
+  b.StoreImm(kBpfSizeDw, 10, -16, 42);    // value
+  b.Mov(1, static_cast<std::int32_t>(idx));
+  b.MovR(2, 10).Add(2, -4);
+  b.MovR(3, 10).Add(3, -16);
+  b.CallHelper(kHelperMapUpdateElem);
+  b.Return(0);
+  auto program = b.Build();
+  ASSERT_TRUE(program.ok());
+  const RaceReport report = AnalyzeBuilt(*program);
+  ASSERT_EQ(report.map_classes.size(), 1u);
+  EXPECT_EQ(report.map_classes[0], MapAccessClass::kNone);
+  EXPECT_TRUE(report.ok());
+}
+
+// --- certification gate ------------------------------------------------------
+
+TEST(CertifyTest, RacyProgramRejectedRegardlessOfBudget) {
+  ArrayMap map("counter", 8, 4);
+  auto program = BuildMapProgram(&map, Access::kLoadThenStore);
+  ASSERT_TRUE(program.ok());
+  Verifier::Analysis analysis;
+  ASSERT_TRUE(Verifier::Verify(*program, Verifier::Options{}, &analysis).ok());
+
+  CertificationReport report;
+  Status status = CertifyProgram(*program, analysis, /*budget_ns=*/0, &report);
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(status.message().find("'counter'"), std::string::npos)
+      << status.message();
+  EXPECT_FALSE(report.certified);
+}
+
+TEST(CertifyTest, OverBudgetLoopRejectedWithLoopDiagnostic) {
+  ProgramBuilder b("hot_loop", &Desc());
+  auto loop = b.NewLabel();
+  b.Mov(0, 0).Mov(2, 0).Bind(loop).Add(0, 2).Add(2, 1).JmpIf(kBpfJlt, 2, 1000,
+                                                             loop);
+  b.Ret();
+  auto program = b.Build();
+  ASSERT_TRUE(program.ok());
+  Verifier::Analysis analysis;
+  ASSERT_TRUE(Verifier::Verify(*program, Verifier::Options{}, &analysis).ok());
+
+  CertificationReport report;
+  Status status =
+      CertifyProgram(*program, analysis, /*budget_ns=*/100, &report);
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+  // Path-carrying diagnostic: the dominant instruction, its execution-count
+  // bound, and the loop that produces it.
+  EXPECT_NE(status.message().find("dominated by insn"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("loop: header"), std::string::npos)
+      << status.message();
+  EXPECT_FALSE(report.certified);
+  EXPECT_GT(report.wcet.certified_ns, 100u);
+
+  // The same program certifies under a budget its bound fits.
+  Status roomy = CertifyProgram(*program, analysis,
+                                report.wcet.certified_ns + 1, &report);
+  EXPECT_TRUE(roomy.ok()) << roomy.ToString();
+  EXPECT_TRUE(report.certified);
+}
+
+TEST(CertifyTest, NoBudgetStillComputesWcetAndPasses) {
+  ProgramBuilder b("tiny", &Desc());
+  b.Return(1);
+  auto program = b.Build();
+  ASSERT_TRUE(program.ok());
+  Verifier::Analysis analysis;
+  ASSERT_TRUE(Verifier::Verify(*program, Verifier::Options{}, &analysis).ok());
+  CertificationReport report;
+  EXPECT_TRUE(CertifyProgram(*program, analysis, 0, &report).ok());
+  EXPECT_TRUE(report.certified);
+  EXPECT_GT(report.wcet.certified_ns, 0u);
+  EXPECT_EQ(report.budget_ns, 0u);
+}
+
+}  // namespace
+}  // namespace concord

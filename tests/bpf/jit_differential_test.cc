@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/bpf/analysis/wcet.h"
 #include "src/bpf/jit/jit.h"
 #include "src/bpf/maps.h"
 #include "src/bpf/verifier.h"
@@ -248,10 +249,16 @@ void RunDifferentialRounds(std::uint64_t seed, int rounds, bool with_helpers) {
   int accepted = 0;
   for (int round = 0; round < rounds; ++round) {
     Program program = GenerateProgram(rng, with_helpers);
-    if (!Verifier::Verify(program).ok()) {
+    Verifier::Analysis analysis;
+    if (!Verifier::Verify(program, Verifier::Options{}, &analysis).ok()) {
       continue;
     }
     ++accepted;
+
+    // The certifier's instruction-count bound must dominate every actual
+    // execution — the WCET gate is only sound if no verified program can
+    // out-run its static bound.
+    const WcetReport wcet = ComputeWcet(program, analysis);
 
     auto compiled = Jit::Compile(program);
     ASSERT_TRUE(compiled.ok())
@@ -261,11 +268,16 @@ void RunDifferentialRounds(std::uint64_t seed, int rounds, bool with_helpers) {
       DiffCtx ctx{rng.Next(), rng.Next()};
       DiffCtx interp_ctx = ctx;
       DiffCtx jit_ctx = ctx;
-      const std::uint64_t want = BpfVm::Run(program, &interp_ctx);
+      std::uint64_t steps = 0;
+      const std::uint64_t want = BpfVm::Run(program, &interp_ctx, nullptr,
+                                            &steps);
       const std::uint64_t got = compiled.value()->Run(program, &jit_ctx);
       ASSERT_EQ(want, got) << "round " << round << " input " << input
                            << " a=" << ctx.a << " b=" << ctx.b;
       ASSERT_EQ(std::memcmp(&interp_ctx, &jit_ctx, sizeof(DiffCtx)), 0);
+      ASSERT_LE(steps, wcet.max_insns)
+          << "round " << round << " input " << input
+          << ": measured execution exceeds the certified bound";
     }
   }
   EXPECT_GT(accepted, rounds / 2) << "generator acceptance collapsed";
@@ -439,7 +451,9 @@ TEST(JitDifferentialTest, BoundedLoopProgramsAgree) {
       JmpReg(kBpfJlt, 4, 3, -4),  // while (counter < trips)
       Exit(),
   };
-  ASSERT_TRUE(Verifier::Verify(program).ok());
+  Verifier::Analysis analysis;
+  ASSERT_TRUE(Verifier::Verify(program, Verifier::Options{}, &analysis).ok());
+  const WcetReport wcet = ComputeWcet(program, analysis);
   auto compiled = Jit::Compile(program);
   ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
 
@@ -447,9 +461,12 @@ TEST(JitDifferentialTest, BoundedLoopProgramsAgree) {
   for (int round = 0; round < 256; ++round) {
     DiffCtx ctx{rng.Next(), rng.Next()};
     DiffCtx jit_ctx = ctx;
-    const std::uint64_t want = BpfVm::Run(program, &ctx);
+    std::uint64_t steps = 0;
+    const std::uint64_t want = BpfVm::Run(program, &ctx, nullptr, &steps);
     const std::uint64_t got = compiled.value()->Run(program, &jit_ctx);
     ASSERT_EQ(want, got) << "round " << round;
+    // Data-dependent trip counts (1..32) all stay under the static bound.
+    ASSERT_LE(steps, wcet.max_insns) << "round " << round;
   }
 }
 

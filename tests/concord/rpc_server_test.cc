@@ -239,6 +239,131 @@ TEST_F(RpcServerTest, PolicyAttachRunsTheStaticAnalysisGate) {
   (void)Concord::Global().Unregister(id);
 }
 
+TEST_F(RpcServerTest, PolicyAttachRunsTheCertificationGate) {
+  const std::uint64_t id =
+      Concord::Global().RegisterShflLock(lock_, "hot", "demo");
+  StartServer({});
+  RpcClient client = MakeClient();
+
+  // Over-budget: the source declares a 100 ns budget its 4096-trip loop
+  // cannot meet on any tier. The WCET gate rejects before any lock sees it,
+  // and the diagnostic survives the socket round-trip.
+  constexpr char kOverBudgetPolicy[] =
+      "; hook: lock_acquire\n"
+      "; budget_ns: 100\n"
+      "  mov r3, 0\n"
+      "  mov r0, 0\n"
+      "spin:\n"
+      "  add r0, 1\n"
+      "  add r3, 1\n"
+      "  jlt r3, 4096, spin\n"
+      "  and r0, 0\n"
+      "  exit\n";
+  JsonWriter slow;
+  slow.BeginObject();
+  slow.Field("selector", "hot");
+  slow.Field("source", kOverBudgetPolicy);
+  slow.Field("name", "slow_policy");
+  slow.EndObject();
+  auto rejected = client.Call("policy.attach", slow.str(),
+                              /*idempotent=*/false);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  ASSERT_FALSE(rejected->ok) << "over-budget policy must not attach";
+  EXPECT_EQ(rejected->error_code, "permission_denied")
+      << rejected->error_code << ": " << rejected->error_message;
+  EXPECT_NE(rejected->error_message.find("exceeds hook budget"),
+            std::string::npos)
+      << rejected->error_message;
+  EXPECT_NE(rejected->error_message.find("dominated by insn"),
+            std::string::npos)
+      << rejected->error_message;
+
+  // Racy: non-atomic read-modify-write of a shared array map.
+  constexpr char kRacyPolicy[] =
+      "; hook: lock_acquire\n"
+      ".map counts, array, 8, 1\n"
+      "  stw [r10-4], 0\n"
+      "  mov r1, 0\n"
+      "  mov r2, r10\n"
+      "  add r2, -4\n"
+      "  call map_lookup_elem\n"
+      "  jeq r0, 0, out\n"
+      "  ldxdw r2, [r0+0]\n"
+      "  add r2, 1\n"
+      "  stxdw [r0+0], r2\n"
+      "out:\n"
+      "  mov r0, 0\n"
+      "  exit\n";
+  JsonWriter racy;
+  racy.BeginObject();
+  racy.Field("selector", "hot");
+  racy.Field("source", kRacyPolicy);
+  racy.Field("name", "racy_policy");
+  racy.EndObject();
+  auto raced = client.Call("policy.attach", racy.str(), /*idempotent=*/false);
+  ASSERT_TRUE(raced.ok()) << raced.status().ToString();
+  ASSERT_FALSE(raced->ok) << "racy policy must not attach";
+  EXPECT_EQ(raced->error_code, "permission_denied")
+      << raced->error_code << ": " << raced->error_message;
+  EXPECT_NE(raced->error_message.find("'counts'"), std::string::npos)
+      << raced->error_message;
+  EXPECT_NE(raced->error_message.find("percpu_array"), std::string::npos)
+      << raced->error_message;
+
+  // Nothing attached: both rejections happened before any registry change.
+  auto status = client.Call("status", R"({"selector":"hot"})",
+                            /*idempotent=*/true);
+  ASSERT_TRUE(status.ok() && status->ok);
+  auto snapshot = ParseJson(status->result);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_FALSE(
+      snapshot->Find("locks")->array[0].Find("has_policy")->bool_value);
+
+  // The atomic rewrite of the racy counter certifies under an explicit
+  // budget_ns param, and the response reports the certified bound.
+  constexpr char kAtomicPolicy[] =
+      "; hook: lock_acquire\n"
+      ".map counts, array, 8, 1\n"
+      "  stw [r10-4], 0\n"
+      "  mov r1, 0\n"
+      "  mov r2, r10\n"
+      "  add r2, -4\n"
+      "  call map_lookup_elem\n"
+      "  jeq r0, 0, out\n"
+      "  mov r2, 1\n"
+      "  xadddw [r0+0], r2\n"
+      "out:\n"
+      "  mov r0, 0\n"
+      "  exit\n";
+  JsonWriter good;
+  good.BeginObject();
+  good.Field("selector", "hot");
+  good.Field("source", kAtomicPolicy);
+  good.Field("name", "atomic_counter");
+  good.NumberField("budget_ns", 1'000'000);
+  good.EndObject();
+  auto attached = client.Call("policy.attach", good.str(),
+                              /*idempotent=*/false);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  ASSERT_TRUE(attached->ok) << attached->error_code << ": "
+                            << attached->error_message;
+  auto result = ParseJson(attached->result);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Find("attached")->string_value, "atomic_counter");
+  const JsonValue* wcet = result->Find("certified_wcet_ns");
+  ASSERT_NE(wcet, nullptr) << attached->result;
+  EXPECT_GT(wcet->number_value, 0.0);
+  EXPECT_LT(wcet->number_value, 1'000'000.0);
+  const JsonValue* budget = result->Find("budget_ns");
+  ASSERT_NE(budget, nullptr) << attached->result;
+  EXPECT_DOUBLE_EQ(budget->number_value, 1'000'000.0);
+
+  auto detached = client.Call("policy.detach", R"({"selector":"hot"})",
+                              /*idempotent=*/false);
+  ASSERT_TRUE(detached.ok() && detached->ok);
+  (void)Concord::Global().Unregister(id);
+}
+
 TEST_F(RpcServerTest, MapDumpRoundTripsDeclaredPerCpuMap) {
   const std::uint64_t id =
       Concord::Global().RegisterShflLock(lock_, "hot", "demo");

@@ -13,6 +13,12 @@
 //   concord_asm --jit-dump <hook> <file.casm>
 //                                        ... then JIT-compile and hex-dump
 //                                        the native x86-64 code
+//   concord_asm --cost <hook> <file.casm>
+//                                        ... and print the certified WCET
+//                                        bound per execution tier
+//   concord_asm --races <hook> <file.casm>
+//                                        ... and print the shared-map race
+//                                        classification per map
 //   concord_asm --hooks                  list hook names and context layouts
 //
 // `<hook>` is one of the Table-1 names (cmp_node, skip_shuffle,
@@ -26,6 +32,8 @@
 #include <sstream>
 #include <string>
 
+#include "src/bpf/analysis/race.h"
+#include "src/bpf/analysis/wcet.h"
 #include "src/bpf/assembler.h"
 #include "src/bpf/jit/jit.h"
 #include "src/bpf/maps.h"
@@ -78,6 +86,8 @@ int Run(int argc, char** argv) {
   }
   bool jit_dump = false;
   bool verify_log = false;
+  bool show_cost = false;
+  bool show_races = false;
   int arg = 1;
   while (arg < argc) {
     const std::string flag = argv[arg];
@@ -87,13 +97,20 @@ int Run(int argc, char** argv) {
     } else if (flag == "--verify") {
       verify_log = true;
       ++arg;
+    } else if (flag == "--cost") {
+      show_cost = true;
+      ++arg;
+    } else if (flag == "--races") {
+      show_races = true;
+      ++arg;
     } else {
       break;
     }
   }
   if (argc - arg != 2) {
     std::fprintf(stderr,
-                 "usage: %s [--verify] [--jit-dump] <hook> <file.casm>\n"
+                 "usage: %s [--verify] [--jit-dump] [--cost] [--races] "
+                 "<hook> <file.casm>\n"
                  "       %s --hooks\n",
                  argv[0], argv[0]);
     return 2;
@@ -169,6 +186,43 @@ int Run(int argc, char** argv) {
       std::printf("  note: context pointer held across helper call at insn "
                   "%zu\n",
                   pc);
+    }
+  }
+  if (show_cost) {
+    const WcetReport wcet = ComputeWcet(*program, analysis);
+    std::printf("cost model:\n");
+    std::printf("  certified worst case: %llu ns (interpreter %llu ns, jit "
+                "%llu ns)\n",
+                static_cast<unsigned long long>(wcet.certified_ns),
+                static_cast<unsigned long long>(wcet.interp_ns),
+                static_cast<unsigned long long>(wcet.jit_ns));
+    std::printf("  executed instructions: <= %llu\n",
+                static_cast<unsigned long long>(wcet.max_insns));
+    std::printf("  dominated by insn %zu (`%s`) x %llu executions (%llu ns)\n",
+                wcet.hottest_pc,
+                DisassembleInsn(program->insns[wcet.hottest_pc]).c_str(),
+                static_cast<unsigned long long>(wcet.hottest_multiplier),
+                static_cast<unsigned long long>(wcet.hottest_pc_ns));
+  }
+  if (show_races) {
+    const RaceReport races = AnalyzeRaces(*program, analysis);
+    std::printf("race analysis:\n");
+    if (races.map_classes.empty()) {
+      std::printf("  no maps referenced\n");
+    }
+    for (std::size_t i = 0; i < races.map_classes.size(); ++i) {
+      const BpfMap* map = program->maps[i];
+      std::printf("  map %zu ('%s', %s): %s\n", i,
+                  map != nullptr ? map->name().c_str() : "?",
+                  map != nullptr ? MapTypeName(map->type()) : "?",
+                  MapAccessClassName(races.map_classes[i]));
+    }
+    for (const auto& finding : races.findings) {
+      std::printf("  [%s] %s\n", finding.rule.c_str(),
+                  finding.message.c_str());
+    }
+    if (races.ok()) {
+      std::printf("  no shared-map races\n");
     }
   }
   std::printf("\n");

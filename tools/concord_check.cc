@@ -1,92 +1,60 @@
 // concord_check — static analysis gate for lock policies.
 //
 // Assembles each .casm file, runs the range-tracking verifier under the
-// target hook's capability mask, then applies the lock-invariant lint rules
-// (src/concord/policy_lint.h). Intended for CI: exits 0 only when every file
-// passes all three stages.
+// target hook's capability mask, applies the lock-invariant lint rules
+// (src/concord/policy_lint.h), then certifies the program
+// (src/bpf/analysis/certify.h): shared-map race findings always reject;
+// the WCET bound additionally rejects when a budget is known (from a
+// `; budget_ns: <N>` directive or --budget-ns). Intended for CI: exits 0
+// only when every file passes all four stages.
 //
 // Usage:
-//   concord_check [--json] [--hook <name>] <file.casm>...
+//   concord_check [--json] [--cost] [--races] [--hook <name>]
+//                 [--budget-ns <N>] <file.casm>...
+//   concord_check --list-hooks
 //
 // The hook is taken from a `; hook: <name>` comment directive in the file
-// (conventionally the first line); `--hook` overrides it for every file.
-// With --json the report is a machine-readable array on stdout, one element
-// per file, including the verifier's analysis facts for accepted programs.
+// (conventionally the first line); `--hook` overrides it for every file. A
+// malformed or unknown directive is reported with its line number. --cost
+// and --races print the certification detail in human output; the --json
+// report always carries both.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/base/json.h"
+#include "src/bpf/analysis/certify.h"
 #include "src/bpf/assembler.h"
 #include "src/bpf/maps.h"
 #include "src/bpf/verifier.h"
 #include "src/concord/hooks.h"
 #include "src/concord/policy_lint.h"
+#include "src/concord/policy_source.h"
 
 namespace concord {
 namespace {
 
-const HookKind kAllHooks[] = {
-    HookKind::kCmpNode,      HookKind::kSkipShuffle, HookKind::kScheduleWaiter,
-    HookKind::kLockAcquire,  HookKind::kLockContended, HookKind::kLockAcquired,
-    HookKind::kLockRelease,  HookKind::kRwMode,
-};
-
-bool ParseHook(const std::string& name, HookKind* out) {
-  for (HookKind kind : kAllHooks) {
-    if (name == HookKindName(kind)) {
-      *out = kind;
-      return true;
-    }
-  }
-  return false;
-}
-
-// Scans the source for a `; hook: <name>` comment directive.
-bool FindHookDirective(const std::string& source, std::string* out) {
-  std::istringstream lines(source);
-  std::string line;
-  while (std::getline(lines, line)) {
-    const std::size_t semi = line.find(';');
-    if (semi == std::string::npos) {
-      continue;
-    }
-    std::size_t pos = line.find("hook:", semi);
-    if (pos == std::string::npos) {
-      continue;
-    }
-    pos += 5;
-    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
-      ++pos;
-    }
-    std::size_t end = pos;
-    while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
-           line[end] != '\r') {
-      ++end;
-    }
-    if (end > pos) {
-      *out = line.substr(pos, end - pos);
-      return true;
-    }
-  }
-  return false;
-}
-
 struct FileResult {
   std::string file;
   std::string hook;
+  int hook_line = 0;  // 1-based source line of the hook directive; 0 = --hook
   bool ok = false;
-  std::string stage;  // failing stage: "read", "hook", "assemble", "verify", "lint"
-  std::string error;  // verifier/assembler message when stage is set
+  // Failing stage: "read", "hook", "assemble", "verify", "lint", "certify".
+  std::string stage;
+  std::string error;  // verifier/assembler/certifier message when stage is set
   LintReport lint;
   Verifier::Analysis analysis;
+  CertificationReport cert;
+  std::uint64_t budget_ns = 0;
   std::size_t insns = 0;
 };
 
-FileResult CheckFile(const std::string& path, const std::string& hook_override) {
+FileResult CheckFile(const std::string& path, const std::string& hook_override,
+                     std::uint64_t budget_override) {
   FileResult result;
   result.file = path;
 
@@ -100,18 +68,38 @@ FileResult CheckFile(const std::string& path, const std::string& hook_override) 
   buffer << in.rdbuf();
   const std::string source = buffer.str();
 
-  std::string hook_name = hook_override;
-  if (hook_name.empty() && !FindHookDirective(source, &hook_name)) {
-    result.stage = "hook";
-    result.error = "no `; hook: <name>` directive and no --hook given";
-    return result;
-  }
-  result.hook = hook_name;
   HookKind kind;
-  if (!ParseHook(hook_name, &kind)) {
-    result.stage = "hook";
-    result.error = "unknown hook '" + hook_name + "'";
-    return result;
+  if (!hook_override.empty()) {
+    result.hook = hook_override;
+    if (!ParseHookKindName(hook_override, &kind)) {
+      result.stage = "hook";
+      result.error = "unknown hook '" + hook_override + "'";
+      return result;
+    }
+  } else {
+    auto resolved = ResolveHookDirective(source, &result.hook_line);
+    if (!resolved.ok()) {
+      result.stage = "hook";
+      result.error =
+          resolved.status().code() == StatusCode::kNotFound
+              ? "no `; hook: <name>` directive and no --hook given"
+              : resolved.status().message();
+      return result;
+    }
+    kind = *resolved;
+    result.hook = HookKindName(kind);
+  }
+
+  result.budget_ns = budget_override;
+  if (budget_override == 0) {
+    auto budget = ResolveBudgetDirective(source);
+    if (budget.ok()) {
+      result.budget_ns = *budget;
+    } else if (budget.status().code() != StatusCode::kNotFound) {
+      result.stage = "hook";
+      result.error = budget.status().message();
+      return result;
+    }
   }
 
   // Sources with `.map` directives own the whole map table (their indices
@@ -146,11 +134,48 @@ FileResult CheckFile(const std::string& path, const std::string& hook_override) 
     return result;
   }
 
+  Status certified = CertifyProgram(*program, result.analysis,
+                                    result.budget_ns, &result.cert);
+  if (!certified.ok()) {
+    result.stage = "certify";
+    result.error = certified.ToString();
+    return result;
+  }
+
   result.ok = true;
   return result;
 }
 
-void PrintHuman(const FileResult& r) {
+void PrintCost(const FileResult& r) {
+  std::printf(
+      "  cost: wcet %llu ns (interp %llu, jit %llu), <= %llu insns",
+      static_cast<unsigned long long>(r.cert.wcet.certified_ns),
+      static_cast<unsigned long long>(r.cert.wcet.interp_ns),
+      static_cast<unsigned long long>(r.cert.wcet.jit_ns),
+      static_cast<unsigned long long>(r.cert.wcet.max_insns));
+  if (r.budget_ns != 0) {
+    std::printf(", budget %llu ns",
+                static_cast<unsigned long long>(r.budget_ns));
+  }
+  std::printf("\n");
+}
+
+void PrintRaces(const FileResult& r) {
+  std::printf("  races: ");
+  if (r.cert.races.map_classes.empty()) {
+    std::printf("no maps");
+  }
+  for (std::size_t i = 0; i < r.cert.races.map_classes.size(); ++i) {
+    std::printf("%smap[%zu] %s", i == 0 ? "" : ", ", i,
+                MapAccessClassName(r.cert.races.map_classes[i]));
+  }
+  std::printf("\n");
+  for (const auto& finding : r.cert.races.findings) {
+    std::printf("  [%s] %s\n", finding.rule.c_str(), finding.message.c_str());
+  }
+}
+
+void PrintHuman(const FileResult& r, bool show_cost, bool show_races) {
   if (r.ok) {
     std::printf("%s: OK (hook %s, %zu insns, %zu states", r.file.c_str(),
                 r.hook.c_str(), r.insns, r.analysis.states_processed);
@@ -159,6 +184,12 @@ void PrintHuman(const FileResult& r) {
                   static_cast<unsigned long long>(loop.max_trips));
     }
     std::printf(")\n");
+    if (show_cost) {
+      PrintCost(r);
+    }
+    if (show_races) {
+      PrintRaces(r);
+    }
     return;
   }
   if (r.stage == "lint") {
@@ -170,12 +201,23 @@ void PrintHuman(const FileResult& r) {
   }
   std::printf("%s: %s FAILED: %s\n", r.file.c_str(), r.stage.c_str(),
               r.error.c_str());
+  if (r.stage == "certify") {
+    if (show_cost) {
+      PrintCost(r);
+    }
+    if (show_races) {
+      PrintRaces(r);
+    }
+  }
 }
 
 void EmitJson(JsonWriter& json, const FileResult& r) {
   json.BeginObject();
   json.Field("file", r.file);
   json.Field("hook", r.hook);
+  if (r.hook_line != 0) {
+    json.NumberField("hook_line", static_cast<std::int64_t>(r.hook_line));
+  }
   json.Key("ok").Bool(r.ok);
   if (!r.ok) {
     json.Field("stage", r.stage);
@@ -191,7 +233,10 @@ void EmitJson(JsonWriter& json, const FileResult& r) {
     json.EndObject();
   }
   json.EndArray();
-  if (r.stage.empty() || r.stage == "lint") {
+  // Verifier facts plus certification facts for every program that reached
+  // those stages (i.e. verified; "lint" and "certify" failures still carry
+  // them — CI consumers want the numbers that drove the rejection).
+  if (r.stage.empty() || r.stage == "lint" || r.stage == "certify") {
     json.Key("analysis").BeginObject();
     json.NumberField("insns", static_cast<std::uint64_t>(r.insns));
     json.NumberField("states",
@@ -220,24 +265,80 @@ void EmitJson(JsonWriter& json, const FileResult& r) {
       json.EndObject();
     }
     json.EndObject();
+
+    json.Key("certified").Bool(r.cert.certified);
+    json.Key("cost").BeginObject();
+    json.NumberField("interp_ns", r.cert.wcet.interp_ns);
+    json.NumberField("jit_ns", r.cert.wcet.jit_ns);
+    json.NumberField("certified_ns", r.cert.wcet.certified_ns);
+    json.NumberField("max_insns", r.cert.wcet.max_insns);
+    json.NumberField("budget_ns", r.budget_ns);
+    json.EndObject();
+    json.Key("races").BeginObject();
+    json.Key("maps").BeginArray();
+    for (const MapAccessClass cls : r.cert.races.map_classes) {
+      json.String(MapAccessClassName(cls));
+    }
+    json.EndArray();
+    json.Key("findings").BeginArray();
+    for (const auto& finding : r.cert.races.findings) {
+      json.BeginObject();
+      json.Field("rule", finding.rule);
+      json.NumberField("pc", static_cast<std::uint64_t>(finding.pc));
+      json.NumberField("map_index",
+                       static_cast<std::uint64_t>(finding.map_index));
+      json.Field("message", finding.message);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
   }
   json.EndObject();
 }
 
+void ListHooks() {
+  for (int i = 0; i < kNumHookKinds; ++i) {
+    const auto kind = static_cast<HookKind>(i);
+    std::printf("%-16s ctx %s (%u bytes)\n", HookKindName(kind),
+                DescriptorFor(kind).name().c_str(), DescriptorFor(kind).size());
+  }
+}
+
 int Run(int argc, char** argv) {
   bool as_json = false;
+  bool show_cost = false;
+  bool show_races = false;
   std::string hook_override;
+  std::uint64_t budget_override = 0;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       as_json = true;
+    } else if (arg == "--cost") {
+      show_cost = true;
+    } else if (arg == "--races") {
+      show_races = true;
+    } else if (arg == "--list-hooks") {
+      ListHooks();
+      return 0;
     } else if (arg == "--hook") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--hook needs an argument\n");
         return 2;
       }
       hook_override = argv[++i];
+    } else if (arg == "--budget-ns") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--budget-ns needs an argument\n");
+        return 2;
+      }
+      char* end = nullptr;
+      budget_override = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "--budget-ns wants a decimal nanosecond count\n");
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;
@@ -247,16 +348,18 @@ int Run(int argc, char** argv) {
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--json] [--hook <name>] <file.casm>...\n"
+                 "usage: %s [--json] [--cost] [--races] [--hook <name>] "
+                 "[--budget-ns <N>] <file.casm>...\n"
+                 "       %s --list-hooks\n"
                  "hook names: cmp_node skip_shuffle schedule_waiter "
                  "lock_acquire lock_contended lock_acquired lock_release "
                  "rw_mode\n",
-                 argv[0]);
+                 argv[0], argv[0]);
     return 2;
   }
   if (!hook_override.empty()) {
     HookKind kind;
-    if (!ParseHook(hook_override, &kind)) {
+    if (!ParseHookKindName(hook_override, &kind)) {
       std::fprintf(stderr, "unknown hook '%s'\n", hook_override.c_str());
       return 2;
     }
@@ -266,14 +369,14 @@ int Run(int argc, char** argv) {
   json.BeginArray();
   int failures = 0;
   for (const std::string& file : files) {
-    const FileResult result = CheckFile(file, hook_override);
+    const FileResult result = CheckFile(file, hook_override, budget_override);
     if (!result.ok) {
       ++failures;
     }
     if (as_json) {
       EmitJson(json, result);
     } else {
-      PrintHuman(result);
+      PrintHuman(result, show_cost, show_races);
     }
   }
   json.EndArray();

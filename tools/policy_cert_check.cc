@@ -1,0 +1,160 @@
+// policy_cert_check — CI validator for `concord_check --json` reports.
+//
+// Reads the JSON report produced by `concord_check --cost --races --json`
+// over a policy corpus and enforces the certification contract:
+//   - the document is an array of per-file objects with the expected schema
+//     (file/hook/ok plus, for verified programs, cost{} and races{} facts),
+//   - every file passed all stages (ok == true),
+//   - every file is certified (certified == true, cost numbers present and
+//     consistent: certified_ns == max(interp_ns, jit_ns), within budget when
+//     one is set, no race findings).
+//
+// Usage: policy_cert_check <report.json>
+// Exits 0 when every entry certifies; prints one line per violation
+// otherwise. Schema violations are failures too — a report that drops the
+// cost block would otherwise pass CI while gating nothing.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/base/json.h"
+
+namespace concord {
+namespace {
+
+int g_failures = 0;
+
+void Fail(const std::string& where, const std::string& what) {
+  std::fprintf(stderr, "policy_cert_check: %s: %s\n", where.c_str(),
+               what.c_str());
+  ++g_failures;
+}
+
+const JsonValue* RequireMember(const JsonValue& entry, const std::string& where,
+                               const char* key, JsonValue::Type type) {
+  const JsonValue* value = entry.Find(key);
+  if (value == nullptr || value->type != type) {
+    Fail(where, std::string("missing or mistyped member '") + key + "'");
+    return nullptr;
+  }
+  return value;
+}
+
+std::uint64_t NumberOr(const JsonValue* value, std::uint64_t fallback) {
+  return value != nullptr && value->IsNumber()
+             ? static_cast<std::uint64_t>(value->number_value)
+             : fallback;
+}
+
+void CheckEntry(const JsonValue& entry, std::size_t index) {
+  std::string where = "entry " + std::to_string(index);
+  if (!entry.IsObject()) {
+    Fail(where, "not an object");
+    return;
+  }
+  const JsonValue* file =
+      RequireMember(entry, where, "file", JsonValue::Type::kString);
+  if (file != nullptr) {
+    where = file->string_value;
+  }
+  RequireMember(entry, where, "hook", JsonValue::Type::kString);
+  const JsonValue* ok =
+      RequireMember(entry, where, "ok", JsonValue::Type::kBool);
+  if (ok == nullptr) {
+    return;
+  }
+  if (!ok->bool_value) {
+    const JsonValue* stage = entry.Find("stage");
+    const JsonValue* error = entry.Find("error");
+    Fail(where,
+         "not certified (stage " +
+             (stage != nullptr ? stage->string_value : "?") + ": " +
+             (error != nullptr ? error->string_value : "see findings") + ")");
+    return;
+  }
+
+  const JsonValue* certified =
+      RequireMember(entry, where, "certified", JsonValue::Type::kBool);
+  if (certified != nullptr && !certified->bool_value) {
+    Fail(where, "ok but certified == false (gate inconsistency)");
+  }
+
+  const JsonValue* cost =
+      RequireMember(entry, where, "cost", JsonValue::Type::kObject);
+  if (cost != nullptr) {
+    const std::uint64_t interp = NumberOr(cost->Find("interp_ns"), 0);
+    const std::uint64_t jit = NumberOr(cost->Find("jit_ns"), 0);
+    const std::uint64_t cert_ns = NumberOr(cost->Find("certified_ns"), 0);
+    const std::uint64_t budget = NumberOr(cost->Find("budget_ns"), 0);
+    if (cost->Find("interp_ns") == nullptr ||
+        cost->Find("jit_ns") == nullptr ||
+        cost->Find("certified_ns") == nullptr ||
+        cost->Find("max_insns") == nullptr) {
+      Fail(where, "cost block is missing wcet members");
+    } else if (cert_ns != (interp > jit ? interp : jit)) {
+      Fail(where, "certified_ns != max(interp_ns, jit_ns)");
+    } else if (cert_ns == 0) {
+      Fail(where, "certified_ns == 0 (a nonempty program costs something)");
+    } else if (budget != 0 && cert_ns > budget) {
+      Fail(where, "certified_ns exceeds budget_ns yet entry passed");
+    }
+  }
+
+  const JsonValue* races =
+      RequireMember(entry, where, "races", JsonValue::Type::kObject);
+  if (races != nullptr) {
+    const JsonValue* maps = races->Find("maps");
+    const JsonValue* findings = races->Find("findings");
+    if (maps == nullptr || !maps->IsArray() || findings == nullptr ||
+        !findings->IsArray()) {
+      Fail(where, "races block is missing maps/findings arrays");
+    } else if (!findings->array.empty()) {
+      Fail(where, "race findings present yet entry passed");
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <concord_check --json report>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto doc = ParseJson(buffer.str());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "invalid JSON: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  if (!doc->IsArray()) {
+    std::fprintf(stderr, "report root must be an array of file entries\n");
+    return 1;
+  }
+  if (doc->array.empty()) {
+    std::fprintf(stderr, "report is empty — no policies were checked\n");
+    return 1;
+  }
+  for (std::size_t i = 0; i < doc->array.size(); ++i) {
+    CheckEntry(doc->array[i], i);
+  }
+  if (g_failures == 0) {
+    std::printf("policy_cert_check: %zu file(s), all certified\n",
+                doc->array.size());
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace concord
+
+int main(int argc, char** argv) { return concord::Run(argc, argv); }
