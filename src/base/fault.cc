@@ -27,6 +27,8 @@ constexpr struct {
     {"rpc.read", "control-plane request read fails mid-connection"},
     {"rpc.write", "control-plane response write fails (client vanishes)"},
     {"rpc.handler", "RPC verb handler aborts with an internal error"},
+    {"agent.shm_map", "fleet agent fails to (re)map a worker's shm segment"},
+    {"agent.merge", "fleet agent skips the merged decision step for the tick"},
 };
 
 // SplitMix64 — tiny, seedable, and good enough to spread 1/n firing evenly.

@@ -26,6 +26,8 @@
 //   rpc.read           request read fails mid-connection         (rpc/server.cc)
 //   rpc.write          response write fails / client vanishes    (rpc/server.cc)
 //   rpc.handler        verb handler aborts with internal error   (rpc/dispatch.cc)
+//   agent.shm_map      agent shm segment (re)map fails           (agent/fleet.cc)
+//   agent.merge        agent merged decision step skipped        (agent/fleet.cc)
 
 #ifndef SRC_BASE_FAULT_H_
 #define SRC_BASE_FAULT_H_

@@ -76,6 +76,23 @@ class Log2Histogram {
   // Merges `other` into this histogram (used to aggregate per-CPU shards).
   void MergeFrom(const Log2Histogram& other);
 
+  // --- import-side mutators --------------------------------------------------
+  // Rebuild a histogram from an external serialized form (shared-memory
+  // profiler segments carry raw bucket counts, not samples). Thread-safe,
+  // same relaxed ordering as Record().
+  void AddBucketCount(int bucket, std::uint64_t count) {
+    buckets_[bucket].fetch_add(count, std::memory_order_relaxed);
+  }
+  void AddSum(std::uint64_t delta) {
+    sum_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void ObserveMax(std::uint64_t value) {
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+    }
+  }
+
   // Windowed view: the samples recorded since `earlier`, an older snapshot of
   // this same histogram. Buckets and sum are monotonic, so the bucket-wise
   // difference is exact (clamped at 0 against mismatched snapshots); max is

@@ -1,0 +1,864 @@
+#include "src/concord/agent/fleet.h"
+
+#include <signal.h>
+
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/base/fault.h"
+#include "src/base/json.h"
+#include "src/base/time.h"
+#include "src/bpf/analysis/certify.h"
+#include "src/bpf/assembler.h"
+#include "src/bpf/maps.h"
+#include "src/concord/autotune/candidates.h"
+#include "src/concord/hooks.h"
+#include "src/concord/policy.h"
+#include "src/concord/policy_lint.h"
+#include "src/concord/policy_source.h"
+#include "src/concord/rpc/client.h"
+
+namespace concord {
+
+const char* FleetEventKindName(FleetEventKind kind) {
+  switch (kind) {
+    case FleetEventKind::kWorkerJoin:
+      return "worker-join";
+    case FleetEventKind::kWorkerEvict:
+      return "worker-evict";
+    case FleetEventKind::kRegimeChange:
+      return "regime-change";
+    case FleetEventKind::kCanaryStart:
+      return "canary-start";
+    case FleetEventKind::kPromote:
+      return "promote";
+    case FleetEventKind::kRollback:
+      return "rollback";
+    case FleetEventKind::kCanaryAbort:
+      return "canary-abort";
+    case FleetEventKind::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// One worker's window for a lock, added into the fleet-wide window. Counters
+// add, histograms merge, the window bounds widen to cover every contributor
+// (each worker stamps its own publishes, but all of them read the same
+// system-wide CLOCK_MONOTONIC).
+void MergeWindow(const LockProfileSnapshot& delta,
+                 LockProfileSnapshot& merged) {
+  merged.acquisitions += delta.acquisitions;
+  merged.contentions += delta.contentions;
+  merged.releases += delta.releases;
+  for (std::size_t i = 0; i < kProfilerSocketSlots; ++i) {
+    merged.socket_acquisitions[i] += delta.socket_acquisitions[i];
+  }
+  merged.cross_socket_handoffs += delta.cross_socket_handoffs;
+  merged.dropped_samples += delta.dropped_samples;
+  merged.budget_overruns += delta.budget_overruns;
+  merged.quarantines += delta.quarantines;
+  merged.wait_ns.MergeFrom(delta.wait_ns);
+  merged.hold_ns.MergeFrom(delta.hold_ns);
+  if (merged.window_start_ns == 0 ||
+      (delta.window_start_ns != 0 &&
+       delta.window_start_ns < merged.window_start_ns)) {
+    merged.window_start_ns = delta.window_start_ns;
+  }
+  if (delta.taken_at_ns > merged.taken_at_ns) {
+    merged.taken_at_ns = delta.taken_at_ns;
+  }
+}
+
+// The same admission pipeline a worker runs inside policy.attach (assemble,
+// verify under the hook's capability mask, lint, certify). A candidate the
+// agent cannot certify locally would only bounce off every worker's gate.
+Status ValidateCandidateSource(const std::string& name,
+                               const std::string& source) {
+  auto hook = ResolveHookDirective(source);
+  if (!hook.ok()) {
+    if (hook.status().code() == StatusCode::kNotFound) {
+      return InvalidArgumentError("fleet candidate '" + name +
+                                  "' has no '; hook: <name>' directive");
+    }
+    return hook.status();
+  }
+  std::uint64_t budget_ns = 0;
+  auto budget = ResolveBudgetDirective(source);
+  if (budget.ok()) {
+    budget_ns = *budget;
+  } else if (budget.status().code() != StatusCode::kNotFound) {
+    return budget.status();
+  }
+  std::shared_ptr<ArrayMap> scratch;
+  std::vector<BpfMap*> caller_maps;
+  if (!SourceDeclaresMaps(source)) {
+    scratch = std::make_shared<ArrayMap>("scratch", 8, 8);
+    caller_maps.push_back(scratch.get());
+  }
+  std::vector<std::shared_ptr<BpfMap>> declared_maps;
+  auto program = AssembleProgram(name, source, &DescriptorFor(*hook),
+                                 std::move(caller_maps), &declared_maps);
+  CONCORD_RETURN_IF_ERROR(program.status());
+  Verifier::Analysis analysis;
+  CONCORD_RETURN_IF_ERROR(
+      CheckPolicyProgram(*hook, *program, nullptr, &analysis));
+  CONCORD_RETURN_IF_ERROR(CertifyProgram(*program, analysis, budget_ns));
+  return Status::Ok();
+}
+
+}  // namespace
+
+FleetAgent& FleetAgent::Global() {
+  static FleetAgent* instance = new FleetAgent();
+  return *instance;
+}
+
+Status FleetAgent::Configure(const FleetAgentConfig& config) {
+  std::string policy_dir;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (running_.load(std::memory_order_acquire)) {
+      return FailedPreconditionError(
+          "fleet agent: cannot reconfigure while running");
+    }
+    config_ = config;
+    policy_dir = config.policy_dir;
+  }
+  if (!policy_dir.empty()) {
+    (void)SeedCandidatesFromDir(policy_dir);
+  }
+  return Status::Ok();
+}
+
+FleetAgentConfig FleetAgent::config() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return config_;
+}
+
+Status FleetAgent::AddCandidate(const FleetCandidate& candidate) {
+  if (candidate.name.empty() || candidate.name == kPlainCandidateName) {
+    return InvalidArgumentError("fleet candidate needs a non-reserved name");
+  }
+  if (candidate.source.empty()) {
+    return InvalidArgumentError("fleet candidate '" + candidate.name +
+                                "' has no source");
+  }
+  CONCORD_RETURN_IF_ERROR(
+      ValidateCandidateSource(candidate.name, candidate.source));
+  std::lock_guard<std::mutex> guard(mu_);
+  for (FleetCandidate& existing : candidates_) {
+    if (existing.name == candidate.name) {
+      existing = candidate;
+      return Status::Ok();
+    }
+  }
+  candidates_.push_back(candidate);
+  return Status::Ok();
+}
+
+int FleetAgent::SeedCandidatesFromDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return 0;
+  }
+  int registered = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".casm") {
+      continue;
+    }
+    std::ifstream file(entry.path());
+    if (!file) {
+      continue;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    FleetCandidate candidate;
+    candidate.name = entry.path().stem().string();
+    candidate.source = buffer.str();
+    if (!RegimeFromPolicyFilename(candidate.name, &candidate.regime)) {
+      continue;
+    }
+    auto hook = ResolveHookDirective(candidate.source);
+    candidate.for_rw = hook.ok() && *hook == HookKind::kRwMode;
+    if (AddCandidate(candidate).ok()) {
+      ++registered;
+    }
+  }
+  return registered;
+}
+
+std::vector<std::string> FleetAgent::CandidateNames() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::string> names;
+  names.reserve(candidates_.size());
+  for (const FleetCandidate& candidate : candidates_) {
+    names.push_back(candidate.name);
+  }
+  return names;
+}
+
+Status FleetAgent::RegisterWorker(std::uint64_t pid,
+                                  const std::string& shm_path,
+                                  const std::string& control_socket) {
+  if (pid == 0 || shm_path.empty() || control_socket.empty()) {
+    return InvalidArgumentError(
+        "agent.register needs pid, shm path and control socket");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<FleetEvent> events;
+  // Re-registration (worker restart, or a retry whose first response was
+  // lost) replaces the entry wholesale: fresh reader, fresh baselines.
+  for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+    if ((*it)->pid == pid) {
+      workers_.erase(it);
+      break;
+    }
+  }
+  auto worker = std::make_unique<Worker>();
+  worker->pid = pid;
+  worker->shm_path = shm_path;
+  worker->control_socket = control_socket;
+  workers_.push_back(std::move(worker));
+  EmitLocked({ClockNowNs(), pid, "", FleetEventKind::kWorkerJoin,
+              ContentionRegime::kUncontended, "", "shm=" + shm_path},
+             events);
+  return Status::Ok();
+}
+
+Status FleetAgent::LeaveWorker(std::uint64_t pid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+    if ((*it)->pid == pid) {
+      workers_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("no registered worker with pid " + std::to_string(pid));
+}
+
+std::size_t FleetAgent::WorkerCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return workers_.size();
+}
+
+// --- sampling ----------------------------------------------------------------
+
+bool FleetAgent::SampleWorkerLocked(
+    Worker& worker, std::map<std::string, LockProfileSnapshot>& merged,
+    std::string* evict_reason) {
+  // Liveness first: a dead pid is an immediate eviction, not a stale count.
+  // (EPERM still means "exists"; only ESRCH is death.)
+  if (::kill(static_cast<pid_t>(worker.pid), 0) != 0 && errno == ESRCH) {
+    *evict_reason = "process exited";
+    return false;
+  }
+
+  const auto transient_failure = [&](const std::string& what) {
+    ++worker.stale_ticks;
+    if (worker.stale_ticks >= config_.evict_after_stale_ticks) {
+      *evict_reason = what;
+      return false;
+    }
+    return true;
+  };
+
+  // Chaos hook: an armed "agent.shm_map" fault makes this tick's segment
+  // access fail (and drops any existing mapping, as a failed re-map would).
+  if (CONCORD_FAULT_POINT("agent.shm_map")) {
+    worker.reader.reset();
+    return transient_failure("injected agent.shm_map fault");
+  }
+
+  if (worker.reader == nullptr) {
+    auto reader = ShmSegmentReader::Map(worker.shm_path);
+    if (!reader.ok()) {
+      if (reader.status().code() == StatusCode::kInvalidArgument) {
+        *evict_reason = reader.status().message();
+        return false;
+      }
+      return transient_failure("segment unreadable: " +
+                               reader.status().message());
+    }
+    worker.reader = std::move(*reader);
+  }
+
+  auto sample = worker.reader->Read();
+  if (!sample.ok()) {
+    if (sample.status().code() == StatusCode::kInvalidArgument) {
+      // Permanent corruption (bad magic/version/checksum, truncation).
+      *evict_reason = sample.status().message();
+      return false;
+    }
+    return transient_failure("segment unstable: " +
+                             sample.status().message());
+  }
+
+  if (!worker.have_sample) {
+    // First successful read is the baseline; windows start next tick.
+    worker.have_sample = true;
+    worker.stale_ticks = 0;
+    worker.last_publish_count = sample->publish_count;
+    for (const ShmLockSample& lock : sample->locks) {
+      worker.last_by_lock[lock.name] = lock.snapshot;
+    }
+    return true;
+  }
+
+  if (sample->publish_count == worker.last_publish_count) {
+    // Readable but not advancing: the exporter (and so probably the worker)
+    // is wedged. Progress-based on purpose — an agent under FakeClock still
+    // sees a real worker stalling.
+    return transient_failure("stale segment: no publish progress");
+  }
+
+  worker.stale_ticks = 0;
+  worker.last_publish_count = sample->publish_count;
+  for (const ShmLockSample& lock : sample->locks) {
+    auto prev = worker.last_by_lock.find(lock.name);
+    if (prev != worker.last_by_lock.end()) {
+      MergeWindow(lock.snapshot.DeltaSince(prev->second), merged[lock.name]);
+    }
+    worker.last_by_lock[lock.name] = lock.snapshot;
+  }
+  return true;
+}
+
+void FleetAgent::EvictWorkerPidLocked(std::uint64_t pid,
+                                      const std::string& reason,
+                                      std::uint64_t now_ns,
+                                      std::vector<FleetEvent>& events) {
+  for (auto it = workers_.begin(); it != workers_.end(); ++it) {
+    if ((*it)->pid == pid) {
+      EmitLocked({now_ns, pid, "", FleetEventKind::kWorkerEvict,
+                  ContentionRegime::kUncontended, "", reason},
+                 events);
+      workers_.erase(it);
+      return;
+    }
+  }
+}
+
+// --- policy pushes -----------------------------------------------------------
+
+Status FleetAgent::PushToWorkerLocked(Worker& worker,
+                                      const std::string& lock_name,
+                                      const std::string& name,
+                                      bool* transport_failed) {
+  *transport_failed = false;
+  RpcClientOptions options;
+  options.socket_path = worker.control_socket;
+  options.timeout_ms = config_.push_timeout_ms;
+  options.max_attempts = 1;
+  RpcClient client(options);
+
+  if (name == kPlainCandidateName) {
+    JsonWriter params;
+    params.BeginObject();
+    params.Field("selector", lock_name);
+    params.EndObject();
+    auto response = client.CallOnce("policy.detach", params.TakeString());
+    if (!response.ok()) {
+      *transport_failed = true;
+      return response.status();
+    }
+    if (!response->ok && response->error_code != "not_found") {
+      // not_found = the worker has no such lock (or nothing attached);
+      // reverting to plain there is already a fact, not a failure.
+      return InternalError("policy.detach rejected: " +
+                           response->error_message);
+    }
+    return Status::Ok();
+  }
+
+  const FleetCandidate* candidate = nullptr;
+  for (const FleetCandidate& entry : candidates_) {
+    if (entry.name == name) {
+      candidate = &entry;
+      break;
+    }
+  }
+  if (candidate == nullptr) {
+    return NotFoundError("no fleet candidate named '" + name + "'");
+  }
+  JsonWriter params;
+  params.BeginObject();
+  params.Field("selector", lock_name);
+  params.Field("name", candidate->name);
+  params.Field("source", candidate->source);
+  params.EndObject();
+  auto response = client.CallOnce("policy.attach", params.TakeString());
+  if (!response.ok()) {
+    *transport_failed = true;
+    return response.status();
+  }
+  if (!response->ok) {
+    return InternalError("policy.attach rejected (" + response->error_code +
+                         "): " + response->error_message);
+  }
+  return Status::Ok();
+}
+
+Status FleetAgent::PushToFleetLocked(const std::string& lock_name,
+                                     const std::string& name,
+                                     std::uint64_t now_ns,
+                                     std::vector<FleetEvent>& events) {
+  std::vector<std::pair<std::uint64_t, std::string>> evictions;
+  Status first_rejection = Status::Ok();
+  for (auto& worker : workers_) {
+    bool transport_failed = false;
+    const Status status =
+        PushToWorkerLocked(*worker, lock_name, name, &transport_failed);
+    if (status.ok()) {
+      continue;
+    }
+    if (transport_failed) {
+      // Worker unreachable on its own socket: dead or wedged. Evicting here
+      // (instead of failing the push) is what keeps one killed worker from
+      // blocking or rolling back the surviving fleet.
+      evictions.emplace_back(worker->pid,
+                             "policy push failed: " + status.message());
+      continue;
+    }
+    if (first_rejection.ok()) {
+      first_rejection = status;
+    }
+  }
+  for (const auto& [pid, reason] : evictions) {
+    EvictWorkerPidLocked(pid, reason, now_ns, events);
+  }
+  return first_rejection;
+}
+
+bool FleetAgent::SyncWorkerLocked(Worker& worker, std::uint64_t now_ns,
+                                  std::vector<FleetEvent>& events,
+                                  std::string* evict_reason) {
+  for (const auto& [lock_name, state] : locks_) {
+    const std::string effective = state->mode == Mode::kCanary
+                                      ? state->canary_candidate
+                                      : state->incumbent;
+    if (effective == kPlainCandidateName) {
+      continue;  // a fresh worker is already plain
+    }
+    bool transport_failed = false;
+    const Status status =
+        PushToWorkerLocked(worker, lock_name, effective, &transport_failed);
+    if (transport_failed) {
+      *evict_reason = "policy sync failed: " + status.message();
+      return false;
+    }
+    if (!status.ok()) {
+      EmitLocked({now_ns, worker.pid, lock_name, FleetEventKind::kError,
+                  ContentionRegime::kUncontended, effective,
+                  "sync rejected: " + status.message()},
+                 events);
+    }
+  }
+  return true;
+}
+
+// --- decisions ---------------------------------------------------------------
+
+const FleetCandidate* FleetAgent::CandidateForLocked(
+    ContentionRegime regime, bool is_rw,
+    const std::vector<std::string>& skip) const {
+  for (const FleetCandidate& candidate : candidates_) {
+    if (candidate.regime != regime || candidate.for_rw != is_rw) {
+      continue;
+    }
+    bool skipped = false;
+    for (const std::string& name : skip) {
+      if (name == candidate.name) {
+        skipped = true;
+        break;
+      }
+    }
+    if (!skipped) {
+      return &candidate;
+    }
+  }
+  return nullptr;  // the implicit plain candidate
+}
+
+void FleetAgent::TickLockLocked(FleetLockState& state,
+                                const LockProfileSnapshot& window,
+                                std::uint64_t now_ns,
+                                std::vector<FleetEvent>& events) {
+  const bool window_qualifies =
+      window.acquisitions >= config_.min_window_acquisitions;
+
+  // Classify (observation windows only — canary windows measure, not steer).
+  if (state.mode == Mode::kObserving && window_qualifies) {
+    const RegimeSignals signals = RegimeSignals::FromWindow(window, state.is_rw);
+    const DefaultRegimeClassifier classifier(config_.classifier);
+    const ContentionRegime before = state.hysteresis.stable();
+    const ContentionRegime stable =
+        state.hysteresis.Observe(classifier.Classify(signals));
+    if (stable != before) {
+      EmitLocked({now_ns, 0, state.name, FleetEventKind::kRegimeChange, stable,
+                  "", std::string("from ") + ContentionRegimeName(before)},
+                 events);
+    }
+    state.baseline_p50_ns = window.wait_ns.Percentile(50);
+    state.baseline_p99_ns = window.wait_ns.Percentile(99);
+    state.have_baseline = true;
+  }
+
+  for (SkipEntry& entry : state.skip) {
+    if (entry.windows_left > 0) {
+      --entry.windows_left;
+    }
+  }
+  if (state.cooldown > 0) {
+    --state.cooldown;
+    return;
+  }
+
+  if (state.mode == Mode::kCanary) {
+    ++state.canary_total;
+    if (window_qualifies) {
+      state.canary_wait.MergeFrom(window.wait_ns);
+      ++state.canary_scored;
+    }
+    if (state.canary_scored < config_.canary_windows) {
+      if (state.canary_total >= config_.canary_windows * kCanaryPatience) {
+        FinishCanaryLocked(state, /*promote=*/false,
+                           FleetEventKind::kCanaryAbort,
+                           "canary starved of samples", now_ns, events);
+      }
+      return;
+    }
+    // Verdict — the same evidence rule as the in-process controller.
+    const CanaryScore score = {state.baseline_p50_ns, state.baseline_p99_ns,
+                               state.canary_wait.Percentile(50),
+                               state.canary_wait.Percentile(99)};
+    const bool promote = CanaryPromotes(score, config_.promote_margin);
+    FinishCanaryLocked(state, promote,
+                       promote ? FleetEventKind::kPromote
+                               : FleetEventKind::kRollback,
+                       CanaryScoreDetail(score), now_ns, events);
+    return;
+  }
+
+  // Observing, no cooldown: act if the stable regime wants a different
+  // policy than the fleet incumbent.
+  const ContentionRegime stable = state.hysteresis.stable();
+  std::vector<std::string> skip;
+  for (const SkipEntry& entry : state.skip) {
+    if (entry.windows_left > 0) {
+      skip.push_back(entry.name);
+    }
+  }
+  const FleetCandidate* target =
+      CandidateForLocked(stable, state.is_rw, skip);
+  const std::string target_name =
+      target != nullptr ? target->name : std::string(kPlainCandidateName);
+  if (target_name == state.incumbent) {
+    return;
+  }
+  if (target == nullptr) {
+    // Reverting the fleet to plain needs no canary: detaching is always
+    // safe, and an uncontended fleet produces no samples to score anyway.
+    const Status status =
+        PushToFleetLocked(state.name, kPlainCandidateName, now_ns, events);
+    if (status.ok()) {
+      const std::string previous = state.incumbent;
+      state.incumbent = kPlainCandidateName;
+      state.cooldown = config_.cooldown_windows;
+      EmitLocked({now_ns, 0, state.name, FleetEventKind::kPromote, stable,
+                  kPlainCandidateName, "reverted fleet from " + previous},
+                 events);
+    } else {
+      EmitLocked({now_ns, 0, state.name, FleetEventKind::kError, stable,
+                  kPlainCandidateName, "revert failed: " + status.message()},
+                 events);
+    }
+    return;
+  }
+  if (!state.have_baseline) {
+    return;  // nothing to score a canary against yet
+  }
+  StartCanaryLocked(state, *target, now_ns, events);
+}
+
+void FleetAgent::StartCanaryLocked(FleetLockState& state,
+                                   const FleetCandidate& candidate,
+                                   std::uint64_t now_ns,
+                                   std::vector<FleetEvent>& events) {
+  const Status status =
+      PushToFleetLocked(state.name, candidate.name, now_ns, events);
+  if (!status.ok()) {
+    // Some worker's gate rejected the candidate: back it off, and restore
+    // the incumbent everywhere so the fleet never splits on a half-applied
+    // canary.
+    AddSkipLocked(state, candidate.name);
+    (void)PushToFleetLocked(state.name, state.incumbent, now_ns, events);
+    EmitLocked({now_ns, 0, state.name, FleetEventKind::kError,
+                state.hysteresis.stable(), candidate.name,
+                "canary attach failed: " + status.message()},
+               events);
+    return;
+  }
+  state.mode = Mode::kCanary;
+  state.canary_candidate = candidate.name;
+  state.canary_wait.Reset();
+  state.canary_scored = 0;
+  state.canary_total = 0;
+  EmitLocked({now_ns, 0, state.name, FleetEventKind::kCanaryStart,
+              state.hysteresis.stable(), candidate.name,
+              "fleet of " + std::to_string(workers_.size())},
+             events);
+}
+
+void FleetAgent::FinishCanaryLocked(FleetLockState& state, bool promote,
+                                    FleetEventKind kind,
+                                    const std::string& detail,
+                                    std::uint64_t now_ns,
+                                    std::vector<FleetEvent>& events) {
+  const std::string candidate = state.canary_candidate;
+  state.mode = Mode::kObserving;
+  state.canary_candidate.clear();
+  state.canary_wait.Reset();
+  state.canary_scored = 0;
+  state.canary_total = 0;
+  state.cooldown = config_.cooldown_windows;
+  if (promote) {
+    state.incumbent = candidate;
+  } else {
+    AddSkipLocked(state, candidate);
+    const Status status =
+        PushToFleetLocked(state.name, state.incumbent, now_ns, events);
+    if (!status.ok()) {
+      EmitLocked({now_ns, 0, state.name, FleetEventKind::kError,
+                  state.hysteresis.stable(), state.incumbent,
+                  "rollback push failed: " + status.message()},
+                 events);
+    }
+  }
+  EmitLocked({now_ns, 0, state.name, kind, state.hysteresis.stable(),
+              candidate, detail},
+             events);
+}
+
+void FleetAgent::AddSkipLocked(FleetLockState& state,
+                               const std::string& name) {
+  for (SkipEntry& entry : state.skip) {
+    if (entry.name == name) {
+      entry.windows_left = config_.failed_candidate_backoff_windows;
+      return;
+    }
+  }
+  state.skip.push_back({name, config_.failed_candidate_backoff_windows});
+}
+
+void FleetAgent::EmitLocked(FleetEvent event, std::vector<FleetEvent>& events) {
+  events_.push_back(event);
+  while (events_.size() > kMaxEvents) {
+    events_.pop_front();
+  }
+  events.push_back(std::move(event));
+}
+
+// --- the loop ----------------------------------------------------------------
+
+std::vector<FleetEvent> FleetAgent::Tick() {
+  std::lock_guard<std::mutex> guard(mu_);
+  const std::uint64_t now_ns = ClockNowNs();
+  std::vector<FleetEvent> events;
+
+  // Sample phase: read every worker's segment, evicting the unreadable.
+  std::map<std::string, LockProfileSnapshot> merged;
+  std::vector<std::pair<std::uint64_t, std::string>> evictions;
+  for (auto& worker : workers_) {
+    std::string reason;
+    if (!SampleWorkerLocked(*worker, merged, &reason)) {
+      evictions.emplace_back(worker->pid, reason);
+    }
+  }
+  for (const auto& [pid, reason] : evictions) {
+    EvictWorkerPidLocked(pid, reason, now_ns, events);
+  }
+
+  // Sync phase: late joiners converge onto the fleet's current policies.
+  evictions.clear();
+  for (auto& worker : workers_) {
+    if (!worker->needs_sync) {
+      continue;
+    }
+    std::string reason;
+    if (SyncWorkerLocked(*worker, now_ns, events, &reason)) {
+      worker->needs_sync = false;
+    } else {
+      evictions.emplace_back(worker->pid, reason);
+    }
+  }
+  for (const auto& [pid, reason] : evictions) {
+    EvictWorkerPidLocked(pid, reason, now_ns, events);
+  }
+
+  // Chaos hook: an armed "agent.merge" fault wedges the decision phase for
+  // the tick. Sampling above already happened — a wedged agent loses
+  // decisions, never membership or attachment-state consistency (mirrors
+  // "autotune.decide").
+  if (CONCORD_FAULT_POINT("agent.merge")) {
+    return events;
+  }
+
+  // Decision phase: one fleet-wide canary loop per lock name.
+  for (auto& [name, window] : merged) {
+    auto it = locks_.find(name);
+    if (it == locks_.end()) {
+      auto state = std::make_unique<FleetLockState>();
+      state->name = name;
+      state->incumbent = kPlainCandidateName;
+      state->hysteresis = RegimeHysteresis(config_.hysteresis_windows);
+      it = locks_.emplace(name, std::move(state)).first;
+    }
+    TickLockLocked(*it->second, window, now_ns, events);
+  }
+  return events;
+}
+
+void FleetAgent::ThreadMain() {
+  while (running_.load(std::memory_order_acquire)) {
+    (void)Tick();
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    const std::uint64_t window_ns = [this] {
+      std::lock_guard<std::mutex> guard(mu_);
+      return config_.window_ns;
+    }();
+    stop_cv_.wait_for(lock, std::chrono::nanoseconds(window_ns),
+                      [this] { return stop_requested_; });
+  }
+}
+
+Status FleetAgent::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return FailedPreconditionError("fleet agent: already running");
+  }
+  {
+    std::lock_guard<std::mutex> guard(stop_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { ThreadMain(); });
+  return Status::Ok();
+}
+
+void FleetAgent::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+// --- introspection -----------------------------------------------------------
+
+std::string FleetAgent::StatusJson() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("running").Bool(running_.load(std::memory_order_acquire));
+  json.NumberField("window_ns", config_.window_ns);
+  json.NumberField("worker_count",
+                   static_cast<std::uint64_t>(workers_.size()));
+  json.Key("workers").BeginArray();
+  for (const auto& worker : workers_) {
+    json.BeginObject();
+    json.NumberField("pid", worker->pid);
+    json.Field("shm", worker->shm_path);
+    json.Field("socket", worker->control_socket);
+    json.NumberField("publish_count", worker->last_publish_count);
+    json.NumberField("stale_ticks", worker->stale_ticks);
+    json.NumberField("locks_seen",
+                     static_cast<std::uint64_t>(worker->last_by_lock.size()));
+    json.Key("synced").Bool(!worker->needs_sync);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("locks").BeginArray();
+  for (const auto& [name, state] : locks_) {
+    json.BeginObject();
+    json.Field("name", name);
+    json.Field("regime", ContentionRegimeName(state->hysteresis.stable()));
+    json.Field("mode",
+               state->mode == Mode::kCanary ? "canary" : "observing");
+    json.Field("incumbent", state->incumbent);
+    json.NumberField("cooldown", state->cooldown);
+    if (state->have_baseline) {
+      json.NumberField("baseline_p50_ns", state->baseline_p50_ns);
+      json.NumberField("baseline_p99_ns", state->baseline_p99_ns);
+    }
+    if (state->mode == Mode::kCanary) {
+      json.Key("canary").BeginObject();
+      json.Field("candidate", state->canary_candidate);
+      json.NumberField("scored", state->canary_scored);
+      json.NumberField("total", state->canary_total);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("candidates").BeginArray();
+  for (const FleetCandidate& candidate : candidates_) {
+    json.BeginObject();
+    json.Field("name", candidate.name);
+    json.Field("regime", ContentionRegimeName(candidate.regime));
+    json.Key("for_rw").Bool(candidate.for_rw);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("events").BeginArray();
+  for (const FleetEvent& event : events_) {
+    json.BeginObject();
+    json.NumberField("ts_ns", event.ts_ns);
+    if (event.worker_pid != 0) {
+      json.NumberField("pid", event.worker_pid);
+    }
+    if (!event.lock_name.empty()) {
+      json.Field("lock", event.lock_name);
+    }
+    json.Field("kind", FleetEventKindName(event.kind));
+    json.Field("regime", ContentionRegimeName(event.regime));
+    if (!event.candidate.empty()) {
+      json.Field("candidate", event.candidate);
+    }
+    json.Field("detail", event.detail);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::vector<FleetEvent> FleetAgent::RecentEvents(std::size_t max) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  const std::size_t start = events_.size() > max ? events_.size() - max : 0;
+  return std::vector<FleetEvent>(events_.begin() + start, events_.end());
+}
+
+void FleetAgent::ResetForTest() {
+  Stop();
+  std::lock_guard<std::mutex> guard(mu_);
+  workers_.clear();
+  locks_.clear();
+  candidates_.clear();
+  events_.clear();
+  config_ = FleetAgentConfig{};
+}
+
+}  // namespace concord

@@ -1,0 +1,289 @@
+// Fleet agent — the host-level half of the multi-process autotune story
+// (ROADMAP "multi-process agent", docs/OPERATIONS.md §multi-process).
+//
+// One agent per host manages N worker processes. Each worker exports its
+// profiler into a shared-memory segment (src/concord/agent/shm_segment.h)
+// and serves its own control-plane socket; the agent
+//
+//   sample   reads every registered worker's segment, diffs it against the
+//            previous read per lock *name* (the fleet key — lock ids are
+//            per-process), and merges the per-worker deltas into one
+//            fleet-wide window per lock name
+//   classify runs the same RegimeSignals/RegimeHysteresis machinery as the
+//            in-process controller on the merged window
+//   act      runs one canary-promote-rollback loop per lock name, scoring
+//            with the shared CanaryScore/CanaryPromotes verdict from
+//            autotune/controller.h, and pushes the winning policy to every
+//            worker through its certifier-gated policy.attach verb
+//
+// Aggregating across workers is the point: per-process windows are noisy,
+// the merged window is what makes a promotion trustworthy — and a promotion
+// applies to the whole fleet at once, including workers that join later.
+//
+// Degradation contract (the tentpole's hard requirement): a dead worker
+// (pid gone, socket refusing), a stale segment (publishes stopped), or a
+// corrupt/version-mismatched/truncated segment is detected and the worker
+// EVICTED — an event is emitted, the remaining fleet keeps converging, and
+// the agent never crashes or blocks on the failed worker. Candidates a
+// worker already received stay attached on eviction (a policy the certifier
+// admitted is safe to leave running; a restarted worker re-registers and
+// resyncs).
+//
+// Failure-injection: `agent.shm_map` fails segment (re)maps; `agent.merge`
+// skips the decision phase for a tick AFTER sampling, mirroring
+// `autotune.decide` — a wedged agent loses decisions, never consistency.
+
+#ifndef SRC_CONCORD_AGENT_FLEET_H_
+#define SRC_CONCORD_AGENT_FLEET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/concord/autotune/controller.h"
+#include "src/concord/autotune/regime.h"
+#include "src/concord/agent/shm_segment.h"
+
+namespace concord {
+
+// A policy the agent may push to the fleet. Unlike in-process
+// PolicyCandidates (factories for PolicySpecs), fleet candidates are .casm
+// *sources*: they cross the process boundary through policy.attach, where
+// every worker re-runs the full verifier + lint + certifier gate before the
+// policy touches a lock.
+struct FleetCandidate {
+  std::string name;
+  ContentionRegime regime = ContentionRegime::kModerate;
+  bool for_rw = false;
+  std::string source;  // .casm text, pushed inline
+};
+
+struct FleetAgentConfig {
+  // Background tick period (also the merged sampling window).
+  std::uint64_t window_ns = 100'000'000;  // 100ms
+
+  // Same roles as their AutotuneConfig namesakes, applied to the merged
+  // fleet-wide window.
+  std::uint32_t hysteresis_windows = 2;
+  std::uint32_t canary_windows = 3;
+  std::uint64_t min_window_acquisitions = 64;
+  double promote_margin = 0.05;
+  std::uint32_t cooldown_windows = 5;
+  std::uint32_t failed_candidate_backoff_windows = 20;
+  ClassifierConfig classifier;
+
+  // Eviction: a worker is evicted after this many consecutive ticks without
+  // readable publish progress (transient read failures and unchanged
+  // publish_count both count; permanent segment corruption and a dead pid
+  // evict immediately). Progress-based rather than clock-based so an agent
+  // under FakeClock still detects real workers stalling.
+  std::uint32_t evict_after_stale_ticks = 3;
+
+  // Per-worker RPC budget for policy pushes. Deliberately short: a worker
+  // that cannot answer within this is treated as dead and evicted rather
+  // than allowed to block the fleet loop.
+  std::uint64_t push_timeout_ms = 1'000;
+
+  // Seed candidates from every .casm in this directory ("" = skip); regime
+  // inferred from the filename as in PolicyCandidateRegistry.
+  std::string policy_dir;
+};
+
+enum class FleetEventKind : std::uint8_t {
+  kWorkerJoin,
+  kWorkerEvict,
+  kRegimeChange,
+  kCanaryStart,
+  kPromote,
+  kRollback,
+  kCanaryAbort,
+  kError,
+};
+
+const char* FleetEventKindName(FleetEventKind kind);
+
+struct FleetEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t worker_pid = 0;   // 0 for fleet-wide (lock-keyed) events
+  std::string lock_name;          // "" for worker-keyed events
+  FleetEventKind kind = FleetEventKind::kError;
+  ContentionRegime regime = ContentionRegime::kUncontended;
+  std::string candidate;
+  std::string detail;
+};
+
+// The agent. One per process (Global()); the RPC verbs agent.register/
+// agent.leave/agent.status are thin wrappers over it.
+class FleetAgent {
+ public:
+  static FleetAgent& Global();
+
+  // Applies config; fails while the background loop is running.
+  Status Configure(const FleetAgentConfig& config);
+  FleetAgentConfig config() const;
+
+  // Registers a candidate after running the local admission pipeline
+  // (assemble + verify + lint + certify) on its source — a candidate the
+  // agent itself cannot certify would just bounce off every worker.
+  // Replaces any candidate with the same name.
+  Status AddCandidate(const FleetCandidate& candidate);
+  // Loads every admissible .casm under `dir`; returns how many registered.
+  int SeedCandidatesFromDir(const std::string& dir);
+  std::vector<std::string> CandidateNames() const;
+
+  // --- membership (RPC-driven) ----------------------------------------------
+
+  // Registers (or re-registers) a worker. Replaces any existing entry for
+  // `pid`; the segment is mapped lazily on the next tick, and the current
+  // incumbent policies are pushed to the worker then (never synchronously
+  // from the RPC thread — the worker is mid-Call and pushing back into its
+  // socket from here invites a distributed deadlock).
+  Status RegisterWorker(std::uint64_t pid, const std::string& shm_path,
+                        const std::string& control_socket);
+  Status LeaveWorker(std::uint64_t pid);
+  std::size_t WorkerCount() const;
+
+  // --- the loop -------------------------------------------------------------
+
+  // One sample+classify+act pass. Deterministic given manual ticks and
+  // deterministic worker feeds; tests call this directly instead of Start().
+  std::vector<FleetEvent> Tick();
+
+  Status Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- introspection --------------------------------------------------------
+
+  // {"running","window_ns","workers":[...],"locks":[...],
+  //  "candidates":[...],"events":[...]}
+  std::string StatusJson() const;
+  std::vector<FleetEvent> RecentEvents(std::size_t max = 64) const;
+
+  // Stops the loop, drops workers/locks/candidates/events/config.
+  void ResetForTest();
+
+ private:
+  static constexpr std::uint32_t kCanaryPatience = 8;  // as the controller
+  static constexpr std::size_t kMaxEvents = 256;
+
+  enum class Mode : std::uint8_t { kObserving, kCanary };
+
+  struct SkipEntry {
+    std::string name;
+    std::uint32_t windows_left = 0;
+  };
+
+  struct Worker {
+    std::uint64_t pid = 0;
+    std::string shm_path;
+    std::string control_socket;
+    std::unique_ptr<ShmSegmentReader> reader;
+
+    // Progress tracking for staleness eviction.
+    bool have_sample = false;
+    std::uint64_t last_publish_count = 0;
+    std::uint32_t stale_ticks = 0;
+
+    // Cumulative per-lock snapshots from the previous successful read, keyed
+    // by lock name; diffed against the next read.
+    std::map<std::string, LockProfileSnapshot> last_by_lock;
+
+    // Policies this worker still needs pushed (set at registration so a
+    // late joiner converges onto the fleet's incumbents).
+    bool needs_sync = true;
+  };
+
+  struct FleetLockState {
+    std::string name;
+    bool is_rw = false;  // mutex-profiled segments cannot mark rw; stays false
+
+    RegimeHysteresis hysteresis;
+    std::string incumbent;  // kPlainCandidateName when no policy
+    Mode mode = Mode::kObserving;
+    std::uint32_t cooldown = 0;
+
+    bool have_baseline = false;
+    std::uint64_t baseline_p50_ns = 0;
+    std::uint64_t baseline_p99_ns = 0;
+
+    std::string canary_candidate;
+    Log2Histogram canary_wait;
+    std::uint32_t canary_scored = 0;
+    std::uint32_t canary_total = 0;
+
+    std::vector<SkipEntry> skip;
+  };
+
+  FleetAgent() = default;
+
+  // Sampling phase helpers. All return false if the worker must be evicted
+  // (reason in *evict_reason).
+  bool SampleWorkerLocked(Worker& worker,
+                          std::map<std::string, LockProfileSnapshot>& merged,
+                          std::string* evict_reason);
+  void EvictWorkerPidLocked(std::uint64_t pid, const std::string& reason,
+                            std::uint64_t now_ns,
+                            std::vector<FleetEvent>& events);
+
+  // Decision phase helpers (mirror the controller's, on merged windows).
+  void TickLockLocked(FleetLockState& state,
+                      const LockProfileSnapshot& window, std::uint64_t now_ns,
+                      std::vector<FleetEvent>& events);
+  const FleetCandidate* CandidateForLocked(
+      ContentionRegime regime, bool is_rw,
+      const std::vector<std::string>& skip) const;
+  void StartCanaryLocked(FleetLockState& state,
+                         const FleetCandidate& candidate, std::uint64_t now_ns,
+                         std::vector<FleetEvent>& events);
+  void FinishCanaryLocked(FleetLockState& state, bool promote,
+                          FleetEventKind kind, const std::string& detail,
+                          std::uint64_t now_ns,
+                          std::vector<FleetEvent>& events);
+
+  // Pushes candidate `name` ("plain" = detach) for `lock_name` to every
+  // live worker; workers whose socket fails are evicted. Returns ok if at
+  // least one worker holds the policy afterwards (or the fleet is empty).
+  Status PushToFleetLocked(const std::string& lock_name,
+                           const std::string& name, std::uint64_t now_ns,
+                           std::vector<FleetEvent>& events);
+  // One worker, one lock; "plain" detaches. Sets *transport_failed when the
+  // failure is the worker's socket (dead/wedged worker — evict) rather than
+  // a server-side rejection (bad candidate — back off).
+  Status PushToWorkerLocked(Worker& worker, const std::string& lock_name,
+                            const std::string& name, bool* transport_failed);
+  // Brings a late joiner up to date with every incumbent/canary policy.
+  // Returns false if the worker must be evicted (reason in *evict_reason).
+  bool SyncWorkerLocked(Worker& worker, std::uint64_t now_ns,
+                        std::vector<FleetEvent>& events,
+                        std::string* evict_reason);
+
+  void AddSkipLocked(FleetLockState& state, const std::string& name);
+  void EmitLocked(FleetEvent event, std::vector<FleetEvent>& events);
+  void ThreadMain();
+
+  mutable std::mutex mu_;
+  FleetAgentConfig config_;
+  std::vector<FleetCandidate> candidates_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::map<std::string, std::unique_ptr<FleetLockState>> locks_;
+  std::deque<FleetEvent> events_;
+
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::condition_variable stop_cv_;
+  std::mutex stop_mu_;
+  bool stop_requested_ = false;
+};
+
+}  // namespace concord
+
+#endif  // SRC_CONCORD_AGENT_FLEET_H_

@@ -23,10 +23,11 @@ PolicyCandidate PlainCandidate(ContentionRegime regime) {
   return plain;
 }
 
-// Filename -> regime inference for examples/policies/. Conservative: only
-// patterns with an obvious regime mapping load; everything else is skipped
-// rather than guessed wrong.
-bool RegimeFromFilename(const std::string& stem, ContentionRegime* out) {
+}  // namespace
+
+// Conservative: only patterns with an obvious regime mapping load;
+// everything else is skipped rather than guessed wrong.
+bool RegimeFromPolicyFilename(const std::string& stem, ContentionRegime* out) {
   if (stem.find("numa") != std::string::npos) {
     *out = ContentionRegime::kNumaSkewed;
     return true;
@@ -41,8 +42,6 @@ bool RegimeFromFilename(const std::string& stem, ContentionRegime* out) {
   }
   return false;
 }
-
-}  // namespace
 
 Status PolicyCandidateRegistry::Register(PolicyCandidate candidate) {
   if (candidate.name.empty() || candidate.name == kPlainCandidateName) {
@@ -115,7 +114,7 @@ int PolicyCandidateRegistry::SeedFromPolicyDir(const std::string& dir) {
     ContentionRegime regime;
     const std::string stem = entry.path().stem().string();
     auto hook_kind = ResolveHookDirective(source);
-    if (!hook_kind.ok() || !RegimeFromFilename(stem, &regime)) {
+    if (!hook_kind.ok() || !RegimeFromPolicyFilename(stem, &regime)) {
       continue;
     }
     const HookKind hook = *hook_kind;

@@ -44,6 +44,12 @@ struct PolicyCandidate {
 // The canonical name of the detach candidate.
 inline constexpr char kPlainCandidateName[] = "plain";
 
+// Filename -> regime inference for .casm policy directories ("numa" ->
+// numa-skewed, "backoff" -> pathological, "batch" -> moderate). Shared by
+// SeedFromPolicyDir and the fleet agent's candidate seeding
+// (src/concord/agent/fleet.h).
+bool RegimeFromPolicyFilename(const std::string& stem, ContentionRegime* out);
+
 class PolicyCandidateRegistry {
  public:
   PolicyCandidateRegistry() = default;

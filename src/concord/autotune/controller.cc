@@ -32,6 +32,25 @@ const char* AutotuneEventKindName(AutotuneEventKind kind) {
   return "unknown";
 }
 
+bool CanaryPromotes(const CanaryScore& score, double margin) {
+  const double base_p99 = static_cast<double>(score.baseline_p99_ns);
+  const double base_p50 = static_cast<double>(score.baseline_p50_ns);
+  const bool p99_improves =
+      static_cast<double>(score.canary_p99_ns) < base_p99 * (1.0 - margin);
+  const bool p99_holds =
+      static_cast<double>(score.canary_p99_ns) <= base_p99;
+  const bool p50_improves =
+      static_cast<double>(score.canary_p50_ns) < base_p50 * (1.0 - margin);
+  return p99_improves || (p99_holds && p50_improves);
+}
+
+std::string CanaryScoreDetail(const CanaryScore& score) {
+  return "p50 " + std::to_string(score.baseline_p50_ns) + "->" +
+         std::to_string(score.canary_p50_ns) + "ns, p99 " +
+         std::to_string(score.baseline_p99_ns) + "->" +
+         std::to_string(score.canary_p99_ns) + "ns";
+}
+
 AutotuneController& AutotuneController::Global() {
   static AutotuneController* instance = new AutotuneController();
   return *instance;
@@ -368,22 +387,11 @@ void AutotuneController::TickLockLocked(LockState& state,
       return;
     }
     // Verdict.
-    const std::uint64_t cand_p50 = state.canary_wait.Percentile(50);
-    const std::uint64_t cand_p99 = state.canary_wait.Percentile(99);
-    const double margin = config_.promote_margin;
-    const double base_p99 = static_cast<double>(state.baseline_p99_ns);
-    const double base_p50 = static_cast<double>(state.baseline_p50_ns);
-    const bool p99_improves =
-        static_cast<double>(cand_p99) < base_p99 * (1.0 - margin);
-    const bool p99_holds = static_cast<double>(cand_p99) <= base_p99;
-    const bool p50_improves =
-        static_cast<double>(cand_p50) < base_p50 * (1.0 - margin);
-    const bool promote = p99_improves || (p99_holds && p50_improves);
-    const std::string detail =
-        "p50 " + std::to_string(state.baseline_p50_ns) + "->" +
-        std::to_string(cand_p50) + "ns, p99 " +
-        std::to_string(state.baseline_p99_ns) + "->" +
-        std::to_string(cand_p99) + "ns";
+    const CanaryScore score = {state.baseline_p50_ns, state.baseline_p99_ns,
+                               state.canary_wait.Percentile(50),
+                               state.canary_wait.Percentile(99)};
+    const bool promote = CanaryPromotes(score, config_.promote_margin);
+    const std::string detail = CanaryScoreDetail(score);
     FinishCanaryLocked(state, promote,
                        promote ? AutotuneEventKind::kPromote
                                : AutotuneEventKind::kRollback,

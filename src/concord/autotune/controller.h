@@ -93,6 +93,24 @@ enum class AutotuneEventKind : std::uint8_t {
 
 const char* AutotuneEventKindName(AutotuneEventKind kind);
 
+// The promote/rollback verdict, shared by the in-process controller and the
+// multi-process fleet agent (src/concord/agent/fleet.h) so both control
+// planes promote on exactly the same evidence: promote iff the canary's p99
+// wait improves on the baseline by `margin`, or p99 holds and p50 improves
+// by `margin`.
+struct CanaryScore {
+  std::uint64_t baseline_p50_ns = 0;
+  std::uint64_t baseline_p99_ns = 0;
+  std::uint64_t canary_p50_ns = 0;
+  std::uint64_t canary_p99_ns = 0;
+};
+
+bool CanaryPromotes(const CanaryScore& score, double margin);
+
+// "p50 A->Bns, p99 C->Dns" — the detail string attached to promote/rollback
+// events on both control planes.
+std::string CanaryScoreDetail(const CanaryScore& score);
+
 struct AutotuneEvent {
   std::uint64_t ts_ns = 0;
   std::uint64_t lock_id = 0;

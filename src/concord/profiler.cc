@@ -1,5 +1,6 @@
 #include "src/concord/profiler.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -290,18 +291,39 @@ std::uint64_t ShardedLockProfileStats::SocketAcquisitions(
 LockProfileSnapshot ShardedLockProfileStats::Snapshot() const {
   LockProfileSnapshot snap;
   snap.taken_at_ns = ClockNowNs();
-  snap.acquisitions = Acquisitions();
-  snap.contentions = Contentions();
-  snap.releases = Releases();
+  // One merge pass over the shards instead of one cross-shard sweep per
+  // field. The per-field accessors each walk all shards, so a snapshot taken
+  // concurrently with writers used to pair counters from visibly different
+  // instants — e.g. a contention recorded after the acquisitions sweep but
+  // before the contentions sweep could make a window delta report
+  // contentions > acquisitions. Merging shard-by-shard reads each shard's
+  // fields back-to-back, shrinking the skew to the handful of ops in flight
+  // during one MergeFrom. The residual skew cannot be eliminated without
+  // stopping the writers (the taps are deliberately lock-free), so the
+  // cross-field invariants consumers rely on (contentions <= acquisitions,
+  // releases <= acquisitions, ContentionRate() <= 1) are restored by the
+  // clamps below; each counter remains individually monotonic.
+  LockProfileStats merged;
+  MergeInto(merged);
+  snap.acquisitions = merged.acquisitions.load(std::memory_order_relaxed);
+  snap.contentions =
+      std::min(merged.contentions.load(std::memory_order_relaxed),
+               snap.acquisitions);
+  snap.releases = std::min(merged.releases.load(std::memory_order_relaxed),
+                           snap.acquisitions);
   for (std::size_t i = 0; i < kProfilerSocketSlots; ++i) {
-    snap.socket_acquisitions[i] = SocketAcquisitions(i);
+    snap.socket_acquisitions[i] =
+        merged.socket_acquisitions[i].load(std::memory_order_relaxed);
   }
-  snap.cross_socket_handoffs = CrossSocketHandoffs();
-  snap.dropped_samples = DroppedSamples();
-  snap.budget_overruns = BudgetOverruns();
-  snap.quarantines = Quarantines();
-  snap.wait_ns = WaitNs();
-  snap.hold_ns = HoldNs();
+  snap.cross_socket_handoffs =
+      merged.cross_socket_handoffs.load(std::memory_order_relaxed);
+  snap.dropped_samples =
+      merged.dropped_samples.load(std::memory_order_relaxed);
+  snap.budget_overruns =
+      merged.budget_overruns.load(std::memory_order_relaxed);
+  snap.quarantines = merged.quarantines.load(std::memory_order_relaxed);
+  snap.wait_ns = merged.wait_ns;
+  snap.hold_ns = merged.hold_ns;
   return snap;
 }
 

@@ -177,6 +177,15 @@ class ShardedLockProfileStats {
   std::uint64_t SocketAcquisitions(std::size_t socket_slot) const;
 
   // Cross-shard merged copy of everything, stamped with ClockNowNs().
+  //
+  // Consistency bound: the copy is taken in a single pass over the shards
+  // while writers keep recording, so counters from one call may straddle the
+  // handful of operations in flight during the merge — but each counter is
+  // individually monotonic across calls, and the cross-field invariants
+  // contentions <= acquisitions, releases <= acquisitions (and therefore
+  // ContentionRate() <= 1) are enforced by clamping. DeltaSince of two such
+  // snapshots can attribute an in-flight op to either window, never to both
+  // and never to neither.
   LockProfileSnapshot Snapshot() const;
 
   // Last socket a contended grant landed on (cross-socket handoff tracking;

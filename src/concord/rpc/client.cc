@@ -182,7 +182,15 @@ StatusOr<RpcResponse> RpcClient::CallOnce(const std::string& method,
     if (got > 0) {
       reply.append(chunk, static_cast<std::size_t>(got));
     } else if (got == 0) {
-      return InternalError("connection closed before a complete response");
+      // A server killed mid-reply leaves a half-written frame. Name that
+      // case explicitly instead of handing the partial bytes downstream,
+      // where they used to surface as a confusing parse error.
+      if (reply.empty()) {
+        return InternalError("connection closed before any response");
+      }
+      return InternalError("connection lost mid-reply (" +
+                           std::to_string(reply.size()) +
+                           " bytes of a partial frame discarded)");
     } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
       return InternalError(std::string("recv: ") + strerror(errno));
     }

@@ -12,6 +12,7 @@
 #include "src/bpf/analysis/certify.h"
 #include "src/bpf/assembler.h"
 #include "src/bpf/maps.h"
+#include "src/concord/agent/fleet.h"
 #include "src/concord/autotune/controller.h"
 #include "src/concord/concord.h"
 #include "src/concord/containment.h"
@@ -41,6 +42,28 @@ StatusOr<std::string> RequiredStringParam(const JsonValue& params,
     return InvalidArgumentError("missing required string param '" + key + "'");
   }
   return value->string_value;
+}
+
+// Accepts a JSON number or a decimal string — concordctl forwards every
+// --param as a string, so "pid": "12345" must work as well as "pid": 12345.
+StatusOr<std::uint64_t> RequiredU64Param(const JsonValue& params,
+                                         const std::string& key) {
+  const JsonValue* value = params.IsObject() ? params.Find(key) : nullptr;
+  if (value != nullptr && value->IsNumber() && value->number_value >= 0) {
+    return static_cast<std::uint64_t>(value->number_value);
+  }
+  if (value != nullptr && value->IsString() && !value->string_value.empty()) {
+    std::uint64_t parsed = 0;
+    for (const char c : value->string_value) {
+      if (c < '0' || c > '9') {
+        return InvalidArgumentError("param '" + key +
+                                    "' is not a non-negative integer");
+      }
+      parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return parsed;
+  }
+  return InvalidArgumentError("missing required integer param '" + key + "'");
 }
 
 // --- verb bodies -------------------------------------------------------------
@@ -381,6 +404,46 @@ StatusOr<std::string> HandlePolicyDetach(const JsonValue& params) {
   return json.TakeString();
 }
 
+// --- fleet agent verbs -------------------------------------------------------
+//
+// The multi-process agent (src/concord/agent/fleet.h) runs an RpcServer with
+// this same dispatcher; workers call agent.register/agent.leave against it.
+// Registration is deliberately cheap and synchronous-side-effect-free: the
+// worker is recorded, and the agent's next Tick maps the segment and pushes
+// incumbent policies. Pushing from here would call back into the worker's
+// socket while the worker is still blocked in this very RPC.
+
+StatusOr<std::string> HandleAgentRegister(const JsonValue& params) {
+  auto pid = RequiredU64Param(params, "pid");
+  CONCORD_RETURN_IF_ERROR(pid.status());
+  auto shm = RequiredStringParam(params, "shm");
+  CONCORD_RETURN_IF_ERROR(shm.status());
+  auto socket = RequiredStringParam(params, "socket");
+  CONCORD_RETURN_IF_ERROR(socket.status());
+  CONCORD_RETURN_IF_ERROR(
+      FleetAgent::Global().RegisterWorker(*pid, *shm, *socket));
+  JsonWriter json;
+  json.BeginObject();
+  json.NumberField("pid", *pid);
+  json.NumberField(
+      "workers", static_cast<std::uint64_t>(FleetAgent::Global().WorkerCount()));
+  json.EndObject();
+  return json.TakeString();
+}
+
+StatusOr<std::string> HandleAgentLeave(const JsonValue& params) {
+  auto pid = RequiredU64Param(params, "pid");
+  CONCORD_RETURN_IF_ERROR(pid.status());
+  CONCORD_RETURN_IF_ERROR(FleetAgent::Global().LeaveWorker(*pid));
+  JsonWriter json;
+  json.BeginObject();
+  json.NumberField("pid", *pid);
+  json.NumberField(
+      "workers", static_cast<std::uint64_t>(FleetAgent::Global().WorkerCount()));
+  json.EndObject();
+  return json.TakeString();
+}
+
 }  // namespace
 
 RpcDispatcher::RpcDispatcher() {
@@ -406,6 +469,11 @@ RpcDispatcher::RpcDispatcher() {
   add("faults.list", true, HandleFaultsList);
   add("policy.attach", false, HandlePolicyAttach);
   add("policy.detach", false, HandlePolicyDetach);
+  add("agent.register", false, HandleAgentRegister);
+  add("agent.leave", false, HandleAgentLeave);
+  add("agent.status", true, [](const JsonValue&) -> StatusOr<std::string> {
+    return FleetAgent::Global().StatusJson();
+  });
 }
 
 const RpcDispatcher::Verb* RpcDispatcher::Find(const std::string& method) const {

@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/base/time.h"
+#include "src/concord/agent/shm_segment.h"
 #include "src/concord/concord.h"
 #include "src/concord/policies.h"
 #include "src/sync/bravo.h"
@@ -379,6 +385,92 @@ TEST(SnapshotTest, ActiveSocketsIgnoresTraceTraffic) {
   const LockProfileSnapshot snapshot = stats.Snapshot();
   EXPECT_EQ(snapshot.ActiveSockets(), 2u);
   EXPECT_EQ(snapshot.ActiveSockets(/*min_share=*/0.01), 3u);
+}
+
+// Regression for the cross-shard field-skew bug: Snapshot() used to read
+// each field with an independent pass over the shards, so a snapshot taken
+// while writers were mid-operation could observe contentions > acquisitions
+// (a contention counted on shard A after the acquisitions pass had moved
+// on), which inflated ContentionRate() past 1.0 and poisoned regime
+// classification. Snapshot() now merges once and clamps the cross-field
+// invariants; this test hammers it from concurrent writers (and under TSan
+// doubles as the race-freedom proof), then round-trips the same snapshots
+// through the shared-memory export to cover the multi-process path.
+TEST(SnapshotTest, ConcurrentSnapshotsHoldCrossFieldInvariants) {
+  ShardedLockProfileStats stats;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stats, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        LockProfileStats& shard = stats.Shard();
+        // Every op is an acquisition+contention+release triple, recorded in
+        // the order the real taps record them — so any skew the snapshot
+        // pass can introduce is the bug's exact shape.
+        shard.acquisitions.fetch_add(1, std::memory_order_relaxed);
+        shard.contentions.fetch_add(1, std::memory_order_relaxed);
+        shard.wait_ns.Record(1'000);
+        shard.releases.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const std::string shm_path = ::testing::TempDir() + "profiler_skew_" +
+                               std::to_string(getpid()) + ".shm";
+  std::remove(shm_path.c_str());
+  auto writer = ShmSegmentWriter::Create(shm_path, /*capacity=*/2);
+  ASSERT_TRUE(writer.ok());
+  auto reader = ShmSegmentReader::Map(shm_path);
+  ASSERT_TRUE(reader.ok());
+
+  LockProfileSnapshot prev;
+  bool have_prev = false;
+  for (int i = 0; i < 2'000; ++i) {
+    const LockProfileSnapshot snap = stats.Snapshot();
+    ASSERT_LE(snap.contentions, snap.acquisitions);
+    ASSERT_LE(snap.releases, snap.acquisitions);
+    ASSERT_LE(snap.ContentionRate(), 1.0);
+    if (have_prev) {
+      // Each counter is monotonic across snapshots, and a delta window
+      // attributes in-flight ops to exactly one side — never negative.
+      ASSERT_GE(snap.acquisitions, prev.acquisitions);
+      ASSERT_GE(snap.contentions, prev.contentions);
+      ASSERT_GE(snap.releases, prev.releases);
+      // The documented residual: an in-flight op may land its acquisition
+      // in one window and its contention in the next, so the *window*
+      // cross-field invariant is only "never negative, never double
+      // counted" — not contentions <= acquisitions.
+      const LockProfileSnapshot delta = snap.DeltaSince(prev);
+      ASSERT_EQ(delta.acquisitions, snap.acquisitions - prev.acquisitions);
+      ASSERT_EQ(delta.contentions, snap.contentions - prev.contentions);
+    }
+    prev = snap;
+    have_prev = true;
+
+    // Every 64th snapshot rides through the shm segment, the same way the
+    // worker exporter publishes it, and must come back invariant-clean.
+    if (i % 64 == 0) {
+      ShmLockSample sample;
+      sample.lock_id = 1;
+      sample.name = "skew";
+      sample.snapshot = snap;
+      ASSERT_TRUE(
+          (*writer)->Publish({sample}, static_cast<std::uint64_t>(i + 1)).ok());
+      auto read_back = (*reader)->Read();
+      ASSERT_TRUE(read_back.ok()) << read_back.status().ToString();
+      ASSERT_EQ(read_back->locks.size(), 1u);
+      const LockProfileSnapshot& exported = read_back->locks[0].snapshot;
+      ASSERT_EQ(exported.acquisitions, snap.acquisitions);
+      ASSERT_EQ(exported.contentions, snap.contentions);
+      ASSERT_LE(exported.contentions, exported.acquisitions);
+    }
+  }
+
+  stop.store(true);
+  for (std::thread& writer_thread : writers) {
+    writer_thread.join();
+  }
+  std::remove(shm_path.c_str());
 }
 
 }  // namespace

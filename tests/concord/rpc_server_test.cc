@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "src/base/fault.h"
 #include "src/base/json.h"
@@ -598,6 +600,90 @@ TEST_F(RpcServerTest, ClientRetriesAreBoundedOnDeadSocket) {
   RpcClient client(options);
   auto response = client.Call("status", "", /*idempotent=*/true);
   EXPECT_FALSE(response.ok());
+}
+
+// A hand-rolled one-shot "server" for the connection-loss tests: accepts one
+// connection, reads the request, writes `reply_bytes` (possibly a partial
+// frame), then closes — the wire shape of a server killed mid-reply.
+class HalfReplyServer {
+ public:
+  explicit HalfReplyServer(const std::string& path, std::string reply_bytes)
+      : path_(path), reply_bytes_(std::move(reply_bytes)) {
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_un addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    unlink(path.c_str());
+    EXPECT_EQ(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+              0)
+        << strerror(errno);
+    EXPECT_EQ(listen(listen_fd_, 1), 0);
+    thread_ = std::thread([this] { ServeOne(); });
+  }
+
+  ~HalfReplyServer() {
+    thread_.join();
+    close(listen_fd_);
+    unlink(path_.c_str());
+  }
+
+ private:
+  void ServeOne() {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;
+    }
+    // Drain the request frame (one line) before replying, as a live server
+    // would.
+    char c;
+    while (recv(fd, &c, 1, 0) == 1 && c != '\n') {
+    }
+    if (!reply_bytes_.empty()) {
+      (void)send(fd, reply_bytes_.data(), reply_bytes_.size(), MSG_NOSIGNAL);
+    }
+    close(fd);  // dies mid-reply
+  }
+
+  std::string path_;
+  std::string reply_bytes_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+// Regression: a server killed after writing half a response frame used to
+// surface as a stale, misleading error. The client must now report a clean
+// "connection lost" naming the partial frame, and concordctl turns that
+// Status into a nonzero exit.
+TEST_F(RpcServerTest, ServerKilledMidReplyYieldsConnectionLostError) {
+  // Half of a valid response frame, no terminating newline.
+  HalfReplyServer server(SocketPath(), "{\"id\":1,\"ok\":true,\"res");
+  RpcClientOptions options;
+  options.socket_path = SocketPath();
+  options.timeout_ms = 5'000;
+  options.max_attempts = 1;
+  RpcClient client(options);
+  auto response = client.CallOnce("status", "");
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.status().message().find("connection lost mid-reply"),
+            std::string::npos)
+      << response.status().ToString();
+}
+
+TEST_F(RpcServerTest, ServerKilledBeforeReplyYieldsCleanError) {
+  HalfReplyServer server(SocketPath(), "");
+  RpcClientOptions options;
+  options.socket_path = SocketPath();
+  options.timeout_ms = 5'000;
+  options.max_attempts = 1;
+  RpcClient client(options);
+  auto response = client.CallOnce("status", "");
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.status().message().find("closed before any response"),
+            std::string::npos)
+      << response.status().ToString();
 }
 
 }  // namespace

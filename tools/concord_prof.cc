@@ -26,6 +26,12 @@
 // control-plane RPC server on that unix socket for the duration of the run,
 // so an operator (or the CI smoke job) can drive concordctl against a live
 // workload.
+//
+// Multi-process deployment (docs/OPERATIONS.md §multi-process): --shm PATH
+// exports the profiler into a shared-memory segment, and --agent SOCKET
+// additionally registers this process with a concord_agent daemon so the
+// fleet agent can observe it and push policies back through --serve. --agent
+// requires both --shm and --serve.
 
 #include <atomic>
 #include <cstdio>
@@ -35,7 +41,10 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "src/base/time.h"
+#include "src/concord/agent/worker_export.h"
 #include "src/concord/autotune/controller.h"
 #include "src/concord/concord.h"
 #include "src/concord/rpc/client.h"
@@ -56,12 +65,15 @@ struct Options {
   std::string out = "concord_trace.json";
   std::string socket;  // status mode: RPC socket to query
   std::string serve;   // workload modes: expose the RPC server here
+  std::string shm;     // workload modes: export profiler to this segment
+  std::string agent;   // workload modes: register with this agent socket
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <top|trace|stats|autotune> [--locks N] [--threads N] "
-               "[--ms N] [--out FILE] [--serve SOCKET]\n"
+               "[--ms N] [--out FILE] [--serve SOCKET] [--shm PATH] "
+               "[--agent SOCKET]\n"
                "       %s status --socket SOCKET\n",
                argv0, argv0);
   return 2;
@@ -91,6 +103,10 @@ bool ParseOptions(int argc, char** argv, Options& opts) {
       opts.socket = argv[++i];
     } else if (arg == "--serve" && has_value) {
       opts.serve = argv[++i];
+    } else if (arg == "--shm" && has_value) {
+      opts.shm = argv[++i];
+    } else if (arg == "--agent" && has_value) {
+      opts.agent = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -106,6 +122,10 @@ bool ParseOptions(int argc, char** argv, Options& opts) {
   if (opts.locks < 1 || opts.locks > 64 || opts.threads < 1 ||
       opts.threads > 256 || opts.ms < 1) {
     std::fprintf(stderr, "flag out of range\n");
+    return false;
+  }
+  if (!opts.agent.empty() && (opts.shm.empty() || opts.serve.empty())) {
+    std::fprintf(stderr, "--agent requires --shm and --serve\n");
     return false;
   }
   return true;
@@ -214,6 +234,36 @@ int Run(const Options& opts) {
     ids.push_back(id);
   }
 
+  // Multi-process deployment: export the profiler over shared memory and
+  // (optionally) hand this worker to a fleet agent.
+  std::unique_ptr<ShmExporter> exporter;
+  if (!opts.shm.empty()) {
+    ShmExporterOptions exporter_options;
+    exporter_options.shm_path = opts.shm;
+    auto created = ShmExporter::Create(exporter_options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "concord_prof: shm export on %s: %s\n",
+                   opts.shm.c_str(), created.status().ToString().c_str());
+      return 1;
+    }
+    exporter = std::move(*created);
+    const Status started = exporter->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "concord_prof: shm exporter: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!opts.agent.empty()) {
+    const Status registered = RegisterWithAgent(
+        opts.agent, static_cast<std::uint64_t>(getpid()), opts.shm, opts.serve);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "concord_prof: agent registration on %s: %s\n",
+                   opts.agent.c_str(), registered.ToString().c_str());
+      return 1;
+    }
+  }
+
   if (opts.mode == "autotune") {
     AutotuneConfig config;
     // Sized so a short demo run still sees several decision windows.
@@ -279,6 +329,12 @@ int Run(const Options& opts) {
     std::printf("%s\n", concord.StatsJson("*").c_str());
   }
 
+  if (!opts.agent.empty()) {
+    (void)LeaveAgent(opts.agent, static_cast<std::uint64_t>(getpid()));
+  }
+  if (exporter != nullptr) {
+    exporter->Stop();
+  }
   for (const std::uint64_t id : ids) {
     (void)concord.DisableTracing(id);
     (void)concord.Unregister(id);
